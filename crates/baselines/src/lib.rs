@@ -1,0 +1,36 @@
+//! # a2a-baselines
+//!
+//! Every comparison scheme used in the paper's evaluation (§5), implemented against the
+//! same [`a2a_topology`] / [`a2a_mcf`] types as the MCF toolchain so that schedules from
+//! all schemes can be lowered, validated and simulated identically.
+//!
+//! * [`sssp`] — the congestion-aware Single Source Shortest Path heuristic \[19\]:
+//!   one path per commodity, link weights grow with assigned load.
+//! * [`ewsp`] — Equal-weight Shortest Paths: each commodity split evenly across all of
+//!   its shortest paths.
+//! * [`dor`] — Dimension-Ordered Routing for tori/meshes \[17\].
+//! * [`naive`] — the NCCL / OpenMPI native all-to-all stand-in: `N - 1` point-to-point
+//!   transfers per rank along fabric-computed shortest routes.
+//! * [`ilp`] — the link-load-minimizing single-path ILP baselines (ILP-disjoint and
+//!   ILP-shortest) built on the branch-and-bound solver of [`a2a_lp::ilp`].
+//! * [`fptas`] — a Garg–Könemann / Fleischer style fully polynomial-time approximation
+//!   scheme for the max-concurrent MCF \[20, 26\].
+//! * [`synth`] — stand-ins for the SCCL (SMT) and TACCL (MILP) collective synthesizers
+//!   \[14, 46\]: combinatorial searches with the same qualitative behaviour (exact but
+//!   exponentially exploding vs. heuristic but unbalanced).
+
+pub mod dor;
+pub mod ewsp;
+pub mod fptas;
+pub mod ilp;
+pub mod naive;
+pub mod sssp;
+pub mod synth;
+
+pub use dor::dimension_ordered_routing;
+pub use ewsp::equal_weight_shortest_paths;
+pub use fptas::{fptas_max_concurrent_flow, FptasOptions};
+pub use ilp::{ilp_path_selection, IlpPathOptions, PathCandidates};
+pub use naive::naive_point_to_point;
+pub use sssp::sssp_schedule;
+pub use synth::{sccl_like_search, taccl_like_heuristic, SynthOutcome};

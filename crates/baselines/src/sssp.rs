@@ -1,0 +1,111 @@
+//! Congestion-aware Single Source Shortest Path (SSSP) heuristic.
+//!
+//! The DF-SSSP-style baseline of the paper \[19\]: commodities are routed one at a time
+//! along a weighted shortest path whose link weights reflect the congestion created by
+//! previously routed commodities, then the chosen path's links are made heavier. The
+//! scheme is fast and topology-agnostic but single-path, so it can be up to ~1.6x off
+//! the MCF optimum (Fig. 8).
+
+use a2a_mcf::{CommoditySet, McfError, McfResult, PathSchedule};
+use a2a_topology::{paths, Path, Topology};
+
+/// Computes an SSSP schedule for an all-to-all among all nodes.
+pub fn sssp_schedule(topo: &Topology) -> McfResult<PathSchedule> {
+    sssp_schedule_among(topo, CommoditySet::all_pairs(topo.num_nodes()))
+}
+
+/// Computes an SSSP schedule for an explicit commodity set.
+pub fn sssp_schedule_among(topo: &Topology, commodities: CommoditySet) -> McfResult<PathSchedule> {
+    let mut load = vec![0.0f64; topo.num_edges()];
+    let mut chosen: Vec<Option<Path>> = vec![None; commodities.len()];
+
+    // Route commodities longest-first (by hop distance) so that long flows get the
+    // emptiest view of the network; this matches the iterative SSSP description.
+    let mut order: Vec<(usize, usize)> = Vec::with_capacity(commodities.len());
+    for (idx, s, d) in commodities.iter() {
+        let dist = topo.bfs_distances(s)[d].ok_or_else(|| {
+            McfError::BadTopology(format!("destination {d} unreachable from {s}"))
+        })?;
+        order.push((idx, dist));
+    }
+    order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    for (idx, _) in order {
+        let (s, d) = commodities.pair(idx);
+        // Link weight: 1 (hop) + current congestion; congestion dominates ties between
+        // equally long routes.
+        let weights: Vec<f64> = load
+            .iter()
+            .enumerate()
+            .map(|(e, &l)| 1.0 + l / topo.edge(e).capacity)
+            .collect();
+        let path = paths::weighted_shortest_path(topo, s, d, &weights).ok_or_else(|| {
+            McfError::BadTopology(format!("no path from {s} to {d} for SSSP routing"))
+        })?;
+        for (u, v) in path.links() {
+            let e = topo.find_edge(u, v).expect("path edges exist");
+            load[e] += 1.0;
+        }
+        chosen[idx] = Some(path);
+    }
+
+    let raw: Vec<Vec<(Path, f64)>> = chosen
+        .into_iter()
+        .map(|p| vec![(p.expect("every commodity routed"), 1.0)])
+        .collect();
+    let mut schedule = PathSchedule::from_weighted_paths(commodities, 0.0, raw);
+    schedule.flow_value = a2a_mcf::analysis::effective_flow_value(topo, &schedule);
+    Ok(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a2a_mcf::analysis::max_link_load_of_paths;
+    use a2a_mcf::solve_link_mcf;
+    use a2a_topology::generators;
+
+    #[test]
+    fn single_path_per_commodity() {
+        let topo = generators::hypercube(3);
+        let sched = sssp_schedule(&topo).unwrap();
+        assert!(sched.check_consistency(&topo, 1e-9).is_empty());
+        assert_eq!(sched.max_paths_per_commodity(), 1);
+        assert_eq!(sched.total_paths(), 56);
+    }
+
+    #[test]
+    fn congestion_awareness_beats_naive_on_the_ring() {
+        // On a bidirectional ring the opposite-node commodities have two equal-length
+        // routes; congestion-aware selection balances them.
+        let topo = generators::bidirectional_ring(6);
+        let sched = sssp_schedule(&topo).unwrap();
+        let load = max_link_load_of_paths(&topo, &sched);
+        // Perfect balance would be 1/F of the MCF; allow a 60% margin but require much
+        // better than the worst case of everyone picking the same direction.
+        let optimal = 1.0 / solve_link_mcf(&topo).unwrap().flow_value;
+        assert!(load <= 1.6 * optimal, "load {load} vs optimal {optimal}");
+    }
+
+    #[test]
+    fn sssp_is_suboptimal_but_feasible_on_expanders() {
+        let topo = generators::generalized_kautz(12, 3);
+        let sched = sssp_schedule(&topo).unwrap();
+        assert!(sched.check_consistency(&topo, 1e-9).is_empty());
+        let optimal_time = 1.0 / solve_link_mcf(&topo).unwrap().flow_value;
+        let sssp_time = max_link_load_of_paths(&topo, &sched);
+        // Single-path schedules can never beat the MCF optimum.
+        assert!(sssp_time >= optimal_time - 1e-6);
+    }
+
+    #[test]
+    fn unreachable_commodities_error() {
+        let mut topo = Topology::new(3, "line");
+        topo.add_edge(0, 1, 1.0);
+        topo.add_edge(1, 2, 1.0);
+        assert!(matches!(
+            sssp_schedule(&topo),
+            Err(McfError::BadTopology(_))
+        ));
+    }
+}

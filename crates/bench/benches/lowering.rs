@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks for schedule compilation (§4): chunking, XML emission,
+//! route-table lowering and LASH virtual-channel assignment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use a2a_mcf::pmcf::{solve_path_mcf, PathSetKind};
+use a2a_mcf::tsmcf::solve_tsmcf_auto;
+use a2a_schedule::{lower_path_schedule, to_msccl_xml, to_oneccl_xml, ChunkedSchedule, LashVariant};
+use a2a_topology::generators;
+
+fn bench_lowering(c: &mut Criterion) {
+    let topo = generators::hypercube(3);
+    let tsmcf = solve_tsmcf_auto(&topo).unwrap();
+    let chunked = ChunkedSchedule::from_tsmcf(&topo, &tsmcf, 256).unwrap();
+    let pmcf = solve_path_mcf(&topo, PathSetKind::EdgeDisjoint).unwrap();
+
+    let mut group = c.benchmark_group("schedule_compilation");
+    group.sample_size(20);
+    group.bench_function("chunking_from_tsmcf", |b| {
+        b.iter(|| black_box(ChunkedSchedule::from_tsmcf(&topo, &tsmcf, 256).unwrap().num_steps()))
+    });
+    group.bench_function("msccl_xml_emit", |b| {
+        b.iter(|| black_box(to_msccl_xml(&chunked, "hypercube3").len()))
+    });
+    group.bench_function("oneccl_xml_emit", |b| {
+        b.iter(|| black_box(to_oneccl_xml(&chunked, "hypercube3").len()))
+    });
+    group.bench_function("route_lowering_with_lash_sequential", |b| {
+        b.iter(|| {
+            black_box(
+                lower_path_schedule(&topo, &pmcf, 16, LashVariant::Sequential).total_routes(),
+            )
+        })
+    });
+    group.bench_function("route_lowering_with_lash_basic", |b| {
+        b.iter(|| {
+            black_box(lower_path_schedule(&topo, &pmcf, 16, LashVariant::Basic).total_routes())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lowering);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks behind Figs. 8–9: generation cost of the path-based
+//! schemes (pMCF, MCF-extP extraction, SSSP, EwSP, FPTAS) on a fixed expander.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use a2a_baselines::{
+    equal_weight_shortest_paths, fptas_max_concurrent_flow, sssp_schedule, FptasOptions,
+};
+use a2a_mcf::pmcf::{solve_path_mcf, PathSetKind};
+use a2a_mcf::{extract_widest_paths, solve_decomposed_mcf};
+use a2a_topology::generators;
+
+fn bench_path_schemes(c: &mut Criterion) {
+    let topo = generators::generalized_kautz(10, 3);
+    let decomposed = solve_decomposed_mcf(&topo).unwrap();
+
+    let mut group = c.benchmark_group("fig8_path_schemes");
+    group.sample_size(10);
+    group.bench_function("pmcf_edge_disjoint", |b| {
+        b.iter(|| black_box(solve_path_mcf(&topo, PathSetKind::EdgeDisjoint).unwrap().flow_value))
+    });
+    group.bench_function("widest_path_extraction", |b| {
+        b.iter(|| black_box(extract_widest_paths(&topo, &decomposed.solution).unwrap().total_paths()))
+    });
+    group.bench_function("sssp", |b| {
+        b.iter(|| black_box(sssp_schedule(&topo).unwrap().flow_value))
+    });
+    group.bench_function("ewsp", |b| {
+        b.iter(|| black_box(equal_weight_shortest_paths(&topo).unwrap().flow_value))
+    });
+    group.bench_function("fptas_eps20", |b| {
+        b.iter(|| {
+            black_box(
+                fptas_max_concurrent_flow(
+                    &topo,
+                    &FptasOptions {
+                        epsilon: 0.2,
+                        ..FptasOptions::default()
+                    },
+                )
+                .unwrap()
+                .solution
+                .flow_value,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_path_schemes);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Figure 10: topology comparison.
+//!
+//! Left panel: all-to-all time of degree-4 generalized Kautz graphs vs the Theorem-1
+//! lower bound as N grows. Right panel: GenKautz vs 2D tori, Xpander-style expanders
+//! and random regular graphs (Jellyfish), normalized by the lower bound.
+//!
+//! All-to-all time is `1 / F` from the decomposed MCF (the same quantity the paper's
+//! simulation reports). The default sweep stops well short of the paper's N = 1000 so
+//! it finishes on one core; `--large` extends it.
+
+use a2a_bench::*;
+use a2a_mcf::{lower_bound_all_to_all_time, solve_decomposed_mcf};
+use a2a_topology::{generators, Topology};
+
+fn alltoall_time(topo: &Topology) -> f64 {
+    1.0 / solve_decomposed_mcf(topo)
+        .expect("decomposed MCF")
+        .solution
+        .flow_value
+}
+
+fn main() {
+    let large = large_mode();
+    print_header();
+    let degree = 4usize;
+
+    // Left panel: GenKautz vs the lower bound.
+    let left_sizes: Vec<usize> = if large {
+        vec![20, 50, 100, 200, 400, 700, 1000]
+    } else {
+        vec![10, 15, 20, 25]
+    };
+    for &n in &left_sizes {
+        let bound = lower_bound_all_to_all_time(n, degree);
+        emit("fig10-left", "lower-bound", "Lower Bound", n as f64, bound);
+        // Solving the MCF at the largest sizes is what `--large` is for; the bound is
+        // closed-form and always emitted.
+        if !large || n <= 200 {
+            let topo = generators::generalized_kautz(n, degree);
+            emit(
+                "fig10-left",
+                "genkautz-d4",
+                "GenKautz",
+                n as f64,
+                alltoall_time(&topo),
+            );
+        }
+    }
+
+    // Right panel: families normalized by the lower bound.
+    let right_sizes: Vec<usize> = if large {
+        vec![25, 50, 100, 200, 400]
+    } else {
+        vec![16, 25]
+    };
+    for &n in &right_sizes {
+        let bound = lower_bound_all_to_all_time(n, degree);
+        let genkautz = generators::generalized_kautz(n, degree);
+        emit(
+            "fig10-right",
+            "families-d4",
+            "GenKautz",
+            n as f64,
+            alltoall_time(&genkautz) / bound,
+        );
+        let torus = generators::torus_2d_near_square(n);
+        emit(
+            "fig10-right",
+            "families-d4",
+            "2D-Tori",
+            n as f64,
+            alltoall_time(&torus) / bound,
+        );
+        if n % (degree + 1) == 0 {
+            let xpander = generators::xpander(degree, n / (degree + 1), 7);
+            emit(
+                "fig10-right",
+                "families-d4",
+                "Xpander",
+                n as f64,
+                alltoall_time(&xpander) / bound,
+            );
+        }
+        let random = generators::random_regular(n, degree, 11);
+        emit(
+            "fig10-right",
+            "families-d4",
+            "Random Regular",
+            n as f64,
+            alltoall_time(&random) / bound,
+        );
+    }
+}

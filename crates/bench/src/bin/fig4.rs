@@ -1,0 +1,80 @@
+//! Figure 4: throughput of route-based (path) all-to-all schedules vs buffer size.
+//!
+//! Series: analytic upper bound, MCF-extP, pMCF (edge-disjoint), EwSP, ILP-disjoint,
+//! SSSP, the NCCL/OMPI-native stand-in, and DOR on the torus panel.
+
+use a2a_baselines::{
+    dimension_ordered_routing, equal_weight_shortest_paths, ilp_path_selection,
+    naive_point_to_point, sssp_schedule, IlpPathOptions,
+};
+use a2a_bench::*;
+use a2a_mcf::pmcf::{solve_path_mcf, PathSetKind};
+use a2a_mcf::{extract_widest_paths, solve_decomposed_mcf};
+use a2a_topology::Topology;
+
+fn path_series(topo: &Topology, large: bool, with_dor: Option<&[usize]>) {
+    let params = if with_dor.is_some() {
+        tacc_params()
+    } else {
+        gpu_params()
+    };
+    let decomposed = solve_decomposed_mcf(topo).expect("decomposed MCF");
+    sweep_upper_bound(
+        "fig4",
+        topo,
+        topo.num_nodes(),
+        decomposed.solution.flow_value,
+        large,
+    );
+
+    let extp = extract_widest_paths(topo, &decomposed.solution).expect("widest-path extraction");
+    sweep_path_schedule("fig4", topo, "MCF-extP/C", &extp, &params, large);
+
+    if let Ok(pmcf) = solve_path_mcf(topo, PathSetKind::EdgeDisjoint) {
+        sweep_path_schedule("fig4", topo, "pMCF-disjoint/C", &pmcf, &params, large);
+    }
+    let ewsp = equal_weight_shortest_paths(topo).expect("EwSP");
+    sweep_path_schedule("fig4", topo, "EwSP/C", &ewsp, &params, large);
+
+    let sssp = sssp_schedule(topo).expect("SSSP");
+    sweep_path_schedule("fig4", topo, "SSSP/C", &sssp, &params, large);
+
+    let naive = naive_point_to_point(topo).expect("native all-to-all");
+    sweep_path_schedule("fig4", topo, "NCCL-OMPI-native", &naive, &params, large);
+
+    match ilp_path_selection(
+        topo,
+        &IlpPathOptions {
+            max_nodes: 2_000,
+            ..IlpPathOptions::default()
+        },
+    ) {
+        Ok((ilp, stats)) => {
+            eprintln!(
+                "# ILP-disjoint on {}: {} B&B nodes, optimal = {}",
+                topo.name(),
+                stats.nodes,
+                stats.proven_optimal
+            );
+            sweep_path_schedule("fig4", topo, "ILP-disjoint/C", &ilp, &params, large);
+        }
+        Err(e) => eprintln!("# ILP-disjoint failed on {}: {e}", topo.name()),
+    }
+
+    if let Some(dims) = with_dor {
+        match dimension_ordered_routing(topo, dims) {
+            Ok(dor) => sweep_path_schedule("fig4", topo, "DOR/C", &dor, &params, large),
+            Err(e) => eprintln!("# DOR not applicable on {}: {e}", topo.name()),
+        }
+    }
+}
+
+fn main() {
+    let large = large_mode();
+    print_header();
+    for topo in small_testbed_topologies() {
+        path_series(&topo, large, None);
+    }
+    let (torus, dims) = torus_testbed(large);
+    path_series(&torus, large, Some(&dims));
+}

@@ -1,0 +1,73 @@
+//! Figure 5: route-based throughput on punctured tori (3 random links or 3 random
+//! nodes removed), min/avg/max envelope over several instances.
+
+use a2a_baselines::{ilp_path_selection, sssp_schedule, IlpPathOptions};
+use a2a_bench::*;
+use a2a_mcf::{extract_widest_paths, solve_decomposed_mcf};
+use a2a_simnet::{simulate_path_schedule, shard_bytes_for_buffer};
+use a2a_topology::{puncture, Topology};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn series_for_instance(topo: &Topology, label: &str, buffers: &[f64]) -> Vec<(String, Vec<f64>)> {
+    let params = tacc_params();
+    let mut out = Vec::new();
+    let decomposed = solve_decomposed_mcf(topo).expect("decomposed MCF");
+    let extp = extract_widest_paths(topo, &decomposed.solution).expect("extraction");
+    let sssp = sssp_schedule(topo).expect("SSSP");
+    let mut schedules = vec![("MCF-extP/C".to_string(), extp), ("SSSP/C".to_string(), sssp)];
+    if let Ok((ilp, _)) = ilp_path_selection(topo, &IlpPathOptions {
+        relative_gap: 0.1,
+        max_nodes: 300,
+        ..IlpPathOptions::default()
+    }) {
+        schedules.push(("ILP-disjoint/C".to_string(), ilp));
+    }
+    for (name, sched) in schedules {
+        let ys: Vec<f64> = buffers
+            .iter()
+            .map(|&b| {
+                let shard = shard_bytes_for_buffer(b, topo.num_nodes());
+                simulate_path_schedule(topo, &sched, shard, &params).throughput_gbps
+            })
+            .collect();
+        out.push((format!("{label}/{name}"), ys));
+    }
+    out
+}
+
+fn main() {
+    let large = large_mode();
+    print_header();
+    let buffers = buffer_sweep(large);
+    let instances = if large { 10 } else { 3 };
+    let (base, _) = torus_testbed(large);
+
+    for kind in ["edge-punctured", "node-punctured"] {
+        // Aggregate per-series min/avg/max across instances.
+        let mut agg: std::collections::BTreeMap<String, Vec<Vec<f64>>> =
+            std::collections::BTreeMap::new();
+        for seed in 0..instances {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed as u64);
+            let topo = if kind == "edge-punctured" {
+                puncture::remove_random_links(&base, 3, &mut rng)
+            } else {
+                puncture::remove_random_nodes(&base, 3, &mut rng).0
+            };
+            for (series, ys) in series_for_instance(&topo, kind, &buffers) {
+                agg.entry(series).or_default().push(ys);
+            }
+        }
+        for (series, runs) in agg {
+            for (i, &buffer) in buffers.iter().enumerate() {
+                let values: Vec<f64> = runs.iter().map(|r| r[i]).collect();
+                let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+                let max = values.iter().cloned().fold(0.0, f64::max);
+                let avg = values.iter().sum::<f64>() / values.len() as f64;
+                emit("fig5", &base.name(), &format!("{series}/avg"), buffer, avg);
+                emit("fig5", &base.name(), &format!("{series}/min"), buffer, min);
+                emit("fig5", &base.name(), &format!("{series}/max"), buffer, max);
+            }
+        }
+    }
+}

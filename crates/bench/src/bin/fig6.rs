@@ -1,0 +1,100 @@
+//! Figure 6: distributed 3D-FFT time (stacked compute / all-to-all / unpack phases) on
+//! the torus and the edge-punctured torus, for the schedules of Fig. 4.
+
+use a2a_baselines::{
+    dimension_ordered_routing, equal_weight_shortest_paths, ilp_path_selection,
+    naive_point_to_point, sssp_schedule, IlpPathOptions,
+};
+use a2a_bench::*;
+use a2a_fft::{FftCalibration, SlabFft3d};
+use a2a_mcf::{extract_widest_paths, solve_decomposed_mcf, PathSchedule};
+use a2a_simnet::simulate_path_schedule;
+use a2a_topology::{puncture, Topology};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn schedules(topo: &Topology, dims: Option<&[usize]>) -> Vec<(String, PathSchedule)> {
+    let mut out = Vec::new();
+    if let Ok(e) = equal_weight_shortest_paths(topo) {
+        out.push(("EwSP/C".into(), e));
+    }
+    if let Ok(n) = naive_point_to_point(topo) {
+        out.push(("OMPI/C".into(), n));
+    }
+    if let Some(dims) = dims {
+        if let Ok(d) = dimension_ordered_routing(topo, dims) {
+            out.push(("DOR/C".into(), d));
+        }
+    }
+    if let Ok(s) = sssp_schedule(topo) {
+        out.push(("SSSP/C".into(), s));
+    }
+    if let Ok(dec) = solve_decomposed_mcf(topo) {
+        if let Ok(x) = extract_widest_paths(topo, &dec.solution) {
+            out.push(("MCF-extP/C".into(), x));
+        }
+    }
+    if let Ok((ilp, _)) = ilp_path_selection(
+        topo,
+        &IlpPathOptions {
+            relative_gap: 0.1,
+            max_nodes: 300,
+            ..IlpPathOptions::default()
+        },
+    ) {
+        out.push(("ILP-disjoint/C".into(), ilp));
+    }
+    out
+}
+
+fn run_panel(panel: &str, topo: &Topology, dims: Option<&[usize]>, grids: &[usize]) {
+    let params = tacc_params();
+    let calibration = FftCalibration::measure();
+    for (name, sched) in schedules(topo, dims) {
+        for &grid in grids {
+            let workload = SlabFft3d::new(grid, topo.num_nodes());
+            let report = simulate_path_schedule(topo, &sched, workload.shard_bytes(), &params);
+            let breakdown = workload.breakdown(report.completion_seconds, &calibration);
+            emit(
+                "fig6",
+                &format!("{panel}:{}", topo.name()),
+                &format!("{name}/compute-pack"),
+                grid as f64,
+                breakdown.compute_pack_seconds,
+            );
+            emit(
+                "fig6",
+                &format!("{panel}:{}", topo.name()),
+                &format!("{name}/alltoall"),
+                grid as f64,
+                breakdown.alltoall_seconds,
+            );
+            emit(
+                "fig6",
+                &format!("{panel}:{}", topo.name()),
+                &format!("{name}/unpack-compute"),
+                grid as f64,
+                breakdown.unpack_compute_seconds,
+            );
+            emit(
+                "fig6",
+                &format!("{panel}:{}", topo.name()),
+                &format!("{name}/total"),
+                grid as f64,
+                breakdown.total_seconds(),
+            );
+        }
+    }
+}
+
+fn main() {
+    let large = large_mode();
+    print_header();
+    let grids: Vec<usize> = if large { vec![729, 1296] } else { vec![243, 729] };
+    let (torus, dims) = torus_testbed(large);
+    run_panel("torus", &torus, Some(&dims), &grids);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let punctured = puncture::remove_random_links(&torus, 3, &mut rng);
+    run_panel("edge-punctured", &punctured, Some(&dims), &grids);
+}

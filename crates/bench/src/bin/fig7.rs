@@ -1,0 +1,121 @@
+//! Figure 7: algorithm runtime scaling on generalized Kautz graphs (degree 4).
+//!
+//! Series: MCF-original (the undecomposed link MCF), MCF-decomp (and its master LP /
+//! child LP / widest-path breakdown), the 5% FPTAS, ILP-disjoint, and the SCCL-like /
+//! TACCL-like synthesis stand-ins. Each scheme is dropped from the sweep once a single
+//! point exceeds its per-point time budget — reproducing the "fails to scale" bands of
+//! the paper. The y value is seconds of algorithm runtime.
+
+use std::time::{Duration, Instant};
+
+use a2a_baselines::{
+    fptas_max_concurrent_flow, ilp_path_selection, sccl_like_search, taccl_like_heuristic,
+    FptasOptions, IlpPathOptions,
+};
+use a2a_bench::*;
+use a2a_mcf::{extract_widest_paths, solve_decomposed_mcf, solve_link_mcf};
+use a2a_topology::generators;
+
+fn main() {
+    let large = large_mode();
+    print_header();
+    let sizes: Vec<usize> = if large {
+        vec![8, 12, 16, 24, 32, 48, 64, 96, 128]
+    } else {
+        vec![8, 10, 12, 16]
+    };
+    let budget = Duration::from_secs(if large { 600 } else { 60 });
+    let mut original_alive = true;
+    let mut ilp_alive = true;
+    let mut fptas_alive = true;
+    let mut sccl_alive = true;
+
+    for &n in &sizes {
+        let topo = generators::generalized_kautz(n, 4);
+        let name = "genkautz-d4";
+
+        // Decomposed MCF (always runs): master + parallel children + widest path.
+        let start = Instant::now();
+        let decomposed = solve_decomposed_mcf(&topo).expect("decomposed MCF");
+        let extract_start = Instant::now();
+        let _paths = extract_widest_paths(&topo, &decomposed.solution).expect("extraction");
+        let widest_secs = extract_start.elapsed().as_secs_f64();
+        let wall = start.elapsed().as_secs_f64();
+        emit("fig7", name, "MCF-decomp (wall)", n as f64, wall);
+        emit(
+            "fig7",
+            name,
+            "MCF-decomp (parallel estimate)",
+            n as f64,
+            decomposed.timings.parallel_estimate_secs() + widest_secs,
+        );
+        emit("fig7", name, "Master LP", n as f64, decomposed.timings.master_secs);
+        emit("fig7", name, "Child LP (max)", n as f64, decomposed.timings.max_child_secs());
+        emit("fig7", name, "Widest path", n as f64, widest_secs);
+
+        if original_alive && (large || n <= 12) {
+            let start = Instant::now();
+            let _ = solve_link_mcf(&topo).expect("original link MCF");
+            let secs = start.elapsed().as_secs_f64();
+            emit("fig7", name, "MCF-original", n as f64, secs);
+            if start.elapsed() > budget {
+                original_alive = false;
+                eprintln!("# MCF-original dropped from the sweep after N = {n}");
+            }
+        }
+        if fptas_alive {
+            let start = Instant::now();
+            let _ = fptas_max_concurrent_flow(&topo, &FptasOptions::default()).expect("FPTAS");
+            let secs = start.elapsed().as_secs_f64();
+            emit("fig7", name, "5% FPTAS", n as f64, secs);
+            if start.elapsed() > budget {
+                fptas_alive = false;
+                eprintln!("# FPTAS dropped from the sweep after N = {n}");
+            }
+        }
+        if ilp_alive && (large || n <= 12) {
+            let start = Instant::now();
+            match ilp_path_selection(
+                &topo,
+                &IlpPathOptions {
+                    max_nodes: if large { 50_000 } else { 2_000 },
+                    ..IlpPathOptions::default()
+                },
+            ) {
+                Ok((_, stats)) => {
+                    emit("fig7", name, "ILP-disjoint", n as f64, stats.elapsed_secs);
+                    if !stats.proven_optimal || start.elapsed() > budget {
+                        ilp_alive = false;
+                        eprintln!("# ILP-disjoint dropped from the sweep after N = {n}");
+                    }
+                }
+                Err(e) => {
+                    ilp_alive = false;
+                    eprintln!("# ILP-disjoint failed at N = {n}: {e}");
+                }
+            }
+        }
+        if sccl_alive {
+            let outcome = sccl_like_search(&topo, Duration::from_secs(5)).expect("SCCL-like");
+            emit(
+                "fig7",
+                name,
+                "SCCL-like",
+                n as f64,
+                outcome.elapsed().as_secs_f64(),
+            );
+            if outcome.schedule().is_none() {
+                sccl_alive = false;
+                eprintln!("# SCCL-like timed out at N = {n} (runtime shown is the budget)");
+            }
+        }
+        let taccl = taccl_like_heuristic(&topo, Duration::from_secs(30)).expect("TACCL-like");
+        emit(
+            "fig7",
+            name,
+            "TACCL-like",
+            n as f64,
+            taccl.elapsed().as_secs_f64(),
+        );
+    }
+}

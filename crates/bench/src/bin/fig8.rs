@@ -1,0 +1,70 @@
+//! Figure 8: all-to-all time of path-based schemes on degree-4 generalized Kautz
+//! graphs, normalized by the optimal link-based MCF.
+//!
+//! The all-to-all time of a scheme is its maximum link load when every commodity ships
+//! one shard (equivalently `1 / F`); the optimal link MCF therefore sits at 1.0.
+
+use a2a_baselines::{
+    equal_weight_shortest_paths, ilp_path_selection, sssp_schedule, IlpPathOptions,
+    PathCandidates,
+};
+use a2a_bench::*;
+use a2a_mcf::analysis::max_link_load_of_paths;
+use a2a_mcf::pmcf::{solve_path_mcf, PathSetKind};
+use a2a_mcf::solve_decomposed_mcf;
+use a2a_topology::generators;
+
+fn main() {
+    let large = large_mode();
+    print_header();
+    let sizes: Vec<usize> = if large {
+        vec![25, 50, 75, 100, 150, 200]
+    } else {
+        vec![10, 14, 18]
+    };
+    for &n in &sizes {
+        let topo = generators::generalized_kautz(n, 4);
+        let name = "genkautz-d4";
+        let optimal = solve_decomposed_mcf(&topo).expect("decomposed MCF");
+        let optimal_time = 1.0 / optimal.solution.flow_value;
+        emit("fig8", name, "Link-based MCF", n as f64, 1.0);
+
+        let record = |series: &str, time: f64| {
+            emit("fig8", name, series, n as f64, time / optimal_time);
+        };
+
+        if let Ok(p) = solve_path_mcf(&topo, PathSetKind::EdgeDisjoint) {
+            record("pMCF-disjoint", max_link_load_of_paths(&topo, &p));
+        }
+        if let Ok(p) = solve_path_mcf(&topo, PathSetKind::Shortest { max_per_pair: 64 }) {
+            record("pMCF-shortest", max_link_load_of_paths(&topo, &p));
+        }
+        let ewsp = equal_weight_shortest_paths(&topo).expect("EwSP");
+        record("EwSP", max_link_load_of_paths(&topo, &ewsp));
+        let sssp = sssp_schedule(&topo).expect("SSSP");
+        record("SSSP", max_link_load_of_paths(&topo, &sssp));
+        if n <= if large { 44 } else { 12 } {
+            if let Ok((ilp, _)) = ilp_path_selection(
+                &topo,
+                &IlpPathOptions {
+                    relative_gap: 0.05,
+                    max_nodes: 2000,
+                    ..IlpPathOptions::default()
+                },
+            ) {
+                record("ILP-disjoint", max_link_load_of_paths(&topo, &ilp));
+            }
+            if let Ok((ilp, _)) = ilp_path_selection(
+                &topo,
+                &IlpPathOptions {
+                    candidates: PathCandidates::Shortest { max_per_pair: 16 },
+                    relative_gap: 0.05,
+                    max_nodes: 2000,
+                    ..IlpPathOptions::default()
+                },
+            ) {
+                record("ILP-shortest", max_link_load_of_paths(&topo, &ilp));
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Fabric descriptions (Table 1 of the paper).
+
+/// The two fabric families of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricKind {
+    /// ML-accelerator style: host/GPU forwarding, store-and-forward flow control,
+    /// link-based schedules (lowered to MSCCL / oneCCL).
+    MlAccelerator,
+    /// HPC style: NIC-based forwarding with cut-through flow control and source
+    /// routing; forwarding bandwidth can exceed host injection bandwidth, so
+    /// path-based schedules apply (lowered to OMPI/UCX route tables).
+    HpcNicForwarding,
+}
+
+/// Description of the interconnect the schedule will run on.
+#[derive(Debug, Clone)]
+pub struct FabricSpec {
+    /// Which family of fabric this is.
+    pub kind: FabricKind,
+    /// Link bandwidth in GB/s (25 Gbps links = 3.125 GB/s in the paper's testbeds).
+    pub link_bandwidth_gbps: f64,
+    /// Host injection bandwidth in GB/s, if it can be a bottleneck (`B_host < d·b`
+    /// triggers the Fig. 2 augmentation).
+    pub host_injection_gbps: Option<f64>,
+    /// Per-commodity candidate-path cap used when deciding whether pMCF is tractable
+    /// (Fig. 1 "#(s,d) paths large?").
+    pub path_diversity_threshold: usize,
+}
+
+impl FabricSpec {
+    /// An ML-accelerator fabric (host forwarding) with the given link bandwidth.
+    pub fn ml_accelerator(link_bandwidth_gbps: f64) -> Self {
+        Self {
+            kind: FabricKind::MlAccelerator,
+            link_bandwidth_gbps,
+            host_injection_gbps: None,
+            path_diversity_threshold: 16,
+        }
+    }
+
+    /// An HPC fabric with NIC forwarding and the given link bandwidth.
+    pub fn hpc_nic_forwarding(link_bandwidth_gbps: f64) -> Self {
+        Self {
+            kind: FabricKind::HpcNicForwarding,
+            link_bandwidth_gbps,
+            host_injection_gbps: None,
+            path_diversity_threshold: 16,
+        }
+    }
+
+    /// Sets the host injection bandwidth (GB/s).
+    pub fn with_host_injection(mut self, gbps: f64) -> Self {
+        self.host_injection_gbps = Some(gbps);
+        self
+    }
+
+    /// True if the host injection bandwidth is lower than the node's aggregate link
+    /// bandwidth for a node of the given degree — the condition for applying the
+    /// Fig. 2 host-bottleneck augmentation.
+    pub fn host_is_bottleneck(&self, degree: usize) -> bool {
+        match self.host_injection_gbps {
+            Some(host) => host < degree as f64 * self.link_bandwidth_gbps,
+            None => false,
+        }
+    }
+
+    /// Host injection bandwidth expressed in link-capacity units (links worth of
+    /// bandwidth), used to build the augmented graph.
+    pub fn host_injection_in_link_units(&self) -> Option<f64> {
+        self.host_injection_gbps
+            .map(|h| h / self.link_bandwidth_gbps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bottleneck_detection_matches_paper_examples() {
+        // TACC torus: degree 6, 25 Gbps links (3.125 GB/s), 100 Gbps host (12.5 GB/s):
+        // 12.5 < 6 * 3.125 = 18.75 -> bottlenecked.
+        let fabric = FabricSpec::ml_accelerator(3.125).with_host_injection(12.5);
+        assert!(fabric.host_is_bottleneck(6));
+        // GPU testbed: degree 3, same numbers: 12.5 > 9.375 -> not bottlenecked.
+        assert!(!fabric.host_is_bottleneck(3));
+        // No host limit declared -> never a bottleneck.
+        assert!(!FabricSpec::hpc_nic_forwarding(3.125).host_is_bottleneck(16));
+    }
+
+    #[test]
+    fn link_unit_conversion() {
+        let fabric = FabricSpec::ml_accelerator(3.125).with_host_injection(12.5);
+        assert_eq!(fabric.host_injection_in_link_units(), Some(4.0));
+        assert_eq!(
+            FabricSpec::ml_accelerator(3.125).host_injection_in_link_units(),
+            None
+        );
+    }
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(
+            FabricSpec::ml_accelerator(1.0).kind,
+            FabricKind::MlAccelerator
+        );
+        assert_eq!(
+            FabricSpec::hpc_nic_forwarding(1.0).kind,
+            FabricKind::HpcNicForwarding
+        );
+    }
+}

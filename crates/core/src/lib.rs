@@ -1,0 +1,23 @@
+//! # a2a-core
+//!
+//! The public toolchain API: given a direct-connect topology and a description of the
+//! fabric, pick the right all-to-all formulation (the Fig. 1 flowchart), generate the
+//! schedule, lower it to the runtime artefact, and simulate its performance.
+//!
+//! ```
+//! use a2a_core::{FabricSpec, Toolchain};
+//! use a2a_topology::generators;
+//!
+//! // A small GPU cluster wired as a 2D hypercube behind a patch panel (ML fabric).
+//! let topo = generators::hypercube(2);
+//! let fabric = FabricSpec::ml_accelerator(3.125);
+//! let generated = Toolchain::generate(&topo, &fabric).unwrap();
+//! let report = Toolchain::simulate(&topo, &generated, 1 << 20, &fabric);
+//! assert!(report.throughput_gbps > 0.0);
+//! ```
+
+pub mod fabric;
+pub mod toolchain;
+
+pub use fabric::{FabricKind, FabricSpec};
+pub use toolchain::{GeneratedSchedule, LoweredArtifact, Toolchain};

@@ -1,0 +1,64 @@
+//! Error types for the LP/ILP solvers.
+
+use std::fmt;
+
+/// Errors reported by the LP and ILP solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// The problem has no feasible solution.
+    Infeasible,
+    /// The objective is unbounded in the direction of optimization.
+    Unbounded,
+    /// The iteration limit was exhausted before reaching optimality.
+    IterationLimit { iterations: usize },
+    /// The factorization or a pivot became numerically unstable.
+    Numerical(String),
+    /// The model is malformed (e.g. a constraint references an unknown variable,
+    /// or a lower bound exceeds an upper bound).
+    InvalidModel(String),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "problem is infeasible"),
+            LpError::Unbounded => write!(f, "problem is unbounded"),
+            LpError::IterationLimit { iterations } => {
+                write!(f, "iteration limit reached after {iterations} iterations")
+            }
+            LpError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            LpError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// Result alias used throughout the crate.
+pub type LpResult<T> = Result<T, LpError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert_eq!(LpError::Infeasible.to_string(), "problem is infeasible");
+        assert_eq!(LpError::Unbounded.to_string(), "problem is unbounded");
+        assert!(LpError::IterationLimit { iterations: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(LpError::Numerical("pivot too small".into())
+            .to_string()
+            .contains("pivot too small"));
+        assert!(LpError::InvalidModel("bad bound".into())
+            .to_string()
+            .contains("bad bound"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(LpError::Infeasible, LpError::Infeasible);
+        assert_ne!(LpError::Infeasible, LpError::Unbounded);
+    }
+}

@@ -1,0 +1,43 @@
+//! # a2a-lp
+//!
+//! A self-contained linear-programming toolkit used by the all-to-all scheduling
+//! toolchain. The paper ("Efficient all-to-all Collective Communication Schedules for
+//! Direct-connect Topologies", HPDC 2024) solves all of its flow formulations with a
+//! commercial LP solver (MOSEK); this crate is the from-scratch substitute.
+//!
+//! The crate provides:
+//!
+//! * [`sparse`] — compressed sparse column/row matrices and sparse vectors.
+//! * [`lu`] — sparse LU factorization (Gilbert–Peierls style) with partial pivoting,
+//!   used to factorize simplex bases.
+//! * [`simplex`] — a bounded-variable revised simplex method with a two-phase start,
+//!   product-form basis updates and periodic refactorization.
+//! * [`model`] — a small modelling layer ([`model::LpProblem`]) with named variables,
+//!   linear constraints and minimize/maximize objectives.
+//! * [`ilp`] — branch-and-bound over the LP solver for the (deliberately small-scale)
+//!   integer-programming baselines in the paper's evaluation.
+//! * [`reference`] — a dense textbook tableau simplex used as an independent oracle in
+//!   tests.
+//!
+//! The solver targets the structure of network-flow LPs: very sparse columns (2–4
+//! nonzeros), coefficients of ±1 and modest right-hand sides. It is exact (up to
+//! floating-point tolerances) rather than approximate, which is what the paper's
+//! optimality claims require.
+
+pub mod error;
+pub mod ilp;
+pub mod lu;
+pub mod model;
+pub mod reference;
+pub mod simplex;
+pub mod sparse;
+
+pub use error::{LpError, LpResult};
+pub use model::{ConstraintSense, LpProblem, LpSolution, Objective, SolveStatus, VarId};
+pub use simplex::SimplexOptions;
+
+/// Default feasibility / optimality tolerance used across the crate.
+pub const DEFAULT_TOL: f64 = 1e-7;
+
+/// Value used to represent "no bound".
+pub const INF: f64 = f64::INFINITY;

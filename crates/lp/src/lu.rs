@@ -1,0 +1,366 @@
+//! Sparse LU factorization of simplex basis matrices.
+//!
+//! The factorization is a left-looking (Gilbert–Peierls flavoured) column algorithm
+//! with partial pivoting by magnitude. It produces `P·B = L·U` with `L` unit lower
+//! triangular and `U` upper triangular, both stored column-wise in *pivot-position*
+//! space, plus the row permutation `P`.
+//!
+//! Only two solve kernels are needed by the revised simplex method:
+//! [`LuFactorization::solve`] (`B x = b`, "ftran") and
+//! [`LuFactorization::solve_transpose`] (`Bᵀ x = b`, "btran").
+
+use crate::error::{LpError, LpResult};
+use crate::sparse::SparseVec;
+
+/// Pivot magnitudes below this threshold are considered singular.
+pub const PIVOT_TOL: f64 = 1e-10;
+
+/// Sparse LU factors of a square basis matrix.
+#[derive(Debug, Clone)]
+pub struct LuFactorization {
+    n: usize,
+    /// Column `k` of `L` (unit diagonal implicit): entries `(row_position, value)` with
+    /// `row_position > k`.
+    l_cols: Vec<Vec<(usize, f64)>>,
+    /// Column `k` of `U` excluding the diagonal: entries `(row_position, value)` with
+    /// `row_position < k`.
+    u_cols: Vec<Vec<(usize, f64)>>,
+    /// Diagonal of `U` in position space.
+    u_diag: Vec<f64>,
+    /// `row_perm[k]` = original row index that occupies pivot position `k`.
+    row_perm: Vec<usize>,
+    /// Inverse permutation: `row_pos[r]` = pivot position of original row `r`.
+    row_pos: Vec<usize>,
+}
+
+impl LuFactorization {
+    /// Factorizes a square matrix given as `n` sparse columns (each of length `n`).
+    ///
+    /// Returns an error if the matrix is (numerically) singular.
+    pub fn factorize(n: usize, columns: &[SparseVec]) -> LpResult<Self> {
+        assert_eq!(columns.len(), n, "expected {n} columns, got {}", columns.len());
+        let mut l_cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        let mut u_cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        let mut u_diag = vec![0.0; n];
+        let mut row_perm = vec![usize::MAX; n];
+        let mut row_pos = vec![usize::MAX; n];
+
+        // Dense workspace indexed by *original* row, plus the list of touched rows so
+        // we can reset it cheaply between columns.
+        let mut work = vec![0.0f64; n];
+        let mut touched: Vec<usize> = Vec::with_capacity(64);
+
+        for j in 0..n {
+            // Scatter column j.
+            for (r, v) in columns[j].iter() {
+                debug_assert!(r < n);
+                if work[r] == 0.0 {
+                    touched.push(r);
+                }
+                work[r] += v;
+            }
+
+            // Apply previously computed L columns in pivot order. Column k only needs
+            // to be applied if the workspace has a nonzero at its pivot row. During
+            // factorization the L entries still carry *original* row indices; they are
+            // remapped to pivot positions only once the factorization is complete.
+            for k in 0..j {
+                let pr = row_perm[k];
+                let xk = work[pr];
+                if xk == 0.0 {
+                    continue;
+                }
+                for &(orig, lv) in &l_cols[k] {
+                    if work[orig] == 0.0 && lv * xk != 0.0 {
+                        touched.push(orig);
+                    }
+                    work[orig] -= lv * xk;
+                }
+            }
+
+            // Harvest U entries (rows already pivoted) and find the pivot among the
+            // remaining rows.
+            let mut pivot_row = usize::MAX;
+            let mut pivot_val = 0.0f64;
+            for &r in &touched {
+                let v = work[r];
+                if v == 0.0 {
+                    continue;
+                }
+                let pos = row_pos[r];
+                if pos != usize::MAX {
+                    // Already pivoted in an earlier column -> belongs to U.
+                    continue;
+                }
+                if v.abs() > pivot_val.abs() {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_row == usize::MAX || pivot_val.abs() < PIVOT_TOL {
+                // Reset workspace before bailing out.
+                for &r in &touched {
+                    work[r] = 0.0;
+                }
+                return Err(LpError::Numerical(format!(
+                    "singular basis: no acceptable pivot in column {j}"
+                )));
+            }
+
+            row_perm[j] = pivot_row;
+            row_pos[pivot_row] = j;
+            u_diag[j] = pivot_val;
+
+            let mut lcol = Vec::new();
+            let mut ucol = Vec::new();
+            for &r in &touched {
+                let v = work[r];
+                work[r] = 0.0;
+                if v == 0.0 || r == pivot_row {
+                    continue;
+                }
+                let pos = row_pos[r];
+                if pos != usize::MAX && pos < j {
+                    ucol.push((pos, v));
+                } else if pos == usize::MAX {
+                    // Not yet pivoted: L entry, position resolved after factorization.
+                    // Temporarily store the original row index; remapped below.
+                    lcol.push((r, v / pivot_val));
+                }
+            }
+            work[pivot_row] = 0.0;
+            touched.clear();
+            ucol.sort_unstable_by_key(|&(p, _)| p);
+            l_cols[j] = lcol;
+            u_cols[j] = ucol;
+        }
+
+        // Remap L row indices from original-row space to pivot-position space.
+        for col in &mut l_cols {
+            for entry in col.iter_mut() {
+                entry.0 = row_pos[entry.0];
+                debug_assert_ne!(entry.0, usize::MAX);
+            }
+            col.sort_unstable_by_key(|&(p, _)| p);
+        }
+
+        Ok(Self {
+            n,
+            l_cols,
+            u_cols,
+            u_diag,
+            row_perm,
+            row_pos,
+        })
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored nonzeros in `L` and `U` (a fill-in indicator).
+    pub fn fill_nnz(&self) -> usize {
+        self.l_cols.iter().map(Vec::len).sum::<usize>()
+            + self.u_cols.iter().map(Vec::len).sum::<usize>()
+            + self.n
+    }
+
+    /// Solves `B x = b` in place: on return `b` holds `x`.
+    pub fn solve(&self, b: &mut [f64]) {
+        assert_eq!(b.len(), self.n);
+        // y = P b
+        let mut y = vec![0.0; self.n];
+        for k in 0..self.n {
+            y[k] = b[self.row_perm[k]];
+        }
+        // Forward solve L y = P b (unit diagonal), column oriented.
+        for k in 0..self.n {
+            let yk = y[k];
+            if yk == 0.0 {
+                continue;
+            }
+            for &(pos, lv) in &self.l_cols[k] {
+                y[pos] -= lv * yk;
+            }
+        }
+        // Back solve U x = y, column oriented; result in position space equals the
+        // original column space (columns are not permuted).
+        for k in (0..self.n).rev() {
+            let xk = y[k] / self.u_diag[k];
+            y[k] = xk;
+            if xk == 0.0 {
+                continue;
+            }
+            for &(pos, uv) in &self.u_cols[k] {
+                y[pos] -= uv * xk;
+            }
+        }
+        b.copy_from_slice(&y);
+    }
+
+    /// Solves `Bᵀ x = b` in place: on return `b` holds `x`.
+    pub fn solve_transpose(&self, b: &mut [f64]) {
+        assert_eq!(b.len(), self.n);
+        // Solve Uᵀ t = b (forward).
+        let mut t = vec![0.0; self.n];
+        for k in 0..self.n {
+            let mut acc = b[k];
+            for &(pos, uv) in &self.u_cols[k] {
+                acc -= uv * t[pos];
+            }
+            t[k] = acc / self.u_diag[k];
+        }
+        // Solve Lᵀ w = t (backward, unit diagonal).
+        for k in (0..self.n).rev() {
+            let mut acc = t[k];
+            for &(pos, lv) in &self.l_cols[k] {
+                acc -= lv * t[pos];
+            }
+            t[k] = acc;
+        }
+        // x = Pᵀ w : x[row_perm[k]] = w[k].
+        for k in 0..self.n {
+            b[self.row_perm[k]] = t[k];
+        }
+    }
+
+    /// Original row index occupying pivot position `k`.
+    pub fn pivot_row(&self, k: usize) -> usize {
+        self.row_perm[k]
+    }
+
+    /// Pivot position assigned to original row `r` (inverse of [`Self::pivot_row`]).
+    pub fn row_position(&self, r: usize) -> usize {
+        self.row_pos[r]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_to_columns(a: &[Vec<f64>]) -> (usize, Vec<SparseVec>) {
+        let n = a.len();
+        let cols = (0..n)
+            .map(|j| SparseVec::from_entries((0..n).map(|i| (i, a[i][j]))))
+            .collect();
+        (n, cols)
+    }
+
+    fn dense_matvec(a: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
+        a.iter().map(|row| row.iter().zip(x).map(|(r, x)| r * x).sum()).collect()
+    }
+
+    fn dense_matvec_t(a: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
+        let n = a.len();
+        (0..n).map(|j| (0..n).map(|i| a[i][j] * x[i]).sum()).collect()
+    }
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} != {b:?}");
+        }
+    }
+
+    #[test]
+    fn factorize_identity() {
+        let a = vec![
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ];
+        let (n, cols) = dense_to_columns(&a);
+        let lu = LuFactorization::factorize(n, &cols).unwrap();
+        let mut b = vec![3.0, -1.0, 2.0];
+        lu.solve(&mut b);
+        assert_close(&b, &[3.0, -1.0, 2.0], 1e-12);
+        let mut b = vec![3.0, -1.0, 2.0];
+        lu.solve_transpose(&mut b);
+        assert_close(&b, &[3.0, -1.0, 2.0], 1e-12);
+    }
+
+    #[test]
+    fn factorize_requires_pivoting() {
+        // Zero on the (0,0) entry forces a row swap.
+        let a = vec![
+            vec![0.0, 2.0, 1.0],
+            vec![1.0, 0.0, 0.0],
+            vec![4.0, 1.0, 3.0],
+        ];
+        let (n, cols) = dense_to_columns(&a);
+        let lu = LuFactorization::factorize(n, &cols).unwrap();
+        let x_true = vec![1.0, -2.0, 3.0];
+        let mut b = dense_matvec(&a, &x_true);
+        lu.solve(&mut b);
+        assert_close(&b, &x_true, 1e-10);
+        let mut bt = dense_matvec_t(&a, &x_true);
+        lu.solve_transpose(&mut bt);
+        assert_close(&bt, &x_true, 1e-10);
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 4.0, 6.0],
+            vec![1.0, 0.0, 1.0],
+        ];
+        let (n, cols) = dense_to_columns(&a);
+        assert!(matches!(
+            LuFactorization::factorize(n, &cols),
+            Err(LpError::Numerical(_))
+        ));
+    }
+
+    #[test]
+    fn random_dense_roundtrip() {
+        // Deterministic pseudo-random matrix via a simple LCG so the test needs no
+        // external RNG.
+        let n = 40;
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        let mut a = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                // Sparse-ish with a strong diagonal so it is well conditioned.
+                let v = next();
+                a[i][j] = if (i + 3 * j) % 5 == 0 { v } else { 0.0 };
+            }
+            a[i][i] += 4.0;
+        }
+        let (dim, cols) = dense_to_columns(&a);
+        let lu = LuFactorization::factorize(dim, &cols).unwrap();
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) * 0.25 - 3.0).collect();
+        let mut b = dense_matvec(&a, &x_true);
+        lu.solve(&mut b);
+        assert_close(&b, &x_true, 1e-8);
+        let mut bt = dense_matvec_t(&a, &x_true);
+        lu.solve_transpose(&mut bt);
+        assert_close(&bt, &x_true, 1e-8);
+        assert!(lu.fill_nnz() >= n);
+    }
+
+    #[test]
+    fn pivot_rows_form_a_permutation() {
+        let a = vec![
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 2.0],
+            vec![3.0, 0.0, 0.0],
+        ];
+        let (n, cols) = dense_to_columns(&a);
+        let lu = LuFactorization::factorize(n, &cols).unwrap();
+        let mut seen = vec![false; n];
+        for k in 0..n {
+            let r = lu.pivot_row(k);
+            assert_eq!(lu.row_position(r), k);
+            assert!(!seen[r]);
+            seen[r] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,838 @@
+//! Bounded-variable revised simplex method.
+//!
+//! The solver works on an equality *standard form*: structural columns `A`, one logical
+//! (slack) variable per row, and the system `A x - s = 0` with `s` bounded by the row
+//! bounds. A two-phase method is used: phase 1 minimizes the total bound violation of
+//! the basic variables (a piecewise-linear infeasibility objective), phase 2 minimizes
+//! the real objective.
+//!
+//! The basis inverse is maintained as a sparse LU factorization ([`crate::lu`]) plus a
+//! product-form eta file that is periodically collapsed by refactorization. Pricing is
+//! Dantzig (most negative reduced cost) with an automatic switch to Bland's rule when a
+//! long run of degenerate pivots is detected, which prevents cycling in the highly
+//! degenerate network-flow LPs this crate is used for.
+
+use crate::error::{LpError, LpResult};
+use crate::lu::LuFactorization;
+use crate::sparse::SparseVec;
+use crate::INF;
+
+/// Tunable solver options.
+#[derive(Debug, Clone)]
+pub struct SimplexOptions {
+    /// Hard cap on total simplex iterations (both phases combined).
+    pub max_iterations: usize,
+    /// Feasibility / optimality tolerance.
+    pub tol: f64,
+    /// Pivot-magnitude tolerance in the ratio test.
+    pub pivot_tol: f64,
+    /// Number of eta updates accumulated before the basis is refactorized.
+    pub refactor_interval: usize,
+    /// Number of consecutive degenerate pivots tolerated before switching to Bland's
+    /// anti-cycling rule.
+    pub degenerate_switch: usize,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        Self {
+            max_iterations: 1_000_000,
+            tol: 1e-7,
+            pivot_tol: 1e-9,
+            refactor_interval: 64,
+            degenerate_switch: 2_000,
+        }
+    }
+}
+
+/// An LP in equality standard form: `A x = s`, `lower <= x <= upper`,
+/// `row_lower <= s <= row_upper`, minimize `obj' x`.
+#[derive(Debug, Clone)]
+pub struct StandardForm {
+    /// Number of constraint rows.
+    pub nrows: usize,
+    /// Structural columns of `A` (one [`SparseVec`] per variable).
+    pub cols: Vec<SparseVec>,
+    /// Objective coefficients (minimize sense), one per structural column.
+    pub obj: Vec<f64>,
+    /// Structural variable lower bounds.
+    pub lower: Vec<f64>,
+    /// Structural variable upper bounds.
+    pub upper: Vec<f64>,
+    /// Row activity lower bounds.
+    pub row_lower: Vec<f64>,
+    /// Row activity upper bounds.
+    pub row_upper: Vec<f64>,
+}
+
+/// Solution of a [`StandardForm`] problem.
+#[derive(Debug, Clone)]
+pub struct StandardSolution {
+    /// Structural variable values.
+    pub x: Vec<f64>,
+    /// Row activities `A x`.
+    pub row_activity: Vec<f64>,
+    /// Objective value (minimize sense).
+    pub objective: f64,
+    /// Total simplex iterations used.
+    pub iterations: usize,
+}
+
+/// Solves a standard-form LP. Convenience wrapper over [`Solver`].
+pub fn solve(sf: &StandardForm, options: &SimplexOptions) -> LpResult<StandardSolution> {
+    Solver::new(sf, options.clone())?.solve()
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarStatus {
+    Basic(usize),
+    AtLower,
+    AtUpper,
+    /// Free (both bounds infinite) nonbasic variable held at zero.
+    FreeZero,
+}
+
+/// A single product-form update: basis column `pos` was replaced by a column whose
+/// basis-space representation is `entries` plus `pivot` at `pos`.
+#[derive(Debug, Clone)]
+struct Eta {
+    pos: usize,
+    pivot: f64,
+    entries: Vec<(usize, f64)>,
+}
+
+struct Factor {
+    lu: LuFactorization,
+    etas: Vec<Eta>,
+}
+
+impl Factor {
+    /// Applies `B^{-1}` in place.
+    fn ftran(&self, v: &mut [f64]) {
+        self.lu.solve(v);
+        for eta in &self.etas {
+            let zp = v[eta.pos] / eta.pivot;
+            if zp != 0.0 {
+                for &(i, w) in &eta.entries {
+                    v[i] -= w * zp;
+                }
+            }
+            v[eta.pos] = zp;
+        }
+    }
+
+    /// Applies `B^{-T}` in place.
+    fn btran(&self, v: &mut [f64]) {
+        for eta in self.etas.iter().rev() {
+            let mut acc = v[eta.pos];
+            for &(i, w) in &eta.entries {
+                acc -= w * v[i];
+            }
+            v[eta.pos] = acc / eta.pivot;
+        }
+        self.lu.solve_transpose(v);
+    }
+}
+
+/// Bounded-variable revised simplex solver state.
+pub struct Solver<'a> {
+    sf: &'a StandardForm,
+    opts: SimplexOptions,
+    nstruct: usize,
+    ntotal: usize,
+    nrows: usize,
+    status: Vec<VarStatus>,
+    basis: Vec<usize>,
+    /// Current value of every variable (structural + logical).
+    x: Vec<f64>,
+    factor: Factor,
+    iterations: usize,
+    degenerate_run: usize,
+    use_bland: bool,
+}
+
+impl<'a> Solver<'a> {
+    /// Builds the initial all-logical basis.
+    pub fn new(sf: &'a StandardForm, opts: SimplexOptions) -> LpResult<Self> {
+        let nstruct = sf.cols.len();
+        let nrows = sf.nrows;
+        if sf.obj.len() != nstruct || sf.lower.len() != nstruct || sf.upper.len() != nstruct {
+            return Err(LpError::InvalidModel(
+                "standard form arrays have inconsistent lengths".into(),
+            ));
+        }
+        if sf.row_lower.len() != nrows || sf.row_upper.len() != nrows {
+            return Err(LpError::InvalidModel(
+                "standard form row bound arrays have inconsistent lengths".into(),
+            ));
+        }
+        for col in &sf.cols {
+            if col.min_len() > nrows {
+                return Err(LpError::InvalidModel(format!(
+                    "column references row {} but the problem has {} rows",
+                    col.min_len() - 1,
+                    nrows
+                )));
+            }
+        }
+        let ntotal = nstruct + nrows;
+
+        let mut status = Vec::with_capacity(ntotal);
+        let mut x = vec![0.0; ntotal];
+        for j in 0..nstruct {
+            let (l, u) = (sf.lower[j], sf.upper[j]);
+            let st = if l.is_infinite() && u.is_infinite() {
+                VarStatus::FreeZero
+            } else if l.is_infinite() {
+                VarStatus::AtUpper
+            } else if u.is_infinite() {
+                VarStatus::AtLower
+            } else if l.abs() <= u.abs() {
+                VarStatus::AtLower
+            } else {
+                VarStatus::AtUpper
+            };
+            x[j] = match st {
+                VarStatus::AtLower => l,
+                VarStatus::AtUpper => u,
+                _ => 0.0,
+            };
+            status.push(st);
+        }
+        let mut basis = Vec::with_capacity(nrows);
+        for i in 0..nrows {
+            status.push(VarStatus::Basic(i));
+            basis.push(nstruct + i);
+        }
+
+        let mut solver = Self {
+            sf,
+            opts,
+            nstruct,
+            ntotal,
+            nrows,
+            status,
+            basis,
+            x,
+            factor: Factor {
+                lu: LuFactorization::factorize(0, &[])?,
+                etas: Vec::new(),
+            },
+            iterations: 0,
+            degenerate_run: 0,
+            use_bland: false,
+        };
+        solver.refactorize()?;
+        Ok(solver)
+    }
+
+    fn var_lower(&self, j: usize) -> f64 {
+        if j < self.nstruct {
+            self.sf.lower[j]
+        } else {
+            self.sf.row_lower[j - self.nstruct]
+        }
+    }
+
+    fn var_upper(&self, j: usize) -> f64 {
+        if j < self.nstruct {
+            self.sf.upper[j]
+        } else {
+            self.sf.row_upper[j - self.nstruct]
+        }
+    }
+
+    fn var_cost(&self, j: usize) -> f64 {
+        if j < self.nstruct {
+            self.sf.obj[j]
+        } else {
+            0.0
+        }
+    }
+
+    /// Scatters column `j` (structural or logical) into a dense vector scaled by `scale`.
+    fn scatter_col(&self, j: usize, scale: f64, dense: &mut [f64]) {
+        if j < self.nstruct {
+            self.sf.cols[j].scatter_into(dense, scale);
+        } else {
+            dense[j - self.nstruct] -= scale;
+        }
+    }
+
+    /// Dot product of column `j` with a dense row vector.
+    fn col_dot(&self, j: usize, dense: &[f64]) -> f64 {
+        if j < self.nstruct {
+            self.sf.cols[j].dot_dense(dense)
+        } else {
+            -dense[j - self.nstruct]
+        }
+    }
+
+    /// Rebuilds the LU factorization of the current basis and recomputes basic values.
+    fn refactorize(&mut self) -> LpResult<()> {
+        let cols: Vec<SparseVec> = self
+            .basis
+            .iter()
+            .map(|&j| {
+                if j < self.nstruct {
+                    self.sf.cols[j].clone()
+                } else {
+                    SparseVec::from_entries([(j - self.nstruct, -1.0)])
+                }
+            })
+            .collect();
+        self.factor = Factor {
+            lu: LuFactorization::factorize(self.nrows, &cols)?,
+            etas: Vec::new(),
+        };
+        self.recompute_basic_values();
+        Ok(())
+    }
+
+    /// Recomputes the values of basic variables from the nonbasic values.
+    fn recompute_basic_values(&mut self) {
+        let mut rhs = vec![0.0; self.nrows];
+        for j in 0..self.ntotal {
+            match self.status[j] {
+                VarStatus::Basic(_) => {}
+                _ => {
+                    let v = self.x[j];
+                    if v != 0.0 {
+                        self.scatter_col(j, -v, &mut rhs);
+                    }
+                }
+            }
+        }
+        self.factor.ftran(&mut rhs);
+        for (pos, &j) in self.basis.iter().enumerate() {
+            self.x[j] = rhs[pos];
+        }
+    }
+
+    /// Total bound violation of the basic variables.
+    fn infeasibility(&self) -> f64 {
+        let mut total = 0.0;
+        for &j in &self.basis {
+            let v = self.x[j];
+            let l = self.var_lower(j);
+            let u = self.var_upper(j);
+            if v < l {
+                total += l - v;
+            } else if v > u {
+                total += v - u;
+            }
+        }
+        total
+    }
+
+    /// Runs both phases to optimality.
+    pub fn solve(mut self) -> LpResult<StandardSolution> {
+        if self.infeasibility() > self.opts.tol {
+            self.run_phase(true)?;
+            self.recompute_basic_values();
+            if self.infeasibility() > self.opts.tol * (1.0 + self.scale_estimate()) {
+                return Err(LpError::Infeasible);
+            }
+            self.clamp_basics_into_bounds();
+        }
+        self.run_phase(false)?;
+        self.recompute_basic_values();
+        Ok(self.extract_solution())
+    }
+
+    /// A crude magnitude estimate used to make the phase-1 exit test scale-aware.
+    fn scale_estimate(&self) -> f64 {
+        let mut m = 1.0f64;
+        for i in 0..self.nrows {
+            let l = self.sf.row_lower[i];
+            let u = self.sf.row_upper[i];
+            if l.is_finite() {
+                m = m.max(l.abs());
+            }
+            if u.is_finite() {
+                m = m.max(u.abs());
+            }
+        }
+        m
+    }
+
+    /// Clamps basic values that are within tolerance of a bound exactly onto the bound.
+    fn clamp_basics_into_bounds(&mut self) {
+        let tol = self.opts.tol * 10.0 * (1.0 + self.scale_estimate());
+        for &j in &self.basis {
+            let l = self.var_lower(j);
+            let u = self.var_upper(j);
+            if self.x[j] < l && self.x[j] > l - tol {
+                self.x[j] = l;
+            } else if self.x[j] > u && self.x[j] < u + tol {
+                self.x[j] = u;
+            }
+        }
+    }
+
+    fn extract_solution(&self) -> StandardSolution {
+        let x: Vec<f64> = self.x[..self.nstruct].to_vec();
+        let mut row_activity = vec![0.0; self.nrows];
+        for (j, &v) in x.iter().enumerate() {
+            if v != 0.0 {
+                self.sf.cols[j].scatter_into(&mut row_activity, v);
+            }
+        }
+        let objective = x.iter().zip(&self.sf.obj).map(|(v, c)| v * c).sum();
+        StandardSolution {
+            x,
+            row_activity,
+            objective,
+            iterations: self.iterations,
+        }
+    }
+
+    /// Phase-aware cost of basic position `pos`.
+    fn basic_phase_cost(&self, pos: usize, phase1: bool) -> f64 {
+        let j = self.basis[pos];
+        if phase1 {
+            let v = self.x[j];
+            if v < self.var_lower(j) - self.opts.tol {
+                -1.0
+            } else if v > self.var_upper(j) + self.opts.tol {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            self.var_cost(j)
+        }
+    }
+
+    /// Runs simplex iterations for one phase until optimality (phase-2) or zero
+    /// infeasibility (phase-1).
+    fn run_phase(&mut self, phase1: bool) -> LpResult<()> {
+        self.use_bland = false;
+        self.degenerate_run = 0;
+        loop {
+            if self.iterations >= self.opts.max_iterations {
+                return Err(LpError::IterationLimit {
+                    iterations: self.iterations,
+                });
+            }
+            if phase1 && self.infeasibility() <= self.opts.tol {
+                return Ok(());
+            }
+
+            // Dual vector y = B^{-T} c_B for the phase cost.
+            let mut y = vec![0.0; self.nrows];
+            let mut any_cost = false;
+            for pos in 0..self.nrows {
+                let c = self.basic_phase_cost(pos, phase1);
+                y[pos] = c;
+                if c != 0.0 {
+                    any_cost = true;
+                }
+            }
+            if phase1 && !any_cost {
+                // No infeasible basic variable left.
+                return Ok(());
+            }
+            self.factor.btran(&mut y);
+
+            // Pricing: pick the entering variable.
+            let entering = self.price(&y, phase1);
+            let Some((q, direction)) = entering else {
+                if phase1 && self.infeasibility() > self.opts.tol {
+                    return Err(LpError::Infeasible);
+                }
+                return Ok(());
+            };
+
+            // Direction of basic change: w = B^{-1} A_q.
+            let mut w = vec![0.0; self.nrows];
+            self.scatter_col(q, 1.0, &mut w);
+            self.factor.ftran(&mut w);
+
+            self.iterations += 1;
+            self.pivot_step(q, direction, &w, phase1)?;
+
+            if self.factor.etas.len() >= self.opts.refactor_interval {
+                self.refactorize()?;
+            }
+        }
+    }
+
+    /// Chooses an entering variable and its direction (+1 = increase, -1 = decrease).
+    fn price(&self, y: &[f64], phase1: bool) -> Option<(usize, f64)> {
+        let tol = self.opts.tol;
+        let mut best: Option<(usize, f64, f64)> = None; // (var, direction, merit)
+        for j in 0..self.ntotal {
+            let (dir, merit) = match self.status[j] {
+                VarStatus::Basic(_) => continue,
+                VarStatus::AtLower => {
+                    let d = if phase1 { 0.0 } else { self.var_cost(j) } - self.col_dot(j, y);
+                    if d < -tol {
+                        (1.0, -d)
+                    } else {
+                        continue;
+                    }
+                }
+                VarStatus::AtUpper => {
+                    let d = if phase1 { 0.0 } else { self.var_cost(j) } - self.col_dot(j, y);
+                    if d > tol {
+                        (-1.0, d)
+                    } else {
+                        continue;
+                    }
+                }
+                VarStatus::FreeZero => {
+                    let d = if phase1 { 0.0 } else { self.var_cost(j) } - self.col_dot(j, y);
+                    if d < -tol {
+                        (1.0, -d)
+                    } else if d > tol {
+                        (-1.0, d)
+                    } else {
+                        continue;
+                    }
+                }
+            };
+            if self.use_bland {
+                // Bland: first eligible index.
+                return Some((j, dir));
+            }
+            match best {
+                Some((_, _, m)) if m >= merit => {}
+                _ => best = Some((j, dir, merit)),
+            }
+        }
+        best.map(|(j, dir, _)| (j, dir))
+    }
+
+    /// Performs the ratio test and executes either a bound flip or a basis change.
+    fn pivot_step(&mut self, q: usize, direction: f64, w: &[f64], phase1: bool) -> LpResult<()> {
+        let tol = self.opts.tol;
+        let ptol = self.opts.pivot_tol;
+
+        // Bound-flip limit for the entering variable itself.
+        let (lq, uq) = (self.var_lower(q), self.var_upper(q));
+        let flip_limit = if lq.is_finite() && uq.is_finite() {
+            uq - lq
+        } else {
+            INF
+        };
+
+        // Ratio test over basic variables.
+        let mut t_min = INF;
+        let mut leaving: Option<(usize, f64)> = None; // (basic position, bound it hits)
+        for pos in 0..self.nrows {
+            let wi = w[pos];
+            if wi.abs() <= ptol {
+                continue;
+            }
+            let j = self.basis[pos];
+            let v = self.x[j];
+            let l = self.var_lower(j);
+            let u = self.var_upper(j);
+            // Rate of change of this basic variable per unit step of the entering one.
+            let delta = -direction * wi;
+            let infeasible_below = phase1 && v < l - tol;
+            let infeasible_above = phase1 && v > u + tol;
+
+            let (limit, bound) = if infeasible_below {
+                if delta > ptol {
+                    ((l - v) / delta, l)
+                } else {
+                    continue;
+                }
+            } else if infeasible_above {
+                if delta < -ptol {
+                    ((v - u) / (-delta), u)
+                } else {
+                    continue;
+                }
+            } else if delta < -ptol {
+                if l.is_infinite() {
+                    continue;
+                }
+                (((v - l) / (-delta)).max(0.0), l)
+            } else if delta > ptol {
+                if u.is_infinite() {
+                    continue;
+                }
+                (((u - v) / delta).max(0.0), u)
+            } else {
+                continue;
+            };
+
+            let better = match leaving {
+                None => limit < t_min,
+                Some((cur_pos, _)) => {
+                    if limit < t_min - ptol {
+                        true
+                    } else if limit <= t_min + ptol {
+                        if self.use_bland {
+                            self.basis[pos] < self.basis[cur_pos]
+                        } else {
+                            // Prefer the largest pivot magnitude for numerical stability.
+                            w[pos].abs() > w[cur_pos].abs()
+                        }
+                    } else {
+                        false
+                    }
+                }
+            };
+            if better {
+                t_min = limit;
+                leaving = Some((pos, bound));
+            }
+        }
+
+        let t = t_min.min(flip_limit);
+        if !t.is_finite() {
+            return if phase1 {
+                Err(LpError::Numerical(
+                    "unbounded direction encountered during phase 1".into(),
+                ))
+            } else {
+                Err(LpError::Unbounded)
+            };
+        }
+
+        // Degeneracy bookkeeping.
+        if t <= tol {
+            self.degenerate_run += 1;
+            if self.degenerate_run >= self.opts.degenerate_switch {
+                self.use_bland = true;
+            }
+        } else {
+            self.degenerate_run = 0;
+            self.use_bland = false;
+        }
+
+        // Apply the step to basic values and the entering variable.
+        if t > 0.0 {
+            for pos in 0..self.nrows {
+                let wi = w[pos];
+                if wi != 0.0 {
+                    let j = self.basis[pos];
+                    self.x[j] -= direction * t * wi;
+                }
+            }
+            self.x[q] += direction * t;
+        }
+
+        if flip_limit <= t_min {
+            // Bound flip: the entering variable moves to its opposite bound.
+            self.status[q] = if direction > 0.0 {
+                VarStatus::AtUpper
+            } else {
+                VarStatus::AtLower
+            };
+            self.x[q] = if direction > 0.0 { uq } else { lq };
+            return Ok(());
+        }
+
+        let (r, bound) = leaving.expect("finite ratio implies a leaving variable");
+        if w[r].abs() <= ptol {
+            return Err(LpError::Numerical(format!(
+                "pivot magnitude {} too small at basis position {r}",
+                w[r]
+            )));
+        }
+
+        // The leaving variable exits exactly at the bound it hit.
+        let leaving_var = self.basis[r];
+        self.x[leaving_var] = bound;
+        self.status[leaving_var] = if (bound - self.var_lower(leaving_var)).abs()
+            <= (bound - self.var_upper(leaving_var)).abs()
+        {
+            VarStatus::AtLower
+        } else {
+            VarStatus::AtUpper
+        };
+
+        // The entering variable becomes basic at its stepped value.
+        self.status[q] = VarStatus::Basic(r);
+        self.basis[r] = q;
+
+        // Product-form update of the basis inverse.
+        let entries: Vec<(usize, f64)> = w
+            .iter()
+            .enumerate()
+            .filter(|&(pos, &v)| pos != r && v != 0.0)
+            .map(|(pos, &v)| (pos, v))
+            .collect();
+        self.factor.etas.push(Eta {
+            pos: r,
+            pivot: w[r],
+            entries,
+        });
+        Ok(())
+    }
+
+    /// Number of simplex iterations performed so far.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(entries: &[(usize, f64)]) -> SparseVec {
+        SparseVec::from_entries(entries.iter().copied())
+    }
+
+    /// max x1 + 2 x2 s.t. x1 + x2 <= 4, x2 <= 3, x >= 0  ->  min -x1 - 2x2, opt = -7.
+    #[test]
+    fn small_inequality_lp() {
+        let sf = StandardForm {
+            nrows: 2,
+            cols: vec![col(&[(0, 1.0)]), col(&[(0, 1.0), (1, 1.0)])],
+            obj: vec![-1.0, -2.0],
+            lower: vec![0.0, 0.0],
+            upper: vec![INF, INF],
+            row_lower: vec![-INF, -INF],
+            row_upper: vec![4.0, 3.0],
+        };
+        let sol = solve(&sf, &SimplexOptions::default()).unwrap();
+        assert!((sol.objective + 7.0).abs() < 1e-7, "{}", sol.objective);
+        assert!((sol.x[0] - 1.0).abs() < 1e-7);
+        assert!((sol.x[1] - 3.0).abs() < 1e-7);
+    }
+
+    /// Equality rows exercise phase 1: min x1 + x2, x1 + x2 = 5, x1 - x2 = 1.
+    #[test]
+    fn equality_rows_need_phase_one() {
+        let sf = StandardForm {
+            nrows: 2,
+            cols: vec![col(&[(0, 1.0), (1, 1.0)]), col(&[(0, 1.0), (1, -1.0)])],
+            obj: vec![1.0, 1.0],
+            lower: vec![0.0, 0.0],
+            upper: vec![INF, INF],
+            row_lower: vec![5.0, 1.0],
+            row_upper: vec![5.0, 1.0],
+        };
+        let sol = solve(&sf, &SimplexOptions::default()).unwrap();
+        assert!((sol.objective - 5.0).abs() < 1e-7);
+        assert!((sol.x[0] - 3.0).abs() < 1e-7);
+        assert!((sol.x[1] - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        // x <= 1 and x >= 2.
+        let sf = StandardForm {
+            nrows: 2,
+            cols: vec![col(&[(0, 1.0), (1, 1.0)])],
+            obj: vec![0.0],
+            lower: vec![0.0],
+            upper: vec![INF],
+            row_lower: vec![-INF, 2.0],
+            row_upper: vec![1.0, INF],
+        };
+        assert_eq!(
+            solve(&sf, &SimplexOptions::default()).unwrap_err(),
+            LpError::Infeasible
+        );
+    }
+
+    #[test]
+    fn detects_unboundedness() {
+        // max x (min -x) with only x >= 0 and a vacuous row.
+        let sf = StandardForm {
+            nrows: 1,
+            cols: vec![col(&[(0, 1.0)])],
+            obj: vec![-1.0],
+            lower: vec![0.0],
+            upper: vec![INF],
+            row_lower: vec![0.0],
+            row_upper: vec![INF],
+        };
+        assert_eq!(
+            solve(&sf, &SimplexOptions::default()).unwrap_err(),
+            LpError::Unbounded
+        );
+    }
+
+    #[test]
+    fn bound_flips_are_used() {
+        // max x1 + x2 with 0 <= xi <= 1 and x1 + x2 <= 10: both variables flip to their
+        // upper bounds without any pivoting being strictly necessary.
+        let sf = StandardForm {
+            nrows: 1,
+            cols: vec![col(&[(0, 1.0)]), col(&[(0, 1.0)])],
+            obj: vec![-1.0, -1.0],
+            lower: vec![0.0, 0.0],
+            upper: vec![1.0, 1.0],
+            row_lower: vec![-INF],
+            row_upper: vec![10.0],
+        };
+        let sol = solve(&sf, &SimplexOptions::default()).unwrap();
+        assert!((sol.objective + 2.0).abs() < 1e-7);
+    }
+
+    /// A small max-flow instance expressed as an LP: source 0 -> sink 3 through two
+    /// disjoint paths with capacities 3 and 2; max flow value 5.
+    #[test]
+    fn max_flow_as_lp() {
+        // Variables: f01, f02, f13, f23, F (flow value).
+        // Conservation at 1: f01 - f13 = 0; at 2: f02 - f23 = 0.
+        // Source balance: f01 + f02 - F = 0.
+        // Capacities: f01 <= 3, f13 <= 3, f02 <= 2, f23 <= 2.
+        let sf = StandardForm {
+            nrows: 3,
+            cols: vec![
+                col(&[(0, 1.0), (2, 1.0)]),  // f01
+                col(&[(1, 1.0), (2, 1.0)]),  // f02
+                col(&[(0, -1.0)]),           // f13
+                col(&[(1, -1.0)]),           // f23
+                col(&[(2, -1.0)]),           // F
+            ],
+            obj: vec![0.0, 0.0, 0.0, 0.0, -1.0],
+            lower: vec![0.0, 0.0, 0.0, 0.0, 0.0],
+            upper: vec![3.0, 2.0, 3.0, 2.0, INF],
+            row_lower: vec![0.0, 0.0, 0.0],
+            row_upper: vec![0.0, 0.0, 0.0],
+        };
+        let sol = solve(&sf, &SimplexOptions::default()).unwrap();
+        assert!((sol.objective + 5.0).abs() < 1e-7, "{}", sol.objective);
+    }
+
+    #[test]
+    fn iteration_limit_is_enforced() {
+        let sf = StandardForm {
+            nrows: 2,
+            cols: vec![col(&[(0, 1.0), (1, 1.0)]), col(&[(0, 1.0), (1, -1.0)])],
+            obj: vec![1.0, 1.0],
+            lower: vec![0.0, 0.0],
+            upper: vec![INF, INF],
+            row_lower: vec![5.0, 1.0],
+            row_upper: vec![5.0, 1.0],
+        };
+        let opts = SimplexOptions {
+            max_iterations: 0,
+            ..SimplexOptions::default()
+        };
+        assert!(matches!(
+            solve(&sf, &opts).unwrap_err(),
+            LpError::IterationLimit { .. }
+        ));
+    }
+
+    #[test]
+    fn fixed_row_bounds_and_negative_bounds() {
+        // min x + y with -3 <= x <= -1, y free, x + y == 0  -> y = -x in [1,3],
+        // objective x + y = 0 always; check feasibility handling of negative bounds.
+        let sf = StandardForm {
+            nrows: 1,
+            cols: vec![col(&[(0, 1.0)]), col(&[(0, 1.0)])],
+            obj: vec![1.0, 1.0],
+            lower: vec![-3.0, -INF],
+            upper: vec![-1.0, INF],
+            row_lower: vec![0.0],
+            row_upper: vec![0.0],
+        };
+        let sol = solve(&sf, &SimplexOptions::default()).unwrap();
+        assert!(sol.objective.abs() < 1e-7);
+        assert!(sol.x[0] <= -1.0 + 1e-7 && sol.x[0] >= -3.0 - 1e-7);
+        assert!((sol.x[0] + sol.x[1]).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests: the production revised simplex is compared against the dense
+//! reference oracle on randomly generated LPs, and solver outputs are checked for
+//! primal feasibility.
+
+use a2a_lp::reference::solve_reference;
+use a2a_lp::{ConstraintSense, LpError, LpProblem, INF};
+use proptest::prelude::*;
+
+/// A compact, generatable description of a random LP.
+#[derive(Debug, Clone)]
+struct RandomLp {
+    nvars: usize,
+    obj: Vec<i32>,
+    upper: Vec<Option<u8>>,
+    rows: Vec<(Vec<i32>, u8, i32)>, // (coefficients, sense code, rhs)
+}
+
+fn random_lp_strategy() -> impl Strategy<Value = RandomLp> {
+    (2usize..5, 1usize..5).prop_flat_map(|(nvars, nrows)| {
+        let obj = proptest::collection::vec(-4i32..5, nvars);
+        let upper = proptest::collection::vec(proptest::option::of(1u8..9), nvars);
+        let row = (
+            proptest::collection::vec(-3i32..4, nvars),
+            0u8..3,
+            0i32..15,
+        );
+        let rows = proptest::collection::vec(row, nrows);
+        (Just(nvars), obj, upper, rows).prop_map(|(nvars, obj, upper, rows)| RandomLp {
+            nvars,
+            obj,
+            upper,
+            rows,
+        })
+    })
+}
+
+fn build(lp_desc: &RandomLp, maximize: bool) -> LpProblem {
+    let mut lp = if maximize {
+        LpProblem::maximize()
+    } else {
+        LpProblem::minimize()
+    };
+    let vars: Vec<_> = (0..lp_desc.nvars)
+        .map(|i| {
+            let ub = lp_desc.upper[i].map(f64::from).unwrap_or(INF);
+            lp.add_var(format!("x{i}"), 0.0, ub, f64::from(lp_desc.obj[i]))
+        })
+        .collect();
+    for (coeffs, sense, rhs) in &lp_desc.rows {
+        let sense = match sense % 3 {
+            0 => ConstraintSense::Le,
+            1 => ConstraintSense::Ge,
+            _ => ConstraintSense::Eq,
+        };
+        lp.add_constraint(
+            coeffs
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (vars[i], f64::from(c))),
+            sense,
+            f64::from(*rhs),
+        );
+    }
+    lp
+}
+
+/// Checks that a solution satisfies every bound and constraint of the model.
+fn assert_primal_feasible(lp: &LpProblem, values: &[f64]) {
+    let sf = lp.to_standard_form().unwrap();
+    for (j, &v) in values.iter().enumerate() {
+        assert!(
+            v >= sf.lower[j] - 1e-6 && v <= sf.upper[j] + 1e-6,
+            "variable {j} = {v} violates bounds [{}, {}]",
+            sf.lower[j],
+            sf.upper[j]
+        );
+    }
+    let mut activity = vec![0.0; sf.nrows];
+    for (j, &v) in values.iter().enumerate() {
+        for (r, a) in sf.cols[j].iter() {
+            activity[r] += a * v;
+        }
+    }
+    for r in 0..sf.nrows {
+        assert!(
+            activity[r] >= sf.row_lower[r] - 1e-5 && activity[r] <= sf.row_upper[r] + 1e-5,
+            "row {r} activity {} violates [{}, {}]",
+            activity[r],
+            sf.row_lower[r],
+            sf.row_upper[r]
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// The production solver and the dense oracle must agree on status and optimum.
+    #[test]
+    fn simplex_agrees_with_dense_reference(desc in random_lp_strategy(), maximize in any::<bool>()) {
+        let lp = build(&desc, maximize);
+        let fast = lp.solve();
+        let slow = solve_reference(&lp);
+        match (fast, slow) {
+            (Ok(a), Ok(b)) => {
+                prop_assert!(
+                    (a.objective_value - b.objective_value).abs()
+                        <= 1e-5 * (1.0 + a.objective_value.abs()),
+                    "objectives differ: simplex {} vs reference {}",
+                    a.objective_value,
+                    b.objective_value
+                );
+                assert_primal_feasible(&lp, &a.values);
+            }
+            (Err(LpError::Infeasible), Err(LpError::Infeasible)) => {}
+            (Err(LpError::Unbounded), Err(LpError::Unbounded)) => {}
+            (a, b) => prop_assert!(false, "status mismatch: simplex {a:?} vs reference {b:?}"),
+        }
+    }
+
+    /// Whenever the production solver reports an optimum, the solution is feasible and
+    /// no better than what simple greedy rounding of the reference could achieve.
+    #[test]
+    fn optimal_solutions_are_feasible(desc in random_lp_strategy()) {
+        let lp = build(&desc, true);
+        if let Ok(sol) = lp.solve() {
+            assert_primal_feasible(&lp, &sol.values);
+            let recomputed: f64 = sol
+                .values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| v * f64::from(desc.obj[i]))
+                .sum();
+            prop_assert!(
+                (recomputed - sol.objective_value).abs() <= 1e-6 * (1.0 + recomputed.abs()),
+                "reported objective {} does not match recomputed {}",
+                sol.objective_value,
+                recomputed
+            );
+        }
+    }
+
+    /// Tightening a <= right-hand side can never improve a maximization optimum.
+    #[test]
+    fn monotonicity_in_capacity(cap in 1i32..20) {
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_nonneg_var("x", 1.0);
+        let y = lp.add_nonneg_var("y", 2.0);
+        lp.add_constraint([(x, 1.0), (y, 1.0)], ConstraintSense::Le, f64::from(cap));
+        lp.add_constraint([(y, 1.0)], ConstraintSense::Le, 5.0);
+        let sol = lp.solve().unwrap();
+
+        let mut tighter = LpProblem::maximize();
+        let x2 = tighter.add_nonneg_var("x", 1.0);
+        let y2 = tighter.add_nonneg_var("y", 2.0);
+        tighter.add_constraint([(x2, 1.0), (y2, 1.0)], ConstraintSense::Le, f64::from(cap) * 0.5);
+        tighter.add_constraint([(y2, 1.0)], ConstraintSense::Le, 5.0);
+        let tighter_sol = tighter.solve().unwrap();
+        prop_assert!(tighter_sol.objective_value <= sol.objective_value + 1e-7);
+    }
+}

@@ -1,0 +1,437 @@
+//! The decomposed link-based MCF (§3.1.2) — the paper's scalability contribution.
+//!
+//! Instead of one LP over `N(N-1)` commodities, the problem is split into:
+//!
+//! 1. a **master LP** over `N` source-grouped flows (`O(N²)` variables for bounded
+//!    degree), which yields the optimal concurrent rate `F` and, per source, an
+//!    aggregate flow that delivers `F` to every other endpoint; and
+//! 2. `N` independent **child LPs**, one per source, which split that aggregate flow
+//!    into per-destination flows on the capacity-restricted subgraph. The children are
+//!    embarrassingly parallel and are dispatched with rayon.
+//!
+//! The decomposition preserves the optimal `F` of the original formulation (the master
+//! is a relaxation obtained by aggregating commodities per source, and the children
+//! prove the aggregate is splittable), while reducing the dominant LP from `O(N³)` to
+//! `O(N²)` variables.
+
+use std::time::Instant;
+
+use a2a_lp::{ConstraintSense, LpProblem, SimplexOptions, VarId, INF};
+use a2a_topology::{EdgeId, NodeId, Topology};
+use rayon::prelude::*;
+
+use crate::linkmcf::{validate, FLOW_TOL};
+use crate::types::{CommoditySet, LinkFlowSolution, McfError, McfResult};
+
+/// Wall-clock breakdown of a decomposed solve. On a single-core machine the children
+/// run sequentially; `max_child_secs` is the per-child critical path, i.e. the child
+/// contribution to runtime if the children were spread over `N` cores as in the paper.
+#[derive(Debug, Clone)]
+pub struct DecomposedTimings {
+    /// Time spent in the master (source-grouped) LP.
+    pub master_secs: f64,
+    /// Time spent in each child LP, indexed by source endpoint position.
+    pub child_secs: Vec<f64>,
+}
+
+impl DecomposedTimings {
+    /// Total child time (sequential execution).
+    pub fn total_child_secs(&self) -> f64 {
+        self.child_secs.iter().sum()
+    }
+
+    /// Longest single child (parallel critical path).
+    pub fn max_child_secs(&self) -> f64 {
+        self.child_secs.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Estimated runtime with all children run in parallel on `N` cores (what the
+    /// paper reports for MCF-decomp).
+    pub fn parallel_estimate_secs(&self) -> f64 {
+        self.master_secs + self.max_child_secs()
+    }
+}
+
+/// Result of the decomposed MCF.
+#[derive(Debug, Clone)]
+pub struct DecomposedMcf {
+    /// Per-commodity flows (same shape as the original formulation's output).
+    pub solution: LinkFlowSolution,
+    /// Aggregate per-source flows from the master LP, indexed by source endpoint
+    /// position within the commodity set.
+    pub source_flows: Vec<Vec<(EdgeId, f64)>>,
+    /// Timing breakdown.
+    pub timings: DecomposedTimings,
+}
+
+/// Output of the master LP alone (used by the Fig. 7 runtime study and by callers that
+/// only need `F`).
+#[derive(Debug, Clone)]
+pub struct MasterSolution {
+    /// Optimal concurrent flow value.
+    pub flow_value: f64,
+    /// Aggregate flow per source endpoint: `(edge, flow)` pairs.
+    pub source_flows: Vec<Vec<(EdgeId, f64)>>,
+    /// Time spent solving the master LP.
+    pub elapsed_secs: f64,
+}
+
+/// Solves the decomposed MCF for an all-to-all among all nodes.
+pub fn solve_decomposed_mcf(topo: &Topology) -> McfResult<DecomposedMcf> {
+    solve_decomposed_mcf_among(topo, CommoditySet::all_pairs(topo.num_nodes()))
+}
+
+/// Solves the decomposed MCF for an explicit commodity set.
+pub fn solve_decomposed_mcf_among(
+    topo: &Topology,
+    commodities: CommoditySet,
+) -> McfResult<DecomposedMcf> {
+    let master = solve_master(topo, &commodities)?;
+    let flow_value = master.flow_value;
+
+    // Child LPs, one per source endpoint, dispatched in parallel.
+    let endpoints = commodities.endpoints().to_vec();
+    let child_results: Vec<McfResult<(Vec<Vec<(EdgeId, f64)>>, f64)>> = endpoints
+        .par_iter()
+        .enumerate()
+        .map(|(s_idx, &s)| solve_child(topo, &commodities, s, &master.source_flows[s_idx], flow_value))
+        .collect();
+
+    let mut child_secs = Vec::with_capacity(endpoints.len());
+    let mut flows = vec![Vec::new(); commodities.len()];
+    for (s_idx, result) in child_results.into_iter().enumerate() {
+        let (per_dest, secs) = result?;
+        child_secs.push(secs);
+        let s = endpoints[s_idx];
+        for (d_pos, flow) in per_dest.into_iter().enumerate() {
+            // d_pos enumerates destinations in endpoint order, skipping the source.
+            let d = destination_at(&endpoints, s_idx, d_pos);
+            let idx = commodities
+                .index_of(s, d)
+                .expect("destination is an endpoint");
+            flows[idx] = flow;
+        }
+    }
+
+    Ok(DecomposedMcf {
+        solution: LinkFlowSolution {
+            commodities,
+            flow_value,
+            flows,
+        },
+        source_flows: master.source_flows,
+        timings: DecomposedTimings {
+            master_secs: master.elapsed_secs,
+            child_secs,
+        },
+    })
+}
+
+fn destination_at(endpoints: &[NodeId], s_idx: usize, d_pos: usize) -> NodeId {
+    let mut pos = d_pos;
+    if pos >= s_idx {
+        pos += 1;
+    }
+    endpoints[pos]
+}
+
+/// Solves just the master (source-grouped) LP: `maximize F` subject to per-edge
+/// capacities and the grouped conservation constraint (8) of the paper.
+pub fn solve_master(topo: &Topology, commodities: &CommoditySet) -> McfResult<MasterSolution> {
+    validate(topo, commodities)?;
+    let start = Instant::now();
+    let endpoints = commodities.endpoints();
+    let is_endpoint = endpoint_mask(topo, endpoints);
+
+    let mut lp = LpProblem::maximize();
+    let f_var = lp.add_var("F", 0.0, INF, 1.0);
+    // vars[s_idx][e] = aggregate flow of source s over edge e.
+    let vars: Vec<Vec<VarId>> = endpoints
+        .iter()
+        .map(|&s| {
+            (0..topo.num_edges())
+                .map(|e| lp.add_var(format!("g_{s}_e{e}"), 0.0, INF, 0.0))
+                .collect()
+        })
+        .collect();
+
+    // Capacity: sum over sources <= cap(e).
+    for (e, edge) in topo.edges().iter().enumerate() {
+        if edge.capacity.is_infinite() {
+            continue;
+        }
+        lp.add_constraint(
+            vars.iter().map(|per_edge| (per_edge[e], 1.0)),
+            ConstraintSense::Le,
+            edge.capacity,
+        );
+    }
+
+    // Grouped conservation / demand. For endpoint u != s the node must sink F; for
+    // non-endpoint transit nodes plain conservation holds.
+    for (s_idx, &s) in endpoints.iter().enumerate() {
+        let per_edge = &vars[s_idx];
+        for u in 0..topo.num_nodes() {
+            if u == s || (topo.out_degree(u) == 0 && topo.in_degree(u) == 0) {
+                continue;
+            }
+            let coeffs = topo
+                .out_edges(u)
+                .iter()
+                .map(|&e| (per_edge[e], 1.0))
+                .chain(topo.in_edges(u).iter().map(|&e| (per_edge[e], -1.0)));
+            if is_endpoint[u] {
+                lp.add_constraint(
+                    coeffs.chain(std::iter::once((f_var, 1.0))),
+                    ConstraintSense::Le,
+                    0.0,
+                );
+            } else {
+                lp.add_constraint(coeffs, ConstraintSense::Le, 0.0);
+            }
+        }
+        // Useless flow back into the source is forbidden.
+        for &e in topo.in_edges(s) {
+            lp.set_bounds(per_edge[e], 0.0, 0.0);
+        }
+    }
+
+    let sol = lp.solve_with(&SimplexOptions::default())?;
+    let flow_value = sol.value(f_var);
+    let source_flows = vars
+        .iter()
+        .map(|per_edge| {
+            per_edge
+                .iter()
+                .enumerate()
+                .filter_map(|(e, &v)| {
+                    let val = sol.value(v);
+                    (val > FLOW_TOL).then_some((e, val))
+                })
+                .collect()
+        })
+        .collect();
+    Ok(MasterSolution {
+        flow_value,
+        source_flows,
+        elapsed_secs: start.elapsed().as_secs_f64(),
+    })
+}
+
+fn endpoint_mask(topo: &Topology, endpoints: &[NodeId]) -> Vec<bool> {
+    let mut mask = vec![false; topo.num_nodes()];
+    for &e in endpoints {
+        mask[e] = true;
+    }
+    mask
+}
+
+/// Solves one child LP: split the aggregate flow of source `s` into per-destination
+/// flows of value `flow_value` each, minimizing total flow (paper constraints
+/// (10)–(14)). Returns per-destination `(edge, flow)` lists (destinations in endpoint
+/// order, skipping `s`) and the elapsed time.
+fn solve_child(
+    topo: &Topology,
+    commodities: &CommoditySet,
+    s: NodeId,
+    source_flow: &[(EdgeId, f64)],
+    flow_value: f64,
+) -> McfResult<(Vec<Vec<(EdgeId, f64)>>, f64)> {
+    let start = Instant::now();
+    let endpoints = commodities.endpoints();
+    let dests: Vec<NodeId> = endpoints.iter().copied().filter(|&d| d != s).collect();
+
+    if flow_value <= FLOW_TOL {
+        // Degenerate: nothing to route.
+        return Ok((vec![Vec::new(); dests.len()], start.elapsed().as_secs_f64()));
+    }
+
+    // Restrict to edges the master actually uses for this source.
+    let used_edges: Vec<(EdgeId, f64)> = source_flow
+        .iter()
+        .copied()
+        .filter(|&(_, f)| f > FLOW_TOL)
+        .collect();
+    if used_edges.is_empty() {
+        return Err(McfError::Lp(format!(
+            "master LP routed no flow out of source {s}"
+        )));
+    }
+    let mut lp = LpProblem::minimize();
+    // vars[d_pos][local edge index]
+    let vars: Vec<Vec<VarId>> = dests
+        .iter()
+        .map(|&d| {
+            used_edges
+                .iter()
+                .map(|&(e, _)| lp.add_var(format!("h_{s}_{d}_e{e}"), 0.0, INF, 1.0))
+                .collect()
+        })
+        .collect();
+
+    // Capacity: per used edge, sum over destinations <= master flow (with a hair of
+    // numerical slack so that tolerance-level noise cannot make the child infeasible).
+    for (local, &(_, cap)) in used_edges.iter().enumerate() {
+        lp.add_constraint(
+            vars.iter().map(|per_edge| (per_edge[local], 1.0)),
+            ConstraintSense::Le,
+            cap + 1e-9,
+        );
+    }
+
+    // Conservation and demand per destination.
+    let demand = flow_value * (1.0 - 1e-7);
+    for (d_pos, &d) in dests.iter().enumerate() {
+        let per_edge = &vars[d_pos];
+        for u in 0..topo.num_nodes() {
+            if u == s || u == d {
+                continue;
+            }
+            let coeffs: Vec<(VarId, f64)> = used_edges
+                .iter()
+                .enumerate()
+                .filter_map(|(local, &(e, _))| {
+                    let edge = topo.edge(e);
+                    if edge.src == u {
+                        Some((per_edge[local], 1.0))
+                    } else if edge.dst == u {
+                        Some((per_edge[local], -1.0))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            if !coeffs.is_empty() {
+                lp.add_constraint(coeffs, ConstraintSense::Le, 0.0);
+            }
+        }
+        let inflow: Vec<(VarId, f64)> = used_edges
+            .iter()
+            .enumerate()
+            .filter_map(|(local, &(e, _))| {
+                (topo.edge(e).dst == d).then_some((per_edge[local], 1.0))
+            })
+            .collect();
+        if inflow.is_empty() {
+            return Err(McfError::Lp(format!(
+                "master flow of source {s} never reaches destination {d}"
+            )));
+        }
+        lp.add_constraint(inflow, ConstraintSense::Ge, demand);
+        // No flow may leave the destination.
+        for (local, &(e, _)) in used_edges.iter().enumerate() {
+            if topo.edge(e).src == d {
+                lp.set_bounds(per_edge[local], 0.0, 0.0);
+            }
+        }
+    }
+
+    let sol = lp.solve_with(&SimplexOptions::default())?;
+    let per_dest = vars
+        .iter()
+        .map(|per_edge| {
+            per_edge
+                .iter()
+                .enumerate()
+                .filter_map(|(local, &v)| {
+                    let val = sol.value(v);
+                    (val > FLOW_TOL).then_some((used_edges[local].0, val))
+                })
+                .collect()
+        })
+        .collect();
+    Ok((per_dest, start.elapsed().as_secs_f64()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linkmcf::solve_link_mcf;
+    use a2a_topology::generators;
+
+    fn assert_same_f(topo: &Topology) {
+        let original = solve_link_mcf(topo).unwrap();
+        let decomposed = solve_decomposed_mcf(topo).unwrap();
+        assert!(
+            (original.flow_value - decomposed.solution.flow_value).abs() < 1e-5,
+            "{}: original F = {}, decomposed F = {}",
+            topo.name(),
+            original.flow_value,
+            decomposed.solution.flow_value
+        );
+        // The decomposed per-commodity flows must be feasible and deliver F.
+        assert!(decomposed
+            .solution
+            .check_consistency(topo, 1e-5)
+            .is_empty());
+        assert!(decomposed.solution.max_link_utilization(topo) <= 1.0 + 1e-5);
+    }
+
+    #[test]
+    fn matches_original_on_complete_graph() {
+        assert_same_f(&generators::complete(4));
+    }
+
+    #[test]
+    fn matches_original_on_directed_ring() {
+        assert_same_f(&generators::ring(5));
+    }
+
+    #[test]
+    fn matches_original_on_hypercube() {
+        assert_same_f(&generators::hypercube(3));
+    }
+
+    #[test]
+    fn matches_original_on_generalized_kautz() {
+        assert_same_f(&generators::generalized_kautz(12, 3));
+    }
+
+    #[test]
+    fn matches_original_on_bipartite() {
+        assert_same_f(&generators::complete_bipartite(3, 3));
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let topo = generators::hypercube(3);
+        let decomposed = solve_decomposed_mcf(&topo).unwrap();
+        assert_eq!(decomposed.timings.child_secs.len(), 8);
+        assert!(decomposed.timings.master_secs >= 0.0);
+        assert!(decomposed.timings.total_child_secs() >= decomposed.timings.max_child_secs());
+        assert!(
+            decomposed.timings.parallel_estimate_secs()
+                <= decomposed.timings.master_secs + decomposed.timings.total_child_secs() + 1e-12
+        );
+        // Source flows exist for every endpoint.
+        assert_eq!(decomposed.source_flows.len(), 8);
+        assert!(decomposed.source_flows.iter().all(|f| !f.is_empty()));
+    }
+
+    #[test]
+    fn master_only_reports_flow_value() {
+        let topo = generators::torus(&[3, 3]);
+        let commodities = CommoditySet::all_pairs(9);
+        let master = solve_master(&topo, &commodities).unwrap();
+        let original = solve_link_mcf(&topo).unwrap();
+        assert!((master.flow_value - original.flow_value).abs() < 1e-5);
+    }
+
+    #[test]
+    #[ignore = "several-minute LP on a single core; covered by the fig3 bench harness"]
+    fn host_bottleneck_reduces_flow_value() {
+        use a2a_topology::transform::HostNicAugmented;
+        // 3x3x3 torus with host bandwidth below node bandwidth: the paper reports
+        // F = 2/27 for the bottlenecked case vs 1/9 without the bottleneck.
+        let torus = generators::torus(&[3, 3, 3]);
+        let aug = HostNicAugmented::build(&torus, 4.0); // 100 Gbps / 25 Gbps = 4 links
+        let commodities = CommoditySet::among(aug.hosts.clone());
+        let master = solve_master(&aug.graph, &commodities).unwrap();
+        assert!(
+            (master.flow_value - 2.0 / 27.0).abs() < 1e-4,
+            "bottlenecked F = {}, expected 2/27 = {}",
+            master.flow_value,
+            2.0 / 27.0
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! # a2a-mcf
+//!
+//! Multi-commodity-flow synthesis of all-to-all collective communication schedules —
+//! the primary contribution of "Efficient all-to-all Collective Communication Schedules
+//! for Direct-connect Topologies" (HPDC 2024).
+//!
+//! The crate contains one module per formulation in §3 of the paper plus the analysis
+//! helpers used throughout the evaluation:
+//!
+//! * [`types`] — commodity sets, link-flow solutions, weighted path schedules and
+//!   time-stepped flow solutions shared by every algorithm.
+//! * [`linkmcf`] — the original link-variable max-concurrent MCF (§3.1.1), one LP with
+//!   `O(N³)` variables.
+//! * [`decomposed`] — the paper's scalability contribution (§3.1.2): a master
+//!   source-grouped LP with `O(N²)` variables followed by `N` independent child LPs
+//!   (parallelised with rayon) that recover per-commodity flows.
+//! * [`tsmcf`] — the time-stepped MCF over a time-expanded graph (§3.1.3) used for
+//!   store-and-forward (ML accelerator) fabrics, including the host-bottleneck variant
+//!   of Fig. 2.
+//! * [`pmcf`] — the path-variable MCF (§3.1.4) over explicit candidate path sets
+//!   (edge-disjoint, shortest, bounded length).
+//! * [`extract`] — widest-path extraction (MCF-extP, §3.2.1) that converts link flows
+//!   into weighted path schedules for source-routed fabrics.
+//! * [`bounds`] — the analytic throughput upper bound and the Theorem-1 lower bound on
+//!   all-to-all completion time.
+//! * [`analysis`] — schedule-quality metrics (max link load, all-to-all time,
+//!   throughput conversion) used by the figures.
+
+pub mod analysis;
+pub mod bounds;
+pub mod decomposed;
+pub mod extract;
+pub mod linkmcf;
+pub mod pmcf;
+pub mod tsmcf;
+pub mod types;
+
+pub use analysis::{max_link_load_of_paths, path_schedule_all_to_all_time, throughput_gbps};
+pub use bounds::{lower_bound_all_to_all_time, throughput_upper_bound};
+pub use decomposed::{solve_decomposed_mcf, DecomposedMcf, DecomposedTimings};
+pub use extract::extract_widest_paths;
+pub use linkmcf::solve_link_mcf;
+pub use pmcf::{solve_path_mcf, PathSetKind};
+pub use tsmcf::{solve_tsmcf, TsMcfSolution};
+pub use types::{CommoditySet, LinkFlowSolution, McfError, McfResult, PathSchedule};

@@ -1,0 +1,279 @@
+//! Path-variable MCF (pMCF, §3.1.4).
+//!
+//! For fabrics with NIC-based forwarding, the schedule is a set of weighted paths per
+//! commodity. pMCF optimizes the weights directly over an explicit candidate path set:
+//! edge-disjoint paths (the paper's recommended polynomial-size set), all shortest
+//! paths, or all paths up to a length bound. With an unrestricted path set pMCF is the
+//! dual of the link MCF and therefore exact; with restricted sets it trades optimality
+//! for tractability exactly as studied in Fig. 8.
+
+use a2a_lp::{ConstraintSense, LpProblem, SimplexOptions, VarId, INF};
+use a2a_topology::{paths, Path, Topology};
+
+use crate::linkmcf::validate;
+use crate::types::{CommoditySet, McfError, McfResult, PathSchedule};
+
+/// Candidate path-set family for pMCF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathSetKind {
+    /// A maximal set of edge-disjoint paths per commodity (at most `d` paths on a
+    /// `d`-regular graph). The paper's recommended default.
+    EdgeDisjoint,
+    /// All shortest paths per commodity, capped at `max_per_pair`.
+    Shortest {
+        /// Maximum number of shortest paths kept per commodity.
+        max_per_pair: usize,
+    },
+    /// All simple paths of at most `max_hops` hops, capped at `max_per_pair`.
+    BoundedLength {
+        /// Hop bound (`l_max` in the paper).
+        max_hops: usize,
+        /// Maximum number of paths kept per commodity.
+        max_per_pair: usize,
+    },
+}
+
+/// Threshold below which a path weight is dropped from the schedule.
+const WEIGHT_TOL: f64 = 1e-9;
+
+/// Solves pMCF for an all-to-all among all nodes of the topology.
+pub fn solve_path_mcf(topo: &Topology, kind: PathSetKind) -> McfResult<PathSchedule> {
+    solve_path_mcf_among(topo, CommoditySet::all_pairs(topo.num_nodes()), kind)
+}
+
+/// Solves pMCF for an explicit commodity set.
+pub fn solve_path_mcf_among(
+    topo: &Topology,
+    commodities: CommoditySet,
+    kind: PathSetKind,
+) -> McfResult<PathSchedule> {
+    let path_sets = build_path_sets(topo, &commodities, kind)?;
+    solve_path_mcf_with_paths(topo, commodities, path_sets)
+}
+
+/// Builds the candidate path sets for every commodity.
+pub fn build_path_sets(
+    topo: &Topology,
+    commodities: &CommoditySet,
+    kind: PathSetKind,
+) -> McfResult<Vec<Vec<Path>>> {
+    validate(topo, commodities)?;
+    let mut sets = Vec::with_capacity(commodities.len());
+    for (_, s, d) in commodities.iter() {
+        let set = match kind {
+            PathSetKind::EdgeDisjoint => paths::edge_disjoint_paths(topo, s, d),
+            PathSetKind::Shortest { max_per_pair } => {
+                paths::all_shortest_paths(topo, s, d, max_per_pair)
+            }
+            PathSetKind::BoundedLength {
+                max_hops,
+                max_per_pair,
+            } => paths::paths_within_length(topo, s, d, max_hops, max_per_pair),
+        };
+        if set.is_empty() {
+            return Err(McfError::BadArgument(format!(
+                "no candidate paths for commodity {s}->{d} under {kind:?}"
+            )));
+        }
+        sets.push(set);
+    }
+    Ok(sets)
+}
+
+/// Solves pMCF over explicitly provided candidate path sets (one list per commodity,
+/// ordered as in the commodity set).
+pub fn solve_path_mcf_with_paths(
+    topo: &Topology,
+    commodities: CommoditySet,
+    path_sets: Vec<Vec<Path>>,
+) -> McfResult<PathSchedule> {
+    if path_sets.len() != commodities.len() {
+        return Err(McfError::BadArgument(format!(
+            "expected {} path sets, got {}",
+            commodities.len(),
+            path_sets.len()
+        )));
+    }
+    for ((idx, s, d), set) in commodities.iter().zip(&path_sets) {
+        let _ = idx;
+        if set.is_empty() {
+            return Err(McfError::BadArgument(format!(
+                "empty path set for commodity {s}->{d}"
+            )));
+        }
+        for p in set {
+            if p.source() != s || p.dest() != d || !p.is_valid_in(topo) {
+                return Err(McfError::BadArgument(format!(
+                    "candidate path {:?} is not a valid {s}->{d} path",
+                    p.nodes()
+                )));
+            }
+        }
+    }
+
+    let mut lp = LpProblem::maximize();
+    let f_var = lp.add_var("F", 0.0, INF, 1.0);
+    // One variable per (commodity, path); record which paths cross each edge.
+    let mut edge_incidence: Vec<Vec<VarId>> = vec![Vec::new(); topo.num_edges()];
+    let mut path_vars: Vec<Vec<VarId>> = Vec::with_capacity(path_sets.len());
+    for ((_, s, d), set) in commodities.iter().zip(&path_sets) {
+        let mut vars = Vec::with_capacity(set.len());
+        for (pi, path) in set.iter().enumerate() {
+            let v = lp.add_var(format!("p_{s}_{d}_{pi}"), 0.0, INF, 0.0);
+            for (u, w) in path.links() {
+                let e = topo.find_edge(u, w).expect("validated above");
+                edge_incidence[e].push(v);
+            }
+            vars.push(v);
+        }
+        path_vars.push(vars);
+    }
+
+    // Capacity constraints per edge.
+    for (e, edge) in topo.edges().iter().enumerate() {
+        if edge.capacity.is_infinite() || edge_incidence[e].is_empty() {
+            continue;
+        }
+        lp.add_constraint(
+            edge_incidence[e].iter().map(|&v| (v, 1.0)),
+            ConstraintSense::Le,
+            edge.capacity,
+        );
+    }
+    // Demand constraints per commodity.
+    for vars in &path_vars {
+        lp.add_constraint(
+            vars.iter()
+                .map(|&v| (v, 1.0))
+                .chain(std::iter::once((f_var, -1.0))),
+            ConstraintSense::Ge,
+            0.0,
+        );
+    }
+
+    let sol = lp.solve_with(&SimplexOptions::default())?;
+    let flow_value = sol.value(f_var);
+    if flow_value <= WEIGHT_TOL {
+        return Err(McfError::Lp(
+            "path MCF produced a zero concurrent flow".into(),
+        ));
+    }
+
+    let raw: Vec<Vec<(Path, f64)>> = path_sets
+        .into_iter()
+        .zip(&path_vars)
+        .map(|(set, vars)| {
+            let mut weighted: Vec<(Path, f64)> = set
+                .into_iter()
+                .zip(vars)
+                .filter_map(|(p, &v)| {
+                    let w = sol.value(v);
+                    (w > WEIGHT_TOL).then_some((p, w))
+                })
+                .collect();
+            if weighted.is_empty() {
+                // Numerical corner case: keep the first path with full weight.
+                weighted = Vec::new();
+            }
+            weighted
+        })
+        .collect();
+    // Guard against a commodity losing all of its paths to thresholding.
+    let mut fixed = Vec::with_capacity(raw.len());
+    for ((_, s, d), list) in commodities.iter().zip(raw) {
+        if list.is_empty() {
+            let fallback = paths::shortest_path(topo, s, d).ok_or_else(|| {
+                McfError::BadTopology(format!("no {s}->{d} path exists for fallback"))
+            })?;
+            fixed.push(vec![(fallback, 1.0)]);
+        } else {
+            fixed.push(list);
+        }
+    }
+    Ok(PathSchedule::from_weighted_paths(
+        commodities,
+        flow_value,
+        fixed,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::max_link_load_of_paths;
+    use crate::linkmcf::solve_link_mcf;
+    use a2a_topology::generators;
+
+    #[test]
+    fn disjoint_pmcf_matches_link_mcf_on_hypercube() {
+        // The paper observes that pMCF restricted to link-disjoint paths almost matches
+        // the optimal link MCF; on Q3 it is exactly optimal.
+        let topo = generators::hypercube(3);
+        let link = solve_link_mcf(&topo).unwrap();
+        let pmcf = solve_path_mcf(&topo, PathSetKind::EdgeDisjoint).unwrap();
+        assert!(
+            pmcf.flow_value >= 0.99 * link.flow_value,
+            "pMCF {} vs link MCF {}",
+            pmcf.flow_value,
+            link.flow_value
+        );
+        assert!(pmcf.check_consistency(&topo, 1e-6).is_empty());
+    }
+
+    #[test]
+    fn shortest_only_pmcf_is_weaker_on_expanders() {
+        // Fig. 8: pMCF over shortest paths is suboptimal on expanders because they have
+        // few shortest paths.
+        let topo = generators::generalized_kautz(16, 3);
+        let disjoint = solve_path_mcf(&topo, PathSetKind::EdgeDisjoint).unwrap();
+        let shortest = solve_path_mcf(&topo, PathSetKind::Shortest { max_per_pair: 64 }).unwrap();
+        assert!(
+            shortest.flow_value <= disjoint.flow_value + 1e-6,
+            "shortest {} should not beat disjoint {}",
+            shortest.flow_value,
+            disjoint.flow_value
+        );
+    }
+
+    #[test]
+    fn bounded_length_pmcf_recovers_optimum_with_enough_slack() {
+        let topo = generators::complete_bipartite(2, 2);
+        let link = solve_link_mcf(&topo).unwrap();
+        let pmcf = solve_path_mcf(
+            &topo,
+            PathSetKind::BoundedLength {
+                max_hops: 3,
+                max_per_pair: 50,
+            },
+        )
+        .unwrap();
+        assert!(pmcf.flow_value >= 0.99 * link.flow_value);
+    }
+
+    #[test]
+    fn flow_value_is_consistent_with_link_loads() {
+        let topo = generators::hypercube(3);
+        let pmcf = solve_path_mcf(&topo, PathSetKind::EdgeDisjoint).unwrap();
+        // Shipping one unit per commodity loads the bottleneck link with at most 1/F.
+        let load = max_link_load_of_paths(&topo, &pmcf);
+        assert!(load <= 1.0 / pmcf.flow_value + 1e-6);
+    }
+
+    #[test]
+    fn invalid_path_sets_are_rejected() {
+        let topo = generators::complete(3);
+        let commodities = CommoditySet::all_pairs(3);
+        // Wrong number of path sets.
+        let err =
+            solve_path_mcf_with_paths(&topo, commodities.clone(), vec![Vec::new()]).unwrap_err();
+        assert!(matches!(err, McfError::BadArgument(_)));
+        // A path with the wrong endpoints.
+        let mut sets: Vec<Vec<Path>> = commodities
+            .iter()
+            .map(|(_, s, d)| vec![a2a_topology::paths::shortest_path(&topo, s, d).unwrap()])
+            .collect();
+        sets[0] = vec![Path::new(vec![1, 2])];
+        let err = solve_path_mcf_with_paths(&topo, commodities, sets).unwrap_err();
+        assert!(matches!(err, McfError::BadArgument(_)));
+    }
+}

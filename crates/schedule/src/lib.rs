@@ -1,0 +1,24 @@
+//! # a2a-schedule
+//!
+//! Schedule compilation (§4 of the paper): turning the fractional MCF outputs into
+//! executable artifacts for the two fabric families.
+//!
+//! * [`ir`] — the chunked, time-stepped schedule IR produced from a
+//!   [`a2a_mcf::tsmcf::TsMcfSolution`] (link-based schedules for store-and-forward
+//!   fabrics), plus executability validation.
+//! * [`xml`] — lowering of the chunked IR to MSCCL-style and oneCCL-style XML programs
+//!   (send/recv instructions per rank per step).
+//! * [`routes`] — lowering of weighted path schedules to per-commodity route tables and
+//!   chunk-to-route assignments (the OMPI/UCX + Cerio source-routing path of §4).
+//! * [`deadlock`] — LASH / LASH-sequential virtual-channel assignment that makes a set
+//!   of routes deadlock-free on wormhole-routed fabrics (§5.5).
+
+pub mod deadlock;
+pub mod ir;
+pub mod routes;
+pub mod xml;
+
+pub use deadlock::{assign_virtual_channels, LashVariant, VcAssignment};
+pub use ir::{ChunkTransfer, ChunkedSchedule, ScheduleStep};
+pub use routes::{lower_path_schedule, RouteTable};
+pub use xml::{to_msccl_xml, to_oneccl_xml};

@@ -1,0 +1,557 @@
+//! Path containers and path-set construction.
+//!
+//! Path-based MCF (§3.1.4) needs an explicit candidate path set per commodity. The
+//! paper uses three families: all shortest paths, bounded-length paths, and maximal
+//! sets of edge-disjoint paths (found via unit-capacity max-flow). All three builders
+//! live here so that both the MCF formulations and the baselines share one
+//! implementation.
+
+use std::collections::VecDeque;
+
+use crate::graph::{EdgeId, NodeId, Topology};
+
+/// A simple directed path, stored as its node sequence (length >= 2 endpoints, no
+/// repeated nodes).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Path {
+    nodes: Vec<NodeId>,
+}
+
+impl Path {
+    /// Creates a path from a node sequence.
+    ///
+    /// # Panics
+    /// Panics if fewer than two nodes are given or a node repeats.
+    pub fn new(nodes: Vec<NodeId>) -> Self {
+        assert!(nodes.len() >= 2, "a path needs at least two nodes");
+        let mut seen = std::collections::HashSet::new();
+        for &n in &nodes {
+            assert!(seen.insert(n), "node {n} repeats; paths must be simple");
+        }
+        Self { nodes }
+    }
+
+    /// Node sequence of the path.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Source node.
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Destination node.
+    pub fn dest(&self) -> NodeId {
+        *self.nodes.last().expect("paths are non-empty")
+    }
+
+    /// Number of hops (edges).
+    pub fn hops(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Consecutive node pairs of the path.
+    pub fn links(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes.windows(2).map(|w| (w[0], w[1]))
+    }
+
+    /// Resolves the path to edge ids in `topo`, or `None` if some hop is missing.
+    pub fn edge_ids(&self, topo: &Topology) -> Option<Vec<EdgeId>> {
+        self.links().map(|(u, v)| topo.find_edge(u, v)).collect()
+    }
+
+    /// True if every hop of the path is an edge of `topo`.
+    pub fn is_valid_in(&self, topo: &Topology) -> bool {
+        self.edge_ids(topo).is_some()
+    }
+}
+
+/// One shortest path from `s` to `d` (BFS), or `None` if unreachable.
+pub fn shortest_path(topo: &Topology, s: NodeId, d: NodeId) -> Option<Path> {
+    if s == d {
+        return None;
+    }
+    let mut prev: Vec<Option<NodeId>> = vec![None; topo.num_nodes()];
+    let mut visited = vec![false; topo.num_nodes()];
+    let mut queue = VecDeque::new();
+    visited[s] = true;
+    queue.push_back(s);
+    while let Some(u) = queue.pop_front() {
+        if u == d {
+            break;
+        }
+        for v in topo.out_neighbors(u) {
+            if !visited[v] {
+                visited[v] = true;
+                prev[v] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    if !visited[d] {
+        return None;
+    }
+    let mut nodes = vec![d];
+    let mut cur = d;
+    while let Some(p) = prev[cur] {
+        nodes.push(p);
+        cur = p;
+        if cur == s {
+            break;
+        }
+    }
+    nodes.reverse();
+    Some(Path::new(nodes))
+}
+
+/// Dijkstra shortest path under non-negative per-edge weights (indexed by [`EdgeId`]).
+/// Ties are broken towards fewer hops. Returns `None` if unreachable.
+pub fn weighted_shortest_path(
+    topo: &Topology,
+    s: NodeId,
+    d: NodeId,
+    weights: &[f64],
+) -> Option<Path> {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+    assert_eq!(weights.len(), topo.num_edges(), "one weight per edge required");
+    if s == d {
+        return None;
+    }
+
+    #[derive(PartialEq)]
+    struct Item {
+        cost: f64,
+        hops: usize,
+        node: NodeId,
+    }
+    impl Eq for Item {}
+    impl PartialOrd for Item {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Item {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Min-heap by (cost, hops).
+            other
+                .cost
+                .partial_cmp(&self.cost)
+                .unwrap_or(Ordering::Equal)
+                .then(other.hops.cmp(&self.hops))
+        }
+    }
+
+    let n = topo.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut hops = vec![usize::MAX; n];
+    let mut prev: Vec<Option<NodeId>> = vec![None; n];
+    dist[s] = 0.0;
+    hops[s] = 0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Item {
+        cost: 0.0,
+        hops: 0,
+        node: s,
+    });
+    while let Some(Item { cost, hops: h, node }) = heap.pop() {
+        if cost > dist[node] + 1e-12 {
+            continue;
+        }
+        if node == d {
+            break;
+        }
+        for &e in topo.out_edges(node) {
+            let edge = topo.edge(e);
+            let w = weights[e];
+            assert!(w >= 0.0, "negative weight on edge {e}");
+            let nd = cost + w;
+            let nh = h + 1;
+            if nd < dist[edge.dst] - 1e-12
+                || (nd < dist[edge.dst] + 1e-12 && nh < hops[edge.dst])
+            {
+                dist[edge.dst] = nd;
+                hops[edge.dst] = nh;
+                prev[edge.dst] = Some(node);
+                heap.push(Item {
+                    cost: nd,
+                    hops: nh,
+                    node: edge.dst,
+                });
+            }
+        }
+    }
+    if dist[d].is_infinite() {
+        return None;
+    }
+    let mut nodes = vec![d];
+    let mut cur = d;
+    while let Some(p) = prev[cur] {
+        nodes.push(p);
+        cur = p;
+        if cur == s {
+            break;
+        }
+    }
+    nodes.reverse();
+    Some(Path::new(nodes))
+}
+
+/// All shortest `s -> d` paths, capped at `max_paths` (enumeration order is
+/// deterministic). Returns an empty vector if `d` is unreachable.
+pub fn all_shortest_paths(topo: &Topology, s: NodeId, d: NodeId, max_paths: usize) -> Vec<Path> {
+    if s == d {
+        return Vec::new();
+    }
+    let dist_from_s = topo.bfs_distances(s);
+    let Some(target_dist) = dist_from_s[d] else {
+        return Vec::new();
+    };
+    // DFS forward along edges that make BFS progress towards d.
+    let mut result = Vec::new();
+    let mut stack = vec![s];
+    dfs_shortest(
+        topo,
+        d,
+        target_dist,
+        &dist_from_s,
+        &mut stack,
+        &mut result,
+        max_paths,
+    );
+    result
+}
+
+fn dfs_shortest(
+    topo: &Topology,
+    d: NodeId,
+    target_dist: usize,
+    dist_from_s: &[Option<usize>],
+    stack: &mut Vec<NodeId>,
+    result: &mut Vec<Path>,
+    max_paths: usize,
+) {
+    if result.len() >= max_paths {
+        return;
+    }
+    let u = *stack.last().expect("stack never empty");
+    if u == d {
+        result.push(Path::new(stack.clone()));
+        return;
+    }
+    let du = dist_from_s[u].expect("on-path nodes are reachable");
+    if du >= target_dist {
+        return;
+    }
+    for v in topo.out_neighbors(u) {
+        if dist_from_s[v] == Some(du + 1) {
+            stack.push(v);
+            dfs_shortest(topo, d, target_dist, dist_from_s, stack, result, max_paths);
+            stack.pop();
+            if result.len() >= max_paths {
+                return;
+            }
+        }
+    }
+}
+
+/// All simple `s -> d` paths of at most `max_hops` hops, capped at `max_paths`.
+///
+/// Uses reverse-BFS distances to prune branches that cannot reach `d` within the hop
+/// budget, which keeps the enumeration polynomial on expander-like graphs (§3.1.4).
+pub fn paths_within_length(
+    topo: &Topology,
+    s: NodeId,
+    d: NodeId,
+    max_hops: usize,
+    max_paths: usize,
+) -> Vec<Path> {
+    if s == d || max_hops == 0 {
+        return Vec::new();
+    }
+    // Distance of every node *to* d (BFS on the reverse orientation).
+    let mut dist_to_d = vec![None; topo.num_nodes()];
+    let mut queue = VecDeque::new();
+    dist_to_d[d] = Some(0usize);
+    queue.push_back(d);
+    while let Some(u) = queue.pop_front() {
+        let du = dist_to_d[u].expect("queued nodes have distance");
+        for v in topo.in_neighbors(u) {
+            if dist_to_d[v].is_none() {
+                dist_to_d[v] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    if dist_to_d[s].is_none() {
+        return Vec::new();
+    }
+    let mut result = Vec::new();
+    let mut on_stack = vec![false; topo.num_nodes()];
+    let mut stack = vec![s];
+    on_stack[s] = true;
+    dfs_bounded(
+        topo,
+        d,
+        max_hops,
+        &dist_to_d,
+        &mut stack,
+        &mut on_stack,
+        &mut result,
+        max_paths,
+    );
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs_bounded(
+    topo: &Topology,
+    d: NodeId,
+    max_hops: usize,
+    dist_to_d: &[Option<usize>],
+    stack: &mut Vec<NodeId>,
+    on_stack: &mut [bool],
+    result: &mut Vec<Path>,
+    max_paths: usize,
+) {
+    if result.len() >= max_paths {
+        return;
+    }
+    let u = *stack.last().expect("stack never empty");
+    if u == d {
+        result.push(Path::new(stack.clone()));
+        return;
+    }
+    let used = stack.len() - 1;
+    if used >= max_hops {
+        return;
+    }
+    let budget = max_hops - used;
+    for v in topo.out_neighbors(u) {
+        if on_stack[v] {
+            continue;
+        }
+        match dist_to_d[v] {
+            Some(rem) if rem + 1 <= budget => {
+                stack.push(v);
+                on_stack[v] = true;
+                dfs_bounded(
+                    topo, d, max_hops, dist_to_d, stack, on_stack, result, max_paths,
+                );
+                stack.pop();
+                on_stack[v] = false;
+                if result.len() >= max_paths {
+                    return;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A maximal set of pairwise edge-disjoint `s -> d` paths, found with unit-capacity
+/// max-flow (BFS augmentation) followed by flow decomposition. The number of paths
+/// equals the `s`-`d` edge connectivity, which is at most the node degree `d` for
+/// `d`-regular graphs — this is the polynomial-size path set the paper recommends for
+/// pMCF (§3.1.4).
+pub fn edge_disjoint_paths(topo: &Topology, s: NodeId, d: NodeId) -> Vec<Path> {
+    if s == d {
+        return Vec::new();
+    }
+    let m = topo.num_edges();
+    // Residual capacities: 1 for each original edge, 0 for its reverse residual.
+    let mut forward_used = vec![false; m];
+    // We track residual usage implicitly: a used edge can be "undone" by traversing it
+    // backwards during augmentation.
+    loop {
+        // BFS over residual graph.
+        let mut prev: Vec<Option<(NodeId, EdgeId, bool)>> = vec![None; topo.num_nodes()];
+        let mut visited = vec![false; topo.num_nodes()];
+        let mut queue = VecDeque::new();
+        visited[s] = true;
+        queue.push_back(s);
+        'bfs: while let Some(u) = queue.pop_front() {
+            for &e in topo.out_edges(u) {
+                if !forward_used[e] {
+                    let v = topo.edge(e).dst;
+                    if !visited[v] {
+                        visited[v] = true;
+                        prev[v] = Some((u, e, true));
+                        if v == d {
+                            break 'bfs;
+                        }
+                        queue.push_back(v);
+                    }
+                }
+            }
+            for &e in topo.in_edges(u) {
+                if forward_used[e] {
+                    let v = topo.edge(e).src;
+                    if !visited[v] {
+                        visited[v] = true;
+                        prev[v] = Some((u, e, false));
+                        if v == d {
+                            break 'bfs;
+                        }
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        if !visited[d] {
+            break;
+        }
+        // Apply the augmenting path.
+        let mut cur = d;
+        while cur != s {
+            let (p, e, fwd) = prev[cur].expect("visited nodes have predecessors");
+            forward_used[e] = fwd;
+            cur = p;
+        }
+    }
+
+    // Decompose the used edges into paths from s to d.
+    let mut out_used: Vec<Vec<EdgeId>> = vec![Vec::new(); topo.num_nodes()];
+    for (e, &used) in forward_used.iter().enumerate() {
+        if used {
+            out_used[topo.edge(e).src].push(e);
+        }
+    }
+    let mut paths = Vec::new();
+    loop {
+        let Some(first) = out_used[s].pop() else {
+            break;
+        };
+        let mut nodes = vec![s];
+        let mut cur = topo.edge(first).dst;
+        nodes.push(cur);
+        while cur != d {
+            let e = out_used[cur]
+                .pop()
+                .expect("flow conservation guarantees an outgoing used edge");
+            cur = topo.edge(e).dst;
+            nodes.push(cur);
+        }
+        paths.push(Path::new(nodes));
+    }
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn path_accessors() {
+        let p = Path::new(vec![0, 3, 5]);
+        assert_eq!(p.source(), 0);
+        assert_eq!(p.dest(), 5);
+        assert_eq!(p.hops(), 2);
+        let links: Vec<_> = p.links().collect();
+        assert_eq!(links, vec![(0, 3), (3, 5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "simple")]
+    fn repeated_nodes_are_rejected() {
+        Path::new(vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn shortest_path_on_hypercube() {
+        let t = generators::hypercube(3);
+        let p = shortest_path(&t, 0, 7).unwrap();
+        assert_eq!(p.hops(), 3);
+        assert!(p.is_valid_in(&t));
+        assert_eq!(p.edge_ids(&t).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn shortest_path_missing_when_unreachable() {
+        let mut t = crate::Topology::new(3, "line");
+        t.add_edge(0, 1, 1.0);
+        assert!(shortest_path(&t, 1, 0).is_none());
+        assert!(shortest_path(&t, 0, 2).is_none());
+        assert!(shortest_path(&t, 0, 0).is_none());
+    }
+
+    #[test]
+    fn all_shortest_paths_counts_match_hypercube_combinatorics() {
+        let t = generators::hypercube(3);
+        // From 000 to 111 there are 3! = 6 shortest paths.
+        let paths = all_shortest_paths(&t, 0, 7, 100);
+        assert_eq!(paths.len(), 6);
+        for p in &paths {
+            assert_eq!(p.hops(), 3);
+            assert!(p.is_valid_in(&t));
+        }
+        // The cap is honoured.
+        assert_eq!(all_shortest_paths(&t, 0, 7, 2).len(), 2);
+    }
+
+    #[test]
+    fn bounded_length_paths_include_detours() {
+        let t = generators::hypercube(3);
+        let exact = all_shortest_paths(&t, 0, 7, 100).len();
+        let bounded = paths_within_length(&t, 0, 7, 3, 1000).len();
+        assert_eq!(exact, bounded);
+        // Allowing 5 hops adds non-shortest simple paths.
+        let longer = paths_within_length(&t, 0, 7, 5, 1000);
+        assert!(longer.len() > exact);
+        for p in &longer {
+            assert!(p.hops() <= 5);
+            assert!(p.is_valid_in(&t));
+            assert_eq!(p.source(), 0);
+            assert_eq!(p.dest(), 7);
+        }
+    }
+
+    #[test]
+    fn weighted_shortest_path_avoids_heavy_edges() {
+        // Square 0-1-3 and 0-2-3 with a heavy edge on 0->1.
+        let mut t = crate::Topology::new(4, "square");
+        t.add_edge(0, 1, 1.0);
+        t.add_edge(1, 3, 1.0);
+        t.add_edge(0, 2, 1.0);
+        t.add_edge(2, 3, 1.0);
+        let mut w = vec![1.0; t.num_edges()];
+        w[0] = 10.0;
+        let p = weighted_shortest_path(&t, 0, 3, &w).unwrap();
+        assert_eq!(p.nodes(), &[0, 2, 3]);
+    }
+
+    #[test]
+    fn edge_disjoint_paths_on_regular_graphs_match_degree() {
+        let t = generators::hypercube(3);
+        let paths = edge_disjoint_paths(&t, 0, 7);
+        assert_eq!(paths.len(), 3, "Q3 is 3-edge-connected");
+        // Pairwise edge disjointness.
+        let mut used = std::collections::HashSet::new();
+        for p in &paths {
+            for link in p.links() {
+                assert!(used.insert(link), "link {link:?} reused");
+            }
+            assert!(p.is_valid_in(&t));
+        }
+    }
+
+    #[test]
+    fn edge_disjoint_paths_on_directed_expanders() {
+        let t = generators::generalized_kautz(24, 3);
+        for (s, d) in [(0usize, 5usize), (3, 20), (7, 11)] {
+            let paths = edge_disjoint_paths(&t, s, d);
+            assert!(!paths.is_empty());
+            assert!(paths.len() <= 3);
+            let mut used = std::collections::HashSet::new();
+            for p in &paths {
+                assert_eq!(p.source(), s);
+                assert_eq!(p.dest(), d);
+                for link in p.links() {
+                    assert!(used.insert(link));
+                }
+            }
+        }
+    }
+}

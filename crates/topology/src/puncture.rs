@@ -1,0 +1,152 @@
+//! Random failure injection: punctured tori and disabled links (Fig. 5, Fig. 9).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::graph::{EdgeId, NodeId, Topology};
+
+/// Removes `count` full-duplex links (both directions of a bidirectional pair) chosen
+/// uniformly at random, retrying until the result stays strongly connected.
+///
+/// # Panics
+/// Panics if the topology has fewer than `count` bidirectional links or no connected
+/// puncturing is found after many attempts.
+pub fn remove_random_links<R: Rng>(topo: &Topology, count: usize, rng: &mut R) -> Topology {
+    // Collect one representative edge id per bidirectional pair.
+    let mut pairs: Vec<(EdgeId, EdgeId)> = Vec::new();
+    for (id, e) in topo.edges().iter().enumerate() {
+        if e.src < e.dst {
+            if let Some(rev) = topo.find_edge(e.dst, e.src) {
+                pairs.push((id, rev));
+            }
+        }
+    }
+    assert!(
+        pairs.len() >= count,
+        "topology has only {} bidirectional links, cannot remove {count}",
+        pairs.len()
+    );
+    for _ in 0..1000 {
+        let mut chosen = pairs.clone();
+        chosen.shuffle(rng);
+        let removed: Vec<EdgeId> = chosen[..count]
+            .iter()
+            .flat_map(|&(a, b)| [a, b])
+            .collect();
+        let candidate = topo.without_edges(&removed);
+        if candidate.is_strongly_connected() {
+            return candidate;
+        }
+    }
+    panic!("could not remove {count} links while preserving connectivity");
+}
+
+/// Removes `count` directed edges chosen uniformly at random (the "disabled links"
+/// experiment of Fig. 9), retrying until the result stays strongly connected.
+pub fn remove_random_directed_edges<R: Rng>(
+    topo: &Topology,
+    count: usize,
+    rng: &mut R,
+) -> Topology {
+    assert!(
+        topo.num_edges() >= count,
+        "topology has only {} edges, cannot remove {count}",
+        topo.num_edges()
+    );
+    let ids: Vec<EdgeId> = (0..topo.num_edges()).collect();
+    for _ in 0..1000 {
+        let mut chosen = ids.clone();
+        chosen.shuffle(rng);
+        let candidate = topo.without_edges(&chosen[..count]);
+        if candidate.is_strongly_connected() {
+            return candidate;
+        }
+    }
+    panic!("could not remove {count} directed edges while preserving connectivity");
+}
+
+/// Removes `count` nodes chosen uniformly at random, returning the induced subgraph on
+/// the survivors (relabelled densely) and the mapping `new id -> old id`. Retries until
+/// the survivor graph is strongly connected.
+pub fn remove_random_nodes<R: Rng>(
+    topo: &Topology,
+    count: usize,
+    rng: &mut R,
+) -> (Topology, Vec<NodeId>) {
+    assert!(
+        count < topo.num_nodes(),
+        "cannot remove {count} of {} nodes",
+        topo.num_nodes()
+    );
+    let nodes: Vec<NodeId> = (0..topo.num_nodes()).collect();
+    for _ in 0..1000 {
+        let mut shuffled = nodes.clone();
+        shuffled.shuffle(rng);
+        let mut keep: Vec<NodeId> = shuffled[count..].to_vec();
+        keep.sort_unstable();
+        let (candidate, mapping) = topo.induced_subgraph(&keep);
+        if candidate.is_strongly_connected() {
+            return (candidate, mapping);
+        }
+    }
+    panic!("could not remove {count} nodes while preserving connectivity");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn edge_puncturing_preserves_connectivity_and_count() {
+        let torus = generators::torus(&[3, 3, 3]);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let punctured = remove_random_links(&torus, 3, &mut rng);
+        assert_eq!(punctured.num_nodes(), 27);
+        assert_eq!(punctured.num_edges(), torus.num_edges() - 6);
+        assert!(punctured.is_strongly_connected());
+    }
+
+    #[test]
+    fn node_puncturing_shrinks_graph() {
+        let torus = generators::torus(&[3, 3, 3]);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let (punctured, mapping) = remove_random_nodes(&torus, 3, &mut rng);
+        assert_eq!(punctured.num_nodes(), 24);
+        assert_eq!(mapping.len(), 24);
+        assert!(punctured.is_strongly_connected());
+        // Mapping refers to distinct original nodes.
+        let unique: std::collections::HashSet<_> = mapping.iter().collect();
+        assert_eq!(unique.len(), 24);
+    }
+
+    #[test]
+    fn directed_edge_removal_matches_fig9_setup() {
+        let gk = generators::generalized_kautz(81, 8);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let disabled = remove_random_directed_edges(&gk, 30, &mut rng);
+        assert_eq!(disabled.num_edges(), gk.num_edges() - 30);
+        assert!(disabled.is_strongly_connected());
+    }
+
+    #[test]
+    fn puncturing_is_deterministic_per_seed() {
+        let torus = generators::torus(&[3, 3, 3]);
+        let a = remove_random_links(&torus, 2, &mut ChaCha8Rng::seed_from_u64(9));
+        let b = remove_random_links(&torus, 2, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(a.num_edges(), b.num_edges());
+        for (ea, eb) in a.edges().iter().zip(b.edges()) {
+            assert_eq!((ea.src, ea.dst), (eb.src, eb.dst));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot remove")]
+    fn excessive_removal_panics() {
+        let ring = generators::bidirectional_ring(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        remove_random_links(&ring, 10, &mut rng);
+    }
+}
