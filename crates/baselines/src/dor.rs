@@ -91,7 +91,10 @@ mod tests {
         assert!(sched.check_consistency(&topo, 1e-9).is_empty());
         let time = max_link_load_of_paths(&topo, &sched);
         let bound = a2a_mcf::bounds::distance_capacity_lower_bound(&topo).unwrap();
-        assert!((bound - 9.0).abs() < 1e-9, "torus bound should be 9, got {bound}");
+        assert!(
+            (bound - 9.0).abs() < 1e-9,
+            "torus bound should be 9, got {bound}"
+        );
         assert!(
             (time - bound).abs() / bound < 0.01,
             "DOR time {time} vs optimal {bound}"

@@ -40,7 +40,11 @@ pub fn equal_weight_shortest_paths_among(
             )));
         }
         let w = 1.0 / set.len() as f64;
-        raw.push(set.into_iter().map(|p| (p, w)).collect::<Vec<(Path, f64)>>());
+        raw.push(
+            set.into_iter()
+                .map(|p| (p, w))
+                .collect::<Vec<(Path, f64)>>(),
+        );
     }
     let mut schedule = PathSchedule::from_weighted_paths(commodities, 0.0, raw);
     schedule.flow_value = a2a_mcf::analysis::effective_flow_value(topo, &schedule);
@@ -91,8 +95,8 @@ mod tests {
     #[test]
     fn zero_path_cap_is_rejected() {
         let topo = generators::complete(3);
-        let err = equal_weight_shortest_paths_among(&topo, CommoditySet::all_pairs(3), 0)
-            .unwrap_err();
+        let err =
+            equal_weight_shortest_paths_among(&topo, CommoditySet::all_pairs(3), 0).unwrap_err();
         assert!(matches!(err, McfError::BadArgument(_)));
     }
 }

@@ -75,13 +75,8 @@ pub fn fptas_max_concurrent_flow_among(
     let mut flows: Vec<std::collections::HashMap<usize, f64>> =
         vec![std::collections::HashMap::new(); commodities.len()];
 
-    let dual = |lengths: &[f64]| -> f64 {
-        lengths
-            .iter()
-            .zip(&caps)
-            .map(|(&l, &c)| l * c)
-            .sum::<f64>()
-    };
+    let dual =
+        |lengths: &[f64]| -> f64 { lengths.iter().zip(&caps).map(|(&l, &c)| l * c).sum::<f64>() };
 
     let mut phases = 0usize;
     while dual(&lengths) < 1.0 && phases < options.max_phases {
@@ -90,9 +85,10 @@ pub fn fptas_max_concurrent_flow_among(
             // Route one unit of commodity (s, d), possibly over several paths.
             let mut remaining = 1.0f64;
             while remaining > 1e-12 && dual(&lengths) < 1.0 {
-                let path = paths::weighted_shortest_path(topo, s, d, &lengths).ok_or_else(
-                    || McfError::BadTopology(format!("destination {d} unreachable from {s}")),
-                )?;
+                let path =
+                    paths::weighted_shortest_path(topo, s, d, &lengths).ok_or_else(|| {
+                        McfError::BadTopology(format!("destination {d} unreachable from {s}"))
+                    })?;
                 // Bottleneck capacity along the path limits one push.
                 let mut bottleneck = f64::INFINITY;
                 let mut edge_ids = Vec::with_capacity(path.hops());

@@ -125,7 +125,8 @@ pub fn ilp_path_selection_among(
         relative_gap: options.relative_gap,
         ..IlpOptions::default()
     };
-    let result = solve_ilp(&lp, &binaries, &ilp_options).map_err(|e| McfError::Lp(e.to_string()))?;
+    let result =
+        solve_ilp(&lp, &binaries, &ilp_options).map_err(|e| McfError::Lp(e.to_string()))?;
 
     let mut raw: Vec<Vec<(Path, f64)>> = Vec::with_capacity(commodities.len());
     for (set, vars) in path_sets.into_iter().zip(&selection_vars) {

@@ -167,10 +167,7 @@ fn assign_commodity(
         let mut slots: Vec<usize> = (0..hops).collect();
         loop {
             // Check availability of (edge, step) pairs.
-            let ok = path
-                .iter()
-                .zip(&slots)
-                .all(|(&e, &t)| !occupancy[t][e]);
+            let ok = path.iter().zip(&slots).all(|(&e, &t)| !occupancy[t][e]);
             if ok {
                 for (&e, &t) in path.iter().zip(&slots) {
                     occupancy[t][e] = true;
@@ -302,10 +299,7 @@ pub fn taccl_like_heuristic(topo: &Topology, budget: Duration) -> McfResult<Synt
         for k in 0..placements.len() {
             for h in 0..placements[k].len() {
                 let (e, t) = placements[k][h];
-                let upper = placements[k]
-                    .get(h + 1)
-                    .map(|&(_, nt)| nt)
-                    .unwrap_or(steps);
+                let upper = placements[k].get(h + 1).map(|&(_, nt)| nt).unwrap_or(steps);
                 for cand in (t + 1)..upper {
                     placements[k][h] = (e, cand);
                     let trial = load(&placements, steps);

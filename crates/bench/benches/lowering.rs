@@ -6,7 +6,9 @@ use std::hint::black_box;
 
 use a2a_mcf::pmcf::{solve_path_mcf, PathSetKind};
 use a2a_mcf::tsmcf::solve_tsmcf_auto;
-use a2a_schedule::{lower_path_schedule, to_msccl_xml, to_oneccl_xml, ChunkedSchedule, LashVariant};
+use a2a_schedule::{
+    lower_path_schedule, to_msccl_xml, to_oneccl_xml, ChunkedSchedule, LashVariant,
+};
 use a2a_topology::generators;
 
 fn bench_lowering(c: &mut Criterion) {
@@ -18,7 +20,13 @@ fn bench_lowering(c: &mut Criterion) {
     let mut group = c.benchmark_group("schedule_compilation");
     group.sample_size(20);
     group.bench_function("chunking_from_tsmcf", |b| {
-        b.iter(|| black_box(ChunkedSchedule::from_tsmcf(&topo, &tsmcf, 256).unwrap().num_steps()))
+        b.iter(|| {
+            black_box(
+                ChunkedSchedule::from_tsmcf(&topo, &tsmcf, 256)
+                    .unwrap()
+                    .num_steps(),
+            )
+        })
     });
     group.bench_function("msccl_xml_emit", |b| {
         b.iter(|| black_box(to_msccl_xml(&chunked, "hypercube3").len()))
@@ -28,9 +36,7 @@ fn bench_lowering(c: &mut Criterion) {
     });
     group.bench_function("route_lowering_with_lash_sequential", |b| {
         b.iter(|| {
-            black_box(
-                lower_path_schedule(&topo, &pmcf, 16, LashVariant::Sequential).total_routes(),
-            )
+            black_box(lower_path_schedule(&topo, &pmcf, 16, LashVariant::Sequential).total_routes())
         })
     });
     group.bench_function("route_lowering_with_lash_basic", |b| {

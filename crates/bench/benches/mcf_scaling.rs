@@ -37,7 +37,13 @@ fn bench_tsmcf(c: &mut Criterion) {
         ("ring4", generators::ring(4)),
     ] {
         group.bench_function(BenchmarkId::new("tsmcf_auto", name), |b| {
-            b.iter(|| black_box(a2a_mcf::tsmcf::solve_tsmcf_auto(&topo).unwrap().total_utilization()))
+            b.iter(|| {
+                black_box(
+                    a2a_mcf::tsmcf::solve_tsmcf_auto(&topo)
+                        .unwrap()
+                        .total_utilization(),
+                )
+            })
         });
     }
     group.finish();

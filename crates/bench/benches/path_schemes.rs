@@ -18,10 +18,22 @@ fn bench_path_schemes(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_path_schemes");
     group.sample_size(10);
     group.bench_function("pmcf_edge_disjoint", |b| {
-        b.iter(|| black_box(solve_path_mcf(&topo, PathSetKind::EdgeDisjoint).unwrap().flow_value))
+        b.iter(|| {
+            black_box(
+                solve_path_mcf(&topo, PathSetKind::EdgeDisjoint)
+                    .unwrap()
+                    .flow_value,
+            )
+        })
     });
     group.bench_function("widest_path_extraction", |b| {
-        b.iter(|| black_box(extract_widest_paths(&topo, &decomposed.solution).unwrap().total_paths()))
+        b.iter(|| {
+            black_box(
+                extract_widest_paths(&topo, &decomposed.solution)
+                    .unwrap()
+                    .total_paths(),
+            )
+        })
     });
     group.bench_function("sssp", |b| {
         b.iter(|| black_box(sssp_schedule(&topo).unwrap().flow_value))

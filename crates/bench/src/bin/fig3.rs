@@ -21,7 +21,13 @@ fn main() {
 
     for topo in small_testbed_topologies() {
         let tsmcf = solve_tsmcf_auto(&topo).expect("tsMCF on the testbed topologies");
-        sweep_upper_bound("fig3", &topo, topo.num_nodes(), tsmcf.effective_flow_value(), large);
+        sweep_upper_bound(
+            "fig3",
+            &topo,
+            topo.num_nodes(),
+            tsmcf.effective_flow_value(),
+            large,
+        );
         sweep_link_schedule("fig3", &topo, "tsMCF/G", &tsmcf, &params, large);
 
         let taccl = taccl_like_heuristic(&topo, Duration::from_secs(5))
@@ -55,7 +61,13 @@ fn main() {
         let steps = minimum_steps(&aug.graph, &commodities).expect("augmented torus is connected");
         let tsmcf = solve_tsmcf_among(&aug.graph, commodities, steps)
             .expect("bottlenecked tsMCF on the torus");
-        sweep_upper_bound("fig3", &torus, torus.num_nodes(), tsmcf.effective_flow_value(), large);
+        sweep_upper_bound(
+            "fig3",
+            &torus,
+            torus.num_nodes(),
+            tsmcf.effective_flow_value(),
+            large,
+        );
         sweep_link_schedule("fig3", &aug.graph, "tsMCF/C", &tsmcf, &params, large);
         let taccl = taccl_like_heuristic(&torus, Duration::from_secs(30))
             .expect("TACCL-like always completes")

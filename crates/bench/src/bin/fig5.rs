@@ -4,7 +4,7 @@
 use a2a_baselines::{ilp_path_selection, sssp_schedule, IlpPathOptions};
 use a2a_bench::*;
 use a2a_mcf::{extract_widest_paths, solve_decomposed_mcf};
-use a2a_simnet::{simulate_path_schedule, shard_bytes_for_buffer};
+use a2a_simnet::{shard_bytes_for_buffer, simulate_path_schedule};
 use a2a_topology::{puncture, Topology};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -15,12 +15,18 @@ fn series_for_instance(topo: &Topology, label: &str, buffers: &[f64]) -> Vec<(St
     let decomposed = solve_decomposed_mcf(topo).expect("decomposed MCF");
     let extp = extract_widest_paths(topo, &decomposed.solution).expect("extraction");
     let sssp = sssp_schedule(topo).expect("SSSP");
-    let mut schedules = vec![("MCF-extP/C".to_string(), extp), ("SSSP/C".to_string(), sssp)];
-    if let Ok((ilp, _)) = ilp_path_selection(topo, &IlpPathOptions {
-        relative_gap: 0.1,
-        max_nodes: 300,
-        ..IlpPathOptions::default()
-    }) {
+    let mut schedules = vec![
+        ("MCF-extP/C".to_string(), extp),
+        ("SSSP/C".to_string(), sssp),
+    ];
+    if let Ok((ilp, _)) = ilp_path_selection(
+        topo,
+        &IlpPathOptions {
+            relative_gap: 0.1,
+            max_nodes: 300,
+            ..IlpPathOptions::default()
+        },
+    ) {
         schedules.push(("ILP-disjoint/C".to_string(), ilp));
     }
     for (name, sched) in schedules {
@@ -64,9 +70,9 @@ fn main() {
                 let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
                 let max = values.iter().cloned().fold(0.0, f64::max);
                 let avg = values.iter().sum::<f64>() / values.len() as f64;
-                emit("fig5", &base.name(), &format!("{series}/avg"), buffer, avg);
-                emit("fig5", &base.name(), &format!("{series}/min"), buffer, min);
-                emit("fig5", &base.name(), &format!("{series}/max"), buffer, max);
+                emit("fig5", base.name(), &format!("{series}/avg"), buffer, avg);
+                emit("fig5", base.name(), &format!("{series}/min"), buffer, min);
+                emit("fig5", base.name(), &format!("{series}/max"), buffer, max);
             }
         }
     }

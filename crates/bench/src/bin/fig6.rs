@@ -90,7 +90,11 @@ fn run_panel(panel: &str, topo: &Topology, dims: Option<&[usize]>, grids: &[usiz
 fn main() {
     let large = large_mode();
     print_header();
-    let grids: Vec<usize> = if large { vec![729, 1296] } else { vec![243, 729] };
+    let grids: Vec<usize> = if large {
+        vec![729, 1296]
+    } else {
+        vec![243, 729]
+    };
     let (torus, dims) = torus_testbed(large);
     run_panel("torus", &torus, Some(&dims), &grids);
 

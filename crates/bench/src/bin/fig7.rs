@@ -49,8 +49,20 @@ fn main() {
             n as f64,
             decomposed.timings.parallel_estimate_secs() + widest_secs,
         );
-        emit("fig7", name, "Master LP", n as f64, decomposed.timings.master_secs);
-        emit("fig7", name, "Child LP (max)", n as f64, decomposed.timings.max_child_secs());
+        emit(
+            "fig7",
+            name,
+            "Master LP",
+            n as f64,
+            decomposed.timings.master_secs,
+        );
+        emit(
+            "fig7",
+            name,
+            "Child LP (max)",
+            n as f64,
+            decomposed.timings.max_child_secs(),
+        );
         emit("fig7", name, "Widest path", n as f64, widest_secs);
 
         if original_alive && (large || n <= 12) {

@@ -5,8 +5,7 @@
 //! one shard (equivalently `1 / F`); the optimal link MCF therefore sits at 1.0.
 
 use a2a_baselines::{
-    equal_weight_shortest_paths, ilp_path_selection, sssp_schedule, IlpPathOptions,
-    PathCandidates,
+    equal_weight_shortest_paths, ilp_path_selection, sssp_schedule, IlpPathOptions, PathCandidates,
 };
 use a2a_bench::*;
 use a2a_mcf::analysis::max_link_load_of_paths;

@@ -1,0 +1,266 @@
+//! Reproducible LP-layer perf harness: decomposed-MCF and path-MCF solves on
+//! 16/32/64-node torus and fat-tree topologies, comparing the cold-start Dantzig
+//! configuration against the warm-started devex configuration in the same run.
+//!
+//! Emits `BENCH_pr1.json` (median wall-clock over repetitions, simplex iteration
+//! and pivot counts, and the decomposed cold/warm speedups) so future PRs have a
+//! performance trajectory to compare against, plus a human-readable summary on
+//! stdout.
+//!
+//! Usage: `perf_harness [--quick] [--out PATH]`
+//!   --quick   CI smoke mode: smallest sizes only, one repetition.
+//!   --out     Output JSON path (default `BENCH_pr1.json`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use a2a_lp::Pricing;
+use a2a_mcf::decomposed::{solve_decomposed_mcf_with, DecomposedOptions};
+use a2a_mcf::pmcf::{solve_path_mcf_among, PathSetKind};
+use a2a_mcf::CommoditySet;
+use a2a_topology::{generators, NodeId, Topology};
+
+/// One benchmark case: a topology plus the commodity endpoints to route among.
+struct Case {
+    name: String,
+    topo: Topology,
+    hosts: Vec<NodeId>,
+}
+
+impl Case {
+    fn torus(dims: &[usize]) -> Self {
+        let topo = generators::torus(dims);
+        let hosts = (0..topo.num_nodes()).collect();
+        let name = format!(
+            "torus-{}",
+            dims.iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join("x")
+        );
+        Self { name, topo, hosts }
+    }
+
+    fn fat_tree(leaves: usize, spines: usize, hosts_per_leaf: usize) -> Self {
+        let ft = generators::fat_tree_two_level(leaves, spines, hosts_per_leaf);
+        Self {
+            name: format!("fattree-{}h", ft.hosts.len()),
+            topo: ft.graph,
+            hosts: ft.hosts,
+        }
+    }
+}
+
+/// One measured configuration of one workload on one case.
+#[derive(Clone)]
+struct Record {
+    workload: &'static str,
+    topology: String,
+    nodes: usize,
+    endpoints: usize,
+    config: &'static str,
+    reps: usize,
+    median_wall_secs: f64,
+    iterations: Option<usize>,
+    pivots: Option<usize>,
+    master_iterations: Option<usize>,
+    flow_value: f64,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    xs[xs.len() / 2]
+}
+
+fn decomposed_config(config: &str) -> DecomposedOptions {
+    match config {
+        "cold-dantzig" => DecomposedOptions {
+            pricing: Pricing::Dantzig,
+            warm_start_children: false,
+        },
+        "warm-devex" => DecomposedOptions {
+            pricing: Pricing::Devex,
+            warm_start_children: true,
+        },
+        _ => unreachable!("unknown config {config}"),
+    }
+}
+
+fn run_decomposed(case: &Case, config: &'static str, reps: usize) -> Record {
+    let opts = decomposed_config(config);
+    let mut walls = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let commodities = CommoditySet::among(case.hosts.clone());
+        let start = Instant::now();
+        let solved = solve_decomposed_mcf_with(&case.topo, commodities, &opts)
+            .expect("decomposed MCF solve");
+        walls.push(start.elapsed().as_secs_f64());
+        last = Some(solved);
+    }
+    let solved = last.expect("at least one repetition");
+    Record {
+        workload: "decomposed-mcf",
+        topology: case.name.clone(),
+        nodes: case.topo.num_nodes(),
+        endpoints: case.hosts.len(),
+        config,
+        reps,
+        median_wall_secs: median(walls),
+        iterations: Some(solved.timings.total_iterations()),
+        pivots: Some(solved.timings.total_pivots()),
+        master_iterations: Some(solved.timings.master_iterations),
+        flow_value: solved.solution.flow_value,
+    }
+}
+
+fn run_path_mcf(case: &Case, reps: usize) -> Record {
+    let mut walls = Vec::with_capacity(reps);
+    let mut flow = 0.0;
+    for _ in 0..reps {
+        let commodities = CommoditySet::among(case.hosts.clone());
+        let start = Instant::now();
+        let schedule = solve_path_mcf_among(&case.topo, commodities, PathSetKind::EdgeDisjoint)
+            .expect("path MCF solve");
+        walls.push(start.elapsed().as_secs_f64());
+        flow = schedule.flow_value;
+    }
+    Record {
+        workload: "path-mcf",
+        topology: case.name.clone(),
+        nodes: case.topo.num_nodes(),
+        endpoints: case.hosts.len(),
+        config: "default",
+        reps,
+        median_wall_secs: median(walls),
+        iterations: None,
+        pivots: None,
+        master_iterations: None,
+        flow_value: flow,
+    }
+}
+
+fn json_opt(v: Option<usize>) -> String {
+    v.map_or_else(|| "null".into(), |x| x.to_string())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr1.json".into());
+
+    let cases: Vec<Case> = if quick {
+        vec![Case::torus(&[4, 4]), Case::fat_tree(4, 2, 4)]
+    } else {
+        vec![
+            Case::torus(&[4, 4]),
+            Case::torus(&[4, 8]),
+            Case::torus(&[8, 8]),
+            Case::fat_tree(4, 2, 4),
+            Case::fat_tree(8, 4, 4),
+            Case::fat_tree(8, 4, 8),
+        ]
+    };
+    let mut records: Vec<Record> = Vec::new();
+    for case in &cases {
+        // The cold-start Dantzig baseline needs tens of minutes at the 64-endpoint
+        // sizes (that gap is the point of the comparison), so the largest cases
+        // run once while the small ones take a median of three.
+        let reps = if quick || case.hosts.len() >= 64 {
+            1
+        } else {
+            3
+        };
+        eprintln!(
+            "# {} ({} nodes, {} endpoints)",
+            case.name,
+            case.topo.num_nodes(),
+            case.hosts.len()
+        );
+        for config in ["cold-dantzig", "warm-devex"] {
+            let rec = run_decomposed(case, config, reps);
+            eprintln!(
+                "  decomposed-mcf {config}: median {:.3}s, {} iterations, {} pivots, F = {:.6}",
+                rec.median_wall_secs,
+                rec.iterations.unwrap_or(0),
+                rec.pivots.unwrap_or(0),
+                rec.flow_value
+            );
+            records.push(rec);
+        }
+        let rec = run_path_mcf(case, reps);
+        eprintln!(
+            "  path-mcf (edge-disjoint): median {:.3}s, F = {:.6}",
+            rec.median_wall_secs, rec.flow_value
+        );
+        records.push(rec);
+    }
+
+    // Cold/warm speedups per topology, plus agreement check on F.
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+    for case in &cases {
+        let find = |config: &str| {
+            records
+                .iter()
+                .find(|r| {
+                    r.workload == "decomposed-mcf" && r.topology == case.name && r.config == config
+                })
+                .expect("both configs ran")
+        };
+        let cold = find("cold-dantzig");
+        let warm = find("warm-devex");
+        assert!(
+            (cold.flow_value - warm.flow_value).abs() <= 1e-6 * (1.0 + cold.flow_value.abs()),
+            "{}: cold and warm configs disagree on F ({} vs {})",
+            case.name,
+            cold.flow_value,
+            warm.flow_value
+        );
+        let speedup = cold.median_wall_secs / warm.median_wall_secs.max(1e-12);
+        eprintln!("# {}: warm-devex speedup {:.2}x", case.name, speedup);
+        speedups.push((case.name.clone(), speedup));
+    }
+
+    // Hand-rolled JSON (no serde in this build environment).
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"pr\": 1,");
+    let _ = writeln!(json, "  \"harness\": \"perf_harness\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"workload\": \"{}\", \"topology\": \"{}\", \"nodes\": {}, \"endpoints\": {}, \
+             \"config\": \"{}\", \"reps\": {}, \"median_wall_secs\": {:.6}, \"iterations\": {}, \
+             \"pivots\": {}, \"master_iterations\": {}, \"flow_value\": {:.9}}}",
+            r.workload,
+            r.topology,
+            r.nodes,
+            r.endpoints,
+            r.config,
+            r.reps,
+            r.median_wall_secs,
+            json_opt(r.iterations),
+            json_opt(r.pivots),
+            json_opt(r.master_iterations),
+            r.flow_value,
+        );
+        json.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"decomposed_speedup_warm_devex_over_cold_dantzig\": {\n");
+    for (i, (name, s)) in speedups.iter().enumerate() {
+        let _ = write!(json, "    \"{name}\": {s:.3}");
+        json.push_str(if i + 1 < speedups.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  }\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

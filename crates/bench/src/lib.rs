@@ -67,7 +67,8 @@ pub fn sweep_link_schedule(
     large: bool,
 ) {
     for buffer in buffer_sweep(large) {
-        let shard = a2a_simnet::shard_bytes_for_buffer(buffer, schedule.commodities.num_endpoints());
+        let shard =
+            a2a_simnet::shard_bytes_for_buffer(buffer, schedule.commodities.num_endpoints());
         let report = simulate_link_schedule(topo, schedule, shard, params);
         emit(figure, topo.name(), series, buffer, report.throughput_gbps);
     }
@@ -83,7 +84,8 @@ pub fn sweep_path_schedule(
     large: bool,
 ) {
     for buffer in buffer_sweep(large) {
-        let shard = a2a_simnet::shard_bytes_for_buffer(buffer, schedule.commodities.num_endpoints());
+        let shard =
+            a2a_simnet::shard_bytes_for_buffer(buffer, schedule.commodities.num_endpoints());
         let report = simulate_path_schedule(topo, schedule, shard, params);
         emit(figure, topo.name(), series, buffer, report.throughput_gbps);
     }

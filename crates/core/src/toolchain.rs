@@ -86,10 +86,7 @@ impl Toolchain {
         }
     }
 
-    fn generate_time_stepped(
-        topo: &Topology,
-        fabric: &FabricSpec,
-    ) -> McfResult<GeneratedSchedule> {
+    fn generate_time_stepped(topo: &Topology, fabric: &FabricSpec) -> McfResult<GeneratedSchedule> {
         let degree = topo.max_out_degree();
         if fabric.host_is_bottleneck(degree) {
             let host_units = fabric
@@ -162,7 +159,10 @@ impl Toolchain {
     }
 
     /// Lowers a generated schedule to its runtime artefact.
-    pub fn lower(topo: &Topology, generated: &GeneratedSchedule) -> Result<LoweredArtifact, String> {
+    pub fn lower(
+        topo: &Topology,
+        generated: &GeneratedSchedule,
+    ) -> Result<LoweredArtifact, String> {
         match generated {
             GeneratedSchedule::TimeStepped {
                 solution, topology, ..
@@ -224,7 +224,9 @@ mod tests {
         assert_eq!(generated.method(), "tsMCF");
         match &generated {
             GeneratedSchedule::TimeStepped {
-                solution, topology, hosts,
+                solution,
+                topology,
+                hosts,
             } => {
                 assert!(hosts.is_none());
                 assert_eq!(topology.num_nodes(), 4);
@@ -235,7 +237,9 @@ mod tests {
         let lowered = Toolchain::lower(&topo, &generated).unwrap();
         match lowered {
             LoweredArtifact::LinkPrograms {
-                chunked, msccl_xml, oneccl_xml,
+                chunked,
+                msccl_xml,
+                oneccl_xml,
             } => {
                 assert!(chunked.validate(&topo).is_empty());
                 assert!(msccl_xml.contains("<algo"));
@@ -255,7 +259,9 @@ mod tests {
         let generated = Toolchain::generate(&topo, &fabric).unwrap();
         assert_eq!(generated.method(), "tsMCF (host-bottleneck model)");
         match &generated {
-            GeneratedSchedule::TimeStepped { topology, hosts, .. } => {
+            GeneratedSchedule::TimeStepped {
+                topology, hosts, ..
+            } => {
                 assert_eq!(topology.num_nodes(), 12);
                 assert_eq!(hosts.as_ref().unwrap().len(), 4);
             }

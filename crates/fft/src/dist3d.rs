@@ -102,11 +102,9 @@ impl SlabFft3d {
         // Phase 1: 2D FFTs over each plane of the slab — every point participates in
         // two 1D transforms of length `grid`, plus a packing pass (counted as one more
         // touch per point, folded into the same constant).
-        let compute_pack_seconds =
-            2.0 * calibration.predict(points_per_process, self.grid as f64);
+        let compute_pack_seconds = 2.0 * calibration.predict(points_per_process, self.grid as f64);
         // Phase 3: the remaining 1D FFTs along the third dimension.
-        let unpack_compute_seconds =
-            calibration.predict(points_per_process, self.grid as f64);
+        let unpack_compute_seconds = calibration.predict(points_per_process, self.grid as f64);
         FftBreakdown {
             compute_pack_seconds,
             alltoall_seconds,
@@ -135,7 +133,10 @@ mod tests {
     fn calibration_is_positive_and_stable() {
         let c = FftCalibration::measure();
         assert!(c.seconds_per_point_log > 0.0);
-        assert!(c.seconds_per_point_log < 1e-3, "implausibly slow FFT kernel");
+        assert!(
+            c.seconds_per_point_log < 1e-3,
+            "implausibly slow FFT kernel"
+        );
         let t = c.predict(1e6, 1024.0);
         assert!(t > 0.0);
     }

@@ -276,11 +276,7 @@ mod tests {
         let vars: Vec<_> = (0..8)
             .map(|i| lp.add_var(format!("x{i}"), 0.0, 1.0, (i + 1) as f64))
             .collect();
-        lp.add_constraint(
-            vars.iter().map(|&v| (v, 2.0)),
-            ConstraintSense::Le,
-            7.0,
-        );
+        lp.add_constraint(vars.iter().map(|&v| (v, 2.0)), ConstraintSense::Le, 7.0);
         let options = IlpOptions {
             max_nodes: 1,
             ..IlpOptions::default()

@@ -11,7 +11,11 @@
 //! * [`lu`] — sparse LU factorization (Gilbert–Peierls style) with partial pivoting,
 //!   used to factorize simplex bases.
 //! * [`simplex`] — a bounded-variable revised simplex method with a two-phase start,
-//!   product-form basis updates and periodic refactorization.
+//!   product-form basis updates and periodic refactorization. Pricing defaults to
+//!   devex with incrementally maintained reduced costs
+//!   ([`simplex::Pricing::Devex`]); Dantzig remains available, starts can be
+//!   warm ([`simplex::SimplexOptions::warm_start`], [`simplex::triangular_crash`])
+//!   and every solution exports its basis for reuse.
 //! * [`model`] — a small modelling layer ([`model::LpProblem`]) with named variables,
 //!   linear constraints and minimize/maximize objectives.
 //! * [`ilp`] — branch-and-bound over the LP solver for the (deliberately small-scale)
@@ -34,7 +38,7 @@ pub mod sparse;
 
 pub use error::{LpError, LpResult};
 pub use model::{ConstraintSense, LpProblem, LpSolution, Objective, SolveStatus, VarId};
-pub use simplex::SimplexOptions;
+pub use simplex::{triangular_crash, BasisStatus, Pricing, SimplexOptions, WarmStart};
 
 /// Default feasibility / optimality tolerance used across the crate.
 pub const DEFAULT_TOL: f64 = 1e-7;

@@ -83,6 +83,13 @@ pub struct LpSolution {
     pub status: SolveStatus,
     /// Total simplex iterations (both phases).
     pub iterations: usize,
+    /// Basis changes performed (iterations minus bound flips).
+    pub pivots: usize,
+    /// Final simplex basis: structural variables in [`VarId::index`] order followed
+    /// by one logical variable per constraint. Feed it back through
+    /// [`crate::SimplexOptions::warm_start`] to re-solve this (or a structurally
+    /// identical) problem without a cold phase-1 start.
+    pub basis: crate::simplex::WarmStart,
 }
 
 impl LpSolution {
@@ -301,6 +308,8 @@ impl LpProblem {
             row_activity: sol.row_activity,
             status: SolveStatus::Optimal,
             iterations: sol.iterations,
+            pivots: sol.pivots,
+            basis: sol.basis,
         })
     }
 }
@@ -320,7 +329,11 @@ mod tests {
         lp.add_constraint([(y, 2.0)], ConstraintSense::Le, 12.0);
         lp.add_constraint([(x, 3.0), (y, 2.0)], ConstraintSense::Le, 18.0);
         let sol = lp.solve().unwrap();
-        assert!((sol.objective_value - 36.0).abs() < 1e-6, "{}", sol.objective_value);
+        assert!(
+            (sol.objective_value - 36.0).abs() < 1e-6,
+            "{}",
+            sol.objective_value
+        );
         assert!((sol.value(x) - 2.0).abs() < 1e-6);
         assert!((sol.value(y) - 6.0).abs() < 1e-6);
     }

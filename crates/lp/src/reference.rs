@@ -372,7 +372,11 @@ mod tests {
         lp.add_constraint([(x, 1.0), (y, 1.0)], ConstraintSense::Le, 6.0);
         lp.add_constraint([(y, 1.0)], ConstraintSense::Ge, -1.0);
         let sol = solve_reference(&lp).unwrap();
-        assert!((sol.objective_value - 6.0).abs() < 1e-6, "{}", sol.objective_value);
+        assert!(
+            (sol.objective_value - 6.0).abs() < 1e-6,
+            "{}",
+            sol.objective_value
+        );
     }
 
     #[test]

@@ -7,15 +7,87 @@
 //! the real objective.
 //!
 //! The basis inverse is maintained as a sparse LU factorization ([`crate::lu`]) plus a
-//! product-form eta file that is periodically collapsed by refactorization. Pricing is
-//! Dantzig (most negative reduced cost) with an automatic switch to Bland's rule when a
-//! long run of degenerate pivots is detected, which prevents cycling in the highly
-//! degenerate network-flow LPs this crate is used for.
+//! product-form eta file that is periodically collapsed by refactorization. All
+//! per-pivot linear algebra is *hypersparse*: FTRAN/BTRAN take sparse right-hand
+//! sides through symbolic-reach triangular solves ([`crate::lu::LuFactorization::ftran_sparse`])
+//! and the ratio test, step update and eta construction iterate nonzero patterns
+//! instead of dense work arrays.
+//!
+//! # Pricing
+//!
+//! Two pricing rules are available via [`SimplexOptions::pricing`]:
+//!
+//! * [`Pricing::Dantzig`] — classic most-negative-reduced-cost over a full column
+//!   scan. Simple, but every iteration pays a dual BTRAN plus O(nnz(A)) of
+//!   reduced-cost recomputation.
+//! * [`Pricing::Devex`] (default) — devex reference-framework weights
+//!   (Forrest–Goldfarb). In phase 2 the reduced costs of *all* variables are
+//!   maintained incrementally across pivots from the pivotal row (expanded
+//!   hypersparsely from a row-wise matrix copy), so an iteration needs no dual
+//!   solve and no matrix scan at all; weights of every touched column are updated
+//!   exactly, and the framework resets when the entering weight grows past a
+//!   threshold. In phase 1 — where the composite infeasibility costs change with
+//!   the basics' feasibility state and incremental updates are invalid — devex
+//!   prices over a rotating *candidate list* refilled by periodic partial-pricing
+//!   window scans ([`SimplexOptions::candidate_list_size`]).
+//!
+//! Long degenerate runs first fall back to the Dantzig rule until the plateau
+//! breaks (devex's weight growth deliberately avoids recent pivot directions,
+//! which scatters effort on large degenerate plateaus), and ultimately to Bland's
+//! anti-cycling rule, which prevents cycling in the highly degenerate
+//! network-flow LPs this crate is used for. Phase-1 penalty costs carry a tiny
+//! deterministic per-row jitter that breaks the massive reduced-cost ties those
+//! plateaus are made of.
+//!
+//! # Warm starts
+//!
+//! [`SimplexOptions::warm_start`] seeds the initial basis from a [`WarmStart`]
+//! (per-variable [`BasisStatus`], structural variables first, then one logical per
+//! row). Solved instances export their final basis in
+//! [`StandardSolution::basis`], so a caller can re-solve a perturbed instance — or
+//! seed a *related* instance, see [`triangular_crash`] — without paying for phase 1
+//! from an all-slack start. A warm basis that turns out singular (or malformed)
+//! falls back to the all-slack basis silently.
 
 use crate::error::{LpError, LpResult};
-use crate::lu::LuFactorization;
-use crate::sparse::SparseVec;
+use crate::lu::{LuFactorization, LuScratch};
+use crate::sparse::{SparseScratch, SparseVec};
 use crate::INF;
+
+/// Pricing rule used to select the entering variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Pricing {
+    /// Full-scan most-negative reduced cost.
+    Dantzig,
+    /// Devex reference weights over a rotating candidate list (partial pricing).
+    #[default]
+    Devex,
+}
+
+/// Basis status of one variable in a [`WarmStart`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BasisStatus {
+    /// In the basis.
+    Basic,
+    /// Nonbasic at its lower bound.
+    AtLower,
+    /// Nonbasic at its upper bound.
+    AtUpper,
+    /// Nonbasic free variable (held at zero).
+    Free,
+}
+
+/// A starting basis: one [`BasisStatus`] per variable, structural variables first
+/// (in column order) followed by one logical/slack variable per row (in row order).
+///
+/// Exactly `nrows` entries must be [`BasisStatus::Basic`] for the start to be
+/// usable; anything else (or a singular basis matrix) makes the solver fall back to
+/// the all-slack start.
+#[derive(Debug, Clone)]
+pub struct WarmStart {
+    /// Per-variable statuses, length `ncols + nrows`.
+    pub statuses: Vec<BasisStatus>,
+}
 
 /// Tunable solver options.
 #[derive(Debug, Clone)]
@@ -31,6 +103,14 @@ pub struct SimplexOptions {
     /// Number of consecutive degenerate pivots tolerated before switching to Bland's
     /// anti-cycling rule.
     pub degenerate_switch: usize,
+    /// Entering-variable pricing rule.
+    pub pricing: Pricing,
+    /// Size of the devex candidate list; `0` picks an automatic size from the
+    /// column count. Ignored under [`Pricing::Dantzig`].
+    pub candidate_list_size: usize,
+    /// Optional starting basis (see [`WarmStart`]). Falls back to the all-slack
+    /// basis when absent, malformed or singular.
+    pub warm_start: Option<WarmStart>,
 }
 
 impl Default for SimplexOptions {
@@ -39,11 +119,27 @@ impl Default for SimplexOptions {
             max_iterations: 1_000_000,
             tol: 1e-7,
             pivot_tol: 1e-9,
-            refactor_interval: 64,
+            refactor_interval: 32,
             degenerate_switch: 2_000,
+            pricing: Pricing::default(),
+            candidate_list_size: 0,
+            warm_start: None,
         }
     }
 }
+
+/// Devex weights are reset to the unit framework once the entering weight exceeds
+/// this threshold (keeps the reference approximation bounded).
+const DEVEX_RESET_THRESHOLD: f64 = 1e7;
+
+/// Consecutive degenerate pivots tolerated before pricing falls back to the full
+/// Dantzig scan until the plateau breaks. Devex's weight growth deliberately
+/// de-prioritizes directions similar to recent pivots; on the huge degenerate
+/// plateaus of time-expanded flow LPs that scatters effort across commodities
+/// and can stall for millions of pivots, while the plain steepest-reduced-cost
+/// rule follows the accumulated dual signal out. Escaping early (well before the
+/// Bland switch) keeps the plateau shallow enough for Dantzig to exit it.
+const STALL_ESCAPE_THRESHOLD: usize = 100;
 
 /// An LP in equality standard form: `A x = s`, `lower <= x <= upper`,
 /// `row_lower <= s <= row_upper`, minimize `obj' x`.
@@ -76,11 +172,106 @@ pub struct StandardSolution {
     pub objective: f64,
     /// Total simplex iterations used.
     pub iterations: usize,
+    /// Basis changes performed (iterations minus bound flips).
+    pub pivots: usize,
+    /// Final basis, reusable as [`SimplexOptions::warm_start`] for a related solve.
+    pub basis: WarmStart,
 }
 
 /// Solves a standard-form LP. Convenience wrapper over [`Solver`].
 pub fn solve(sf: &StandardForm, options: &SimplexOptions) -> LpResult<StandardSolution> {
     Solver::new(sf, options.clone())?.solve()
+}
+
+/// Builds a nonsingular starting basis for `sf` from per-column preference weights
+/// (a *crash* basis): structural columns with positive preference are greedily
+/// assigned to rows so that the selected submatrix is lower triangular up to
+/// permutation — a column is chosen only while it has exactly one nonzero in still
+/// unassigned rows, highest preference first. Rows left unassigned keep their
+/// logical variable basic.
+///
+/// Triangularity guarantees the crash basis factorizes, so
+/// [`SimplexOptions::warm_start`] never falls back when fed its result. Callers use
+/// this to *project* a solved related LP onto a new one: give columns that were
+/// basic (or carried value) in the source solution a positive preference and
+/// everything else zero.
+pub fn triangular_crash(sf: &StandardForm, preference: &[f64]) -> WarmStart {
+    assert_eq!(preference.len(), sf.cols.len(), "one preference per column");
+    let nrows = sf.nrows;
+    let nstruct = sf.cols.len();
+
+    let mut remaining: Vec<usize> = (0..nstruct)
+        .filter(|&j| preference[j] > 0.0 && !sf.cols[j].is_empty())
+        .collect();
+    // Highest preference first; index order breaks ties deterministically.
+    remaining.sort_by(|&a, &b| {
+        preference[b]
+            .partial_cmp(&preference[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+
+    let mut row_free = vec![true; nrows];
+    let mut basic_col = vec![false; nstruct];
+    loop {
+        let mut assigned_any = false;
+        remaining.retain(|&j| {
+            let mut count = 0usize;
+            let mut hit_row = 0usize;
+            let mut hit_val = 0.0f64;
+            let mut col_max = 0.0f64;
+            for (r, v) in sf.cols[j].iter() {
+                col_max = col_max.max(v.abs());
+                if row_free[r] {
+                    count += 1;
+                    hit_row = r;
+                    hit_val = v;
+                }
+            }
+            match count {
+                0 => false, // every row covered: the column can no longer help
+                1 if hit_val.abs() >= 0.01 * col_max => {
+                    basic_col[j] = true;
+                    row_free[hit_row] = false;
+                    assigned_any = true;
+                    false
+                }
+                _ => true, // still ambiguous; retry next round
+            }
+        });
+        if !assigned_any {
+            break;
+        }
+    }
+
+    let nearest_bound = |l: f64, u: f64| -> BasisStatus {
+        if l.is_infinite() && u.is_infinite() {
+            BasisStatus::Free
+        } else if l.is_infinite() {
+            BasisStatus::AtUpper
+        } else if u.is_infinite() || l.abs() <= u.abs() {
+            BasisStatus::AtLower
+        } else {
+            BasisStatus::AtUpper
+        }
+    };
+
+    let mut statuses = Vec::with_capacity(nstruct + nrows);
+    for j in 0..nstruct {
+        if basic_col[j] {
+            statuses.push(BasisStatus::Basic);
+        } else {
+            statuses.push(nearest_bound(sf.lower[j], sf.upper[j]));
+        }
+    }
+    for i in 0..nrows {
+        if row_free[i] {
+            statuses.push(BasisStatus::Basic);
+        } else {
+            statuses.push(nearest_bound(sf.row_lower[i], sf.row_upper[i]));
+        }
+    }
+    WarmStart { statuses }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,8 +298,9 @@ struct Factor {
 }
 
 impl Factor {
-    /// Applies `B^{-1}` in place.
-    fn ftran(&self, v: &mut [f64]) {
+    /// Applies `B^{-1}` to a dense vector in place (refactorization-time only; the
+    /// per-pivot path uses [`Factor::ftran_sparse`]).
+    fn ftran_dense(&self, v: &mut [f64]) {
         self.lu.solve(v);
         for eta in &self.etas {
             let zp = v[eta.pos] / eta.pivot;
@@ -121,16 +313,37 @@ impl Factor {
         }
     }
 
-    /// Applies `B^{-T}` in place.
-    fn btran(&self, v: &mut [f64]) {
-        for eta in self.etas.iter().rev() {
-            let mut acc = v[eta.pos];
-            for &(i, w) in &eta.entries {
-                acc -= w * v[i];
+    /// Applies `B^{-1}` to a sparse vector: input in original-row space, output in
+    /// basis-position space, pattern tracked throughout.
+    fn ftran_sparse(&self, v: &mut SparseScratch, scratch: &mut LuScratch) {
+        self.lu.ftran_sparse(v, scratch);
+        for eta in &self.etas {
+            let zp = v.get(eta.pos) / eta.pivot;
+            if zp != 0.0 {
+                for &(i, w) in &eta.entries {
+                    v.add(i, -w * zp);
+                }
+                v.set(eta.pos, zp);
+            } else if v.is_marked(eta.pos) {
+                v.set(eta.pos, 0.0);
             }
-            v[eta.pos] = acc / eta.pivot;
         }
-        self.lu.solve_transpose(v);
+    }
+
+    /// Applies `B^{-T}` to a sparse vector: input in basis-position space, output in
+    /// original-row space, pattern tracked throughout.
+    fn btran_sparse(&self, v: &mut SparseScratch, scratch: &mut LuScratch) {
+        for eta in self.etas.iter().rev() {
+            let mut acc = v.get(eta.pos);
+            for &(i, w) in &eta.entries {
+                acc -= w * v.get(i);
+            }
+            let val = acc / eta.pivot;
+            if val != 0.0 || v.is_marked(eta.pos) {
+                v.set(eta.pos, val);
+            }
+        }
+        self.lu.btran_sparse(v, scratch);
     }
 }
 
@@ -147,12 +360,54 @@ pub struct Solver<'a> {
     x: Vec<f64>,
     factor: Factor,
     iterations: usize,
+    pivots: usize,
     degenerate_run: usize,
     use_bland: bool,
+    /// Devex reference weights, one per variable.
+    weights: Vec<f64>,
+    /// Current pricing candidate list (devex mode).
+    candidates: Vec<usize>,
+    /// Partial-pricing rotation cursor into the column range.
+    scan_cursor: usize,
+    /// Minor iterations priced against the current candidate list.
+    minor_count: usize,
+    /// Scratch: dual vector `y` (BTRAN output, original-row space).
+    dual_buf: SparseScratch,
+    /// Scratch: pivot column `w = B^{-1} A_q` (basis-position space).
+    col_buf: SparseScratch,
+    /// Scratch: pivotal row `rho = e_r B^{-1}` for devex updates.
+    row_buf: SparseScratch,
+    /// Scratch for the LU symbolic/numeric solves.
+    lu_scratch: LuScratch,
+    /// Row-wise copy of the structural matrix: `a_rows[i]` lists `(column, value)`
+    /// of row `i`. Used to expand the pivotal row `alpha = rho A` from `rho`'s
+    /// sparse pattern in O(touched-row lengths) instead of O(nnz(A)).
+    a_rows: Vec<Vec<(usize, f64)>>,
+    /// Exact reduced costs of every variable, maintained incrementally across
+    /// pivots in the phase-2 devex path (`d[j] -= (d_q / alpha_q) * alpha_j`).
+    d: Vec<f64>,
+    /// Whether `d` is currently trusted; cleared on refactorization and phase
+    /// changes, rebuilt from a fresh BTRAN when needed.
+    d_fresh: bool,
+    /// Scratch for the pivotal row `alpha` (dimension: all variables).
+    alpha_buf: SparseScratch,
+    /// Env-gated per-phase wall-clock accounting (`A2A_LP_PROFILE`).
+    profile: Option<Box<Profile>>,
+}
+
+#[derive(Debug, Default)]
+struct Profile {
+    btran_y: std::time::Duration,
+    pricing: std::time::Duration,
+    ftran_col: std::time::Duration,
+    pivot: std::time::Duration,
+    refactor: std::time::Duration,
+    head: std::time::Duration,
 }
 
 impl<'a> Solver<'a> {
-    /// Builds the initial all-logical basis.
+    /// Builds the initial basis: the warm start when one is provided and usable,
+    /// the all-logical basis otherwise.
     pub fn new(sf: &'a StandardForm, opts: SimplexOptions) -> LpResult<Self> {
         let nstruct = sf.cols.len();
         let nrows = sf.nrows;
@@ -176,34 +431,7 @@ impl<'a> Solver<'a> {
             }
         }
         let ntotal = nstruct + nrows;
-
-        let mut status = Vec::with_capacity(ntotal);
-        let mut x = vec![0.0; ntotal];
-        for j in 0..nstruct {
-            let (l, u) = (sf.lower[j], sf.upper[j]);
-            let st = if l.is_infinite() && u.is_infinite() {
-                VarStatus::FreeZero
-            } else if l.is_infinite() {
-                VarStatus::AtUpper
-            } else if u.is_infinite() {
-                VarStatus::AtLower
-            } else if l.abs() <= u.abs() {
-                VarStatus::AtLower
-            } else {
-                VarStatus::AtUpper
-            };
-            x[j] = match st {
-                VarStatus::AtLower => l,
-                VarStatus::AtUpper => u,
-                _ => 0.0,
-            };
-            status.push(st);
-        }
-        let mut basis = Vec::with_capacity(nrows);
-        for i in 0..nrows {
-            status.push(VarStatus::Basic(i));
-            basis.push(nstruct + i);
-        }
+        let use_devex = matches!(opts.pricing, Pricing::Devex);
 
         let mut solver = Self {
             sf,
@@ -211,19 +439,131 @@ impl<'a> Solver<'a> {
             nstruct,
             ntotal,
             nrows,
-            status,
-            basis,
-            x,
+            status: Vec::new(),
+            basis: Vec::new(),
+            x: Vec::new(),
             factor: Factor {
                 lu: LuFactorization::factorize(0, &[])?,
                 etas: Vec::new(),
             },
             iterations: 0,
+            pivots: 0,
             degenerate_run: 0,
             use_bland: false,
+            weights: vec![1.0; ntotal],
+            candidates: Vec::new(),
+            scan_cursor: 0,
+            minor_count: 0,
+            dual_buf: SparseScratch::new(nrows),
+            col_buf: SparseScratch::new(nrows),
+            row_buf: SparseScratch::new(nrows),
+            lu_scratch: LuScratch::new(nrows),
+            // Only the phase-2 devex regime reads the row-wise copy; Dantzig
+            // solves skip the O(nnz) construction and the doubled footprint.
+            a_rows: if use_devex {
+                let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); nrows];
+                for (j, col) in sf.cols.iter().enumerate() {
+                    for (i, v) in col.iter() {
+                        rows[i].push((j, v));
+                    }
+                }
+                rows
+            } else {
+                Vec::new()
+            },
+            d: vec![0.0; ntotal],
+            d_fresh: false,
+            alpha_buf: SparseScratch::new(ntotal),
+            profile: std::env::var_os("A2A_LP_PROFILE").map(|_| Box::default()),
         };
-        solver.refactorize()?;
+
+        let warm = solver.opts.warm_start.take();
+        let installed = match &warm {
+            Some(ws) => solver.try_install_warm_start(ws)?,
+            None => false,
+        };
+        if !installed {
+            solver.install_slack_basis();
+            solver.refactorize()?;
+        }
         Ok(solver)
+    }
+
+    /// Nonbasic status (and starting value) a variable gets from its bounds.
+    fn default_nonbasic(l: f64, u: f64) -> (VarStatus, f64) {
+        if l.is_infinite() && u.is_infinite() {
+            (VarStatus::FreeZero, 0.0)
+        } else if l.is_infinite() {
+            (VarStatus::AtUpper, u)
+        } else if u.is_infinite() || l.abs() <= u.abs() {
+            (VarStatus::AtLower, l)
+        } else {
+            (VarStatus::AtUpper, u)
+        }
+    }
+
+    /// Resets to the all-logical (slack) basis.
+    fn install_slack_basis(&mut self) {
+        self.status.clear();
+        self.basis.clear();
+        self.x = vec![0.0; self.ntotal];
+        for j in 0..self.nstruct {
+            let (st, v) = Self::default_nonbasic(self.sf.lower[j], self.sf.upper[j]);
+            self.x[j] = v;
+            self.status.push(st);
+        }
+        for i in 0..self.nrows {
+            self.status.push(VarStatus::Basic(i));
+            self.basis.push(self.nstruct + i);
+        }
+    }
+
+    /// Attempts to install a caller-provided starting basis. Returns `Ok(false)`
+    /// (leaving the solver ready for the slack fallback) when the warm start is
+    /// malformed or its basis matrix is singular.
+    fn try_install_warm_start(&mut self, ws: &WarmStart) -> LpResult<bool> {
+        if ws.statuses.len() != self.ntotal {
+            return Ok(false);
+        }
+        let nbasic = ws
+            .statuses
+            .iter()
+            .filter(|s| matches!(s, BasisStatus::Basic))
+            .count();
+        if nbasic != self.nrows {
+            return Ok(false);
+        }
+        self.status.clear();
+        self.basis.clear();
+        self.x = vec![0.0; self.ntotal];
+        for (j, &st) in ws.statuses.iter().enumerate() {
+            let (l, u) = (self.var_lower(j), self.var_upper(j));
+            match st {
+                BasisStatus::Basic => {
+                    self.status.push(VarStatus::Basic(self.basis.len()));
+                    self.basis.push(j);
+                }
+                BasisStatus::AtLower if l.is_finite() => {
+                    self.status.push(VarStatus::AtLower);
+                    self.x[j] = l;
+                }
+                BasisStatus::AtUpper if u.is_finite() => {
+                    self.status.push(VarStatus::AtUpper);
+                    self.x[j] = u;
+                }
+                // Statuses inconsistent with the bounds degrade to the default.
+                _ => {
+                    let (fixed, v) = Self::default_nonbasic(l, u);
+                    self.status.push(fixed);
+                    self.x[j] = v;
+                }
+            }
+        }
+        match self.refactorize() {
+            Ok(()) => Ok(true),
+            Err(LpError::Numerical(_)) => Ok(false), // singular warm basis
+            Err(e) => Err(e),
+        }
     }
 
     fn var_lower(&self, j: usize) -> f64 {
@@ -285,7 +625,17 @@ impl<'a> Solver<'a> {
             lu: LuFactorization::factorize(self.nrows, &cols)?,
             etas: Vec::new(),
         };
+        if std::env::var_os("A2A_LP_FILL").is_some() {
+            eprintln!(
+                "refactorize: nrows={} fill_nnz={}",
+                self.nrows,
+                self.factor.lu.fill_nnz()
+            );
+        }
         self.recompute_basic_values();
+        // Collapsing the eta file changes the numerics of the dual solves; the
+        // incremental reduced costs are rebuilt from fresh duals at next pricing.
+        self.d_fresh = false;
         Ok(())
     }
 
@@ -303,7 +653,7 @@ impl<'a> Solver<'a> {
                 }
             }
         }
-        self.factor.ftran(&mut rhs);
+        self.factor.ftran_dense(&mut rhs);
         for (pos, &j) in self.basis.iter().enumerate() {
             self.x[j] = rhs[pos];
         }
@@ -370,7 +720,28 @@ impl<'a> Solver<'a> {
         }
     }
 
+    /// Final basis in the exportable per-variable representation.
+    fn export_basis(&self) -> WarmStart {
+        let statuses = self
+            .status
+            .iter()
+            .map(|st| match st {
+                VarStatus::Basic(_) => BasisStatus::Basic,
+                VarStatus::AtLower => BasisStatus::AtLower,
+                VarStatus::AtUpper => BasisStatus::AtUpper,
+                VarStatus::FreeZero => BasisStatus::Free,
+            })
+            .collect();
+        WarmStart { statuses }
+    }
+
     fn extract_solution(&self) -> StandardSolution {
+        if let Some(p) = self.profile.as_deref() {
+            eprintln!(
+                "profile: iters={} head={:.2?} btran_y={:.2?} pricing={:.2?} ftran_col={:.2?} pivot={:.2?} refactor={:.2?}",
+                self.iterations, p.head, p.btran_y, p.pricing, p.ftran_col, p.pivot, p.refactor
+            );
+        }
         let x: Vec<f64> = self.x[..self.nstruct].to_vec();
         let mut row_activity = vec![0.0; self.nrows];
         for (j, &v) in x.iter().enumerate() {
@@ -384,18 +755,30 @@ impl<'a> Solver<'a> {
             row_activity,
             objective,
             iterations: self.iterations,
+            pivots: self.pivots,
+            basis: self.export_basis(),
         }
     }
 
     /// Phase-aware cost of basic position `pos`.
+    ///
+    /// Phase-1 costs are *weighted* unit penalties: every infeasible basic
+    /// contributes `±(1 + ε_j)` with a small deterministic per-variable jitter
+    /// instead of exactly `±1`. On highly degenerate network LPs the unweighted
+    /// composite objective produces huge plateaus of columns whose reduced costs
+    /// all tie (every path edge prices at exactly -1), and pricing — devex and
+    /// Dantzig alike — can wander them for millions of degenerate pivots. The
+    /// jitter breaks those ties while keeping the phase-1 goal intact: total
+    /// weighted infeasibility is zero exactly when total infeasibility is.
     fn basic_phase_cost(&self, pos: usize, phase1: bool) -> f64 {
         let j = self.basis[pos];
         if phase1 {
             let v = self.x[j];
+            let w = 1.0 + Self::phase1_jitter(j);
             if v < self.var_lower(j) - self.opts.tol {
-                -1.0
+                -w
             } else if v > self.var_upper(j) + self.opts.tol {
-                1.0
+                w
             } else {
                 0.0
             }
@@ -404,12 +787,26 @@ impl<'a> Solver<'a> {
         }
     }
 
+    /// Deterministic per-variable jitter in `[0, 2^-7)` (a Weyl-style hash), used
+    /// to de-tie the phase-1 penalty costs.
+    #[inline]
+    fn phase1_jitter(j: usize) -> f64 {
+        let h = (j as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 40;
+        (h as f64) / (1u64 << 24) as f64 / 128.0
+    }
+
     /// Runs simplex iterations for one phase until optimality (phase-2) or zero
     /// infeasibility (phase-1).
     fn run_phase(&mut self, phase1: bool) -> LpResult<()> {
         self.use_bland = false;
         self.degenerate_run = 0;
+        // Fresh reference framework per phase: the phase cost changes entirely.
+        self.weights.iter_mut().for_each(|w| *w = 1.0);
+        self.candidates.clear();
+        self.d_fresh = false;
+        let debug = std::env::var_os("A2A_LP_DEBUG").is_some();
         loop {
+            let t0 = self.profile.as_ref().map(|_| std::time::Instant::now());
             if self.iterations >= self.opts.max_iterations {
                 return Err(LpError::IterationLimit {
                     iterations: self.iterations,
@@ -419,83 +816,205 @@ impl<'a> Solver<'a> {
                 return Ok(());
             }
 
-            // Dual vector y = B^{-T} c_B for the phase cost.
-            let mut y = vec![0.0; self.nrows];
-            let mut any_cost = false;
-            for pos in 0..self.nrows {
-                let c = self.basic_phase_cost(pos, phase1);
-                y[pos] = c;
-                if c != 0.0 {
-                    any_cost = true;
-                }
+            if debug && self.iterations.is_multiple_of(2000) {
+                eprintln!(
+                    "iter {} phase1={} infeas={:.3e} pivots={} bland={} degen={}",
+                    self.iterations,
+                    phase1,
+                    self.infeasibility(),
+                    self.pivots,
+                    self.use_bland,
+                    self.degenerate_run
+                );
             }
-            if phase1 && !any_cost {
-                // No infeasible basic variable left.
-                return Ok(());
-            }
-            self.factor.btran(&mut y);
 
-            // Pricing: pick the entering variable.
-            let entering = self.price(&y, phase1);
+            // Two pricing regimes share this loop. The *incremental* regime
+            // (phase-2 devex) maintains exact reduced costs `d` across pivots via
+            // the pivotal row, so no per-iteration BTRAN or matrix scan is needed;
+            // `d` is rebuilt from a fresh dual solve after refactorizations. The
+            // per-iteration regime (Dantzig, and devex in phase 1 where the
+            // composite cost vector changes with the basics' feasibility state)
+            // recomputes the duals every iteration.
+            //
+            // In both regimes, a devex run that degenerates for too long falls
+            // back to the Dantzig rule until a productive pivot breaks the plateau
+            // (see [`STALL_ESCAPE_THRESHOLD`]), and Bland's rule remains the final
+            // anti-cycling authority.
+            let incremental = !phase1 && matches!(self.opts.pricing, Pricing::Devex);
+            let stall_escape = self.degenerate_run >= STALL_ESCAPE_THRESHOLD;
+            let entering = if incremental {
+                if let (Some(p), Some(t)) = (self.profile.as_deref_mut(), t0) {
+                    p.head += t.elapsed();
+                }
+                let t1 = self.profile.as_ref().map(|_| std::time::Instant::now());
+                let just_refreshed = !self.d_fresh;
+                if just_refreshed {
+                    self.refresh_reduced_costs(phase1);
+                }
+                if let (Some(p), Some(t)) = (self.profile.as_deref_mut(), t1) {
+                    p.btran_y += t.elapsed();
+                }
+                let t2 = self.profile.as_ref().map(|_| std::time::Instant::now());
+                let mut entering = self.price_incremental(stall_escape);
+                if entering.is_none() && !just_refreshed {
+                    // The stored reduced costs may have drifted; only a fresh dual
+                    // solve can certify optimality.
+                    self.refresh_reduced_costs(phase1);
+                    entering = self.price_incremental(stall_escape);
+                }
+                if let (Some(p), Some(t)) = (self.profile.as_deref_mut(), t2) {
+                    p.pricing += t.elapsed();
+                }
+                entering
+            } else {
+                // Dual vector y = B^{-T} c_B for the phase cost. The cost vector
+                // is hypersparse on network LPs (few basic columns carry cost), so
+                // the BTRAN works on pattern, not dimension.
+                self.dual_buf.clear();
+                for pos in 0..self.nrows {
+                    let c = self.basic_phase_cost(pos, phase1);
+                    if c != 0.0 {
+                        self.dual_buf.set(pos, c);
+                    }
+                }
+                if phase1 && self.dual_buf.nnz() == 0 {
+                    // No infeasible basic variable left.
+                    return Ok(());
+                }
+                if let (Some(p), Some(t)) = (self.profile.as_deref_mut(), t0) {
+                    p.head += t.elapsed();
+                }
+                let t1 = self.profile.as_ref().map(|_| std::time::Instant::now());
+                self.factor
+                    .btran_sparse(&mut self.dual_buf, &mut self.lu_scratch);
+                if let (Some(p), Some(t)) = (self.profile.as_deref_mut(), t1) {
+                    p.btran_y += t.elapsed();
+                }
+                let t2 = self.profile.as_ref().map(|_| std::time::Instant::now());
+                let entering = if self.use_bland {
+                    self.price_bland(phase1)
+                } else if stall_escape {
+                    self.price_dantzig(phase1)
+                } else {
+                    match self.opts.pricing {
+                        Pricing::Dantzig => self.price_dantzig(phase1),
+                        Pricing::Devex => self.price_devex(phase1),
+                    }
+                };
+                if let (Some(p), Some(t)) = (self.profile.as_deref_mut(), t2) {
+                    p.pricing += t.elapsed();
+                }
+                entering
+            };
             let Some((q, direction)) = entering else {
                 if phase1 && self.infeasibility() > self.opts.tol {
                     return Err(LpError::Infeasible);
                 }
                 return Ok(());
             };
+            let t3 = self.profile.as_ref().map(|_| std::time::Instant::now());
 
-            // Direction of basic change: w = B^{-1} A_q.
-            let mut w = vec![0.0; self.nrows];
-            self.scatter_col(q, 1.0, &mut w);
-            self.factor.ftran(&mut w);
-
+            // Direction of basic change: w = B^{-1} A_q (hypersparse FTRAN).
+            self.col_buf.clear();
+            if q < self.nstruct {
+                for (i, v) in self.sf.cols[q].iter() {
+                    self.col_buf.set(i, v);
+                }
+            } else {
+                self.col_buf.set(q - self.nstruct, -1.0);
+            }
+            self.factor
+                .ftran_sparse(&mut self.col_buf, &mut self.lu_scratch);
+            if let (Some(p), Some(t)) = (self.profile.as_deref_mut(), t3) {
+                p.ftran_col += t.elapsed();
+            }
+            let t4 = self.profile.as_ref().map(|_| std::time::Instant::now());
             self.iterations += 1;
-            self.pivot_step(q, direction, &w, phase1)?;
+            self.pivot_step(q, direction, phase1)?;
+            if let (Some(p), Some(t)) = (self.profile.as_deref_mut(), t4) {
+                p.pivot += t.elapsed();
+            }
 
             if self.factor.etas.len() >= self.opts.refactor_interval {
+                let t5 = self.profile.as_ref().map(|_| std::time::Instant::now());
                 self.refactorize()?;
+                if let (Some(p), Some(t)) = (self.profile.as_deref_mut(), t5) {
+                    p.refactor += t.elapsed();
+                }
             }
         }
     }
 
-    /// Chooses an entering variable and its direction (+1 = increase, -1 = decrease).
-    fn price(&self, y: &[f64], phase1: bool) -> Option<(usize, f64)> {
-        let tol = self.opts.tol;
-        let mut best: Option<(usize, f64, f64)> = None; // (var, direction, merit)
+    /// Reduced cost of nonbasic variable `j` under the current duals.
+    fn reduced_cost(&self, j: usize, phase1: bool) -> f64 {
+        let c = if phase1 { 0.0 } else { self.var_cost(j) };
+        c - self.col_dot(j, self.dual_buf.values())
+    }
+
+    /// Rebuilds the exact reduced-cost array `d` from a fresh dual solve
+    /// (incremental regime only; one BTRAN plus one pass over the matrix).
+    fn refresh_reduced_costs(&mut self, phase1: bool) {
+        self.dual_buf.clear();
+        for pos in 0..self.nrows {
+            let c = self.basic_phase_cost(pos, phase1);
+            if c != 0.0 {
+                self.dual_buf.set(pos, c);
+            }
+        }
+        self.factor
+            .btran_sparse(&mut self.dual_buf, &mut self.lu_scratch);
         for j in 0..self.ntotal {
-            let (dir, merit) = match self.status[j] {
-                VarStatus::Basic(_) => continue,
-                VarStatus::AtLower => {
-                    let d = if phase1 { 0.0 } else { self.var_cost(j) } - self.col_dot(j, y);
-                    if d < -tol {
-                        (1.0, -d)
-                    } else {
-                        continue;
-                    }
+            self.d[j] = if matches!(self.status[j], VarStatus::Basic(_)) {
+                0.0
+            } else {
+                self.reduced_cost(j, phase1)
+            };
+        }
+        self.d_fresh = true;
+    }
+
+    /// Eligibility of nonbasic `j` from the stored reduced cost `d[j]`.
+    #[inline]
+    fn eligibility_stored(&self, j: usize) -> Option<(f64, f64)> {
+        let tol = self.opts.tol;
+        if self.var_lower(j) == self.var_upper(j) {
+            return None;
+        }
+        let d = self.d[j];
+        match self.status[j] {
+            VarStatus::Basic(_) => None,
+            VarStatus::AtLower => (d < -tol).then_some((1.0, -d)),
+            VarStatus::AtUpper => (d > tol).then_some((-1.0, d)),
+            VarStatus::FreeZero => {
+                if d < -tol {
+                    Some((1.0, -d))
+                } else if d > tol {
+                    Some((-1.0, d))
+                } else {
+                    None
                 }
-                VarStatus::AtUpper => {
-                    let d = if phase1 { 0.0 } else { self.var_cost(j) } - self.col_dot(j, y);
-                    if d > tol {
-                        (-1.0, d)
-                    } else {
-                        continue;
-                    }
-                }
-                VarStatus::FreeZero => {
-                    let d = if phase1 { 0.0 } else { self.var_cost(j) } - self.col_dot(j, y);
-                    if d < -tol {
-                        (1.0, -d)
-                    } else if d > tol {
-                        (-1.0, d)
-                    } else {
-                        continue;
-                    }
-                }
+            }
+        }
+    }
+
+    /// Pricing over the stored exact reduced costs: devex merit `d^2 / w` by
+    /// default, plain Dantzig `|d|` while a degeneracy stall is being escaped, and
+    /// Bland's first-eligible-index when anti-cycling is active. One O(variables)
+    /// scan of plain floats — no matrix access.
+    fn price_incremental(&self, stall_escape: bool) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64, f64)> = None;
+        for j in 0..self.ntotal {
+            let Some((dir, dabs)) = self.eligibility_stored(j) else {
+                continue;
             };
             if self.use_bland {
-                // Bland: first eligible index.
                 return Some((j, dir));
             }
+            let merit = if stall_escape {
+                dabs
+            } else {
+                dabs * dabs / self.weights[j]
+            };
             match best {
                 Some((_, _, m)) if m >= merit => {}
                 _ => best = Some((j, dir, merit)),
@@ -504,8 +1023,221 @@ impl<'a> Solver<'a> {
         best.map(|(j, dir, _)| (j, dir))
     }
 
+    /// Post-pivot update of the incremental regime: expands the pivotal row
+    /// `alpha = e_r B^{-1} A` from the row-wise matrix copy, updates every touched
+    /// reduced cost exactly (`d_j -= (d_q/alpha_q) alpha_j`) and refreshes the
+    /// devex weights of the touched columns (with the usual reference-framework
+    /// reset when the entering weight has grown too large).
+    fn update_incremental(&mut self, q: usize, r: usize, alpha_q: f64, leaving_var: usize) {
+        let dq = self.d[q];
+        let ratio = dq / alpha_q;
+        // rho = e_r B^{-1}.
+        let mut rho = std::mem::take(&mut self.row_buf);
+        rho.clear();
+        rho.set(r, 1.0);
+        self.factor.btran_sparse(&mut rho, &mut self.lu_scratch);
+        // alpha = rho A over rho's pattern (logical column i carries -rho_i).
+        let mut alpha = std::mem::take(&mut self.alpha_buf);
+        alpha.clear();
+        for (i, rv) in rho.iter() {
+            if rv == 0.0 {
+                continue;
+            }
+            for &(j, a) in &self.a_rows[i] {
+                alpha.add(j, rv * a);
+            }
+            alpha.add(self.nstruct + i, -rv);
+        }
+        let wq = self.weights[q].max(1.0);
+        let reset = wq > DEVEX_RESET_THRESHOLD;
+        if reset {
+            self.weights.iter_mut().for_each(|w| *w = 1.0);
+        }
+        let piv2 = alpha_q * alpha_q;
+        for (j, aj) in alpha.iter() {
+            if j == q || aj == 0.0 || matches!(self.status[j], VarStatus::Basic(_)) {
+                continue;
+            }
+            self.d[j] -= ratio * aj;
+            if !reset && piv2 > 0.0 {
+                let cand = (aj * aj / piv2) * wq;
+                if cand > self.weights[j] {
+                    self.weights[j] = cand;
+                }
+            }
+        }
+        self.d[q] = 0.0;
+        self.d[leaving_var] = -ratio;
+        if !reset && piv2 > 0.0 {
+            self.weights[leaving_var] = (wq / piv2).max(1.0);
+        }
+        self.row_buf = rho;
+        self.alpha_buf = alpha;
+    }
+
+    /// Eligibility of nonbasic `j`: `(direction, |d|)` when the reduced cost allows
+    /// an improving move, `None` otherwise. Fixed variables (`lower == upper`) can
+    /// never move and are excluded from pricing entirely.
+    fn eligibility(&self, j: usize, phase1: bool) -> Option<(f64, f64)> {
+        let tol = self.opts.tol;
+        if self.var_lower(j) == self.var_upper(j) {
+            return None;
+        }
+        match self.status[j] {
+            VarStatus::Basic(_) => None,
+            VarStatus::AtLower => {
+                let d = self.reduced_cost(j, phase1);
+                (d < -tol).then_some((1.0, -d))
+            }
+            VarStatus::AtUpper => {
+                let d = self.reduced_cost(j, phase1);
+                (d > tol).then_some((-1.0, d))
+            }
+            VarStatus::FreeZero => {
+                let d = self.reduced_cost(j, phase1);
+                if d < -tol {
+                    Some((1.0, -d))
+                } else if d > tol {
+                    Some((-1.0, d))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Bland's rule: the first eligible index (guarantees finiteness).
+    fn price_bland(&self, phase1: bool) -> Option<(usize, f64)> {
+        (0..self.ntotal).find_map(|j| self.eligibility(j, phase1).map(|(dir, _)| (j, dir)))
+    }
+
+    /// Dantzig full scan: the most violating reduced cost.
+    fn price_dantzig(&self, phase1: bool) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64, f64)> = None;
+        for j in 0..self.ntotal {
+            let Some((dir, merit)) = self.eligibility(j, phase1) else {
+                continue;
+            };
+            match best {
+                Some((_, _, m)) if m >= merit => {}
+                _ => best = Some((j, dir, merit)),
+            }
+        }
+        best.map(|(j, dir, _)| (j, dir))
+    }
+
+    /// Automatic candidate-list size: a fraction of the column count, bounded so
+    /// tiny LPs price everything and huge LPs keep the list cache-resident.
+    fn candidate_list_target(&self) -> usize {
+        if self.opts.candidate_list_size > 0 {
+            self.opts.candidate_list_size
+        } else {
+            (self.ntotal / 16).clamp(32, 256)
+        }
+    }
+
+    /// Devex pricing over the candidate list (minor iteration). The list is
+    /// rebuilt by a partial-pricing window scan (rotating cursor) when it goes
+    /// stale — empty, *or* priced for more minor iterations than its refresh
+    /// budget. The periodic refresh matters on degenerate LPs: pivots make new
+    /// columns attractive (nonzero duals appear on fresh rows), and a list frozen
+    /// until exhaustion would keep grinding degenerate candidates instead.
+    /// `None` is returned only after a whole-column-range scan found nothing
+    /// eligible — the same optimality proof a full-scan rule gives.
+    fn price_devex(&mut self, phase1: bool) -> Option<(usize, f64)> {
+        let mut cands = std::mem::take(&mut self.candidates);
+        let refresh_budget = (self.candidate_list_target() / 4).max(16);
+        if self.minor_count >= refresh_budget {
+            cands.clear();
+        }
+        let mut rebuilt = false;
+        let result = loop {
+            let mut best: Option<(usize, f64, f64)> = None;
+            cands.retain(|&j| {
+                let Some((dir, d)) = self.eligibility(j, phase1) else {
+                    return false;
+                };
+                let merit = d * d / self.weights[j];
+                match best {
+                    Some((_, _, m)) if m >= merit => {}
+                    _ => best = Some((j, dir, merit)),
+                }
+                true
+            });
+            if let Some((j, dir, _)) = best {
+                self.minor_count += 1;
+                break Some((j, dir));
+            }
+            if rebuilt {
+                break None;
+            }
+            self.rebuild_candidates(&mut cands, phase1);
+            self.minor_count = 0;
+            rebuilt = true;
+            if cands.is_empty() {
+                break None;
+            }
+        };
+        self.candidates = cands;
+        result
+    }
+
+    /// Refills the candidate list by scanning columns from the rotation cursor,
+    /// wrapping at most once around the whole range.
+    fn rebuild_candidates(&mut self, cands: &mut Vec<usize>, phase1: bool) {
+        cands.clear();
+        let target = self.candidate_list_target();
+        let mut scanned = 0usize;
+        let mut j = self.scan_cursor % self.ntotal.max(1);
+        while scanned < self.ntotal && cands.len() < target {
+            if self.eligibility(j, phase1).is_some() {
+                cands.push(j);
+            }
+            j = (j + 1) % self.ntotal;
+            scanned += 1;
+        }
+        self.scan_cursor = j;
+    }
+
+    /// Forrest–Goldfarb devex update after a basis change with entering `q`,
+    /// pivotal row `r` and pivot element `alpha_q`: weights of the candidate-list
+    /// columns (partial devex) and of the leaving variable are refreshed from the
+    /// pivotal row; the framework resets once the entering weight grows too large.
+    fn update_devex_weights(&mut self, q: usize, r: usize, alpha_q: f64, leaving_var: usize) {
+        let wq = self.weights[q].max(1.0);
+        if wq > DEVEX_RESET_THRESHOLD {
+            self.weights.iter_mut().for_each(|w| *w = 1.0);
+            return;
+        }
+        let piv2 = alpha_q * alpha_q;
+        if piv2 == 0.0 {
+            return;
+        }
+        // rho = e_r B^{-1}: the pivotal row in original-row space, hypersparse.
+        let mut rho = std::mem::take(&mut self.row_buf);
+        rho.clear();
+        rho.set(r, 1.0);
+        self.factor.btran_sparse(&mut rho, &mut self.lu_scratch);
+        for idx in 0..self.candidates.len() {
+            let j = self.candidates[idx];
+            if j == q || matches!(self.status[j], VarStatus::Basic(_)) {
+                continue;
+            }
+            let aj = self.col_dot(j, rho.values());
+            if aj != 0.0 {
+                let candidate_weight = (aj * aj / piv2) * wq;
+                if candidate_weight > self.weights[j] {
+                    self.weights[j] = candidate_weight;
+                }
+            }
+        }
+        self.row_buf = rho;
+        self.weights[leaving_var] = (wq / piv2).max(1.0);
+    }
+
     /// Performs the ratio test and executes either a bound flip or a basis change.
-    fn pivot_step(&mut self, q: usize, direction: f64, w: &[f64], phase1: bool) -> LpResult<()> {
+    /// The pivot column `w = B^{-1} A_q` is in `self.col_buf`.
+    fn pivot_step(&mut self, q: usize, direction: f64, phase1: bool) -> LpResult<()> {
         let tol = self.opts.tol;
         let ptol = self.opts.pivot_tol;
 
@@ -517,11 +1249,10 @@ impl<'a> Solver<'a> {
             INF
         };
 
-        // Ratio test over basic variables.
+        // Ratio test over the nonzero pattern of the pivot column.
         let mut t_min = INF;
         let mut leaving: Option<(usize, f64)> = None; // (basic position, bound it hits)
-        for pos in 0..self.nrows {
-            let wi = w[pos];
+        for (pos, wi) in self.col_buf.iter() {
             if wi.abs() <= ptol {
                 continue;
             }
@@ -570,7 +1301,7 @@ impl<'a> Solver<'a> {
                             self.basis[pos] < self.basis[cur_pos]
                         } else {
                             // Prefer the largest pivot magnitude for numerical stability.
-                            w[pos].abs() > w[cur_pos].abs()
+                            self.col_buf.get(pos).abs() > self.col_buf.get(cur_pos).abs()
                         }
                     } else {
                         false
@@ -607,8 +1338,7 @@ impl<'a> Solver<'a> {
 
         // Apply the step to basic values and the entering variable.
         if t > 0.0 {
-            for pos in 0..self.nrows {
-                let wi = w[pos];
+            for (pos, wi) in self.col_buf.iter() {
                 if wi != 0.0 {
                     let j = self.basis[pos];
                     self.x[j] -= direction * t * wi;
@@ -618,7 +1348,8 @@ impl<'a> Solver<'a> {
         }
 
         if flip_limit <= t_min {
-            // Bound flip: the entering variable moves to its opposite bound.
+            // Bound flip: the entering variable moves to its opposite bound; the
+            // basis (and therefore the devex framework) is unchanged.
             self.status[q] = if direction > 0.0 {
                 VarStatus::AtUpper
             } else {
@@ -629,10 +1360,10 @@ impl<'a> Solver<'a> {
         }
 
         let (r, bound) = leaving.expect("finite ratio implies a leaving variable");
-        if w[r].abs() <= ptol {
+        let alpha_q = self.col_buf.get(r);
+        if alpha_q.abs() <= ptol {
             return Err(LpError::Numerical(format!(
-                "pivot magnitude {} too small at basis position {r}",
-                w[r]
+                "pivot magnitude {alpha_q} too small at basis position {r}"
             )));
         }
 
@@ -647,20 +1378,32 @@ impl<'a> Solver<'a> {
             VarStatus::AtUpper
         };
 
+        // Devex/reduced-cost bookkeeping must run against the *outgoing* basis
+        // inverse, before the eta for this pivot is appended. The phase-2
+        // incremental regime always updates (its `d` array must track every basis
+        // change); the phase-1 candidate regime skips updates under Bland.
+        if matches!(self.opts.pricing, Pricing::Devex) {
+            if !phase1 {
+                self.update_incremental(q, r, alpha_q, leaving_var);
+            } else if !self.use_bland {
+                self.update_devex_weights(q, r, alpha_q, leaving_var);
+            }
+        }
+
         // The entering variable becomes basic at its stepped value.
         self.status[q] = VarStatus::Basic(r);
         self.basis[r] = q;
+        self.pivots += 1;
 
-        // Product-form update of the basis inverse.
-        let entries: Vec<(usize, f64)> = w
+        // Product-form update of the basis inverse from the pivot-column pattern.
+        let entries: Vec<(usize, f64)> = self
+            .col_buf
             .iter()
-            .enumerate()
-            .filter(|&(pos, &v)| pos != r && v != 0.0)
-            .map(|(pos, &v)| (pos, v))
+            .filter(|&(pos, v)| pos != r && v != 0.0)
             .collect();
         self.factor.etas.push(Eta {
             pos: r,
-            pivot: w[r],
+            pivot: alpha_q,
             entries,
         });
         Ok(())
@@ -670,6 +1413,11 @@ impl<'a> Solver<'a> {
     pub fn iterations(&self) -> usize {
         self.iterations
     }
+
+    /// Number of basis changes performed so far.
+    pub fn pivots(&self) -> usize {
+        self.pivots
+    }
 }
 
 #[cfg(test)]
@@ -678,6 +1426,13 @@ mod tests {
 
     fn col(entries: &[(usize, f64)]) -> SparseVec {
         SparseVec::from_entries(entries.iter().copied())
+    }
+
+    fn opts_with(pricing: Pricing) -> SimplexOptions {
+        SimplexOptions {
+            pricing,
+            ..SimplexOptions::default()
+        }
     }
 
     /// max x1 + 2 x2 s.t. x1 + x2 <= 4, x2 <= 3, x >= 0  ->  min -x1 - 2x2, opt = -7.
@@ -692,10 +1447,12 @@ mod tests {
             row_lower: vec![-INF, -INF],
             row_upper: vec![4.0, 3.0],
         };
-        let sol = solve(&sf, &SimplexOptions::default()).unwrap();
-        assert!((sol.objective + 7.0).abs() < 1e-7, "{}", sol.objective);
-        assert!((sol.x[0] - 1.0).abs() < 1e-7);
-        assert!((sol.x[1] - 3.0).abs() < 1e-7);
+        for pricing in [Pricing::Dantzig, Pricing::Devex] {
+            let sol = solve(&sf, &opts_with(pricing)).unwrap();
+            assert!((sol.objective + 7.0).abs() < 1e-7, "{}", sol.objective);
+            assert!((sol.x[0] - 1.0).abs() < 1e-7);
+            assert!((sol.x[1] - 3.0).abs() < 1e-7);
+        }
     }
 
     /// Equality rows exercise phase 1: min x1 + x2, x1 + x2 = 5, x1 - x2 = 1.
@@ -710,10 +1467,12 @@ mod tests {
             row_lower: vec![5.0, 1.0],
             row_upper: vec![5.0, 1.0],
         };
-        let sol = solve(&sf, &SimplexOptions::default()).unwrap();
-        assert!((sol.objective - 5.0).abs() < 1e-7);
-        assert!((sol.x[0] - 3.0).abs() < 1e-7);
-        assert!((sol.x[1] - 2.0).abs() < 1e-7);
+        for pricing in [Pricing::Dantzig, Pricing::Devex] {
+            let sol = solve(&sf, &opts_with(pricing)).unwrap();
+            assert!((sol.objective - 5.0).abs() < 1e-7);
+            assert!((sol.x[0] - 3.0).abs() < 1e-7);
+            assert!((sol.x[1] - 2.0).abs() < 1e-7);
+        }
     }
 
     #[test]
@@ -728,10 +1487,12 @@ mod tests {
             row_lower: vec![-INF, 2.0],
             row_upper: vec![1.0, INF],
         };
-        assert_eq!(
-            solve(&sf, &SimplexOptions::default()).unwrap_err(),
-            LpError::Infeasible
-        );
+        for pricing in [Pricing::Dantzig, Pricing::Devex] {
+            assert_eq!(
+                solve(&sf, &opts_with(pricing)).unwrap_err(),
+                LpError::Infeasible
+            );
+        }
     }
 
     #[test]
@@ -746,10 +1507,12 @@ mod tests {
             row_lower: vec![0.0],
             row_upper: vec![INF],
         };
-        assert_eq!(
-            solve(&sf, &SimplexOptions::default()).unwrap_err(),
-            LpError::Unbounded
-        );
+        for pricing in [Pricing::Dantzig, Pricing::Devex] {
+            assert_eq!(
+                solve(&sf, &opts_with(pricing)).unwrap_err(),
+                LpError::Unbounded
+            );
+        }
     }
 
     #[test]
@@ -767,6 +1530,9 @@ mod tests {
         };
         let sol = solve(&sf, &SimplexOptions::default()).unwrap();
         assert!((sol.objective + 2.0).abs() < 1e-7);
+        // Flips are not basis changes.
+        assert_eq!(sol.pivots, 0);
+        assert!(sol.iterations >= 2);
     }
 
     /// A small max-flow instance expressed as an LP: source 0 -> sink 3 through two
@@ -780,11 +1546,11 @@ mod tests {
         let sf = StandardForm {
             nrows: 3,
             cols: vec![
-                col(&[(0, 1.0), (2, 1.0)]),  // f01
-                col(&[(1, 1.0), (2, 1.0)]),  // f02
-                col(&[(0, -1.0)]),           // f13
-                col(&[(1, -1.0)]),           // f23
-                col(&[(2, -1.0)]),           // F
+                col(&[(0, 1.0), (2, 1.0)]), // f01
+                col(&[(1, 1.0), (2, 1.0)]), // f02
+                col(&[(0, -1.0)]),          // f13
+                col(&[(1, -1.0)]),          // f23
+                col(&[(2, -1.0)]),          // F
             ],
             obj: vec![0.0, 0.0, 0.0, 0.0, -1.0],
             lower: vec![0.0, 0.0, 0.0, 0.0, 0.0],
@@ -792,8 +1558,10 @@ mod tests {
             row_lower: vec![0.0, 0.0, 0.0],
             row_upper: vec![0.0, 0.0, 0.0],
         };
-        let sol = solve(&sf, &SimplexOptions::default()).unwrap();
-        assert!((sol.objective + 5.0).abs() < 1e-7, "{}", sol.objective);
+        for pricing in [Pricing::Dantzig, Pricing::Devex] {
+            let sol = solve(&sf, &opts_with(pricing)).unwrap();
+            assert!((sol.objective + 5.0).abs() < 1e-7, "{}", sol.objective);
+        }
     }
 
     #[test]
@@ -834,5 +1602,139 @@ mod tests {
         assert!(sol.objective.abs() < 1e-7);
         assert!(sol.x[0] <= -1.0 + 1e-7 && sol.x[0] >= -3.0 - 1e-7);
         assert!((sol.x[0] + sol.x[1]).abs() < 1e-7);
+    }
+
+    #[test]
+    fn warm_start_roundtrip_skips_work() {
+        // Solve once cold, then re-solve warm-started from the optimal basis: the
+        // warm solve must agree on the optimum and need (near) zero pivots.
+        let sf = StandardForm {
+            nrows: 2,
+            cols: vec![col(&[(0, 1.0), (1, 1.0)]), col(&[(0, 1.0), (1, -1.0)])],
+            obj: vec![1.0, 1.0],
+            lower: vec![0.0, 0.0],
+            upper: vec![INF, INF],
+            row_lower: vec![5.0, 1.0],
+            row_upper: vec![5.0, 1.0],
+        };
+        let cold = solve(&sf, &SimplexOptions::default()).unwrap();
+        assert!(cold.pivots > 0);
+        let warm_opts = SimplexOptions {
+            warm_start: Some(cold.basis.clone()),
+            ..SimplexOptions::default()
+        };
+        let warm = solve(&sf, &warm_opts).unwrap();
+        assert!((warm.objective - cold.objective).abs() < 1e-9);
+        assert_eq!(warm.pivots, 0, "optimal basis should re-verify pivot-free");
+    }
+
+    #[test]
+    fn malformed_warm_start_falls_back() {
+        let sf = StandardForm {
+            nrows: 1,
+            cols: vec![col(&[(0, 1.0)])],
+            obj: vec![-1.0],
+            lower: vec![0.0],
+            upper: vec![2.0],
+            row_lower: vec![-INF],
+            row_upper: vec![5.0],
+        };
+        // Wrong length and wrong basic count both degrade to the slack start.
+        for statuses in [
+            vec![BasisStatus::Basic],
+            vec![BasisStatus::Basic, BasisStatus::Basic],
+            vec![BasisStatus::AtLower, BasisStatus::AtLower],
+        ] {
+            let opts = SimplexOptions {
+                warm_start: Some(WarmStart { statuses }),
+                ..SimplexOptions::default()
+            };
+            let sol = solve(&sf, &opts).unwrap();
+            assert!((sol.objective + 2.0).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn singular_warm_start_falls_back() {
+        // Two parallel columns cannot form a 2x2 basis; the warm start must be
+        // rejected at factorization time and the solve still succeed.
+        let sf = StandardForm {
+            nrows: 2,
+            cols: vec![col(&[(0, 1.0), (1, 1.0)]), col(&[(0, 1.0), (1, 1.0)])],
+            obj: vec![-1.0, 0.0],
+            lower: vec![0.0, 0.0],
+            upper: vec![3.0, 3.0],
+            row_lower: vec![-INF, -INF],
+            row_upper: vec![4.0, 4.0],
+        };
+        let opts = SimplexOptions {
+            warm_start: Some(WarmStart {
+                statuses: vec![
+                    BasisStatus::Basic,
+                    BasisStatus::Basic,
+                    BasisStatus::AtLower,
+                    BasisStatus::AtLower,
+                ],
+            }),
+            ..SimplexOptions::default()
+        };
+        let sol = solve(&sf, &opts).unwrap();
+        assert!((sol.objective + 3.0).abs() < 1e-7, "{}", sol.objective);
+    }
+
+    #[test]
+    fn triangular_crash_produces_factorizable_basis() {
+        // Network-ish columns; prefer the first two. The crash must return a
+        // status vector with exactly nrows basics that the solver accepts.
+        let sf = StandardForm {
+            nrows: 3,
+            cols: vec![
+                col(&[(0, 1.0), (2, 1.0)]),
+                col(&[(1, 1.0), (2, 1.0)]),
+                col(&[(0, -1.0)]),
+                col(&[(1, -1.0)]),
+                col(&[(2, -1.0)]),
+            ],
+            obj: vec![0.0, 0.0, 0.0, 0.0, -1.0],
+            lower: vec![0.0; 5],
+            upper: vec![3.0, 2.0, 3.0, 2.0, INF],
+            row_lower: vec![0.0, 0.0, 0.0],
+            row_upper: vec![0.0, 0.0, 0.0],
+        };
+        let ws = triangular_crash(&sf, &[5.0, 4.0, 3.0, 2.0, 1.0]);
+        let basics = ws
+            .statuses
+            .iter()
+            .filter(|s| matches!(s, BasisStatus::Basic))
+            .count();
+        assert_eq!(basics, sf.nrows);
+        let opts = SimplexOptions {
+            warm_start: Some(ws),
+            ..SimplexOptions::default()
+        };
+        let sol = solve(&sf, &opts).unwrap();
+        assert!((sol.objective + 5.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn devex_and_dantzig_agree_on_degenerate_lp() {
+        // A degenerate transportation-style LP where many bases are optimal.
+        let sf = StandardForm {
+            nrows: 4,
+            cols: vec![
+                col(&[(0, 1.0), (2, 1.0)]),
+                col(&[(0, 1.0), (3, 1.0)]),
+                col(&[(1, 1.0), (2, 1.0)]),
+                col(&[(1, 1.0), (3, 1.0)]),
+            ],
+            obj: vec![1.0, 2.0, 3.0, 4.0],
+            lower: vec![0.0; 4],
+            upper: vec![INF; 4],
+            row_lower: vec![2.0, 2.0, 2.0, 2.0],
+            row_upper: vec![2.0, 2.0, 2.0, 2.0],
+        };
+        let a = solve(&sf, &opts_with(Pricing::Dantzig)).unwrap();
+        let b = solve(&sf, &opts_with(Pricing::Devex)).unwrap();
+        assert!((a.objective - b.objective).abs() < 1e-7);
     }
 }

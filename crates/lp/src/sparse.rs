@@ -78,7 +78,10 @@ impl SparseVec {
 
     /// Iterates `(index, value)` pairs in increasing index order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
-        self.indices.iter().copied().zip(self.values.iter().copied())
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// Returns the value at `index` (zero if not stored).
@@ -113,6 +116,124 @@ impl SparseVec {
     /// Largest stored index plus one (0 for an empty vector).
     pub fn min_len(&self) -> usize {
         self.indices.last().map_or(0, |&i| i + 1)
+    }
+}
+
+/// A dense-value / explicit-pattern workspace vector for hypersparse kernels.
+///
+/// The revised simplex spends most of its time in triangular solves whose inputs and
+/// outputs have only a handful of nonzeros. `SparseScratch` pairs a dense value
+/// array (O(1) random access) with an explicit nonzero pattern and mark bits, so a
+/// solve can iterate just the pattern instead of scanning the whole dimension, and
+/// [`SparseScratch::clear`] costs O(nnz) rather than O(n).
+///
+/// The pattern is a *superset* of the true nonzeros: entries that cancel to exactly
+/// zero stay marked, which is harmless (a little wasted work, never a wrong value).
+#[derive(Debug, Clone, Default)]
+pub struct SparseScratch {
+    values: Vec<f64>,
+    pattern: Vec<usize>,
+    marked: Vec<bool>,
+}
+
+impl SparseScratch {
+    /// Creates an empty scratch of dimension `n`.
+    pub fn new(n: usize) -> Self {
+        Self {
+            values: vec![0.0; n],
+            pattern: Vec::with_capacity(64),
+            marked: vec![false; n],
+        }
+    }
+
+    /// Dimension of the workspace.
+    pub fn dim(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Grows the workspace to dimension `n` (never shrinks, keeps contents).
+    pub fn resize(&mut self, n: usize) {
+        if n > self.values.len() {
+            self.values.resize(n, 0.0);
+            self.marked.resize(n, false);
+        }
+    }
+
+    /// Number of pattern entries (an upper bound on the true nonzero count).
+    pub fn nnz(&self) -> usize {
+        self.pattern.len()
+    }
+
+    /// Resets all marked entries to zero. O(nnz), not O(n).
+    pub fn clear(&mut self) {
+        for &i in &self.pattern {
+            self.values[i] = 0.0;
+            self.marked[i] = false;
+        }
+        self.pattern.clear();
+    }
+
+    /// Value at `i` (zero when unmarked).
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        self.values[i]
+    }
+
+    /// True if `i` is in the pattern.
+    #[inline]
+    pub fn is_marked(&self, i: usize) -> bool {
+        self.marked[i]
+    }
+
+    /// Adds `i` to the pattern without touching its value.
+    #[inline]
+    pub fn mark(&mut self, i: usize) {
+        if !self.marked[i] {
+            self.marked[i] = true;
+            self.pattern.push(i);
+        }
+    }
+
+    /// Sets the value at `i`, marking it.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: f64) {
+        self.mark(i);
+        self.values[i] = v;
+    }
+
+    /// Accumulates `v` into the value at `i`, marking it.
+    #[inline]
+    pub fn add(&mut self, i: usize, v: f64) {
+        self.mark(i);
+        self.values[i] += v;
+    }
+
+    /// The current pattern (indices in insertion order, unsorted).
+    #[inline]
+    pub fn pattern(&self) -> &[usize] {
+        &self.pattern
+    }
+
+    /// The dense value array (unmarked entries are exactly zero).
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterates `(index, value)` over the pattern.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.pattern.iter().map(move |&i| (i, self.values[i]))
+    }
+
+    /// Copies the marked entries into `out` (cleared first) and clears `self`.
+    pub fn drain_into(&mut self, out: &mut Vec<(usize, f64)>) {
+        out.clear();
+        for &i in &self.pattern {
+            out.push((i, self.values[i]));
+            self.values[i] = 0.0;
+            self.marked[i] = false;
+        }
+        self.pattern.clear();
     }
 }
 
@@ -180,10 +301,7 @@ impl CscMatrix {
             assert!(r < nrows && c < ncols, "triplet ({r},{c}) out of bounds");
             per_col[c].push((r, v));
         }
-        let columns: Vec<SparseVec> = per_col
-            .into_iter()
-            .map(SparseVec::from_entries)
-            .collect();
+        let columns: Vec<SparseVec> = per_col.into_iter().map(SparseVec::from_entries).collect();
         Self::from_columns(nrows, &columns)
     }
 
@@ -240,7 +358,11 @@ impl CscMatrix {
 
     /// Computes `y = Aᵀ * x` for a dense `x`.
     pub fn mul_transpose_dense(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.nrows, "dimension mismatch in mul_transpose_dense");
+        assert_eq!(
+            x.len(),
+            self.nrows,
+            "dimension mismatch in mul_transpose_dense"
+        );
         let mut y = vec![0.0; self.ncols];
         for c in 0..self.ncols {
             let mut acc = 0.0;
@@ -315,7 +437,13 @@ mod tests {
         let m = CscMatrix::from_triplets(
             3,
             4,
-            vec![(0, 0, 1.0), (2, 0, -1.0), (1, 2, 5.0), (1, 2, 1.0), (2, 3, 2.0)],
+            vec![
+                (0, 0, 1.0),
+                (2, 0, -1.0),
+                (1, 2, 5.0),
+                (1, 2, 1.0),
+                (2, 3, 2.0),
+            ],
         );
         assert_eq!(m.nrows(), 3);
         assert_eq!(m.ncols(), 4);

@@ -1,12 +1,16 @@
-//! Property-based tests: the production revised simplex is compared against the dense
-//! reference oracle on randomly generated LPs, and solver outputs are checked for
-//! primal feasibility.
+//! Randomized-property tests: the production revised simplex is compared against the
+//! dense reference oracle on randomly generated LPs, and solver outputs are checked
+//! for primal feasibility.
+//!
+//! The generators are driven by a seeded ChaCha8 stream (no proptest in this build
+//! environment); every case is reproducible from its printed seed.
 
 use a2a_lp::reference::solve_reference;
-use a2a_lp::{ConstraintSense, LpError, LpProblem, INF};
-use proptest::prelude::*;
+use a2a_lp::{ConstraintSense, LpError, LpProblem, Pricing, SimplexOptions, INF};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
-/// A compact, generatable description of a random LP.
+/// A compact description of a random LP.
 #[derive(Debug, Clone)]
 struct RandomLp {
     nvars: usize,
@@ -15,23 +19,37 @@ struct RandomLp {
     rows: Vec<(Vec<i32>, u8, i32)>, // (coefficients, sense code, rhs)
 }
 
-fn random_lp_strategy() -> impl Strategy<Value = RandomLp> {
-    (2usize..5, 1usize..5).prop_flat_map(|(nvars, nrows)| {
-        let obj = proptest::collection::vec(-4i32..5, nvars);
-        let upper = proptest::collection::vec(proptest::option::of(1u8..9), nvars);
-        let row = (
-            proptest::collection::vec(-3i32..4, nvars),
-            0u8..3,
-            0i32..15,
-        );
-        let rows = proptest::collection::vec(row, nrows);
-        (Just(nvars), obj, upper, rows).prop_map(|(nvars, obj, upper, rows)| RandomLp {
-            nvars,
-            obj,
-            upper,
-            rows,
+fn random_lp(rng: &mut ChaCha8Rng) -> RandomLp {
+    let nvars = rng.random_range(2..5);
+    let nrows = rng.random_range(1..5);
+    let obj: Vec<i32> = (0..nvars)
+        .map(|_| rng.random_range(0..9) as i32 - 4)
+        .collect();
+    let upper: Vec<Option<u8>> = (0..nvars)
+        .map(|_| {
+            if rng.random_bool(0.5) {
+                Some(rng.random_range(1..9) as u8)
+            } else {
+                None
+            }
         })
-    })
+        .collect();
+    let rows: Vec<(Vec<i32>, u8, i32)> = (0..nrows)
+        .map(|_| {
+            let coeffs: Vec<i32> = (0..nvars)
+                .map(|_| rng.random_range(0..7) as i32 - 3)
+                .collect();
+            let sense = rng.random_range(0..3) as u8;
+            let rhs = rng.random_range(0..15) as i32;
+            (coeffs, sense, rhs)
+        })
+        .collect();
+    RandomLp {
+        nvars,
+        obj,
+        upper,
+        rows,
+    }
 }
 
 fn build(lp_desc: &RandomLp, maximize: bool) -> LpProblem {
@@ -92,21 +110,22 @@ fn assert_primal_feasible(lp: &LpProblem, values: &[f64]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    /// The production solver and the dense oracle must agree on status and optimum.
-    #[test]
-    fn simplex_agrees_with_dense_reference(desc in random_lp_strategy(), maximize in any::<bool>()) {
+/// The production solver and the dense oracle must agree on status and optimum.
+#[test]
+fn simplex_agrees_with_dense_reference() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA2A_51317);
+    for case in 0..200 {
+        let desc = random_lp(&mut rng);
+        let maximize = case % 2 == 0;
         let lp = build(&desc, maximize);
         let fast = lp.solve();
         let slow = solve_reference(&lp);
         match (fast, slow) {
             (Ok(a), Ok(b)) => {
-                prop_assert!(
+                assert!(
                     (a.objective_value - b.objective_value).abs()
                         <= 1e-5 * (1.0 + a.objective_value.abs()),
-                    "objectives differ: simplex {} vs reference {}",
+                    "case {case} ({desc:?}): objectives differ: simplex {} vs reference {}",
                     a.objective_value,
                     b.objective_value
                 );
@@ -114,14 +133,20 @@ proptest! {
             }
             (Err(LpError::Infeasible), Err(LpError::Infeasible)) => {}
             (Err(LpError::Unbounded), Err(LpError::Unbounded)) => {}
-            (a, b) => prop_assert!(false, "status mismatch: simplex {a:?} vs reference {b:?}"),
+            (a, b) => {
+                panic!("case {case} ({desc:?}): status mismatch: simplex {a:?} vs reference {b:?}")
+            }
         }
     }
+}
 
-    /// Whenever the production solver reports an optimum, the solution is feasible and
-    /// no better than what simple greedy rounding of the reference could achieve.
-    #[test]
-    fn optimal_solutions_are_feasible(desc in random_lp_strategy()) {
+/// Whenever the production solver reports an optimum, the solution is feasible and the
+/// reported objective matches the recomputed one.
+#[test]
+fn optimal_solutions_are_feasible() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xFEA51B1E);
+    for case in 0..200 {
+        let desc = random_lp(&mut rng);
         let lp = build(&desc, true);
         if let Ok(sol) = lp.solve() {
             assert_primal_feasible(&lp, &sol.values);
@@ -131,18 +156,187 @@ proptest! {
                 .enumerate()
                 .map(|(i, &v)| v * f64::from(desc.obj[i]))
                 .sum();
-            prop_assert!(
+            assert!(
                 (recomputed - sol.objective_value).abs() <= 1e-6 * (1.0 + recomputed.abs()),
-                "reported objective {} does not match recomputed {}",
+                "case {case}: reported objective {} does not match recomputed {}",
                 sol.objective_value,
                 recomputed
             );
         }
     }
+}
 
-    /// Tightening a <= right-hand side can never improve a maximization optimum.
-    #[test]
-    fn monotonicity_in_capacity(cap in 1i32..20) {
+/// A random capacitated max-concurrent-flow LP on a random strongly-connected-ish
+/// digraph: variables are per-edge flows of `k` commodities plus the concurrent
+/// rate `F`; constraints are edge capacities and per-commodity conservation with
+/// demand `F` at the sink. This is the structure every MCF formulation in the
+/// workspace lowers to, so it is the right family for pricing-rule equivalence.
+fn random_network_lp(rng: &mut ChaCha8Rng) -> LpProblem {
+    let n = rng.random_range(4..9);
+    // Ring backbone (guarantees connectivity) plus random chords.
+    let mut edges: Vec<(usize, usize)> = (0..n).map(|u| (u, (u + 1) % n)).collect();
+    for _ in 0..rng.random_range(n..2 * n) {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u != v && !edges.contains(&(u, v)) {
+            edges.push((u, v));
+        }
+    }
+    let caps: Vec<f64> = edges
+        .iter()
+        .map(|_| 1.0 + rng.random_range(0..8) as f64 * 0.5)
+        .collect();
+    let k = rng.random_range(1..4);
+    let commodities: Vec<(usize, usize)> = (0..k)
+        .map(|_| loop {
+            let s = rng.random_range(0..n);
+            let t = rng.random_range(0..n);
+            if s != t {
+                return (s, t);
+            }
+        })
+        .collect();
+
+    let mut lp = LpProblem::maximize();
+    let f_var = lp.add_var("F", 0.0, INF, 1.0);
+    let flows: Vec<Vec<_>> = commodities
+        .iter()
+        .enumerate()
+        .map(|(ci, _)| {
+            edges
+                .iter()
+                .enumerate()
+                .map(|(e, _)| lp.add_var(format!("f{ci}_e{e}"), 0.0, INF, 0.0))
+                .collect()
+        })
+        .collect();
+    for (e, &cap) in caps.iter().enumerate() {
+        lp.add_constraint(
+            flows.iter().map(|per_edge| (per_edge[e], 1.0)),
+            ConstraintSense::Le,
+            cap,
+        );
+    }
+    for (ci, &(s, t)) in commodities.iter().enumerate() {
+        for u in 0..n {
+            if u == s {
+                continue;
+            }
+            let coeffs: Vec<_> = edges
+                .iter()
+                .enumerate()
+                .filter_map(|(e, &(a, b))| {
+                    if a == u {
+                        Some((flows[ci][e], 1.0))
+                    } else if b == u {
+                        Some((flows[ci][e], -1.0))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            if u == t {
+                // Net inflow at the sink must cover F.
+                lp.add_constraint(
+                    coeffs.into_iter().chain(std::iter::once((f_var, 1.0))),
+                    ConstraintSense::Le,
+                    0.0,
+                );
+            } else {
+                lp.add_constraint(coeffs, ConstraintSense::Eq, 0.0);
+            }
+        }
+    }
+    lp
+}
+
+/// Devex (the default) and Dantzig pricing must reach the same optimal objective
+/// on randomized network LPs, and a warm start from the devex basis must re-verify
+/// that optimum without pivoting.
+#[test]
+fn devex_and_dantzig_agree_on_network_lps() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xDE7E0);
+    for case in 0..60 {
+        let lp = random_network_lp(&mut rng);
+        let devex = lp
+            .solve_with(&SimplexOptions {
+                pricing: Pricing::Devex,
+                ..SimplexOptions::default()
+            })
+            .unwrap_or_else(|e| panic!("case {case}: devex failed: {e:?}"));
+        let dantzig = lp
+            .solve_with(&SimplexOptions {
+                pricing: Pricing::Dantzig,
+                ..SimplexOptions::default()
+            })
+            .unwrap_or_else(|e| panic!("case {case}: dantzig failed: {e:?}"));
+        assert!(
+            (devex.objective_value - dantzig.objective_value).abs()
+                <= 1e-6 * (1.0 + dantzig.objective_value.abs()),
+            "case {case}: devex {} vs dantzig {}",
+            devex.objective_value,
+            dantzig.objective_value
+        );
+        assert_primal_feasible(&lp, &devex.values);
+        assert_primal_feasible(&lp, &dantzig.values);
+
+        // Warm-start roundtrip: the optimal basis re-verifies pivot-free.
+        let warm = lp
+            .solve_with(&SimplexOptions {
+                warm_start: Some(devex.basis.clone()),
+                ..SimplexOptions::default()
+            })
+            .unwrap();
+        assert!(
+            (warm.objective_value - devex.objective_value).abs()
+                <= 1e-6 * (1.0 + devex.objective_value.abs())
+        );
+        assert_eq!(
+            warm.pivots, 0,
+            "case {case}: warm restart from the optimal basis should not pivot"
+        );
+    }
+}
+
+/// Devex and Dantzig agree (in status and objective) on the general random LPs as
+/// well, where infeasible and unbounded cases also arise.
+#[test]
+fn devex_and_dantzig_agree_on_general_lps() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xD4217160);
+    for case in 0..150 {
+        let desc = random_lp(&mut rng);
+        let lp = build(&desc, case % 2 == 0);
+        let devex = lp.solve_with(&SimplexOptions {
+            pricing: Pricing::Devex,
+            ..SimplexOptions::default()
+        });
+        let dantzig = lp.solve_with(&SimplexOptions {
+            pricing: Pricing::Dantzig,
+            ..SimplexOptions::default()
+        });
+        match (devex, dantzig) {
+            (Ok(a), Ok(b)) => {
+                assert!(
+                    (a.objective_value - b.objective_value).abs()
+                        <= 1e-5 * (1.0 + b.objective_value.abs()),
+                    "case {case} ({desc:?}): devex {} vs dantzig {}",
+                    a.objective_value,
+                    b.objective_value
+                );
+            }
+            (Err(LpError::Infeasible), Err(LpError::Infeasible)) => {}
+            (Err(LpError::Unbounded), Err(LpError::Unbounded)) => {}
+            (a, b) => {
+                panic!("case {case} ({desc:?}): status mismatch: devex {a:?} vs dantzig {b:?}")
+            }
+        }
+    }
+}
+
+/// Tightening a <= right-hand side can never improve a maximization optimum.
+#[test]
+fn monotonicity_in_capacity() {
+    for cap in 1..20 {
         let mut lp = LpProblem::maximize();
         let x = lp.add_nonneg_var("x", 1.0);
         let y = lp.add_nonneg_var("y", 2.0);
@@ -153,9 +347,13 @@ proptest! {
         let mut tighter = LpProblem::maximize();
         let x2 = tighter.add_nonneg_var("x", 1.0);
         let y2 = tighter.add_nonneg_var("y", 2.0);
-        tighter.add_constraint([(x2, 1.0), (y2, 1.0)], ConstraintSense::Le, f64::from(cap) * 0.5);
+        tighter.add_constraint(
+            [(x2, 1.0), (y2, 1.0)],
+            ConstraintSense::Le,
+            f64::from(cap) * 0.5,
+        );
         tighter.add_constraint([(y2, 1.0)], ConstraintSense::Le, 5.0);
         let tighter_sol = tighter.solve().unwrap();
-        prop_assert!(tighter_sol.objective_value <= sol.objective_value + 1e-7);
+        assert!(tighter_sol.objective_value <= sol.objective_value + 1e-7);
     }
 }

@@ -110,7 +110,10 @@ mod tests {
 
     #[test]
     fn throughput_conversion_matches_bound() {
-        assert_eq!(throughput_gbps(27, 1.0 / 9.0, 3.125), crate::bounds::throughput_upper_bound(27, 1.0 / 9.0, 3.125));
+        assert_eq!(
+            throughput_gbps(27, 1.0 / 9.0, 3.125),
+            crate::bounds::throughput_upper_bound(27, 1.0 / 9.0, 3.125)
+        );
     }
 
     #[test]

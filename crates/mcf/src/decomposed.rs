@@ -16,12 +16,33 @@
 
 use std::time::Instant;
 
-use a2a_lp::{ConstraintSense, LpProblem, SimplexOptions, VarId, INF};
+use a2a_lp::{triangular_crash, ConstraintSense, LpProblem, Pricing, SimplexOptions, VarId, INF};
 use a2a_topology::{EdgeId, NodeId, Topology};
 use rayon::prelude::*;
 
 use crate::linkmcf::{validate, FLOW_TOL};
 use crate::types::{CommoditySet, LinkFlowSolution, McfError, McfResult};
+
+/// Solver configuration for the decomposed MCF: which pricing rule the simplex
+/// uses, and whether the child LPs are seeded from the master's solution.
+#[derive(Debug, Clone)]
+pub struct DecomposedOptions {
+    /// Pricing rule for both the master and the child LPs.
+    pub pricing: Pricing,
+    /// Seed each child LP with a crash basis projected from the master solution
+    /// (columns on edges that carry master flow are preferred into the basis)
+    /// instead of starting every child from the all-slack basis.
+    pub warm_start_children: bool,
+}
+
+impl Default for DecomposedOptions {
+    fn default() -> Self {
+        Self {
+            pricing: Pricing::default(),
+            warm_start_children: true,
+        }
+    }
+}
 
 /// Wall-clock breakdown of a decomposed solve. On a single-core machine the children
 /// run sequentially; `max_child_secs` is the per-child critical path, i.e. the child
@@ -32,6 +53,14 @@ pub struct DecomposedTimings {
     pub master_secs: f64,
     /// Time spent in each child LP, indexed by source endpoint position.
     pub child_secs: Vec<f64>,
+    /// Simplex iterations of the master LP.
+    pub master_iterations: usize,
+    /// Basis changes (pivots) of the master LP.
+    pub master_pivots: usize,
+    /// Simplex iterations per child LP.
+    pub child_iterations: Vec<usize>,
+    /// Basis changes (pivots) per child LP.
+    pub child_pivots: Vec<usize>,
 }
 
 impl DecomposedTimings {
@@ -49,6 +78,16 @@ impl DecomposedTimings {
     /// paper reports for MCF-decomp).
     pub fn parallel_estimate_secs(&self) -> f64 {
         self.master_secs + self.max_child_secs()
+    }
+
+    /// Total simplex iterations across the master and every child.
+    pub fn total_iterations(&self) -> usize {
+        self.master_iterations + self.child_iterations.iter().sum::<usize>()
+    }
+
+    /// Total basis changes across the master and every child.
+    pub fn total_pivots(&self) -> usize {
+        self.master_pivots + self.child_pivots.iter().sum::<usize>()
     }
 }
 
@@ -74,6 +113,18 @@ pub struct MasterSolution {
     pub source_flows: Vec<Vec<(EdgeId, f64)>>,
     /// Time spent solving the master LP.
     pub elapsed_secs: f64,
+    /// Simplex iterations of the master LP.
+    pub iterations: usize,
+    /// Basis changes (pivots) of the master LP.
+    pub pivots: usize,
+}
+
+/// Per-child solve output: per-destination flows plus solver statistics.
+struct ChildOutcome {
+    per_dest: Vec<Vec<(EdgeId, f64)>>,
+    secs: f64,
+    iterations: usize,
+    pivots: usize,
 }
 
 /// Solves the decomposed MCF for an all-to-all among all nodes.
@@ -81,29 +132,52 @@ pub fn solve_decomposed_mcf(topo: &Topology) -> McfResult<DecomposedMcf> {
     solve_decomposed_mcf_among(topo, CommoditySet::all_pairs(topo.num_nodes()))
 }
 
-/// Solves the decomposed MCF for an explicit commodity set.
+/// Solves the decomposed MCF for an explicit commodity set with default options.
 pub fn solve_decomposed_mcf_among(
     topo: &Topology,
     commodities: CommoditySet,
 ) -> McfResult<DecomposedMcf> {
-    let master = solve_master(topo, &commodities)?;
+    solve_decomposed_mcf_with(topo, commodities, &DecomposedOptions::default())
+}
+
+/// Solves the decomposed MCF for an explicit commodity set with explicit solver
+/// options (the perf harness uses this to compare cold/warm and pricing configs).
+pub fn solve_decomposed_mcf_with(
+    topo: &Topology,
+    commodities: CommoditySet,
+    options: &DecomposedOptions,
+) -> McfResult<DecomposedMcf> {
+    let master = solve_master_with(topo, &commodities, options)?;
     let flow_value = master.flow_value;
 
     // Child LPs, one per source endpoint, dispatched in parallel.
     let endpoints = commodities.endpoints().to_vec();
-    let child_results: Vec<McfResult<(Vec<Vec<(EdgeId, f64)>>, f64)>> = endpoints
+    let child_results: Vec<McfResult<ChildOutcome>> = endpoints
         .par_iter()
         .enumerate()
-        .map(|(s_idx, &s)| solve_child(topo, &commodities, s, &master.source_flows[s_idx], flow_value))
+        .map(|(s_idx, &s)| {
+            solve_child(
+                topo,
+                &commodities,
+                s,
+                &master.source_flows[s_idx],
+                flow_value,
+                options,
+            )
+        })
         .collect();
 
     let mut child_secs = Vec::with_capacity(endpoints.len());
+    let mut child_iterations = Vec::with_capacity(endpoints.len());
+    let mut child_pivots = Vec::with_capacity(endpoints.len());
     let mut flows = vec![Vec::new(); commodities.len()];
     for (s_idx, result) in child_results.into_iter().enumerate() {
-        let (per_dest, secs) = result?;
-        child_secs.push(secs);
+        let outcome = result?;
+        child_secs.push(outcome.secs);
+        child_iterations.push(outcome.iterations);
+        child_pivots.push(outcome.pivots);
         let s = endpoints[s_idx];
-        for (d_pos, flow) in per_dest.into_iter().enumerate() {
+        for (d_pos, flow) in outcome.per_dest.into_iter().enumerate() {
             // d_pos enumerates destinations in endpoint order, skipping the source.
             let d = destination_at(&endpoints, s_idx, d_pos);
             let idx = commodities
@@ -123,6 +197,10 @@ pub fn solve_decomposed_mcf_among(
         timings: DecomposedTimings {
             master_secs: master.elapsed_secs,
             child_secs,
+            master_iterations: master.iterations,
+            master_pivots: master.pivots,
+            child_iterations,
+            child_pivots,
         },
     })
 }
@@ -138,6 +216,15 @@ fn destination_at(endpoints: &[NodeId], s_idx: usize, d_pos: usize) -> NodeId {
 /// Solves just the master (source-grouped) LP: `maximize F` subject to per-edge
 /// capacities and the grouped conservation constraint (8) of the paper.
 pub fn solve_master(topo: &Topology, commodities: &CommoditySet) -> McfResult<MasterSolution> {
+    solve_master_with(topo, commodities, &DecomposedOptions::default())
+}
+
+/// [`solve_master`] with explicit solver options.
+pub fn solve_master_with(
+    topo: &Topology,
+    commodities: &CommoditySet,
+    options: &DecomposedOptions,
+) -> McfResult<MasterSolution> {
     validate(topo, commodities)?;
     let start = Instant::now();
     let endpoints = commodities.endpoints();
@@ -196,7 +283,11 @@ pub fn solve_master(topo: &Topology, commodities: &CommoditySet) -> McfResult<Ma
         }
     }
 
-    let sol = lp.solve_with(&SimplexOptions::default())?;
+    let opts = SimplexOptions {
+        pricing: options.pricing,
+        ..SimplexOptions::default()
+    };
+    let sol = lp.solve_with(&opts)?;
     let flow_value = sol.value(f_var);
     let source_flows = vars
         .iter()
@@ -215,6 +306,8 @@ pub fn solve_master(topo: &Topology, commodities: &CommoditySet) -> McfResult<Ma
         flow_value,
         source_flows,
         elapsed_secs: start.elapsed().as_secs_f64(),
+        iterations: sol.iterations,
+        pivots: sol.pivots,
     })
 }
 
@@ -229,21 +322,33 @@ fn endpoint_mask(topo: &Topology, endpoints: &[NodeId]) -> Vec<bool> {
 /// Solves one child LP: split the aggregate flow of source `s` into per-destination
 /// flows of value `flow_value` each, minimizing total flow (paper constraints
 /// (10)–(14)). Returns per-destination `(edge, flow)` lists (destinations in endpoint
-/// order, skipping `s`) and the elapsed time.
+/// order, skipping `s`) and the solve statistics.
+///
+/// With [`DecomposedOptions::warm_start_children`] the child does not start from the
+/// all-slack basis: the master's solution is *projected* onto the child by building
+/// a [`triangular_crash`] basis that prefers columns in proportion to the master
+/// flow on their edge, so the simplex begins with the master's active edges already
+/// basic on the conservation rows and phase 1 has far less work to do.
 fn solve_child(
     topo: &Topology,
     commodities: &CommoditySet,
     s: NodeId,
     source_flow: &[(EdgeId, f64)],
     flow_value: f64,
-) -> McfResult<(Vec<Vec<(EdgeId, f64)>>, f64)> {
+    options: &DecomposedOptions,
+) -> McfResult<ChildOutcome> {
     let start = Instant::now();
     let endpoints = commodities.endpoints();
     let dests: Vec<NodeId> = endpoints.iter().copied().filter(|&d| d != s).collect();
 
     if flow_value <= FLOW_TOL {
         // Degenerate: nothing to route.
-        return Ok((vec![Vec::new(); dests.len()], start.elapsed().as_secs_f64()));
+        return Ok(ChildOutcome {
+            per_dest: vec![Vec::new(); dests.len()],
+            secs: start.elapsed().as_secs_f64(),
+            iterations: 0,
+            pivots: 0,
+        });
     }
 
     // Restrict to edges the master actually uses for this source.
@@ -326,7 +431,31 @@ fn solve_child(
         }
     }
 
-    let sol = lp.solve_with(&SimplexOptions::default())?;
+    // Lower once and solve on the standard form directly (the model wrapper
+    // would lower a second time); the child is a minimization, so objective and
+    // variable values need no sign flip.
+    let sf = lp.to_standard_form()?;
+    let warm_start = if options.warm_start_children {
+        // Project the master basis: child columns are preferred into the crash
+        // basis in proportion to the master flow their edge carries (with INF
+        // upper bounds, positive master flow implies the aggregate variable was
+        // basic in the master).
+        let mut preference = vec![0.0; lp.num_vars()];
+        for per_edge in &vars {
+            for (local, &v) in per_edge.iter().enumerate() {
+                preference[v.index()] = used_edges[local].1;
+            }
+        }
+        Some(triangular_crash(&sf, &preference))
+    } else {
+        None
+    };
+    let opts = SimplexOptions {
+        pricing: options.pricing,
+        warm_start,
+        ..SimplexOptions::default()
+    };
+    let sol = a2a_lp::simplex::solve(&sf, &opts)?;
     let per_dest = vars
         .iter()
         .map(|per_edge| {
@@ -334,13 +463,18 @@ fn solve_child(
                 .iter()
                 .enumerate()
                 .filter_map(|(local, &v)| {
-                    let val = sol.value(v);
+                    let val = sol.x[v.index()];
                     (val > FLOW_TOL).then_some((used_edges[local].0, val))
                 })
                 .collect()
         })
         .collect();
-    Ok((per_dest, start.elapsed().as_secs_f64()))
+    Ok(ChildOutcome {
+        per_dest,
+        secs: start.elapsed().as_secs_f64(),
+        iterations: sol.iterations,
+        pivots: sol.pivots,
+    })
 }
 
 #[cfg(test)]
@@ -360,10 +494,7 @@ mod tests {
             decomposed.solution.flow_value
         );
         // The decomposed per-commodity flows must be feasible and deliver F.
-        assert!(decomposed
-            .solution
-            .check_consistency(topo, 1e-5)
-            .is_empty());
+        assert!(decomposed.solution.check_consistency(topo, 1e-5).is_empty());
         assert!(decomposed.solution.max_link_utilization(topo) <= 1.0 + 1e-5);
     }
 
@@ -392,11 +523,56 @@ mod tests {
         assert_same_f(&generators::complete_bipartite(3, 3));
     }
 
+    /// Warm-started child LPs must reproduce the cold-start optimal concurrent rate
+    /// `F` exactly, with a feasible per-commodity split, across pricing rules and
+    /// topology families.
+    #[test]
+    fn warm_started_children_match_cold_start() {
+        for topo in [
+            generators::torus(&[3, 3]),
+            generators::hypercube(3),
+            generators::generalized_kautz(12, 3),
+        ] {
+            let commodities = CommoditySet::all_pairs(topo.num_nodes());
+            let cold = solve_decomposed_mcf_with(
+                &topo,
+                commodities.clone(),
+                &DecomposedOptions {
+                    pricing: Pricing::Dantzig,
+                    warm_start_children: false,
+                },
+            )
+            .unwrap();
+            let warm = solve_decomposed_mcf_with(
+                &topo,
+                commodities,
+                &DecomposedOptions {
+                    pricing: Pricing::Devex,
+                    warm_start_children: true,
+                },
+            )
+            .unwrap();
+            assert!(
+                (cold.solution.flow_value - warm.solution.flow_value).abs() <= 1e-7,
+                "{}: cold F = {}, warm F = {}",
+                topo.name(),
+                cold.solution.flow_value,
+                warm.solution.flow_value
+            );
+            assert!(warm.solution.check_consistency(&topo, 1e-5).is_empty());
+            assert!(warm.solution.max_link_utilization(&topo) <= 1.0 + 1e-5);
+        }
+    }
+
     #[test]
     fn timings_are_populated() {
         let topo = generators::hypercube(3);
         let decomposed = solve_decomposed_mcf(&topo).unwrap();
         assert_eq!(decomposed.timings.child_secs.len(), 8);
+        assert_eq!(decomposed.timings.child_iterations.len(), 8);
+        assert_eq!(decomposed.timings.child_pivots.len(), 8);
+        assert!(decomposed.timings.master_iterations > 0);
+        assert!(decomposed.timings.total_iterations() >= decomposed.timings.total_pivots());
         assert!(decomposed.timings.master_secs >= 0.0);
         assert!(decomposed.timings.total_child_secs() >= decomposed.timings.max_child_secs());
         assert!(

@@ -183,7 +183,11 @@ mod tests {
         let sched = extract_widest_paths(&topo, &sol).unwrap();
         assert!(sched.check_consistency(&topo, 1e-6).is_empty());
         // Direct exchange: flow value 1 and every commodity uses (mostly) its own link.
-        assert!((sched.flow_value - 1.0).abs() < 1e-5, "{}", sched.flow_value);
+        assert!(
+            (sched.flow_value - 1.0).abs() < 1e-5,
+            "{}",
+            sched.flow_value
+        );
     }
 
     #[test]
@@ -225,8 +229,9 @@ mod tests {
         let b = topo.add_edge(1, 3, 1.0);
         let c = topo.add_edge(0, 2, 1.0);
         let e = topo.add_edge(2, 3, 1.0);
-        let residual: HashMap<EdgeId, f64> =
-            [(a, 2.0), (b, 2.0), (c, 5.0), (e, 5.0)].into_iter().collect();
+        let residual: HashMap<EdgeId, f64> = [(a, 2.0), (b, 2.0), (c, 5.0), (e, 5.0)]
+            .into_iter()
+            .collect();
         let (edges, width) = widest_path(&topo, 0, 3, &residual).unwrap();
         assert_eq!(edges, vec![c, e]);
         assert!((width - 5.0).abs() < 1e-12);

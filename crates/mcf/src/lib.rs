@@ -37,7 +37,10 @@ pub mod types;
 
 pub use analysis::{max_link_load_of_paths, path_schedule_all_to_all_time, throughput_gbps};
 pub use bounds::{lower_bound_all_to_all_time, throughput_upper_bound};
-pub use decomposed::{solve_decomposed_mcf, DecomposedMcf, DecomposedTimings};
+pub use decomposed::{
+    solve_decomposed_mcf, solve_decomposed_mcf_with, DecomposedMcf, DecomposedOptions,
+    DecomposedTimings,
+};
 pub use extract::extract_widest_paths;
 pub use linkmcf::solve_link_mcf;
 pub use pmcf::{solve_path_mcf, PathSetKind};

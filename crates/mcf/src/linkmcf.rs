@@ -80,11 +80,7 @@ pub(crate) fn validate(topo: &Topology, commodities: &CommoditySet) -> McfResult
 
 /// Adds per-edge capacity constraints `sum over commodities <= cap` (skipping
 /// infinite-capacity edges).
-pub(crate) fn add_capacity_constraints(
-    lp: &mut LpProblem,
-    topo: &Topology,
-    vars: &[Vec<VarId>],
-) {
+pub(crate) fn add_capacity_constraints(lp: &mut LpProblem, topo: &Topology, vars: &[Vec<VarId>]) {
     for (e, edge) in topo.edges().iter().enumerate() {
         if edge.capacity.is_infinite() {
             continue;
@@ -181,7 +177,11 @@ mod tests {
         // F = 1 exactly.
         let topo = generators::complete(4);
         let sol = solve_link_mcf(&topo).unwrap();
-        assert!((sol.flow_value - 1.0).abs() < 1e-6, "F = {}", sol.flow_value);
+        assert!(
+            (sol.flow_value - 1.0).abs() < 1e-6,
+            "F = {}",
+            sol.flow_value
+        );
         assert!(sol.check_consistency(&topo, 1e-6).is_empty());
     }
 
@@ -192,7 +192,11 @@ mod tests {
         // F = n / (n * n(n-1)/2) = 2/(n(n-1)). For n = 4: F = 1/6.
         let topo = generators::ring(4);
         let sol = solve_link_mcf(&topo).unwrap();
-        assert!((sol.flow_value - 1.0 / 6.0).abs() < 1e-6, "F = {}", sol.flow_value);
+        assert!(
+            (sol.flow_value - 1.0 / 6.0).abs() < 1e-6,
+            "F = {}",
+            sol.flow_value
+        );
         assert!(sol.max_link_utilization(&topo) <= 1.0 + 1e-6);
     }
 
@@ -202,7 +206,11 @@ mod tests {
         // 16 total), capacity 8 links -> F = 8/16 = 1/2.
         let topo = generators::bidirectional_ring(4);
         let sol = solve_link_mcf(&topo).unwrap();
-        assert!((sol.flow_value - 0.5).abs() < 1e-6, "F = {}", sol.flow_value);
+        assert!(
+            (sol.flow_value - 0.5).abs() < 1e-6,
+            "F = {}",
+            sol.flow_value
+        );
     }
 
     #[test]
@@ -211,7 +219,11 @@ mod tests {
         // F <= 24/96 = 1/4, and the hypercube all-to-all achieves it.
         let topo = generators::hypercube(3);
         let sol = solve_link_mcf(&topo).unwrap();
-        assert!((sol.flow_value - 0.25).abs() < 1e-6, "F = {}", sol.flow_value);
+        assert!(
+            (sol.flow_value - 0.25).abs() < 1e-6,
+            "F = {}",
+            sol.flow_value
+        );
         assert!(sol.check_consistency(&topo, 1e-6).is_empty());
         assert!(sol.max_link_utilization(&topo) <= 1.0 + 1e-6);
     }
@@ -226,7 +238,11 @@ mod tests {
         let aug = HostNicAugmented::build(&base, 100.0);
         let commodities = CommoditySet::among(aug.hosts.clone());
         let sol = solve_link_mcf_among(&aug.graph, commodities).unwrap();
-        assert!((sol.flow_value - 0.5).abs() < 1e-5, "F = {}", sol.flow_value);
+        assert!(
+            (sol.flow_value - 0.5).abs() < 1e-5,
+            "F = {}",
+            sol.flow_value
+        );
     }
 
     #[test]

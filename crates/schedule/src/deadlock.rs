@@ -87,7 +87,8 @@ impl Cdg {
             Grey,
             Black,
         }
-        let mut colour: std::collections::HashMap<EdgeId, Colour> = std::collections::HashMap::new();
+        let mut colour: std::collections::HashMap<EdgeId, Colour> =
+            std::collections::HashMap::new();
         let nodes: Vec<EdgeId> = self
             .edges
             .iter()

@@ -97,8 +97,7 @@ impl ChunkedSchedule {
         let num_ranks = topo.num_nodes();
         let mut steps = Vec::with_capacity(solution.steps);
         // Remaining chunks of commodity k buffered at each rank.
-        let mut buffered: Vec<Vec<usize>> =
-            vec![vec![0; num_ranks]; solution.commodities.len()];
+        let mut buffered: Vec<Vec<usize>> = vec![vec![0; num_ranks]; solution.commodities.len()];
         for (idx, s, _) in solution.commodities.iter() {
             buffered[idx][s] = chunks_per_shard;
         }
@@ -210,8 +209,7 @@ impl ChunkedSchedule {
     /// full. Returns human-readable violations.
     pub fn validate(&self, topo: &Topology) -> Vec<String> {
         let mut issues = Vec::new();
-        let mut buffered: Vec<Vec<usize>> =
-            vec![vec![0; self.num_ranks]; self.commodities.len()];
+        let mut buffered: Vec<Vec<usize>> = vec![vec![0; self.num_ranks]; self.commodities.len()];
         for (idx, s, _) in self.commodities.iter() {
             buffered[idx][s] = self.chunks_per_shard;
         }

@@ -198,7 +198,10 @@ mod tests {
         assert!(table.validate().is_empty());
         assert_eq!(table.commodities.len(), 56);
         assert_eq!(table.chunks_per_shard, 12);
-        assert!(table.max_routes_per_commodity() <= 8, "Cerio supports 8 routes/dst");
+        assert!(
+            table.max_routes_per_commodity() <= 8,
+            "Cerio supports 8 routes/dst"
+        );
     }
 
     #[test]

@@ -79,14 +79,22 @@ pub fn to_oneccl_xml(schedule: &ChunkedSchedule, name: &str) -> String {
             out.push_str(&format!("    <step id=\"{t}\">\n"));
             for tr in &step.transfers {
                 if tr.from == rank {
-                    let buffer = if tr.origin == rank { "input" } else { "scratch" };
+                    let buffer = if tr.origin == rank {
+                        "input"
+                    } else {
+                        "scratch"
+                    };
                     out.push_str(&format!(
                         "      <send to=\"{}\" origin=\"{}\" dst=\"{}\" cnt=\"{}\" buf=\"{}\"/>\n",
                         tr.to, tr.origin, tr.final_dest, tr.chunks, buffer
                     ));
                 }
                 if tr.to == rank {
-                    let buffer = if tr.final_dest == rank { "output" } else { "scratch" };
+                    let buffer = if tr.final_dest == rank {
+                        "output"
+                    } else {
+                        "scratch"
+                    };
                     out.push_str(&format!(
                         "      <recv from=\"{}\" origin=\"{}\" dst=\"{}\" cnt=\"{}\" buf=\"{}\"/>\n",
                         tr.from, tr.origin, tr.final_dest, tr.chunks, buffer
@@ -122,7 +130,10 @@ mod tests {
         assert_eq!(xml.matches("<gpu id=").count(), 3);
         assert!(xml.contains("coll=\"alltoall\""));
         // Every send has a matching receive.
-        assert_eq!(xml.matches("<s peer=").count(), xml.matches("<r peer=").count());
+        assert_eq!(
+            xml.matches("<s peer=").count(),
+            xml.matches("<r peer=").count()
+        );
         assert!(xml.starts_with("<algo"));
         assert!(xml.trim_end().ends_with("</algo>"));
     }
@@ -134,10 +145,7 @@ mod tests {
         assert_eq!(xml.matches("<rank id=").count(), 3);
         assert!(xml.contains("<scratch"));
         // One sync per rank per step.
-        assert_eq!(
-            xml.matches("<sync/>").count(),
-            3 * sched.num_steps()
-        );
+        assert_eq!(xml.matches("<sync/>").count(), 3 * sched.num_steps());
         assert_eq!(xml.matches("<send").count(), xml.matches("<recv").count());
     }
 

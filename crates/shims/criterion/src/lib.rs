@@ -1,0 +1,184 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the macro and type surface the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Bencher::iter`) on top of a
+//! plain wall-clock loop: a short warm-up, then `sample_size` timed samples whose
+//! median is printed. No statistics, plotting or CLI parsing — just stable numbers
+//! for eyeballing regressions in environments without registry access.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, rayon-less stand-in for `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier for one benchmark case: a function name plus a parameter.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median sample duration of the last `iter` call.
+    last_median: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly: warm-up, then timed samples; stores the median.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: run until ~50ms or 3 iterations, whichever first.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u32;
+        while warm_iters < 3 && warm_start.elapsed() < Duration::from_millis(50) {
+            std_black_box(f());
+            warm_iters += 1;
+        }
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std_black_box(f());
+            times.push(start.elapsed());
+        }
+        times.sort_unstable();
+        self.last_median = times[times.len() / 2];
+    }
+}
+
+/// Group of related benchmark cases sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed samples per case.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run_case(&self, label: &str, run: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last_median: Duration::ZERO,
+        };
+        run(&mut b);
+        println!(
+            "bench {}/{}: median {:?} over {} samples",
+            self.name, label, b.last_median, self.sample_size
+        );
+    }
+
+    /// Benchmarks `f` under the given id.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut f = f;
+        self.run_case(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under the given id.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut f = f;
+        self.run_case(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing already happened per case).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group with default settings (10 samples).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _parent: self,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        let mut group = self.benchmark_group(name.clone());
+        group.bench_function("", f);
+        self
+    }
+}
+
+/// Declares a bench group function list, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function(BenchmarkId::new("case", 1), |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("with_input", 2), &21u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, trivial_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

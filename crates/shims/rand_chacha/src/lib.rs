@@ -1,0 +1,160 @@
+//! Offline stand-in for the `rand_chacha` crate.
+//!
+//! Implements a genuine ChaCha8 block function (Bernstein's ChaCha with 8 rounds)
+//! behind the [`rand::RngCore`] trait of the sibling `rand` shim. Streams are
+//! deterministic per seed; the exact output need not match the upstream crate (all
+//! in-repo consumers only rely on seed-determinism), but the generator quality is
+//! the real thing.
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha8 random number generator.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Cipher input block: constants, key, counter, nonce.
+    state: [u32; 16],
+    /// Buffered keystream words from the last block invocation.
+    buffer: [u32; 16],
+    /// Next unread index into `buffer` (16 = exhausted).
+    cursor: usize,
+}
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// Runs the 8-round block function and refills the keystream buffer.
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // Column rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in self
+            .buffer
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(s);
+        }
+        // 64-bit block counter in words 12..14.
+        let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.cursor = 0;
+    }
+
+    fn next_word(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let w = self.buffer[self.cursor];
+        self.cursor += 1;
+        w
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Expand the 64-bit seed into a 256-bit key with SplitMix64, as the real
+        // crate's `seed_from_u64` does.
+        let mut sm = seed;
+        let mut next = move || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let mut key = [0u32; 8];
+        for pair in key.chunks_exact_mut(2) {
+            let w = next();
+            pair[0] = w as u32;
+            pair[1] = (w >> 32) as u32;
+        }
+        // "expand 32-byte k" constants.
+        let mut state = [0u32; 16];
+        state[0] = 0x61707865;
+        state[1] = 0x3320646E;
+        state[2] = 0x79622D32;
+        state[3] = 0x6B206574;
+        state[4..12].copy_from_slice(&key);
+        // Counter and nonce start at zero.
+        Self {
+            state,
+            buffer: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        lo | (hi << 32)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should be unrelated, {same}/64 collided");
+    }
+
+    #[test]
+    fn range_sampling_covers_support() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.random_range(0..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn keystream_is_well_distributed() {
+        // Crude monobit check: the keystream should be roughly half ones.
+        let mut rng = ChaCha8Rng::seed_from_u64(1234);
+        let ones: u32 = (0..1000).map(|_| rng.next_u64().count_ones()).sum();
+        let ratio = ones as f64 / (1000.0 * 64.0);
+        assert!((0.48..0.52).contains(&ratio), "bias {ratio}");
+    }
+}

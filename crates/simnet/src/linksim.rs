@@ -66,14 +66,18 @@ pub fn simulate_chunked_schedule(
             .fold(0.0, f64::max);
         completion += busiest + params.step_sync_latency_s;
     }
-    SimReport::new(schedule.commodities.num_endpoints(), shard_bytes, completion)
+    SimReport::new(
+        schedule.commodities.num_endpoints(),
+        shard_bytes,
+        completion,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use a2a_mcf::tsmcf::{solve_tsmcf, solve_tsmcf_auto};
     use a2a_mcf::throughput_upper_bound;
+    use a2a_mcf::tsmcf::{solve_tsmcf, solve_tsmcf_auto};
     use a2a_topology::generators;
 
     #[test]
@@ -109,7 +113,12 @@ mod tests {
         let a = simulate_link_schedule(&topo, &sol, shard, &params);
         let b = simulate_chunked_schedule(&topo, &chunked, shard, &params);
         let rel = (a.completion_seconds - b.completion_seconds).abs() / a.completion_seconds;
-        assert!(rel < 0.2, "fractional {} vs chunked {}", a.completion_seconds, b.completion_seconds);
+        assert!(
+            rel < 0.2,
+            "fractional {} vs chunked {}",
+            a.completion_seconds,
+            b.completion_seconds
+        );
     }
 
     #[test]

@@ -25,7 +25,9 @@ pub fn simulate_path_schedule(
         for (path, weight) in &schedule.paths[idx] {
             max_hops = max_hops.max(path.hops());
             for (u, v) in path.links() {
-                let e = topo.find_edge(u, v).expect("schedule paths use fabric links");
+                let e = topo
+                    .find_edge(u, v)
+                    .expect("schedule paths use fabric links");
                 per_link_bytes[e] += weight * shard_bytes;
                 per_link_flows[e] += 1;
             }
@@ -94,8 +96,8 @@ mod tests {
         // Fig. 4 (left): MCF-extP outperforms the NCCL/OMPI native baseline by a wide
         // margin on the complete bipartite topology.
         let topo = generators::complete_bipartite(4, 4);
-        let mcf = extract_widest_paths(&topo, &solve_decomposed_mcf(&topo).unwrap().solution)
-            .unwrap();
+        let mcf =
+            extract_widest_paths(&topo, &solve_decomposed_mcf(&topo).unwrap().solution).unwrap();
         let naive = naive_point_to_point(&topo).unwrap();
         let params = SimParams::default();
         let shard = 64.0 * 1024.0 * 1024.0;
@@ -128,8 +130,8 @@ mod tests {
     #[test]
     fn qp_contention_slows_chunk_heavy_schedules() {
         let topo = generators::torus(&[3, 3]);
-        let sched = extract_widest_paths(&topo, &solve_decomposed_mcf(&topo).unwrap().solution)
-            .unwrap();
+        let sched =
+            extract_widest_paths(&topo, &solve_decomposed_mcf(&topo).unwrap().solution).unwrap();
         let shard = 32.0 * 1024.0 * 1024.0;
         let clean = simulate_path_schedule(&topo, &sched, shard, &SimParams::default());
         let contended_params = SimParams {

@@ -219,7 +219,10 @@ pub fn xpander(d: usize, k: usize, seed: u64) -> Topology {
 /// attempts (practically impossible for sensible parameters).
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Topology {
     assert!(d >= 1 && d < n, "degree must satisfy 1 <= d < n");
-    assert!(n * d % 2 == 0, "n*d must be even for a d-regular graph");
+    assert!(
+        (n * d).is_multiple_of(2),
+        "n*d must be even for a d-regular graph"
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     'attempt: for _ in 0..500 {
         let mut stubs: Vec<usize> = (0..n * d).map(|s| s / d).collect();
@@ -251,12 +254,98 @@ pub fn torus_2d_near_square(n: usize) -> Topology {
     let mut best = (1, n);
     let mut r = 1;
     while r * r <= n {
-        if n % r == 0 {
+        if n.is_multiple_of(r) {
             best = (r, n / r);
         }
         r += 1;
     }
     torus_2d(best.0, best.1)
+}
+
+/// A folded-Clos / fat-tree fabric with two switching tiers: `leaves` leaf switches
+/// each attaching `hosts_per_leaf` hosts, fully meshed to `spines` spine switches.
+///
+/// Node numbering: hosts first (`0 .. leaves*hosts_per_leaf`, host `h` under leaf
+/// `h / hosts_per_leaf`), then leaf switches, then spine switches. Host links have
+/// unit capacity; each leaf–spine link carries `hosts_per_leaf / spines` so the
+/// fabric is exactly full-bisection (rescale with
+/// [`Topology::set_uniform_capacity`] for over/under-subscription studies).
+///
+/// All-to-all traffic runs between the *hosts*; the switches are transit-only, so
+/// MCF solvers should be given the host set as commodities (for example
+/// [`FatTree::hosts`] via `CommoditySet::among`).
+pub struct FatTree {
+    /// The generated graph (hosts + switches).
+    pub graph: Topology,
+    /// The host vertices, in id order.
+    pub hosts: Vec<NodeId>,
+}
+
+/// Builds a two-tier fat tree (see [`FatTree`]).
+pub fn fat_tree_two_level(leaves: usize, spines: usize, hosts_per_leaf: usize) -> FatTree {
+    assert!(leaves >= 1 && spines >= 1 && hosts_per_leaf >= 1);
+    let nhosts = leaves * hosts_per_leaf;
+    let n = nhosts + leaves + spines;
+    let mut t = Topology::new(n, format!("fattree-{leaves}l{spines}s{hosts_per_leaf}h"));
+    let leaf_id = |l: usize| nhosts + l;
+    let spine_id = |s: usize| nhosts + leaves + s;
+    for l in 0..leaves {
+        for h in 0..hosts_per_leaf {
+            t.add_bidirectional(l * hosts_per_leaf + h, leaf_id(l), 1.0);
+        }
+        let uplink = hosts_per_leaf as f64 / spines as f64;
+        for s in 0..spines {
+            t.add_bidirectional(leaf_id(l), spine_id(s), uplink);
+        }
+    }
+    FatTree {
+        graph: t,
+        hosts: (0..nhosts).collect(),
+    }
+}
+
+/// The classic 3-tier `k`-ary fat tree (Al-Fares et al.): `k` pods of `k/2` edge and
+/// `k/2` aggregation switches, `(k/2)^2` core switches, `k^3/4` hosts. `k` must be
+/// even. Links between switching tiers carry unit capacity per physical link, hosts
+/// attach with unit links, so the fabric is non-blocking.
+pub fn fat_tree(k: usize) -> FatTree {
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "k-ary fat tree needs even k >= 2"
+    );
+    let half = k / 2;
+    let nhosts = k * half * half;
+    let nedge = k * half;
+    let nagg = k * half;
+    let ncore = half * half;
+    let n = nhosts + nedge + nagg + ncore;
+    let mut t = Topology::new(n, format!("fattree-k{k}"));
+    let edge_id = |pod: usize, e: usize| nhosts + pod * half + e;
+    let agg_id = |pod: usize, a: usize| nhosts + nedge + pod * half + a;
+    let core_id = |c: usize| nhosts + nedge + nagg + c;
+    for pod in 0..k {
+        for e in 0..half {
+            // Hosts under this edge switch.
+            for h in 0..half {
+                let host = pod * half * half + e * half + h;
+                t.add_bidirectional(host, edge_id(pod, e), 1.0);
+            }
+            // Edge to every aggregation switch of the pod.
+            for a in 0..half {
+                t.add_bidirectional(edge_id(pod, e), agg_id(pod, a), 1.0);
+            }
+        }
+        // Aggregation switch `a` connects to core group `a`.
+        for a in 0..half {
+            for i in 0..half {
+                t.add_bidirectional(agg_id(pod, a), core_id(a * half + i), 1.0);
+            }
+        }
+    }
+    FatTree {
+        graph: t,
+        hosts: (0..nhosts).collect(),
+    }
 }
 
 /// A random `d`-out-regular digraph: each node picks `d` distinct out-neighbours
@@ -288,6 +377,39 @@ pub fn random_directed(n: usize, d: usize, seed: u64) -> Topology {
 mod tests {
     use super::*;
     use crate::metrics;
+
+    #[test]
+    fn two_level_fat_tree_shape() {
+        let ft = fat_tree_two_level(4, 2, 4);
+        assert_eq!(ft.hosts.len(), 16);
+        assert_eq!(ft.graph.num_nodes(), 16 + 4 + 2);
+        assert!(ft.graph.is_strongly_connected());
+        // Host links are unit; leaf-spine links split the host bandwidth evenly.
+        let host_edge = ft.graph.out_edges(0)[0];
+        assert_eq!(ft.graph.edge(host_edge).capacity, 1.0);
+        let leaf = 16; // first leaf switch id
+        let uplink = ft
+            .graph
+            .out_edges(leaf)
+            .iter()
+            .map(|&e| ft.graph.edge(e))
+            .find(|edge| edge.dst >= 16 + 4)
+            .expect("leaf has a spine uplink");
+        assert_eq!(uplink.capacity, 2.0);
+    }
+
+    #[test]
+    fn three_tier_fat_tree_shape() {
+        let ft = fat_tree(4);
+        // k=4: 16 hosts, 8 edge, 8 agg, 4 core.
+        assert_eq!(ft.hosts.len(), 16);
+        assert_eq!(ft.graph.num_nodes(), 16 + 8 + 8 + 4);
+        assert!(ft.graph.is_strongly_connected());
+        // Every host has exactly one attachment link.
+        for &h in &ft.hosts {
+            assert_eq!(ft.graph.out_degree(h), 1);
+        }
+    }
 
     #[test]
     fn ring_structure() {

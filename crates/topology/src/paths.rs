@@ -24,11 +24,51 @@ impl Path {
     /// Panics if fewer than two nodes are given or a node repeats.
     pub fn new(nodes: Vec<NodeId>) -> Self {
         assert!(nodes.len() >= 2, "a path needs at least two nodes");
-        let mut seen = std::collections::HashSet::new();
-        for &n in &nodes {
-            assert!(seen.insert(n), "node {n} repeats; paths must be simple");
+        // Path construction sits on the hot path of the path-set builders, which
+        // probe millions of candidate sequences on large topologies — a HashSet
+        // per candidate dominates. Short paths get an allocation-free quadratic
+        // scan; longer ones one bitset allocation sized by the largest node id.
+        if nodes.len() <= 16 {
+            for (i, &n) in nodes.iter().enumerate() {
+                for &m in &nodes[i + 1..] {
+                    assert!(n != m, "node {n} repeats; paths must be simple");
+                }
+            }
+        } else {
+            let max = *nodes.iter().max().expect("non-empty") + 1;
+            let mut seen = vec![0u64; max.div_ceil(64)];
+            for &n in &nodes {
+                let (word, bit) = (n / 64, n % 64);
+                assert!(
+                    seen[word] & (1 << bit) == 0,
+                    "node {n} repeats; paths must be simple"
+                );
+                seen[word] |= 1 << bit;
+            }
         }
         Self { nodes }
+    }
+
+    /// Creates a path without the simplicity check.
+    ///
+    /// For internal builders whose construction already guarantees a simple
+    /// sequence (BFS/DFS trees with visited sets, bounded DFS with an on-stack
+    /// mask). The length invariant is still asserted — it is O(1).
+    pub(crate) fn new_unchecked(nodes: Vec<NodeId>) -> Self {
+        debug_assert!(
+            Self::is_simple(&nodes),
+            "builder produced a non-simple path"
+        );
+        assert!(nodes.len() >= 2, "a path needs at least two nodes");
+        Self { nodes }
+    }
+
+    /// True if no node repeats in `nodes`.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    fn is_simple(nodes: &[NodeId]) -> bool {
+        let mut sorted = nodes.to_vec();
+        sorted.sort_unstable();
+        sorted.windows(2).all(|w| w[0] != w[1])
     }
 
     /// Node sequence of the path.
@@ -102,7 +142,8 @@ pub fn shortest_path(topo: &Topology, s: NodeId, d: NodeId) -> Option<Path> {
         }
     }
     nodes.reverse();
-    Some(Path::new(nodes))
+    // BFS predecessor chains visit each node at most once.
+    Some(Path::new_unchecked(nodes))
 }
 
 /// Dijkstra shortest path under non-negative per-edge weights (indexed by [`EdgeId`]).
@@ -115,7 +156,11 @@ pub fn weighted_shortest_path(
 ) -> Option<Path> {
     use std::cmp::Ordering;
     use std::collections::BinaryHeap;
-    assert_eq!(weights.len(), topo.num_edges(), "one weight per edge required");
+    assert_eq!(
+        weights.len(),
+        topo.num_edges(),
+        "one weight per edge required"
+    );
     if s == d {
         return None;
     }
@@ -155,7 +200,12 @@ pub fn weighted_shortest_path(
         hops: 0,
         node: s,
     });
-    while let Some(Item { cost, hops: h, node }) = heap.pop() {
+    while let Some(Item {
+        cost,
+        hops: h,
+        node,
+    }) = heap.pop()
+    {
         if cost > dist[node] + 1e-12 {
             continue;
         }
@@ -168,9 +218,7 @@ pub fn weighted_shortest_path(
             assert!(w >= 0.0, "negative weight on edge {e}");
             let nd = cost + w;
             let nh = h + 1;
-            if nd < dist[edge.dst] - 1e-12
-                || (nd < dist[edge.dst] + 1e-12 && nh < hops[edge.dst])
-            {
+            if nd < dist[edge.dst] - 1e-12 || (nd < dist[edge.dst] + 1e-12 && nh < hops[edge.dst]) {
                 dist[edge.dst] = nd;
                 hops[edge.dst] = nh;
                 prev[edge.dst] = Some(node);
@@ -195,7 +243,8 @@ pub fn weighted_shortest_path(
         }
     }
     nodes.reverse();
-    Some(Path::new(nodes))
+    // Dijkstra predecessor chains are cycle-free under non-negative weights.
+    Some(Path::new_unchecked(nodes))
 }
 
 /// All shortest `s -> d` paths, capped at `max_paths` (enumeration order is
@@ -237,7 +286,8 @@ fn dfs_shortest(
     }
     let u = *stack.last().expect("stack never empty");
     if u == d {
-        result.push(Path::new(stack.clone()));
+        // The stack ascends strict BFS levels, so it cannot revisit a node.
+        result.push(Path::new_unchecked(stack.clone()));
         return;
     }
     let du = dist_from_s[u].expect("on-path nodes are reachable");
@@ -320,7 +370,8 @@ fn dfs_bounded(
     }
     let u = *stack.last().expect("stack never empty");
     if u == d {
-        result.push(Path::new(stack.clone()));
+        // `on_stack` masks every node already on the path.
+        result.push(Path::new_unchecked(stack.clone()));
         return;
     }
     let used = stack.len() - 1;
@@ -333,7 +384,7 @@ fn dfs_bounded(
             continue;
         }
         match dist_to_d[v] {
-            Some(rem) if rem + 1 <= budget => {
+            Some(rem) if rem < budget => {
                 stack.push(v);
                 on_stack[v] = true;
                 dfs_bounded(

@@ -29,10 +29,7 @@ pub fn remove_random_links<R: Rng>(topo: &Topology, count: usize, rng: &mut R) -
     for _ in 0..1000 {
         let mut chosen = pairs.clone();
         chosen.shuffle(rng);
-        let removed: Vec<EdgeId> = chosen[..count]
-            .iter()
-            .flat_map(|&(a, b)| [a, b])
-            .collect();
+        let removed: Vec<EdgeId> = chosen[..count].iter().flat_map(|&(a, b)| [a, b]).collect();
         let candidate = topo.without_edges(&removed);
         if candidate.is_strongly_connected() {
             return candidate;

@@ -183,7 +183,9 @@ mod tests {
             assert!(aug.graph.has_edge(aug.nic_in[i], aug.hosts[i]));
             assert!(aug.graph.has_edge(aug.hosts[i], aug.nic_out[i]));
             assert_eq!(
-                aug.graph.find_edge(aug.nic_in[i], aug.hosts[i]).map(|e| aug.graph.edge(e).capacity),
+                aug.graph
+                    .find_edge(aug.nic_in[i], aug.hosts[i])
+                    .map(|e| aug.graph.edge(e).capacity),
                 Some(2.0)
             );
         }

@@ -14,7 +14,7 @@ use std::time::Duration;
 
 use a2a_baselines::taccl_like_heuristic;
 use a2a_mcf::tsmcf::solve_tsmcf_auto;
-use a2a_simnet::{simulate_link_schedule, shard_bytes_for_buffer, SimParams};
+use a2a_simnet::{shard_bytes_for_buffer, simulate_link_schedule, SimParams};
 use a2a_topology::generators;
 
 fn main() {
@@ -48,7 +48,10 @@ fn main() {
 
     // A DLRM iteration exchanges per-GPU embedding batches from a few MB to hundreds
     // of MB depending on batch size and embedding dimension.
-    println!("\n{:>14} {:>14} {:>14} {:>9}", "buffer/GPU", "tsMCF GB/s", "TACCL GB/s", "speedup");
+    println!(
+        "\n{:>14} {:>14} {:>14} {:>9}",
+        "buffer/GPU", "tsMCF GB/s", "TACCL GB/s", "speedup"
+    );
     for shift in [20u32, 22, 24, 26, 28] {
         let buffer = (1u64 << shift) as f64;
         let shard = shard_bytes_for_buffer(buffer, topo.num_nodes());

@@ -39,7 +39,10 @@ fn main() {
     );
 
     let calibration = FftCalibration::measure();
-    println!("\n{:>8} {:>12} {:>22} {:>22}", "grid", "a2a buffer", "MCF-extP total (s)", "SSSP total (s)");
+    println!(
+        "\n{:>8} {:>12} {:>22} {:>22}",
+        "grid", "a2a buffer", "MCF-extP total (s)", "SSSP total (s)"
+    );
     for grid in [128usize, 256, 384] {
         let workload = SlabFft3d::new(grid, topo.num_nodes());
         let shard = workload.shard_bytes();

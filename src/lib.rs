@@ -1,0 +1,14 @@
+//! Umbrella crate for the all-to-all collective-communication toolchain.
+//!
+//! Re-exports every workspace crate under one root so downstream users (and the
+//! cross-crate integration tests and examples in this package) can depend on a
+//! single name. The real code lives in the `crates/` members.
+
+pub use a2a_baselines as baselines;
+pub use a2a_core as core;
+pub use a2a_fft as fft;
+pub use a2a_lp as lp;
+pub use a2a_mcf as mcf;
+pub use a2a_schedule as schedule;
+pub use a2a_simnet as simnet;
+pub use a2a_topology as topology;

@@ -1,8 +1,12 @@
-//! Property-based cross-crate invariants on randomly generated direct-connect
-//! topologies: every scheduler in the workspace must produce feasible schedules whose
-//! quality is bounded by the MCF optimum, and bounds must order correctly.
+//! Randomized cross-crate invariants on generated direct-connect topologies: every
+//! scheduler in the workspace must produce feasible schedules whose quality is
+//! bounded by the MCF optimum, and bounds must order correctly.
+//!
+//! Topologies are drawn from a seeded ChaCha8 stream (no proptest in this build
+//! environment); each case is reproducible from its index.
 
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 use a2a_baselines::{equal_weight_shortest_paths, naive_point_to_point, sssp_schedule};
 use a2a_mcf::analysis::max_link_load_of_paths;
@@ -11,48 +15,76 @@ use a2a_mcf::pmcf::{solve_path_mcf, PathSetKind};
 use a2a_mcf::{extract_widest_paths, solve_decomposed_mcf};
 use a2a_topology::{generators, Topology};
 
-/// Strategy: small random strongly connected regular-ish digraphs from the generator
-/// families used in the evaluation.
-fn random_topology() -> impl Strategy<Value = Topology> {
-    prop_oneof![
-        (6usize..12, 2usize..4).prop_map(|(n, d)| generators::generalized_kautz(n, d)),
-        (3usize..5).prop_map(|k| generators::complete_bipartite(k, k)),
-        Just(generators::torus(&[3, 3])),
-        (8usize..12, 0u64..4).prop_map(|(n, seed)| {
+/// Small random strongly connected regular-ish digraphs from the generator families
+/// used in the evaluation.
+fn random_topology(rng: &mut ChaCha8Rng) -> Topology {
+    match rng.random_range(0..4) {
+        0 => {
+            let n = rng.random_range(6..12);
+            let d = rng.random_range(2..4);
+            generators::generalized_kautz(n, d)
+        }
+        1 => {
+            let k = rng.random_range(3..5);
+            generators::complete_bipartite(k, k)
+        }
+        2 => generators::torus(&[3, 3]),
+        _ => {
+            let n = rng.random_range(8..12);
             let n = if n % 2 == 1 { n + 1 } else { n };
+            let seed = rng.random_range(0..4) as u64;
             generators::random_regular(n, 3, seed)
-        }),
-    ]
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(6))]
+const CASES: usize = 6;
 
-    /// The decomposed MCF yields a feasible flow whose value is bounded by the
-    /// distance/capacity bound, and widest-path extraction produces a valid schedule
-    /// no better than the optimum.
-    #[test]
-    fn mcf_and_extraction_invariants(topo in random_topology()) {
+/// The decomposed MCF yields a feasible flow whose value is bounded by the
+/// distance/capacity bound, and widest-path extraction produces a valid schedule no
+/// better than the optimum.
+#[test]
+fn mcf_and_extraction_invariants() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x1417A);
+    for case in 0..CASES {
+        let topo = random_topology(&mut rng);
         let decomposed = solve_decomposed_mcf(&topo).unwrap();
         let f = decomposed.solution.flow_value;
-        prop_assert!(f > 0.0);
+        assert!(f > 0.0, "case {case} ({})", topo.name());
         // Flow feasibility.
-        prop_assert!(decomposed.solution.max_link_utilization(&topo) <= 1.0 + 1e-5);
-        prop_assert!(decomposed.solution.check_consistency(&topo, 1e-5).is_empty());
+        assert!(decomposed.solution.max_link_utilization(&topo) <= 1.0 + 1e-5);
+        assert!(decomposed
+            .solution
+            .check_consistency(&topo, 1e-5)
+            .is_empty());
         // 1/F respects the distance/capacity lower bound.
         let bound = distance_capacity_lower_bound(&topo).unwrap();
-        prop_assert!(1.0 / f >= bound - 1e-6, "1/F = {} below bound {}", 1.0 / f, bound);
+        assert!(
+            1.0 / f >= bound - 1e-6,
+            "case {case} ({}): 1/F = {} below bound {}",
+            topo.name(),
+            1.0 / f,
+            bound
+        );
         // Extraction yields a consistent schedule that cannot beat the optimum.
         let extracted = extract_widest_paths(&topo, &decomposed.solution).unwrap();
-        prop_assert!(extracted.check_consistency(&topo, 1e-6).is_empty());
-        prop_assert!(extracted.flow_value <= f + 1e-6);
-        prop_assert!(extracted.flow_value >= 0.5 * f, "extraction lost more than half the rate");
+        assert!(extracted.check_consistency(&topo, 1e-6).is_empty());
+        assert!(extracted.flow_value <= f + 1e-6);
+        assert!(
+            extracted.flow_value >= 0.5 * f,
+            "case {case} ({}): extraction lost more than half the rate",
+            topo.name()
+        );
     }
+}
 
-    /// Single-path and equal-split baselines are feasible and never beat the MCF; the
-    /// path-based MCF over disjoint paths is sandwiched between them and the optimum.
-    #[test]
-    fn baseline_ordering_invariants(topo in random_topology()) {
+/// Single-path and equal-split baselines are feasible and never beat the MCF; the
+/// path-based MCF over disjoint paths is likewise bounded by the optimum.
+#[test]
+fn baseline_ordering_invariants() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xBA5E11);
+    for case in 0..CASES {
+        let topo = random_topology(&mut rng);
         let optimum = solve_decomposed_mcf(&topo).unwrap().solution.flow_value;
         let optimal_time = 1.0 / optimum;
 
@@ -61,14 +93,18 @@ proptest! {
             equal_weight_shortest_paths(&topo).unwrap(),
             naive_point_to_point(&topo).unwrap(),
         ] {
-            prop_assert!(schedule.check_consistency(&topo, 1e-6).is_empty());
+            assert!(schedule.check_consistency(&topo, 1e-6).is_empty());
             let time = max_link_load_of_paths(&topo, &schedule);
-            prop_assert!(time >= optimal_time - 1e-6);
+            assert!(
+                time >= optimal_time - 1e-6,
+                "case {case} ({}): baseline beat the optimum",
+                topo.name()
+            );
         }
 
         let pmcf = solve_path_mcf(&topo, PathSetKind::EdgeDisjoint).unwrap();
-        prop_assert!(pmcf.check_consistency(&topo, 1e-6).is_empty());
+        assert!(pmcf.check_consistency(&topo, 1e-6).is_empty());
         let pmcf_time = max_link_load_of_paths(&topo, &pmcf);
-        prop_assert!(pmcf_time >= optimal_time - 1e-6);
+        assert!(pmcf_time >= optimal_time - 1e-6);
     }
 }

@@ -11,9 +11,7 @@ use a2a_baselines::{
 use a2a_core::{FabricSpec, GeneratedSchedule, LoweredArtifact, Toolchain};
 use a2a_mcf::analysis::max_link_load_of_paths;
 use a2a_mcf::tsmcf::solve_tsmcf_auto;
-use a2a_mcf::{
-    extract_widest_paths, solve_decomposed_mcf, solve_link_mcf, throughput_upper_bound,
-};
+use a2a_mcf::{extract_widest_paths, solve_decomposed_mcf, solve_link_mcf, throughput_upper_bound};
 use a2a_schedule::{lower_path_schedule, to_msccl_xml, ChunkedSchedule, LashVariant};
 use a2a_simnet::{simulate_link_schedule, simulate_path_schedule, SimParams};
 use a2a_topology::generators;
@@ -32,8 +30,14 @@ fn ml_pipeline_end_to_end_on_the_gpu_testbed_topologies() {
         let lowered = Toolchain::lower(&topo, &generated).unwrap();
         match (&generated, &lowered) {
             (
-                GeneratedSchedule::TimeStepped { solution, topology, .. },
-                LoweredArtifact::LinkPrograms { chunked, msccl_xml, oneccl_xml },
+                GeneratedSchedule::TimeStepped {
+                    solution, topology, ..
+                },
+                LoweredArtifact::LinkPrograms {
+                    chunked,
+                    msccl_xml,
+                    oneccl_xml,
+                },
             ) => {
                 assert!(solution.check_consistency(topology, 1e-6).is_empty());
                 assert!(chunked.validate(topology).is_empty());
@@ -61,7 +65,10 @@ fn ml_pipeline_end_to_end_on_the_gpu_testbed_topologies() {
 
 #[test]
 fn hpc_pipeline_end_to_end_on_expander_and_torus() {
-    for topo in [generators::generalized_kautz(10, 3), generators::torus(&[3, 3])] {
+    for topo in [
+        generators::generalized_kautz(10, 3),
+        generators::torus(&[3, 3]),
+    ] {
         let fabric = FabricSpec::hpc_nic_forwarding(LINK_GBPS).with_host_injection(12.5);
         let generated = Toolchain::generate(&topo, &fabric).unwrap();
         let GeneratedSchedule::Routed { schedule, .. } = &generated else {
@@ -73,7 +80,10 @@ fn hpc_pipeline_end_to_end_on_expander_and_torus() {
             panic!("expected route tables");
         };
         assert!(table.validate().is_empty());
-        assert!(table.num_layers <= 4, "LASH-sequential stays within 4 layers");
+        assert!(
+            table.num_layers <= 4,
+            "LASH-sequential stays within 4 layers"
+        );
         let report = Toolchain::simulate(&topo, &generated, 1 << 26, &fabric);
         assert!(report.throughput_gbps > 0.0);
     }
