@@ -1,15 +1,24 @@
 //! Reproducible LP-layer perf harness: decomposed-MCF and path-MCF solves on
 //! 16/32/64-node torus and fat-tree topologies, comparing the cold-start Dantzig
 //! configuration against the warm-started devex configuration in the same run.
+//! Both configurations run with the LP presolve + scaling + Forrest–Tomlin
+//! pipeline that is now the solver default.
 //!
-//! Emits `BENCH_pr1.json` (median wall-clock over repetitions, simplex iteration
-//! and pivot counts, and the decomposed cold/warm speedups) so future PRs have a
-//! performance trajectory to compare against, plus a human-readable summary on
-//! stdout.
+//! Emits `BENCH_pr2.json` (median wall-clock over repetitions, simplex iteration
+//! and pivot counts, presolve row/column reductions, refactorization counts, and
+//! the decomposed cold/warm speedups) so future PRs have a performance
+//! trajectory to compare against, plus a human-readable summary on stderr.
 //!
-//! Usage: `perf_harness [--quick] [--out PATH]`
-//!   --quick   CI smoke mode: smallest sizes only, one repetition.
-//!   --out     Output JSON path (default `BENCH_pr1.json`).
+//! Every case asserts that path-MCF (widened path sets) and decomposed-MCF agree
+//! on the concurrent flow value — the fat-tree divergence recorded in
+//! `BENCH_pr1.json` came from the edge-disjoint set collapsing to one max-flow
+//! path per commodity on single-uplink hosts.
+//!
+//! Usage: `perf_harness [--quick] [--out PATH] [--baseline PATH]`
+//!   --quick      CI smoke mode: smallest sizes only, one repetition.
+//!   --out        Output JSON path (default `BENCH_pr2.json`).
+//!   --baseline   Compare against a previous JSON (same schema): exit nonzero if
+//!                any matching case regresses more than 2x in median wall time.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -19,6 +28,24 @@ use a2a_mcf::decomposed::{solve_decomposed_mcf_with, DecomposedOptions};
 use a2a_mcf::pmcf::{solve_path_mcf_among, PathSetKind};
 use a2a_mcf::CommoditySet;
 use a2a_topology::{generators, NodeId, Topology};
+
+/// Median wall-time regression (vs `--baseline`) tolerated before the harness
+/// fails. Deliberately loose until CI hardware timings prove stable.
+const MAX_REGRESSION: f64 = 2.0;
+
+/// Absolute slack added on top of [`MAX_REGRESSION`]: quick-tier cases finish in
+/// tens of milliseconds, where cross-machine wall-clock ratios are dominated by
+/// cache state and scheduler noise rather than code. A case only fails the gate
+/// once it is both >2x slower *and* more than this many seconds over budget, so
+/// an 11 ms case jittering to 25 ms passes while any real blow-up still trips.
+const NOISE_FLOOR_SECS: f64 = 0.25;
+
+/// Shortest-path cap for the widened path-MCF candidate sets. Small on purpose:
+/// a handful of shortest paths per pair is enough to cover every parallel spine
+/// of the fat trees (≤ 4), while distant torus pairs have combinatorially many
+/// shortest paths and a large cap would inflate the path LP for no optimality
+/// gain (the edge-disjoint core is already optimal there).
+const WIDENED_MAX_PER_PAIR: usize = 8;
 
 /// One benchmark case: a topology plus the commodity endpoints to route among.
 struct Case {
@@ -64,6 +91,9 @@ struct Record {
     iterations: Option<usize>,
     pivots: Option<usize>,
     master_iterations: Option<usize>,
+    refactorizations: Option<usize>,
+    presolve_rows_removed: Option<usize>,
+    presolve_cols_removed: Option<usize>,
     flow_value: f64,
 }
 
@@ -77,10 +107,12 @@ fn decomposed_config(config: &str) -> DecomposedOptions {
         "cold-dantzig" => DecomposedOptions {
             pricing: Pricing::Dantzig,
             warm_start_children: false,
+            ..DecomposedOptions::default()
         },
         "warm-devex" => DecomposedOptions {
             pricing: Pricing::Devex,
             warm_start_children: true,
+            ..DecomposedOptions::default()
         },
         _ => unreachable!("unknown config {config}"),
     }
@@ -110,6 +142,9 @@ fn run_decomposed(case: &Case, config: &'static str, reps: usize) -> Record {
         iterations: Some(solved.timings.total_iterations()),
         pivots: Some(solved.timings.total_pivots()),
         master_iterations: Some(solved.timings.master_iterations),
+        refactorizations: Some(solved.timings.total_refactorizations()),
+        presolve_rows_removed: Some(solved.timings.master_presolve_rows_removed),
+        presolve_cols_removed: Some(solved.timings.master_presolve_cols_removed),
         flow_value: solved.solution.flow_value,
     }
 }
@@ -120,8 +155,14 @@ fn run_path_mcf(case: &Case, reps: usize) -> Record {
     for _ in 0..reps {
         let commodities = CommoditySet::among(case.hosts.clone());
         let start = Instant::now();
-        let schedule = solve_path_mcf_among(&case.topo, commodities, PathSetKind::EdgeDisjoint)
-            .expect("path MCF solve");
+        let schedule = solve_path_mcf_among(
+            &case.topo,
+            commodities,
+            PathSetKind::Widened {
+                max_per_pair: WIDENED_MAX_PER_PAIR,
+            },
+        )
+        .expect("path MCF solve");
         walls.push(start.elapsed().as_secs_f64());
         flow = schedule.flow_value;
     }
@@ -130,12 +171,15 @@ fn run_path_mcf(case: &Case, reps: usize) -> Record {
         topology: case.name.clone(),
         nodes: case.topo.num_nodes(),
         endpoints: case.hosts.len(),
-        config: "default",
+        config: "widened",
         reps,
         median_wall_secs: median(walls),
         iterations: None,
         pivots: None,
         master_iterations: None,
+        refactorizations: None,
+        presolve_rows_removed: None,
+        presolve_cols_removed: None,
         flow_value: flow,
     }
 }
@@ -144,15 +188,77 @@ fn json_opt(v: Option<usize>) -> String {
     v.map_or_else(|| "null".into(), |x| x.to_string())
 }
 
+/// Pulls a string field out of a single-line JSON object written by this tool.
+fn json_field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(&line[start..start + end])
+}
+
+/// Pulls a numeric field out of a single-line JSON object written by this tool.
+fn json_field_f64(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find([',', '}']).unwrap_or(line.len() - start);
+    line[start..start + end].trim().parse().ok()
+}
+
+/// Compares the freshly measured records against a baseline JSON produced by an
+/// earlier run of this harness. Returns the list of regressions beyond
+/// [`MAX_REGRESSION`]. A baseline that matches *no* measured case at all is
+/// itself a failure — otherwise a renamed config or a malformed baseline file
+/// would make the gate pass vacuously.
+fn check_baseline(baseline_json: &str, records: &[Record]) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut matched = 0usize;
+    for line in baseline_json.lines() {
+        let (Some(workload), Some(topology), Some(config), Some(base_median)) = (
+            json_field_str(line, "workload"),
+            json_field_str(line, "topology"),
+            json_field_str(line, "config"),
+            json_field_f64(line, "median_wall_secs"),
+        ) else {
+            continue;
+        };
+        let Some(current) = records
+            .iter()
+            .find(|r| r.workload == workload && r.topology == topology && r.config == config)
+        else {
+            continue; // baseline case not measured in this tier — fine
+        };
+        matched += 1;
+        let ratio = current.median_wall_secs / base_median.max(1e-9);
+        if ratio > MAX_REGRESSION
+            && current.median_wall_secs > base_median * MAX_REGRESSION + NOISE_FLOOR_SECS
+        {
+            failures.push(format!(
+                "{workload}/{topology}/{config}: {:.3}s vs baseline {:.3}s ({ratio:.2}x > {MAX_REGRESSION}x)",
+                current.median_wall_secs, base_median
+            ));
+        }
+    }
+    if matched == 0 {
+        failures.push(
+            "baseline matched no measured case (renamed workloads/configs or malformed file?) — \
+             regenerate it with --quick --out"
+                .into(),
+        );
+    }
+    failures
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_pr1.json".into());
+    let arg_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_pr2.json".into());
+    let baseline_path = arg_value("--baseline");
 
     let cases: Vec<Case> = if quick {
         vec![Case::torus(&[4, 4]), Case::fat_tree(4, 2, 4)]
@@ -170,12 +276,9 @@ fn main() {
     for case in &cases {
         // The cold-start Dantzig baseline needs tens of minutes at the 64-endpoint
         // sizes (that gap is the point of the comparison), so the largest cases
-        // run once while the small ones take a median of three.
-        let reps = if quick || case.hosts.len() >= 64 {
-            1
-        } else {
-            3
-        };
+        // run once while the small ones — including the quick tier, whose medians
+        // feed the CI regression gate — take a median of three.
+        let reps = if case.hosts.len() >= 64 { 1 } else { 3 };
         eprintln!(
             "# {} ({} nodes, {} endpoints)",
             case.name,
@@ -185,40 +288,52 @@ fn main() {
         for config in ["cold-dantzig", "warm-devex"] {
             let rec = run_decomposed(case, config, reps);
             eprintln!(
-                "  decomposed-mcf {config}: median {:.3}s, {} iterations, {} pivots, F = {:.6}",
+                "  decomposed-mcf {config}: median {:.3}s, {} iterations, {} pivots, \
+                 {} refactorizations, presolve -{}r/-{}c, F = {:.6}",
                 rec.median_wall_secs,
                 rec.iterations.unwrap_or(0),
                 rec.pivots.unwrap_or(0),
+                rec.refactorizations.unwrap_or(0),
+                rec.presolve_rows_removed.unwrap_or(0),
+                rec.presolve_cols_removed.unwrap_or(0),
                 rec.flow_value
             );
             records.push(rec);
         }
         let rec = run_path_mcf(case, reps);
         eprintln!(
-            "  path-mcf (edge-disjoint): median {:.3}s, F = {:.6}",
+            "  path-mcf (widened): median {:.3}s, F = {:.6}",
             rec.median_wall_secs, rec.flow_value
         );
         records.push(rec);
     }
 
-    // Cold/warm speedups per topology, plus agreement check on F.
+    // Cold/warm speedups per topology, plus agreement checks on F: the two
+    // decomposed configs must agree, and path-MCF (widened) must agree with the
+    // decomposed optimum on every case.
     let mut speedups: Vec<(String, f64)> = Vec::new();
     for case in &cases {
-        let find = |config: &str| {
+        let find = |workload: &str, config: &str| {
             records
                 .iter()
-                .find(|r| {
-                    r.workload == "decomposed-mcf" && r.topology == case.name && r.config == config
-                })
-                .expect("both configs ran")
+                .find(|r| r.workload == workload && r.topology == case.name && r.config == config)
+                .expect("every workload ran")
         };
-        let cold = find("cold-dantzig");
-        let warm = find("warm-devex");
+        let cold = find("decomposed-mcf", "cold-dantzig");
+        let warm = find("decomposed-mcf", "warm-devex");
+        let path = find("path-mcf", "widened");
         assert!(
             (cold.flow_value - warm.flow_value).abs() <= 1e-6 * (1.0 + cold.flow_value.abs()),
             "{}: cold and warm configs disagree on F ({} vs {})",
             case.name,
             cold.flow_value,
+            warm.flow_value
+        );
+        assert!(
+            (path.flow_value - warm.flow_value).abs() <= 1e-6 * (1.0 + warm.flow_value.abs()),
+            "{}: path-MCF and decomposed-MCF disagree on F ({} vs {})",
+            case.name,
+            path.flow_value,
             warm.flow_value
         );
         let speedup = cold.median_wall_secs / warm.median_wall_secs.max(1e-12);
@@ -229,7 +344,7 @@ fn main() {
     // Hand-rolled JSON (no serde in this build environment).
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"pr\": 1,");
+    let _ = writeln!(json, "  \"pr\": 2,");
     let _ = writeln!(json, "  \"harness\": \"perf_harness\",");
     let _ = writeln!(json, "  \"quick\": {quick},");
     json.push_str("  \"results\": [\n");
@@ -238,7 +353,8 @@ fn main() {
             json,
             "    {{\"workload\": \"{}\", \"topology\": \"{}\", \"nodes\": {}, \"endpoints\": {}, \
              \"config\": \"{}\", \"reps\": {}, \"median_wall_secs\": {:.6}, \"iterations\": {}, \
-             \"pivots\": {}, \"master_iterations\": {}, \"flow_value\": {:.9}}}",
+             \"pivots\": {}, \"master_iterations\": {}, \"refactorizations\": {}, \
+             \"presolve_rows_removed\": {}, \"presolve_cols_removed\": {}, \"flow_value\": {:.9}}}",
             r.workload,
             r.topology,
             r.nodes,
@@ -249,6 +365,9 @@ fn main() {
             json_opt(r.iterations),
             json_opt(r.pivots),
             json_opt(r.master_iterations),
+            json_opt(r.refactorizations),
+            json_opt(r.presolve_rows_removed),
+            json_opt(r.presolve_cols_removed),
             r.flow_value,
         );
         json.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
@@ -263,4 +382,19 @@ fn main() {
 
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
     println!("wrote {out_path}");
+
+    if let Some(path) = baseline_path {
+        let baseline =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        let failures = check_baseline(&baseline, &records);
+        if failures.is_empty() {
+            eprintln!("# baseline check vs {path}: ok");
+        } else {
+            eprintln!("# baseline check vs {path}: REGRESSIONS");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

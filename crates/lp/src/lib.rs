@@ -8,20 +8,40 @@
 //! The crate provides:
 //!
 //! * [`sparse`] — compressed sparse column/row matrices and sparse vectors.
-//! * [`lu`] — sparse LU factorization (Gilbert–Peierls style) with partial pivoting,
-//!   used to factorize simplex bases.
-//! * [`simplex`] — a bounded-variable revised simplex method with a two-phase start,
-//!   product-form basis updates and periodic refactorization. Pricing defaults to
-//!   devex with incrementally maintained reduced costs
+//! * [`lu`] — sparse LU factorization (Markowitz threshold pivoting) of simplex
+//!   bases, kept current across pivots by **Forrest–Tomlin updates**
+//!   ([`lu::LuFactorization::replace_column`]): the entering column's partial
+//!   FTRAN spikes the replaced `U` column, the row spike is eliminated into one
+//!   bounded row eta, and the factorization refuses unstable updates so the
+//!   simplex refactorizes exactly when the numerics demand it.
+//! * [`presolve`] — reductions applied before the simplex sees a model
+//!   (fixed-variable elimination, singleton-row substitution, empty/redundant-row
+//!   removal) plus geometric-mean row/column scaling rounded to powers of two,
+//!   with a postsolve that maps primal values and the exported basis back to the
+//!   original model so warm starts keep working end to end.
+//! * [`simplex`] — a bounded-variable revised simplex method with a two-phase
+//!   start. Pricing defaults to devex with incrementally maintained reduced costs
 //!   ([`simplex::Pricing::Devex`]); Dantzig remains available, starts can be
 //!   warm ([`simplex::SimplexOptions::warm_start`], [`simplex::triangular_crash`])
-//!   and every solution exports its basis for reuse.
+//!   and every solution exports its basis for reuse. Presolve and scaling are on
+//!   by default ([`simplex::SimplexOptions::presolve`] /
+//!   [`simplex::SimplexOptions::scaling`]).
 //! * [`model`] — a small modelling layer ([`model::LpProblem`]) with named variables,
 //!   linear constraints and minimize/maximize objectives.
 //! * [`ilp`] — branch-and-bound over the LP solver for the (deliberately small-scale)
 //!   integer-programming baselines in the paper's evaluation.
 //! * [`reference`] — a dense textbook tableau simplex used as an independent oracle in
 //!   tests.
+//!
+//! # Solve pipeline
+//!
+//! [`simplex::solve`] runs `presolve → scale → simplex (FT-updated basis) →
+//! postsolve`. The presolve typically strips the hundreds of forced-zero flow
+//! variables every MCF formulation carries (for example "no flow back into the
+//! source" edges) and the rows they empty; the Forrest–Tomlin update policy
+//! refactorizes after [`simplex::SimplexOptions::refactor_interval`] updates,
+//! on fill growth past a fixed multiple of the base factorization, or
+//! immediately when an update's new diagonal is too small relative to its spike.
 //!
 //! The solver targets the structure of network-flow LPs: very sparse columns (2–4
 //! nonzeros), coefficients of ±1 and modest right-hand sides. It is exact (up to
@@ -32,12 +52,14 @@ pub mod error;
 pub mod ilp;
 pub mod lu;
 pub mod model;
+pub mod presolve;
 pub mod reference;
 pub mod simplex;
 pub mod sparse;
 
 pub use error::{LpError, LpResult};
 pub use model::{ConstraintSense, LpProblem, LpSolution, Objective, SolveStatus, VarId};
+pub use presolve::Reduction;
 pub use simplex::{triangular_crash, BasisStatus, Pricing, SimplexOptions, WarmStart};
 
 /// Default feasibility / optimality tolerance used across the crate.

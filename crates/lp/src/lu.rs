@@ -1,19 +1,59 @@
-//! Sparse LU factorization of simplex basis matrices.
+//! Sparse LU factorization of simplex basis matrices, with Forrest–Tomlin updates.
 //!
-//! The factorization is a left-looking (Gilbert–Peierls flavoured) column algorithm
-//! with partial pivoting by magnitude. It produces `P·B = L·U` with `L` unit lower
-//! triangular and `U` upper triangular, both stored column-wise in *pivot-position*
-//! space, plus the row permutation `P`.
+//! The factorization is a right-looking Markowitz-pivoted column algorithm. It
+//! produces `P·B = L·U` with `L` unit lower triangular and `U` upper triangular,
+//! both stored column-wise in *pivot-position* ("step") space, plus the row
+//! permutation `P` and the pivot-order column permutation.
 //!
-//! Only two solve kernels are needed by the revised simplex method:
+//! Two solve kernels serve the revised simplex method:
 //! [`LuFactorization::solve`] (`B x = b`, "ftran") and
-//! [`LuFactorization::solve_transpose`] (`Bᵀ x = b`, "btran").
+//! [`LuFactorization::solve_transpose`] (`Bᵀ x = b`, "btran"), plus the
+//! hypersparse variants [`LuFactorization::ftran_sparse`] /
+//! [`LuFactorization::btran_sparse`] that take a sparse right-hand side through
+//! symbolic-reach triangular solves.
+//!
+//! # Forrest–Tomlin basis updates
+//!
+//! A simplex pivot replaces one basis column. Instead of appending a product-form
+//! eta (whose FTRAN/BTRAN cost grows without bound until the next refactorization),
+//! [`LuFactorization::replace_column`] performs the Forrest–Tomlin update: the
+//! partial FTRAN result `w = R·L⁻¹·P·a` of the entering column becomes the new
+//! column of `U` (a *spike*), the replaced pivot position moves to the end of the
+//! triangular order, and the resulting row spike is eliminated against the rows
+//! below it. The elimination multipliers are recorded as one *row eta* (`R` grows
+//! by a factor `I − e_p mᵀ`), so fill is confined to the spike column — `U` stays
+//! explicitly triangular and every later solve runs at factorization-quality cost.
+//!
+//! The update refuses to commit (returns `false`, demanding a fresh
+//! factorization) when the new diagonal is too small relative to the spike — the
+//! standard FT stability trigger — and callers should also refactorize once
+//! [`LuFactorization::updates`] or [`LuFactorization::fill_exceeded`] report that
+//! the accumulated row-eta file or fill outgrew the base factorization.
 
 use crate::error::{LpError, LpResult};
 use crate::sparse::{SparseScratch, SparseVec};
 
 /// Pivot magnitudes below this threshold are considered singular.
 pub const PIVOT_TOL: f64 = 1e-10;
+
+/// A Forrest–Tomlin update rejects the new diagonal (and demands refactorization)
+/// when it is smaller than this fraction of the largest spike magnitude.
+const FT_STABILITY_TOL: f64 = 1e-9;
+
+/// [`LuFactorization::fill_exceeded`] triggers once the stored factor nonzeros
+/// outgrow this multiple of the base factorization's fill.
+const FT_FILL_GROWTH_LIMIT: usize = 4;
+
+/// One Forrest–Tomlin row transformation `R = I − e_pos·mᵀ`: the elimination
+/// multipliers that zeroed the row spike of one column replacement.
+#[derive(Debug, Clone)]
+struct FtEta {
+    /// Step position whose row was eliminated (the replaced pivot, now last in
+    /// the triangular order).
+    pos: usize,
+    /// `(step, multiplier)` pairs in elimination order.
+    entries: Vec<(usize, f64)>,
+}
 
 /// Sparse LU factors of a square basis matrix.
 #[derive(Debug, Clone)]
@@ -44,6 +84,22 @@ pub struct LuFactorization {
     col_perm: Vec<usize>,
     /// Inverse permutation: `col_pos[j]` = factorization step of original column `j`.
     col_pos: Vec<usize>,
+    /// Triangular order of the steps: `order[i]` = step processed `i`-th during
+    /// back substitution. Identity after factorization; Forrest–Tomlin updates
+    /// cyclically move the replaced step to the end.
+    order: Vec<usize>,
+    /// Inverse of `order`: `order_pos[k]` = rank of step `k` in the order.
+    order_pos: Vec<usize>,
+    /// Forrest–Tomlin row etas accumulated since factorization, in creation order.
+    ft_etas: Vec<FtEta>,
+    /// Column replacements committed since factorization (an update whose row
+    /// spike was already empty records no eta but still counts).
+    updates: usize,
+    /// Nonzeros stored by the base factorization (fill-growth reference).
+    base_nnz: usize,
+    /// Running factor + eta nonzero count, maintained incrementally by
+    /// [`Self::replace_column`] so the per-pivot fill check is O(1).
+    current_nnz: usize,
 }
 
 /// Reusable state for the hypersparse solve kernels ([`LuFactorization::ftran_sparse`]
@@ -60,6 +116,8 @@ pub struct LuScratch {
     stack: Vec<(usize, usize)>,
     /// Staging buffer for sparse permutations.
     pairs: Vec<(usize, f64)>,
+    /// Row-spike accumulator for Forrest–Tomlin eliminations.
+    row_acc: SparseScratch,
 }
 
 impl LuScratch {
@@ -70,6 +128,7 @@ impl LuScratch {
             order: Vec::with_capacity(64),
             stack: Vec::with_capacity(64),
             pairs: Vec::with_capacity(64),
+            row_acc: SparseScratch::new(n),
         }
     }
 
@@ -78,6 +137,7 @@ impl LuScratch {
         if n > self.visited.len() {
             self.visited.resize(n, false);
         }
+        self.row_acc.resize(n);
     }
 }
 
@@ -435,6 +495,9 @@ impl LuFactorization {
             }
         }
 
+        let base_nnz = l_cols.iter().map(Vec::len).sum::<usize>()
+            + u_cols.iter().map(Vec::len).sum::<usize>()
+            + n;
         Ok(Self {
             n,
             l_cols,
@@ -446,6 +509,12 @@ impl LuFactorization {
             row_pos,
             col_perm,
             col_pos,
+            order: (0..n).collect(),
+            order_pos: (0..n).collect(),
+            ft_etas: Vec::new(),
+            updates: 0,
+            base_nnz,
+            current_nnz: base_nnz,
         })
     }
 
@@ -479,10 +548,18 @@ impl LuFactorization {
                 y[pos] -= lv * yk;
             }
         }
-        // Back solve U x = y, column oriented. Step k of the factorization holds
-        // original column `col_perm[k]`, so the result scatters back through the
-        // column permutation.
-        for k in (0..self.n).rev() {
+        // Forrest–Tomlin row transformations, in creation order.
+        for eta in &self.ft_etas {
+            let mut acc = 0.0;
+            for &(j, m) in &eta.entries {
+                acc += m * y[j];
+            }
+            y[eta.pos] -= acc;
+        }
+        // Back solve U x = y, column oriented, in reverse triangular order. Step k
+        // of the factorization holds original column `col_perm[k]`, so the result
+        // scatters back through the column permutation.
+        for &k in self.order.iter().rev() {
             let xk = y[k] / self.u_diag[k];
             y[k] = xk;
             if xk == 0.0 {
@@ -500,15 +577,25 @@ impl LuFactorization {
     /// Solves `Bᵀ x = b` in place: on return `b` holds `x`.
     pub fn solve_transpose(&self, b: &mut [f64]) {
         assert_eq!(b.len(), self.n);
-        // Solve Uᵀ t = b (forward). Input component `b[j]` belongs to factorization
-        // step `col_pos[j]`, i.e. step k reads `b[col_perm[k]]`.
+        // Solve Uᵀ t = b (forward, in triangular order). Input component `b[j]`
+        // belongs to factorization step `col_pos[j]`, i.e. step k reads
+        // `b[col_perm[k]]`.
         let mut t = vec![0.0; self.n];
-        for k in 0..self.n {
+        for &k in &self.order {
             let mut acc = b[self.col_perm[k]];
             for &(pos, uv) in &self.u_cols[k] {
                 acc -= uv * t[pos];
             }
             t[k] = acc / self.u_diag[k];
+        }
+        // Transposed Forrest–Tomlin row transformations, in reverse creation order.
+        for eta in self.ft_etas.iter().rev() {
+            let tp = t[eta.pos];
+            if tp != 0.0 {
+                for &(j, m) in &eta.entries {
+                    t[j] -= m * tp;
+                }
+            }
         }
         // Solve Lᵀ w = t (backward, unit diagonal).
         for k in (0..self.n).rev() {
@@ -533,6 +620,34 @@ impl LuFactorization {
     /// those positions — O(flops) rather than O(n) per solve, the decisive cost on
     /// network bases where a pivot column has 2–4 nonzeros.
     pub fn ftran_sparse(&self, b: &mut SparseScratch, scratch: &mut LuScratch) {
+        self.ftran_lower(b, scratch);
+        self.ftran_upper(b, scratch);
+    }
+
+    /// [`Self::ftran_sparse`] that additionally snapshots the *partial* result
+    /// `w = R·L⁻¹·P·b` (step space, after the lower solve and the row etas, before
+    /// the upper solve) into `partial`. That vector is exactly the Forrest–Tomlin
+    /// spike [`Self::replace_column`] needs when `b` is the entering column.
+    pub fn ftran_sparse_with_partial(
+        &self,
+        b: &mut SparseScratch,
+        scratch: &mut LuScratch,
+        partial: &mut SparseScratch,
+    ) {
+        self.ftran_lower(b, scratch);
+        partial.resize(self.n);
+        partial.clear();
+        for (i, v) in b.iter() {
+            if v != 0.0 {
+                partial.set(i, v);
+            }
+        }
+        self.ftran_upper(b, scratch);
+    }
+
+    /// Permutation + lower-triangular + row-eta half of the hypersparse FTRAN:
+    /// leaves `w = R·L⁻¹·P·b` in `b` (step space).
+    fn ftran_lower(&self, b: &mut SparseScratch, scratch: &mut LuScratch) {
         debug_assert_eq!(b.dim(), self.n);
         scratch.resize(self.n);
         // y = P b (sparse permutation via the staging buffer).
@@ -553,7 +668,26 @@ impl LuFactorization {
                 b.add(pos, -lv * yk);
             }
         }
-        // Back solve U x = y over the reach set (edges point to smaller positions).
+        // Forrest–Tomlin row transformations, in creation order: each gathers the
+        // eta support and updates the single spiked position.
+        for eta in &self.ft_etas {
+            let mut acc = 0.0;
+            for &(j, m) in &eta.entries {
+                let yj = b.get(j);
+                if yj != 0.0 {
+                    acc += m * yj;
+                }
+            }
+            if acc != 0.0 {
+                b.add(eta.pos, -acc);
+            }
+        }
+    }
+
+    /// Upper-triangular + column-permutation half of the hypersparse FTRAN.
+    fn ftran_upper(&self, b: &mut SparseScratch, scratch: &mut LuScratch) {
+        // Back solve U x = y over the reach set (edges point to earlier-ordered
+        // positions; the DFS topological order handles the update permutation).
         symbolic_reach(&self.u_cols, b, scratch);
         for i in 0..scratch.order.len() {
             let k = scratch.order[i];
@@ -598,6 +732,20 @@ impl LuFactorization {
                 b.add(col, -uv * tk);
             }
         }
+        // Transposed Forrest–Tomlin row transformations, in reverse creation order:
+        // each scatters the spiked position's value into the eta support.
+        for eta in self.ft_etas.iter().rev() {
+            let tp = if b.is_marked(eta.pos) {
+                b.get(eta.pos)
+            } else {
+                0.0
+            };
+            if tp != 0.0 {
+                for &(j, m) in &eta.entries {
+                    b.add(j, -m * tp);
+                }
+            }
+        }
         // Solve Lᵀ w = t in push form (unit diagonal): propagate along rows of L.
         symbolic_reach(&self.l_rows, b, scratch);
         for i in 0..scratch.order.len() {
@@ -616,6 +764,134 @@ impl LuFactorization {
             let (k, v) = scratch.pairs[i];
             b.set(self.row_perm[k], v);
         }
+    }
+
+    /// Forrest–Tomlin update: replaces the basis column at original column index
+    /// `col` (the basis *position* the factorization was built from) with the
+    /// column whose partial FTRAN result `spike = R·L⁻¹·P·a` was captured by
+    /// [`Self::ftran_sparse_with_partial`]. Returns `true` when the update
+    /// committed; `false` means the new diagonal was too small for a stable
+    /// update — the factorization is then **poisoned** and the caller must
+    /// refactorize the new basis from scratch before any further solve.
+    pub fn replace_column(
+        &mut self,
+        col: usize,
+        spike: &SparseScratch,
+        scratch: &mut LuScratch,
+    ) -> bool {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let p = self.col_pos[col];
+        scratch.resize(self.n);
+
+        // 1. Remove the old column p of U from the row lists.
+        let old_col = std::mem::take(&mut self.u_cols[p]);
+        for &(i, _) in &old_col {
+            if let Some(k) = self.u_rows[i].iter().position(|&(c, _)| c == p) {
+                self.u_rows[i].swap_remove(k);
+            }
+        }
+
+        // 2. Insert the spike as the new column p; its entry at row p seeds the
+        //    new diagonal.
+        let mut new_diag = 0.0;
+        let mut spike_max = 0.0f64;
+        let mut ncol = Vec::with_capacity(spike.nnz());
+        for (i, v) in spike.iter() {
+            if v == 0.0 {
+                continue;
+            }
+            spike_max = spike_max.max(v.abs());
+            if i == p {
+                new_diag = v;
+            } else {
+                ncol.push((i, v));
+                self.u_rows[i].push((p, v));
+            }
+        }
+        self.u_cols[p] = ncol;
+
+        // 3. Move p to the end of the triangular order.
+        let t = self.order_pos[p];
+        self.order.remove(t);
+        self.order.push(p);
+        for k in t..self.n {
+            self.order_pos[self.order[k]] = k;
+        }
+
+        // 4. Eliminate the row spike. Row p (the old U row, plus fill as it
+        //    appears) must become empty — p is now last in the order, so every
+        //    entry sits below the permuted diagonal. Entries are processed in
+        //    triangular order via a min-heap on the order rank; eliminating
+        //    against row j subtracts `m·row_j`, which can only create fill at
+        //    later-ordered columns (including the spike column p, which feeds the
+        //    new diagonal instead of the heap).
+        let row_p = std::mem::take(&mut self.u_rows[p]);
+        let acc = &mut scratch.row_acc;
+        acc.clear();
+        let mut heap: BinaryHeap<Reverse<(usize, usize)>> = BinaryHeap::with_capacity(row_p.len());
+        for &(c, v) in &row_p {
+            if let Some(k) = self.u_cols[c].iter().position(|&(i, _)| i == p) {
+                self.u_cols[c].swap_remove(k);
+            }
+            if v != 0.0 {
+                acc.set(c, v);
+                heap.push(Reverse((self.order_pos[c], c)));
+            }
+        }
+        let mut entries: Vec<(usize, f64)> = Vec::new();
+        while let Some(Reverse((_, j))) = heap.pop() {
+            let vj = acc.get(j);
+            // Zero: already eliminated (duplicate heap entry) or exact cancellation.
+            if vj == 0.0 {
+                continue;
+            }
+            let m = vj / self.u_diag[j];
+            acc.set(j, 0.0);
+            entries.push((j, m));
+            for &(c, ujc) in &self.u_rows[j] {
+                if c == p {
+                    new_diag -= m * ujc;
+                } else {
+                    let was_zero = acc.get(c) == 0.0;
+                    acc.add(c, -m * ujc);
+                    if was_zero {
+                        heap.push(Reverse((self.order_pos[c], c)));
+                    }
+                }
+            }
+        }
+        acc.clear();
+
+        // 5. Stability gate: a tiny new diagonal relative to the spike means the
+        //    replacement basis is (near-)singular in this update path; demand a
+        //    fresh factorization instead of committing garbage.
+        if new_diag.abs() < PIVOT_TOL || new_diag.abs() < FT_STABILITY_TOL * spike_max {
+            return false;
+        }
+
+        // 6. Commit. The running nonzero count gains the spike and the new row
+        //    eta and loses the dropped column and the eliminated row.
+        self.current_nnz = (self.current_nnz + self.u_cols[p].len() + entries.len())
+            .saturating_sub(old_col.len() + row_p.len());
+        self.u_diag[p] = new_diag;
+        if !entries.is_empty() {
+            self.ft_etas.push(FtEta { pos: p, entries });
+        }
+        self.updates += 1;
+        true
+    }
+
+    /// Number of Forrest–Tomlin updates applied since the last factorization.
+    pub fn updates(&self) -> usize {
+        self.updates
+    }
+
+    /// True once update fill has outgrown the base factorization enough that a
+    /// refactorization will pay for itself. O(1) — checked on every pivot.
+    pub fn fill_exceeded(&self) -> bool {
+        self.current_nnz > FT_FILL_GROWTH_LIMIT * self.base_nnz + 16
     }
 
     /// Original row index occupying pivot position `k`.
@@ -837,6 +1113,153 @@ mod tests {
         expected[n - 2] = 1.0;
         lu.solve(&mut expected);
         assert_close(b.values(), &expected, 1e-12);
+    }
+
+    /// Runs one Forrest–Tomlin replacement of `col` with `newcol` on `lu`,
+    /// asserting the update committed.
+    fn ft_replace(lu: &mut LuFactorization, scratch: &mut LuScratch, col: usize, newcol: &[f64]) {
+        let n = newcol.len();
+        let mut b = SparseScratch::new(n);
+        for (i, &v) in newcol.iter().enumerate() {
+            if v != 0.0 {
+                b.set(i, v);
+            }
+        }
+        let mut partial = SparseScratch::new(n);
+        lu.ftran_sparse_with_partial(&mut b, scratch, &mut partial);
+        assert!(
+            lu.replace_column(col, &partial, scratch),
+            "stable update should commit"
+        );
+    }
+
+    #[test]
+    fn forrest_tomlin_update_matches_refactorization() {
+        // Random sparse diagonally-dominant matrix; replace several columns in
+        // sequence via FT updates and compare every solve kernel against a
+        // from-scratch factorization of the mutated matrix.
+        let n = 25;
+        let mut state = 0xC0FFEEu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        let mut a = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                let v = next();
+                a[i][j] = if (i + 2 * j) % 6 == 0 { v } else { 0.0 };
+            }
+            a[i][i] += 3.0;
+        }
+        let (dim, cols) = dense_to_columns(&a);
+        let mut lu = LuFactorization::factorize(dim, &cols).unwrap();
+        let mut scratch = LuScratch::new(n);
+
+        for round in 0..8usize {
+            let col = (round * 7 + 3) % n;
+            let mut newcol = vec![0.0; n];
+            newcol[col] = 2.5 + next().abs();
+            newcol[(col + 5) % n] = next();
+            newcol[(col + 11) % n] = next();
+            ft_replace(&mut lu, &mut scratch, col, &newcol);
+            for (i, row) in a.iter_mut().enumerate() {
+                row[col] = newcol[i];
+            }
+            assert_eq!(lu.updates(), round + 1);
+            // The O(1) fill counter must track the real factor + eta nonzeros.
+            let eta_nnz: usize = lu.ft_etas.iter().map(|e| e.entries.len()).sum();
+            assert_eq!(lu.current_nnz, lu.fill_nnz() + eta_nnz);
+
+            let x_true: Vec<f64> = (0..n).map(|i| (i as f64) * 0.3 - 2.0).collect();
+            let mut b = dense_matvec(&a, &x_true);
+            lu.solve(&mut b);
+            assert_close(&b, &x_true, 1e-7);
+            let mut bt = dense_matvec_t(&a, &x_true);
+            lu.solve_transpose(&mut bt);
+            assert_close(&bt, &x_true, 1e-7);
+
+            // Hypersparse kernels agree with the dense ones after updates.
+            let mut expected = vec![0.0; n];
+            expected[(col + 3) % n] = 1.0;
+            expected[(col + 9) % n] = -2.5;
+            let mut s = SparseScratch::new(n);
+            s.set((col + 3) % n, 1.0);
+            s.set((col + 9) % n, -2.5);
+            lu.ftran_sparse(&mut s, &mut scratch);
+            lu.solve(&mut expected);
+            assert_close(s.values(), &expected, 1e-8);
+
+            let mut expected_t = vec![0.0; n];
+            expected_t[(col + 3) % n] = 1.0;
+            expected_t[(col + 9) % n] = -2.5;
+            let mut st = SparseScratch::new(n);
+            st.set((col + 3) % n, 1.0);
+            st.set((col + 9) % n, -2.5);
+            lu.btran_sparse(&mut st, &mut scratch);
+            lu.solve_transpose(&mut expected_t);
+            assert_close(st.values(), &expected_t, 1e-8);
+        }
+    }
+
+    #[test]
+    fn forrest_tomlin_rejects_singular_replacement() {
+        // Replacing column 1 with a copy of column 0 makes the matrix singular;
+        // the update must refuse and demand refactorization.
+        let a = vec![
+            vec![2.0, 0.0, 1.0],
+            vec![1.0, 3.0, 0.0],
+            vec![0.0, 1.0, 4.0],
+        ];
+        let (n, cols) = dense_to_columns(&a);
+        let mut lu = LuFactorization::factorize(n, &cols).unwrap();
+        let mut scratch = LuScratch::new(n);
+        let dup: Vec<f64> = (0..n).map(|i| a[i][0]).collect();
+        let mut b = SparseScratch::new(n);
+        for (i, &v) in dup.iter().enumerate() {
+            if v != 0.0 {
+                b.set(i, v);
+            }
+        }
+        let mut partial = SparseScratch::new(n);
+        lu.ftran_sparse_with_partial(&mut b, &mut scratch, &mut partial);
+        assert!(!lu.replace_column(1, &partial, &mut scratch));
+    }
+
+    #[test]
+    fn forrest_tomlin_repeated_same_position() {
+        // Repeatedly updating the same column stresses the order bookkeeping
+        // (the position is already last after the first update).
+        let n = 12;
+        let mut a = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            a[i][i] = 2.0;
+            if i + 1 < n {
+                a[i][i + 1] = 1.0;
+                a[i + 1][i] = -0.5;
+            }
+        }
+        let (dim, cols) = dense_to_columns(&a);
+        let mut lu = LuFactorization::factorize(dim, &cols).unwrap();
+        let mut scratch = LuScratch::new(n);
+        for round in 0..5usize {
+            let mut newcol = vec![0.0; n];
+            newcol[4] = 1.5 + round as f64 * 0.25;
+            newcol[(round + 1) % n] = 0.75;
+            ft_replace(&mut lu, &mut scratch, 4, &newcol);
+            for (i, row) in a.iter_mut().enumerate() {
+                row[4] = newcol[i];
+            }
+            let x_true: Vec<f64> = (0..n).map(|i| 1.0 - (i as f64) * 0.1).collect();
+            let mut b = dense_matvec(&a, &x_true);
+            lu.solve(&mut b);
+            assert_close(&b, &x_true, 1e-8);
+            let mut bt = dense_matvec_t(&a, &x_true);
+            lu.solve_transpose(&mut bt);
+            assert_close(&bt, &x_true, 1e-8);
+        }
     }
 
     #[test]

@@ -85,6 +85,12 @@ pub struct LpSolution {
     pub iterations: usize,
     /// Basis changes performed (iterations minus bound flips).
     pub pivots: usize,
+    /// Basis refactorizations performed during the solve.
+    pub refactorizations: usize,
+    /// Constraint rows removed by presolve before the simplex ran.
+    pub presolve_rows_removed: usize,
+    /// Variables removed by presolve before the simplex ran.
+    pub presolve_cols_removed: usize,
     /// Final simplex basis: structural variables in [`VarId::index`] order followed
     /// by one logical variable per constraint. Feed it back through
     /// [`crate::SimplexOptions::warm_start`] to re-solve this (or a structurally
@@ -309,6 +315,9 @@ impl LpProblem {
             status: SolveStatus::Optimal,
             iterations: sol.iterations,
             pivots: sol.pivots,
+            refactorizations: sol.refactorizations,
+            presolve_rows_removed: sol.presolve_rows_removed,
+            presolve_cols_removed: sol.presolve_cols_removed,
             basis: sol.basis,
         })
     }

@@ -6,12 +6,24 @@
 //! the basic variables (a piecewise-linear infeasibility objective), phase 2 minimizes
 //! the real objective.
 //!
-//! The basis inverse is maintained as a sparse LU factorization ([`crate::lu`]) plus a
-//! product-form eta file that is periodically collapsed by refactorization. All
+//! By default [`solve`] first runs the [`crate::presolve`] reductions (fixed-variable
+//! elimination, singleton-row substitution, empty/redundant-row removal, and
+//! geometric-mean row/column scaling) and maps the reduced solution back through the
+//! postsolve — disable via [`SimplexOptions::presolve`] / [`SimplexOptions::scaling`].
+//!
+//! The basis inverse is maintained as a sparse LU factorization ([`crate::lu`]) kept
+//! current across pivots by **Forrest–Tomlin updates**
+//! ([`crate::lu::LuFactorization::replace_column`]): each basis change spikes the
+//! replaced `U` column with the entering column's partial FTRAN, eliminates the row
+//! spike into a single bounded row eta, and leaves `U` explicitly triangular — so
+//! FTRAN/BTRAN cost stays at factorization quality instead of growing with an
+//! unbounded product-form eta file. The basis is refactorized from scratch only when
+//! the update count reaches [`SimplexOptions::refactor_interval`], when update fill
+//! outgrows the base factorization, or when an update reports instability. All
 //! per-pivot linear algebra is *hypersparse*: FTRAN/BTRAN take sparse right-hand
-//! sides through symbolic-reach triangular solves ([`crate::lu::LuFactorization::ftran_sparse`])
-//! and the ratio test, step update and eta construction iterate nonzero patterns
-//! instead of dense work arrays.
+//! sides through symbolic-reach triangular solves
+//! ([`crate::lu::LuFactorization::ftran_sparse`]) and the ratio test and step update
+//! iterate nonzero patterns instead of dense work arrays.
 //!
 //! # Pricing
 //!
@@ -98,7 +110,10 @@ pub struct SimplexOptions {
     pub tol: f64,
     /// Pivot-magnitude tolerance in the ratio test.
     pub pivot_tol: f64,
-    /// Number of eta updates accumulated before the basis is refactorized.
+    /// Number of Forrest–Tomlin basis updates accumulated before the basis is
+    /// refactorized from scratch (fill growth or an unstable update refactorize
+    /// earlier). FT updates keep per-solve cost flat, so this can be much larger
+    /// than a product-form eta file would tolerate.
     pub refactor_interval: usize,
     /// Number of consecutive degenerate pivots tolerated before switching to Bland's
     /// anti-cycling rule.
@@ -109,8 +124,17 @@ pub struct SimplexOptions {
     /// column count. Ignored under [`Pricing::Dantzig`].
     pub candidate_list_size: usize,
     /// Optional starting basis (see [`WarmStart`]). Falls back to the all-slack
-    /// basis when absent, malformed or singular.
+    /// basis when absent, malformed or singular. With presolve enabled the start
+    /// is mapped into the reduced space (and falls back silently if the mapping
+    /// leaves the wrong number of basics).
     pub warm_start: Option<WarmStart>,
+    /// Run the [`crate::presolve`] reductions (fixed-variable elimination,
+    /// singleton-row substitution, empty/redundant-row removal) before the
+    /// simplex sees the model, and map the solution back afterwards.
+    pub presolve: bool,
+    /// Apply geometric-mean row/column scaling (rounded to powers of two, so the
+    /// transform is exact in floating point) to the model the simplex solves.
+    pub scaling: bool,
 }
 
 impl Default for SimplexOptions {
@@ -119,11 +143,13 @@ impl Default for SimplexOptions {
             max_iterations: 1_000_000,
             tol: 1e-7,
             pivot_tol: 1e-9,
-            refactor_interval: 32,
+            refactor_interval: 100,
             degenerate_switch: 2_000,
             pricing: Pricing::default(),
             candidate_list_size: 0,
             warm_start: None,
+            presolve: true,
+            scaling: true,
         }
     }
 }
@@ -174,12 +200,32 @@ pub struct StandardSolution {
     pub iterations: usize,
     /// Basis changes performed (iterations minus bound flips).
     pub pivots: usize,
+    /// Basis refactorizations performed (initial factorization excluded).
+    pub refactorizations: usize,
+    /// Constraint rows removed by presolve (0 when presolve was disabled).
+    pub presolve_rows_removed: usize,
+    /// Structural columns removed by presolve (0 when presolve was disabled).
+    pub presolve_cols_removed: usize,
     /// Final basis, reusable as [`SimplexOptions::warm_start`] for a related solve.
     pub basis: WarmStart,
 }
 
-/// Solves a standard-form LP. Convenience wrapper over [`Solver`].
+/// Solves a standard-form LP: presolve + scaling reductions (unless disabled via
+/// [`SimplexOptions::presolve`] / [`SimplexOptions::scaling`]) around the core
+/// [`Solver`], with the solution postsolved back to the original model.
 pub fn solve(sf: &StandardForm, options: &SimplexOptions) -> LpResult<StandardSolution> {
+    if options.presolve || options.scaling {
+        crate::presolve::solve_with_reductions(sf, options)
+    } else {
+        solve_core(sf, options)
+    }
+}
+
+/// Solves a standard-form LP with the bare simplex (no presolve, no scaling).
+pub(crate) fn solve_core(
+    sf: &StandardForm,
+    options: &SimplexOptions,
+) -> LpResult<StandardSolution> {
     Solver::new(sf, options.clone())?.solve()
 }
 
@@ -283,70 +329,6 @@ enum VarStatus {
     FreeZero,
 }
 
-/// A single product-form update: basis column `pos` was replaced by a column whose
-/// basis-space representation is `entries` plus `pivot` at `pos`.
-#[derive(Debug, Clone)]
-struct Eta {
-    pos: usize,
-    pivot: f64,
-    entries: Vec<(usize, f64)>,
-}
-
-struct Factor {
-    lu: LuFactorization,
-    etas: Vec<Eta>,
-}
-
-impl Factor {
-    /// Applies `B^{-1}` to a dense vector in place (refactorization-time only; the
-    /// per-pivot path uses [`Factor::ftran_sparse`]).
-    fn ftran_dense(&self, v: &mut [f64]) {
-        self.lu.solve(v);
-        for eta in &self.etas {
-            let zp = v[eta.pos] / eta.pivot;
-            if zp != 0.0 {
-                for &(i, w) in &eta.entries {
-                    v[i] -= w * zp;
-                }
-            }
-            v[eta.pos] = zp;
-        }
-    }
-
-    /// Applies `B^{-1}` to a sparse vector: input in original-row space, output in
-    /// basis-position space, pattern tracked throughout.
-    fn ftran_sparse(&self, v: &mut SparseScratch, scratch: &mut LuScratch) {
-        self.lu.ftran_sparse(v, scratch);
-        for eta in &self.etas {
-            let zp = v.get(eta.pos) / eta.pivot;
-            if zp != 0.0 {
-                for &(i, w) in &eta.entries {
-                    v.add(i, -w * zp);
-                }
-                v.set(eta.pos, zp);
-            } else if v.is_marked(eta.pos) {
-                v.set(eta.pos, 0.0);
-            }
-        }
-    }
-
-    /// Applies `B^{-T}` to a sparse vector: input in basis-position space, output in
-    /// original-row space, pattern tracked throughout.
-    fn btran_sparse(&self, v: &mut SparseScratch, scratch: &mut LuScratch) {
-        for eta in self.etas.iter().rev() {
-            let mut acc = v.get(eta.pos);
-            for &(i, w) in &eta.entries {
-                acc -= w * v.get(i);
-            }
-            let val = acc / eta.pivot;
-            if val != 0.0 || v.is_marked(eta.pos) {
-                v.set(eta.pos, val);
-            }
-        }
-        self.lu.btran_sparse(v, scratch);
-    }
-}
-
 /// Bounded-variable revised simplex solver state.
 pub struct Solver<'a> {
     sf: &'a StandardForm,
@@ -358,9 +340,11 @@ pub struct Solver<'a> {
     basis: Vec<usize>,
     /// Current value of every variable (structural + logical).
     x: Vec<f64>,
-    factor: Factor,
+    /// Basis factorization, kept current across pivots by Forrest–Tomlin updates.
+    lu: LuFactorization,
     iterations: usize,
     pivots: usize,
+    refactorizations: usize,
     degenerate_run: usize,
     use_bland: bool,
     /// Devex reference weights, one per variable.
@@ -377,6 +361,8 @@ pub struct Solver<'a> {
     col_buf: SparseScratch,
     /// Scratch: pivotal row `rho = e_r B^{-1}` for devex updates.
     row_buf: SparseScratch,
+    /// Scratch: partial FTRAN of the entering column (the Forrest–Tomlin spike).
+    spike_buf: SparseScratch,
     /// Scratch for the LU symbolic/numeric solves.
     lu_scratch: LuScratch,
     /// Row-wise copy of the structural matrix: `a_rows[i]` lists `(column, value)`
@@ -442,12 +428,10 @@ impl<'a> Solver<'a> {
             status: Vec::new(),
             basis: Vec::new(),
             x: Vec::new(),
-            factor: Factor {
-                lu: LuFactorization::factorize(0, &[])?,
-                etas: Vec::new(),
-            },
+            lu: LuFactorization::factorize(0, &[])?,
             iterations: 0,
             pivots: 0,
+            refactorizations: 0,
             degenerate_run: 0,
             use_bland: false,
             weights: vec![1.0; ntotal],
@@ -457,6 +441,7 @@ impl<'a> Solver<'a> {
             dual_buf: SparseScratch::new(nrows),
             col_buf: SparseScratch::new(nrows),
             row_buf: SparseScratch::new(nrows),
+            spike_buf: SparseScratch::new(nrows),
             lu_scratch: LuScratch::new(nrows),
             // Only the phase-2 devex regime reads the row-wise copy; Dantzig
             // solves skip the O(nnz) construction and the doubled footprint.
@@ -621,15 +606,13 @@ impl<'a> Solver<'a> {
                 }
             })
             .collect();
-        self.factor = Factor {
-            lu: LuFactorization::factorize(self.nrows, &cols)?,
-            etas: Vec::new(),
-        };
+        self.lu = LuFactorization::factorize(self.nrows, &cols)?;
+        self.refactorizations += 1;
         if std::env::var_os("A2A_LP_FILL").is_some() {
             eprintln!(
                 "refactorize: nrows={} fill_nnz={}",
                 self.nrows,
-                self.factor.lu.fill_nnz()
+                self.lu.fill_nnz()
             );
         }
         self.recompute_basic_values();
@@ -653,7 +636,7 @@ impl<'a> Solver<'a> {
                 }
             }
         }
-        self.factor.ftran_dense(&mut rhs);
+        self.lu.solve(&mut rhs);
         for (pos, &j) in self.basis.iter().enumerate() {
             self.x[j] = rhs[pos];
         }
@@ -677,6 +660,8 @@ impl<'a> Solver<'a> {
 
     /// Runs both phases to optimality.
     pub fn solve(mut self) -> LpResult<StandardSolution> {
+        // Count only in-solve refactorizations, not the initial basis setup.
+        self.refactorizations = 0;
         if self.infeasibility() > self.opts.tol {
             self.run_phase(true)?;
             self.recompute_basic_values();
@@ -756,6 +741,9 @@ impl<'a> Solver<'a> {
             objective,
             iterations: self.iterations,
             pivots: self.pivots,
+            refactorizations: self.refactorizations,
+            presolve_rows_removed: 0,
+            presolve_cols_removed: 0,
             basis: self.export_basis(),
         }
     }
@@ -855,51 +843,41 @@ impl<'a> Solver<'a> {
                     p.btran_y += t.elapsed();
                 }
                 let t2 = self.profile.as_ref().map(|_| std::time::Instant::now());
-                let mut entering = self.price_incremental(stall_escape);
+                let mut entering = self.price_scan(phase1, true, stall_escape, true);
                 if entering.is_none() && !just_refreshed {
                     // The stored reduced costs may have drifted; only a fresh dual
                     // solve can certify optimality.
                     self.refresh_reduced_costs(phase1);
-                    entering = self.price_incremental(stall_escape);
+                    entering = self.price_scan(phase1, true, stall_escape, true);
                 }
                 if let (Some(p), Some(t)) = (self.profile.as_deref_mut(), t2) {
                     p.pricing += t.elapsed();
                 }
                 entering
             } else {
-                // Dual vector y = B^{-T} c_B for the phase cost. The cost vector
-                // is hypersparse on network LPs (few basic columns carry cost), so
-                // the BTRAN works on pattern, not dimension.
-                self.dual_buf.clear();
-                for pos in 0..self.nrows {
-                    let c = self.basic_phase_cost(pos, phase1);
-                    if c != 0.0 {
-                        self.dual_buf.set(pos, c);
-                    }
-                }
-                if phase1 && self.dual_buf.nnz() == 0 {
-                    // No infeasible basic variable left.
-                    return Ok(());
-                }
                 if let (Some(p), Some(t)) = (self.profile.as_deref_mut(), t0) {
                     p.head += t.elapsed();
                 }
+                // Dual vector y = B^{-T} c_B for the phase cost. The cost vector
+                // is hypersparse on network LPs (few basic columns carry cost), so
+                // the BTRAN works on pattern, not dimension.
                 let t1 = self.profile.as_ref().map(|_| std::time::Instant::now());
-                self.factor
-                    .btran_sparse(&mut self.dual_buf, &mut self.lu_scratch);
+                let nonzero_costs = self.compute_duals(phase1);
                 if let (Some(p), Some(t)) = (self.profile.as_deref_mut(), t1) {
                     p.btran_y += t.elapsed();
                 }
+                if phase1 && nonzero_costs == 0 {
+                    // No infeasible basic variable left.
+                    return Ok(());
+                }
                 let t2 = self.profile.as_ref().map(|_| std::time::Instant::now());
-                let entering = if self.use_bland {
-                    self.price_bland(phase1)
-                } else if stall_escape {
-                    self.price_dantzig(phase1)
+                let entering = if self.use_bland
+                    || stall_escape
+                    || matches!(self.opts.pricing, Pricing::Dantzig)
+                {
+                    self.price_scan(phase1, false, stall_escape, false)
                 } else {
-                    match self.opts.pricing {
-                        Pricing::Dantzig => self.price_dantzig(phase1),
-                        Pricing::Devex => self.price_devex(phase1),
-                    }
+                    self.price_devex(phase1)
                 };
                 if let (Some(p), Some(t)) = (self.profile.as_deref_mut(), t2) {
                     p.pricing += t.elapsed();
@@ -914,7 +892,9 @@ impl<'a> Solver<'a> {
             };
             let t3 = self.profile.as_ref().map(|_| std::time::Instant::now());
 
-            // Direction of basic change: w = B^{-1} A_q (hypersparse FTRAN).
+            // Direction of basic change: w = B^{-1} A_q (hypersparse FTRAN). The
+            // partial result after the lower solve is kept as the Forrest–Tomlin
+            // spike for the basis update in `pivot_step`.
             self.col_buf.clear();
             if q < self.nstruct {
                 for (i, v) in self.sf.cols[q].iter() {
@@ -923,8 +903,11 @@ impl<'a> Solver<'a> {
             } else {
                 self.col_buf.set(q - self.nstruct, -1.0);
             }
-            self.factor
-                .ftran_sparse(&mut self.col_buf, &mut self.lu_scratch);
+            self.lu.ftran_sparse_with_partial(
+                &mut self.col_buf,
+                &mut self.lu_scratch,
+                &mut self.spike_buf,
+            );
             if let (Some(p), Some(t)) = (self.profile.as_deref_mut(), t3) {
                 p.ftran_col += t.elapsed();
             }
@@ -935,7 +918,7 @@ impl<'a> Solver<'a> {
                 p.pivot += t.elapsed();
             }
 
-            if self.factor.etas.len() >= self.opts.refactor_interval {
+            if self.lu.updates() >= self.opts.refactor_interval || self.lu.fill_exceeded() {
                 let t5 = self.profile.as_ref().map(|_| std::time::Instant::now());
                 self.refactorize()?;
                 if let (Some(p), Some(t)) = (self.profile.as_deref_mut(), t5) {
@@ -951,18 +934,31 @@ impl<'a> Solver<'a> {
         c - self.col_dot(j, self.dual_buf.values())
     }
 
-    /// Rebuilds the exact reduced-cost array `d` from a fresh dual solve
-    /// (incremental regime only; one BTRAN plus one pass over the matrix).
-    fn refresh_reduced_costs(&mut self, phase1: bool) {
+    /// Loads the phase cost of the basic variables into `dual_buf` and solves
+    /// `Bᵀ y = c_B` in place (the single dual-vector construction shared by every
+    /// pricing regime). Returns the number of nonzero basic costs — zero in
+    /// phase 1 means no infeasible basic variable is left.
+    fn compute_duals(&mut self, phase1: bool) -> usize {
         self.dual_buf.clear();
+        let mut nonzero = 0usize;
         for pos in 0..self.nrows {
             let c = self.basic_phase_cost(pos, phase1);
             if c != 0.0 {
                 self.dual_buf.set(pos, c);
+                nonzero += 1;
             }
         }
-        self.factor
-            .btran_sparse(&mut self.dual_buf, &mut self.lu_scratch);
+        if nonzero > 0 {
+            self.lu
+                .btran_sparse(&mut self.dual_buf, &mut self.lu_scratch);
+        }
+        nonzero
+    }
+
+    /// Rebuilds the exact reduced-cost array `d` from a fresh dual solve
+    /// (incremental regime only; one BTRAN plus one pass over the matrix).
+    fn refresh_reduced_costs(&mut self, phase1: bool) {
+        self.compute_duals(phase1);
         for j in 0..self.ntotal {
             self.d[j] = if matches!(self.status[j], VarStatus::Basic(_)) {
                 0.0
@@ -973,14 +969,17 @@ impl<'a> Solver<'a> {
         self.d_fresh = true;
     }
 
-    /// Eligibility of nonbasic `j` from the stored reduced cost `d[j]`.
+    /// Eligibility of nonbasic `j` given its reduced cost `d`: `(direction, |d|)`
+    /// when the reduced cost allows an improving move, `None` otherwise. Fixed
+    /// variables (`lower == upper`) can never move and are excluded entirely.
+    /// The single eligibility rule behind both the stored-reduced-cost and the
+    /// fresh-dual pricing paths.
     #[inline]
-    fn eligibility_stored(&self, j: usize) -> Option<(f64, f64)> {
+    fn eligibility_from(&self, j: usize, d: f64) -> Option<(f64, f64)> {
         let tol = self.opts.tol;
         if self.var_lower(j) == self.var_upper(j) {
             return None;
         }
-        let d = self.d[j];
         match self.status[j] {
             VarStatus::Basic(_) => None,
             VarStatus::AtLower => (d < -tol).then_some((1.0, -d)),
@@ -997,30 +996,49 @@ impl<'a> Solver<'a> {
         }
     }
 
-    /// Pricing over the stored exact reduced costs: devex merit `d^2 / w` by
-    /// default, plain Dantzig `|d|` while a degeneracy stall is being escaped, and
-    /// Bland's first-eligible-index when anti-cycling is active. One O(variables)
-    /// scan of plain floats — no matrix access.
-    fn price_incremental(&self, stall_escape: bool) -> Option<(usize, f64)> {
-        let mut best: Option<(usize, f64, f64)> = None;
-        for j in 0..self.ntotal {
-            let Some((dir, dabs)) = self.eligibility_stored(j) else {
-                continue;
-            };
-            if self.use_bland {
-                return Some((j, dir));
-            }
-            let merit = if stall_escape {
-                dabs
-            } else {
-                dabs * dabs / self.weights[j]
-            };
-            match best {
-                Some((_, _, m)) if m >= merit => {}
-                _ => best = Some((j, dir, merit)),
-            }
+    /// Eligibility of nonbasic `j` from the stored incremental reduced cost.
+    #[inline]
+    fn eligibility_stored(&self, j: usize) -> Option<(f64, f64)> {
+        self.eligibility_from(j, self.d[j])
+    }
+
+    /// Forrest–Goldfarb reference-framework check at a pivot with entering `q`:
+    /// returns the clamped entering weight for the update formulas, or `None`
+    /// after resetting the whole framework because the weight grew too large.
+    /// Shared by the incremental and the candidate-list devex regimes.
+    fn devex_entering_weight(&mut self, q: usize) -> Option<f64> {
+        let wq = self.weights[q].max(1.0);
+        if wq > DEVEX_RESET_THRESHOLD {
+            self.weights.iter_mut().for_each(|w| *w = 1.0);
+            None
+        } else {
+            Some(wq)
         }
-        best.map(|(j, dir, _)| (j, dir))
+    }
+
+    /// Devex weight update of one nonbasic column touched by the pivotal row:
+    /// `w_j = max(w_j, (α_j²/α_q²)·w_q)`.
+    #[inline]
+    fn bump_devex_weight(&mut self, j: usize, aj: f64, piv2: f64, wq: f64) {
+        let cand = (aj * aj / piv2) * wq;
+        if cand > self.weights[j] {
+            self.weights[j] = cand;
+        }
+    }
+
+    /// Devex weight the leaving variable takes as it turns nonbasic.
+    #[inline]
+    fn set_leaving_weight(&mut self, leaving_var: usize, piv2: f64, wq: f64) {
+        self.weights[leaving_var] = (wq / piv2).max(1.0);
+    }
+
+    /// Computes the pivotal row `rho = e_r B^{-1}` into the (taken) row buffer.
+    fn compute_pivotal_rho(&mut self, r: usize) -> SparseScratch {
+        let mut rho = std::mem::take(&mut self.row_buf);
+        rho.clear();
+        rho.set(r, 1.0);
+        self.lu.btran_sparse(&mut rho, &mut self.lu_scratch);
+        rho
     }
 
     /// Post-pivot update of the incremental regime: expands the pivotal row
@@ -1031,11 +1049,7 @@ impl<'a> Solver<'a> {
     fn update_incremental(&mut self, q: usize, r: usize, alpha_q: f64, leaving_var: usize) {
         let dq = self.d[q];
         let ratio = dq / alpha_q;
-        // rho = e_r B^{-1}.
-        let mut rho = std::mem::take(&mut self.row_buf);
-        rho.clear();
-        rho.set(r, 1.0);
-        self.factor.btran_sparse(&mut rho, &mut self.lu_scratch);
+        let rho = self.compute_pivotal_rho(r);
         // alpha = rho A over rho's pattern (logical column i carries -rho_i).
         let mut alpha = std::mem::take(&mut self.alpha_buf);
         alpha.clear();
@@ -1048,75 +1062,70 @@ impl<'a> Solver<'a> {
             }
             alpha.add(self.nstruct + i, -rv);
         }
-        let wq = self.weights[q].max(1.0);
-        let reset = wq > DEVEX_RESET_THRESHOLD;
-        if reset {
-            self.weights.iter_mut().for_each(|w| *w = 1.0);
-        }
+        let wq = self.devex_entering_weight(q);
         let piv2 = alpha_q * alpha_q;
         for (j, aj) in alpha.iter() {
             if j == q || aj == 0.0 || matches!(self.status[j], VarStatus::Basic(_)) {
                 continue;
             }
             self.d[j] -= ratio * aj;
-            if !reset && piv2 > 0.0 {
-                let cand = (aj * aj / piv2) * wq;
-                if cand > self.weights[j] {
-                    self.weights[j] = cand;
+            if let Some(wq) = wq {
+                if piv2 > 0.0 {
+                    self.bump_devex_weight(j, aj, piv2, wq);
                 }
             }
         }
         self.d[q] = 0.0;
         self.d[leaving_var] = -ratio;
-        if !reset && piv2 > 0.0 {
-            self.weights[leaving_var] = (wq / piv2).max(1.0);
+        if let Some(wq) = wq {
+            if piv2 > 0.0 {
+                self.set_leaving_weight(leaving_var, piv2, wq);
+            }
         }
         self.row_buf = rho;
         self.alpha_buf = alpha;
     }
 
-    /// Eligibility of nonbasic `j`: `(direction, |d|)` when the reduced cost allows
-    /// an improving move, `None` otherwise. Fixed variables (`lower == upper`) can
-    /// never move and are excluded from pricing entirely.
+    /// Eligibility of nonbasic `j` under the current duals (fresh reduced cost).
     fn eligibility(&self, j: usize, phase1: bool) -> Option<(f64, f64)> {
-        let tol = self.opts.tol;
-        if self.var_lower(j) == self.var_upper(j) {
+        // Skip the reduced-cost computation for variables that can never enter.
+        if matches!(self.status[j], VarStatus::Basic(_)) || self.var_lower(j) == self.var_upper(j) {
             return None;
         }
-        match self.status[j] {
-            VarStatus::Basic(_) => None,
-            VarStatus::AtLower => {
-                let d = self.reduced_cost(j, phase1);
-                (d < -tol).then_some((1.0, -d))
-            }
-            VarStatus::AtUpper => {
-                let d = self.reduced_cost(j, phase1);
-                (d > tol).then_some((-1.0, d))
-            }
-            VarStatus::FreeZero => {
-                let d = self.reduced_cost(j, phase1);
-                if d < -tol {
-                    Some((1.0, -d))
-                } else if d > tol {
-                    Some((-1.0, d))
-                } else {
-                    None
-                }
-            }
-        }
+        self.eligibility_from(j, self.reduced_cost(j, phase1))
     }
 
-    /// Bland's rule: the first eligible index (guarantees finiteness).
-    fn price_bland(&self, phase1: bool) -> Option<(usize, f64)> {
-        (0..self.ntotal).find_map(|j| self.eligibility(j, phase1).map(|(dir, _)| (j, dir)))
-    }
-
-    /// Dantzig full scan: the most violating reduced cost.
-    fn price_dantzig(&self, phase1: bool) -> Option<(usize, f64)> {
+    /// Entering-variable selection by one O(variables) scan, shared by every
+    /// full-scan pricing regime in both phases. `stored` prices from the
+    /// incremental reduced-cost array `d` (no matrix access at all); otherwise
+    /// reduced costs come fresh from the current duals. Bland's anti-cycling rule
+    /// (first eligible index) takes priority when active; a degeneracy stall
+    /// escape or [`Pricing::Dantzig`] scores the plain `|d|` merit; the devex
+    /// regimes score `d²/w`.
+    fn price_scan(
+        &self,
+        phase1: bool,
+        stored: bool,
+        stall_escape: bool,
+        devex: bool,
+    ) -> Option<(usize, f64)> {
         let mut best: Option<(usize, f64, f64)> = None;
         for j in 0..self.ntotal {
-            let Some((dir, merit)) = self.eligibility(j, phase1) else {
+            let elig = if stored {
+                self.eligibility_stored(j)
+            } else {
+                self.eligibility(j, phase1)
+            };
+            let Some((dir, dabs)) = elig else {
                 continue;
+            };
+            if self.use_bland {
+                return Some((j, dir));
+            }
+            let merit = if devex && !stall_escape {
+                dabs * dabs / self.weights[j]
+            } else {
+                dabs
             };
             match best {
                 Some((_, _, m)) if m >= merit => {}
@@ -1204,20 +1213,15 @@ impl<'a> Solver<'a> {
     /// columns (partial devex) and of the leaving variable are refreshed from the
     /// pivotal row; the framework resets once the entering weight grows too large.
     fn update_devex_weights(&mut self, q: usize, r: usize, alpha_q: f64, leaving_var: usize) {
-        let wq = self.weights[q].max(1.0);
-        if wq > DEVEX_RESET_THRESHOLD {
-            self.weights.iter_mut().for_each(|w| *w = 1.0);
+        let Some(wq) = self.devex_entering_weight(q) else {
             return;
-        }
+        };
         let piv2 = alpha_q * alpha_q;
         if piv2 == 0.0 {
             return;
         }
         // rho = e_r B^{-1}: the pivotal row in original-row space, hypersparse.
-        let mut rho = std::mem::take(&mut self.row_buf);
-        rho.clear();
-        rho.set(r, 1.0);
-        self.factor.btran_sparse(&mut rho, &mut self.lu_scratch);
+        let rho = self.compute_pivotal_rho(r);
         for idx in 0..self.candidates.len() {
             let j = self.candidates[idx];
             if j == q || matches!(self.status[j], VarStatus::Basic(_)) {
@@ -1225,14 +1229,11 @@ impl<'a> Solver<'a> {
             }
             let aj = self.col_dot(j, rho.values());
             if aj != 0.0 {
-                let candidate_weight = (aj * aj / piv2) * wq;
-                if candidate_weight > self.weights[j] {
-                    self.weights[j] = candidate_weight;
-                }
+                self.bump_devex_weight(j, aj, piv2, wq);
             }
         }
         self.row_buf = rho;
-        self.weights[leaving_var] = (wq / piv2).max(1.0);
+        self.set_leaving_weight(leaving_var, piv2, wq);
     }
 
     /// Performs the ratio test and executes either a bound flip or a basis change.
@@ -1395,17 +1396,15 @@ impl<'a> Solver<'a> {
         self.basis[r] = q;
         self.pivots += 1;
 
-        // Product-form update of the basis inverse from the pivot-column pattern.
-        let entries: Vec<(usize, f64)> = self
-            .col_buf
-            .iter()
-            .filter(|&(pos, v)| pos != r && v != 0.0)
-            .collect();
-        self.factor.etas.push(Eta {
-            pos: r,
-            pivot: alpha_q,
-            entries,
-        });
+        // Forrest–Tomlin update of the factorization from the spike saved by the
+        // entering column's FTRAN. An unstable update poisons the factors, so a
+        // rejection forces an immediate refactorization of the new basis.
+        if !self
+            .lu
+            .replace_column(r, &self.spike_buf, &mut self.lu_scratch)
+        {
+            self.refactorize()?;
+        }
         Ok(())
     }
 

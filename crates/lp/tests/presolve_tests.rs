@@ -1,0 +1,314 @@
+//! Presolve/postsolve round-trip properties: on randomized (seeded ChaCha8)
+//! standard-form LPs, the presolved + scaled solve must agree with the bare
+//! simplex on status and objective, produce a primal-feasible postsolved point,
+//! and export a basis of the original shape that warm-starts the original model.
+//!
+//! Degenerate shapes presolve must survive are covered explicitly: models whose
+//! variables are all fixed, empty and free rows, and free singleton columns.
+
+use a2a_lp::simplex::{solve, StandardForm, StandardSolution};
+use a2a_lp::sparse::SparseVec;
+use a2a_lp::{BasisStatus, LpError, SimplexOptions, INF};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn opts(presolve: bool, scaling: bool) -> SimplexOptions {
+    SimplexOptions {
+        presolve,
+        scaling,
+        ..SimplexOptions::default()
+    }
+}
+
+/// A random standard-form LP exercising the presolve reductions: a mix of fixed
+/// variables, free variables, singleton rows, empty rows and equality rows.
+fn random_standard_form(rng: &mut ChaCha8Rng) -> StandardForm {
+    let nvars = rng.random_range(2..7);
+    let nrows = rng.random_range(1..7);
+    let mut lower = Vec::with_capacity(nvars);
+    let mut upper = Vec::with_capacity(nvars);
+    let mut obj = Vec::with_capacity(nvars);
+    for _ in 0..nvars {
+        obj.push(rng.random_range(0..9) as f64 - 4.0);
+        match rng.random_range(0..10) {
+            // Fixed variable.
+            0 => {
+                let v = rng.random_range(0..5) as f64 - 2.0;
+                lower.push(v);
+                upper.push(v);
+            }
+            // Free variable.
+            1 => {
+                lower.push(-INF);
+                upper.push(INF);
+            }
+            // Bounded range.
+            2..=5 => {
+                let l = rng.random_range(0..4) as f64 - 2.0;
+                lower.push(l);
+                upper.push(l + rng.random_range(1..6) as f64);
+            }
+            // Non-negative, possibly unbounded above.
+            _ => {
+                lower.push(0.0);
+                upper.push(if rng.random_bool(0.5) {
+                    INF
+                } else {
+                    rng.random_range(1..8) as f64
+                });
+            }
+        }
+    }
+
+    let mut per_col: Vec<Vec<(usize, f64)>> = vec![Vec::new(); nvars];
+    let mut row_lower = Vec::with_capacity(nrows);
+    let mut row_upper = Vec::with_capacity(nrows);
+    for i in 0..nrows {
+        let kind = rng.random_range(0..10);
+        let arity = match kind {
+            // Empty row.
+            0 => 0,
+            // Singleton row.
+            1 | 2 => 1,
+            _ => rng.random_range(2..nvars.min(4) + 1),
+        };
+        let mut cols: Vec<usize> = (0..nvars).collect();
+        for k in 0..arity {
+            let pick = rng.random_range(0..cols.len() - k);
+            cols.swap(k, k + pick);
+        }
+        for &j in cols.iter().take(arity) {
+            let c = loop {
+                let c = rng.random_range(0..7) as f64 - 3.0;
+                if c != 0.0 {
+                    break c;
+                }
+            };
+            per_col[j].push((i, c));
+        }
+        let rhs = rng.random_range(0..13) as f64 - 4.0;
+        match rng.random_range(0..4) {
+            0 => {
+                // <=
+                row_lower.push(-INF);
+                row_upper.push(rhs);
+            }
+            1 => {
+                // >=
+                row_lower.push(rhs);
+                row_upper.push(INF);
+            }
+            2 => {
+                // ==
+                row_lower.push(rhs);
+                row_upper.push(rhs);
+            }
+            _ => {
+                // Range (or free when the draw is wide).
+                let w = rng.random_range(0..8) as f64;
+                row_lower.push(rhs - w);
+                row_upper.push(rhs + w);
+            }
+        }
+    }
+
+    StandardForm {
+        nrows,
+        cols: per_col.into_iter().map(SparseVec::from_entries).collect(),
+        obj,
+        lower,
+        upper,
+        row_lower,
+        row_upper,
+    }
+}
+
+/// Asserts `sol.x` is primal feasible for `sf` and that the exported basis has
+/// the original shape with exactly `nrows` basic variables.
+fn assert_solution_valid(sf: &StandardForm, sol: &StandardSolution, tag: &str) {
+    let tol = 1e-6;
+    for (j, &v) in sol.x.iter().enumerate() {
+        assert!(
+            v >= sf.lower[j] - tol && v <= sf.upper[j] + tol,
+            "{tag}: x[{j}] = {v} violates bounds [{}, {}]",
+            sf.lower[j],
+            sf.upper[j]
+        );
+    }
+    let mut activity = vec![0.0; sf.nrows];
+    for (j, col) in sf.cols.iter().enumerate() {
+        col.scatter_into(&mut activity, sol.x[j]);
+    }
+    for (i, &a) in activity.iter().enumerate() {
+        let scale = 1.0 + a.abs();
+        assert!(
+            a >= sf.row_lower[i] - tol * scale && a <= sf.row_upper[i] + tol * scale,
+            "{tag}: row {i} activity {a} violates [{}, {}]",
+            sf.row_lower[i],
+            sf.row_upper[i]
+        );
+    }
+    assert_eq!(
+        sol.basis.statuses.len(),
+        sf.cols.len() + sf.nrows,
+        "{tag}: exported basis must cover the original model"
+    );
+    let basics = sol
+        .basis
+        .statuses
+        .iter()
+        .filter(|s| matches!(s, BasisStatus::Basic))
+        .count();
+    assert_eq!(basics, sf.nrows, "{tag}: exported basis must be square");
+}
+
+#[test]
+fn randomized_presolve_round_trip() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA2A_5EED);
+    let mut optimal = 0usize;
+    let mut reduced_something = 0usize;
+    for case in 0..400 {
+        let sf = random_standard_form(&mut rng);
+        let tag = format!("case {case}");
+        let plain = solve(&sf, &opts(false, false));
+        let pre = solve(&sf, &opts(true, true));
+        match (plain, pre) {
+            (Ok(a), Ok(b)) => {
+                optimal += 1;
+                if b.presolve_rows_removed + b.presolve_cols_removed > 0 {
+                    reduced_something += 1;
+                }
+                let scale = 1.0 + a.objective.abs();
+                assert!(
+                    (a.objective - b.objective).abs() < 1e-6 * scale,
+                    "{tag}: objective {} (plain) vs {} (presolved)",
+                    a.objective,
+                    b.objective
+                );
+                assert_solution_valid(&sf, &b, &tag);
+                // The postsolved basis must warm-start the original model back to
+                // the same optimum.
+                let warm = solve(
+                    &sf,
+                    &SimplexOptions {
+                        warm_start: Some(b.basis.clone()),
+                        ..opts(true, true)
+                    },
+                )
+                .unwrap_or_else(|e| panic!("{tag}: warm restart failed: {e:?}"));
+                assert!(
+                    (warm.objective - b.objective).abs() < 1e-6 * scale,
+                    "{tag}: warm restart objective {} vs {}",
+                    warm.objective,
+                    b.objective
+                );
+            }
+            (Err(LpError::Infeasible), Err(LpError::Infeasible)) => {}
+            (Err(LpError::Unbounded), Err(LpError::Unbounded)) => {}
+            // Presolve can *prove* infeasibility that the bare phase-1 also finds;
+            // any other disagreement is a bug.
+            (a, b) => panic!("{tag}: plain {a:?} disagrees with presolved {b:?}"),
+        }
+    }
+    // The generator must actually exercise both interesting regimes.
+    assert!(optimal > 50, "only {optimal} optimal cases");
+    assert!(
+        reduced_something > 25,
+        "only {reduced_something} cases saw reductions"
+    );
+}
+
+#[test]
+fn all_fixed_random_models() {
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    for case in 0..50 {
+        let mut sf = random_standard_form(&mut rng);
+        for j in 0..sf.cols.len() {
+            let v = rng.random_range(0..5) as f64 - 2.0;
+            sf.lower[j] = v;
+            sf.upper[j] = v;
+        }
+        let tag = format!("all-fixed case {case}");
+        let plain = solve(&sf, &opts(false, false));
+        let pre = solve(&sf, &opts(true, true));
+        match (plain, pre) {
+            (Ok(a), Ok(b)) => {
+                assert!(
+                    (a.objective - b.objective).abs() < 1e-7 * (1.0 + a.objective.abs()),
+                    "{tag}: {} vs {}",
+                    a.objective,
+                    b.objective
+                );
+                assert_eq!(b.iterations, 0, "{tag}: nothing left to iterate on");
+                assert_solution_valid(&sf, &b, &tag);
+            }
+            (Err(LpError::Infeasible), Err(LpError::Infeasible)) => {}
+            (a, b) => panic!("{tag}: plain {a:?} disagrees with presolved {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn free_singleton_columns_survive_presolve() {
+    // A free variable appearing in exactly one row: presolve must keep the model
+    // correct (the row cannot be dropped, the variable stays free).
+    // min y s.t. x + y >= 3, x <= 2 (singleton row), y free.
+    let sf = StandardForm {
+        nrows: 2,
+        cols: vec![
+            SparseVec::from_entries([(0usize, 1.0), (1, 1.0)]),
+            SparseVec::from_entries([(0usize, 1.0)]),
+        ],
+        obj: vec![0.0, 1.0],
+        lower: vec![0.0, -INF],
+        upper: vec![INF, INF],
+        row_lower: vec![3.0, -INF],
+        row_upper: vec![INF, 2.0],
+    };
+    let plain = solve(&sf, &opts(false, false)).unwrap();
+    let pre = solve(&sf, &opts(true, true)).unwrap();
+    assert!(
+        (plain.objective - pre.objective).abs() < 1e-8,
+        "{} vs {}",
+        plain.objective,
+        pre.objective
+    );
+    // x maximal (2), y = 1.
+    assert!((pre.objective - 1.0).abs() < 1e-8);
+    assert_solution_valid(&sf, &pre, "free singleton column");
+}
+
+#[test]
+fn empty_rows_in_random_models_round_trip() {
+    let mut rng = ChaCha8Rng::seed_from_u64(4242);
+    for case in 0..50 {
+        let mut sf = random_standard_form(&mut rng);
+        // Append a feasible empty row and a free row.
+        sf.nrows += 2;
+        sf.row_lower.push(-1.0);
+        sf.row_upper.push(1.0);
+        sf.row_lower.push(-INF);
+        sf.row_upper.push(INF);
+        let tag = format!("empty-rows case {case}");
+        let plain = solve(&sf, &opts(false, false));
+        let pre = solve(&sf, &opts(true, true));
+        match (plain, pre) {
+            (Ok(a), Ok(b)) => {
+                assert!(
+                    (a.objective - b.objective).abs() < 1e-6 * (1.0 + a.objective.abs()),
+                    "{tag}: {} vs {}",
+                    a.objective,
+                    b.objective
+                );
+                assert!(
+                    b.presolve_rows_removed >= 2,
+                    "{tag}: empty rows not removed"
+                );
+                assert_solution_valid(&sf, &b, &tag);
+            }
+            (Err(LpError::Infeasible), Err(LpError::Infeasible)) => {}
+            (Err(LpError::Unbounded), Err(LpError::Unbounded)) => {}
+            (a, b) => panic!("{tag}: plain {a:?} disagrees with presolved {b:?}"),
+        }
+    }
+}

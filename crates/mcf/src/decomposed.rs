@@ -24,7 +24,8 @@ use crate::linkmcf::{validate, FLOW_TOL};
 use crate::types::{CommoditySet, LinkFlowSolution, McfError, McfResult};
 
 /// Solver configuration for the decomposed MCF: which pricing rule the simplex
-/// uses, and whether the child LPs are seeded from the master's solution.
+/// uses, whether the child LPs are seeded from the master's solution, and
+/// whether the LP-layer presolve/scaling reductions run before each solve.
 #[derive(Debug, Clone)]
 pub struct DecomposedOptions {
     /// Pricing rule for both the master and the child LPs.
@@ -33,6 +34,11 @@ pub struct DecomposedOptions {
     /// (columns on edges that carry master flow are preferred into the basis)
     /// instead of starting every child from the all-slack basis.
     pub warm_start_children: bool,
+    /// Run the LP presolve reductions (fixed-variable elimination, singleton-row
+    /// substitution, empty/redundant-row removal) on the master and child LPs.
+    pub presolve: bool,
+    /// Apply geometric-mean row/column scaling to the (presolved) LPs.
+    pub scaling: bool,
 }
 
 impl Default for DecomposedOptions {
@@ -40,6 +46,21 @@ impl Default for DecomposedOptions {
         Self {
             pricing: Pricing::default(),
             warm_start_children: true,
+            presolve: true,
+            scaling: true,
+        }
+    }
+}
+
+impl DecomposedOptions {
+    /// The [`SimplexOptions`] these decomposed options translate to (before any
+    /// per-LP warm start is attached).
+    fn simplex_options(&self) -> SimplexOptions {
+        SimplexOptions {
+            pricing: self.pricing,
+            presolve: self.presolve,
+            scaling: self.scaling,
+            ..SimplexOptions::default()
         }
     }
 }
@@ -61,6 +82,14 @@ pub struct DecomposedTimings {
     pub child_iterations: Vec<usize>,
     /// Basis changes (pivots) per child LP.
     pub child_pivots: Vec<usize>,
+    /// Basis refactorizations of the master LP.
+    pub master_refactorizations: usize,
+    /// Basis refactorizations per child LP.
+    pub child_refactorizations: Vec<usize>,
+    /// Constraint rows presolve removed from the master LP.
+    pub master_presolve_rows_removed: usize,
+    /// Variables presolve removed from the master LP.
+    pub master_presolve_cols_removed: usize,
 }
 
 impl DecomposedTimings {
@@ -88,6 +117,11 @@ impl DecomposedTimings {
     /// Total basis changes across the master and every child.
     pub fn total_pivots(&self) -> usize {
         self.master_pivots + self.child_pivots.iter().sum::<usize>()
+    }
+
+    /// Total basis refactorizations across the master and every child.
+    pub fn total_refactorizations(&self) -> usize {
+        self.master_refactorizations + self.child_refactorizations.iter().sum::<usize>()
     }
 }
 
@@ -117,6 +151,12 @@ pub struct MasterSolution {
     pub iterations: usize,
     /// Basis changes (pivots) of the master LP.
     pub pivots: usize,
+    /// Basis refactorizations of the master LP.
+    pub refactorizations: usize,
+    /// Constraint rows presolve removed from the master LP.
+    pub presolve_rows_removed: usize,
+    /// Variables presolve removed from the master LP.
+    pub presolve_cols_removed: usize,
 }
 
 /// Per-child solve output: per-destination flows plus solver statistics.
@@ -125,6 +165,7 @@ struct ChildOutcome {
     secs: f64,
     iterations: usize,
     pivots: usize,
+    refactorizations: usize,
 }
 
 /// Solves the decomposed MCF for an all-to-all among all nodes.
@@ -170,12 +211,14 @@ pub fn solve_decomposed_mcf_with(
     let mut child_secs = Vec::with_capacity(endpoints.len());
     let mut child_iterations = Vec::with_capacity(endpoints.len());
     let mut child_pivots = Vec::with_capacity(endpoints.len());
+    let mut child_refactorizations = Vec::with_capacity(endpoints.len());
     let mut flows = vec![Vec::new(); commodities.len()];
     for (s_idx, result) in child_results.into_iter().enumerate() {
         let outcome = result?;
         child_secs.push(outcome.secs);
         child_iterations.push(outcome.iterations);
         child_pivots.push(outcome.pivots);
+        child_refactorizations.push(outcome.refactorizations);
         let s = endpoints[s_idx];
         for (d_pos, flow) in outcome.per_dest.into_iter().enumerate() {
             // d_pos enumerates destinations in endpoint order, skipping the source.
@@ -201,6 +244,10 @@ pub fn solve_decomposed_mcf_with(
             master_pivots: master.pivots,
             child_iterations,
             child_pivots,
+            master_refactorizations: master.refactorizations,
+            child_refactorizations,
+            master_presolve_rows_removed: master.presolve_rows_removed,
+            master_presolve_cols_removed: master.presolve_cols_removed,
         },
     })
 }
@@ -283,10 +330,7 @@ pub fn solve_master_with(
         }
     }
 
-    let opts = SimplexOptions {
-        pricing: options.pricing,
-        ..SimplexOptions::default()
-    };
+    let opts = options.simplex_options();
     let sol = lp.solve_with(&opts)?;
     let flow_value = sol.value(f_var);
     let source_flows = vars
@@ -308,6 +352,9 @@ pub fn solve_master_with(
         elapsed_secs: start.elapsed().as_secs_f64(),
         iterations: sol.iterations,
         pivots: sol.pivots,
+        refactorizations: sol.refactorizations,
+        presolve_rows_removed: sol.presolve_rows_removed,
+        presolve_cols_removed: sol.presolve_cols_removed,
     })
 }
 
@@ -348,6 +395,7 @@ fn solve_child(
             secs: start.elapsed().as_secs_f64(),
             iterations: 0,
             pivots: 0,
+            refactorizations: 0,
         });
     }
 
@@ -451,9 +499,8 @@ fn solve_child(
         None
     };
     let opts = SimplexOptions {
-        pricing: options.pricing,
         warm_start,
-        ..SimplexOptions::default()
+        ..options.simplex_options()
     };
     let sol = a2a_lp::simplex::solve(&sf, &opts)?;
     let per_dest = vars
@@ -474,6 +521,7 @@ fn solve_child(
         secs: start.elapsed().as_secs_f64(),
         iterations: sol.iterations,
         pivots: sol.pivots,
+        refactorizations: sol.refactorizations,
     })
 }
 
@@ -540,6 +588,7 @@ mod tests {
                 &DecomposedOptions {
                     pricing: Pricing::Dantzig,
                     warm_start_children: false,
+                    ..DecomposedOptions::default()
                 },
             )
             .unwrap();
@@ -549,6 +598,7 @@ mod tests {
                 &DecomposedOptions {
                     pricing: Pricing::Devex,
                     warm_start_children: true,
+                    ..DecomposedOptions::default()
                 },
             )
             .unwrap();

@@ -25,6 +25,16 @@ pub fn solve_link_mcf_among(
     topo: &Topology,
     commodities: CommoditySet,
 ) -> McfResult<LinkFlowSolution> {
+    solve_link_mcf_among_with(topo, commodities, &SimplexOptions::default())
+}
+
+/// [`solve_link_mcf_among`] with explicit LP solver options (pricing, presolve,
+/// scaling, warm starts).
+pub fn solve_link_mcf_among_with(
+    topo: &Topology,
+    commodities: CommoditySet,
+    options: &SimplexOptions,
+) -> McfResult<LinkFlowSolution> {
     validate(topo, &commodities)?;
     let mut lp = LpProblem::maximize();
     let f_var = lp.add_var("F", 0.0, INF, 1.0);
@@ -41,7 +51,7 @@ pub fn solve_link_mcf_among(
     add_capacity_constraints(&mut lp, topo, &vars);
     add_commodity_constraints(&mut lp, topo, &commodities, &vars, f_var, None);
 
-    let sol = lp.solve_with(&SimplexOptions::default())?;
+    let sol = lp.solve_with(options)?;
     let flow_value = sol.value(f_var);
     let flows = extract_flows(topo, &commodities, &vars, |v| sol.value(v));
     Ok(LinkFlowSolution {

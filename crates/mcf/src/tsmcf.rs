@@ -142,6 +142,18 @@ pub fn solve_tsmcf_among(
     commodities: CommoditySet,
     steps: usize,
 ) -> McfResult<TsMcfSolution> {
+    solve_tsmcf_among_with(topo, commodities, steps, &SimplexOptions::default())
+}
+
+/// [`solve_tsmcf_among`] with explicit LP solver options (pricing, presolve,
+/// scaling). The time-expanded LPs carry thousands of forced-zero "useless flow"
+/// variables, so presolve pays off disproportionately here.
+pub fn solve_tsmcf_among_with(
+    topo: &Topology,
+    commodities: CommoditySet,
+    steps: usize,
+    options: &SimplexOptions,
+) -> McfResult<TsMcfSolution> {
     if steps == 0 {
         return Err(McfError::BadArgument("steps must be at least 1".into()));
     }
@@ -224,7 +236,7 @@ pub fn solve_tsmcf_among(
         );
     }
 
-    let sol = lp.solve_with(&SimplexOptions::default())?;
+    let sol = lp.solve_with(options)?;
 
     let step_utilization: Vec<f64> = u_vars.iter().map(|&v| sol.value(v)).collect();
     let mut flows = vec![vec![Vec::new(); steps]; commodities.len()];
