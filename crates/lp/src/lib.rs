@@ -25,7 +25,12 @@
 //!   warm ([`simplex::SimplexOptions::warm_start`], [`simplex::triangular_crash`])
 //!   and every solution exports its basis for reuse. Presolve and scaling are on
 //!   by default ([`simplex::SimplexOptions::presolve`] /
-//!   [`simplex::SimplexOptions::scaling`]).
+//!   [`simplex::SimplexOptions::scaling`]). A [`simplex::Solver`] can also be
+//!   held open as an incremental *session* for column generation:
+//!   [`simplex::Solver::add_columns`] appends structural columns without
+//!   disturbing the factorized basis and [`simplex::Solver::reoptimize`]
+//!   continues from it, while [`simplex::Solver::current_duals`] /
+//!   [`simplex::recover_row_duals`] expose the duals that price new columns.
 //! * [`model`] — a small modelling layer ([`model::LpProblem`]) with named variables,
 //!   linear constraints and minimize/maximize objectives.
 //! * [`ilp`] — branch-and-bound over the LP solver for the (deliberately small-scale)
@@ -60,7 +65,10 @@ pub mod sparse;
 pub use error::{LpError, LpResult};
 pub use model::{ConstraintSense, LpProblem, LpSolution, Objective, SolveStatus, VarId};
 pub use presolve::Reduction;
-pub use simplex::{triangular_crash, BasisStatus, Pricing, SimplexOptions, WarmStart};
+pub use simplex::{
+    recover_row_duals, triangular_crash, BasisStatus, NewColumn, Pricing, SimplexOptions, Solver,
+    StandardForm, StandardSolution, WarmStart,
+};
 
 /// Default feasibility / optimality tolerance used across the crate.
 pub const DEFAULT_TOL: f64 = 1e-7;

@@ -176,6 +176,39 @@ impl LpProblem {
         &self.names[var.0]
     }
 
+    /// Appends a variable together with its coefficients in *existing*
+    /// constraint rows — the post-construction "add column" entry point that
+    /// column generation builds on ([`Self::add_var`] can only reach rows added
+    /// after it).
+    ///
+    /// `entries` are `(constraint row index, coefficient)` pairs; duplicate row
+    /// references are summed like duplicate variable references in
+    /// [`Self::add_constraint`]. After appending columns, re-solve with
+    /// [`Self::resolve_with`] to continue from a basis exported *before* the
+    /// append instead of paying for a cold start.
+    ///
+    /// # Panics
+    /// Panics if an entry references a constraint that does not exist yet.
+    pub fn add_column(
+        &mut self,
+        name: impl Into<String>,
+        lower: f64,
+        upper: f64,
+        obj: f64,
+        entries: impl IntoIterator<Item = (usize, f64)>,
+    ) -> VarId {
+        let var = self.add_var(name, lower, upper, obj);
+        for (row, coeff) in entries {
+            assert!(
+                row < self.constraints.len(),
+                "add_column entry references constraint {row} but only {} exist",
+                self.constraints.len()
+            );
+            self.constraints[row].coeffs.push((var.0, coeff));
+        }
+        var
+    }
+
     /// Adds the constraint `sum coeffs[i].1 * coeffs[i].0  (sense)  rhs`.
     ///
     /// Duplicate variable references are summed. Returns the row index.
@@ -298,6 +331,97 @@ impl LpProblem {
     /// Solves the problem with default [`SimplexOptions`].
     pub fn solve(&self) -> LpResult<LpSolution> {
         self.solve_with(&SimplexOptions::default())
+    }
+
+    /// Re-solves the problem from a basis exported by an earlier solve of this
+    /// same problem — possibly *before* columns were appended with
+    /// [`Self::add_column`].
+    ///
+    /// The number of variables the exporting solve saw is inferred from the
+    /// basis length (`statuses.len() - num_constraints`); statuses for the
+    /// variables appended since then are spliced in as nonbasic at their
+    /// default bound, exactly mirroring what [`crate::simplex::Solver::add_columns`]
+    /// does to a live session. The extended basis is then handed to
+    /// [`Self::solve_with`] as a warm start, so it composes with presolve and
+    /// scaling (the warm start is mapped into the reduced space as usual) and
+    /// any `warm_start` already present in `options` is replaced.
+    ///
+    /// The constraint set must be unchanged since the basis was exported; only
+    /// columns may have been appended.
+    pub fn resolve_with(
+        &self,
+        basis: &crate::simplex::WarmStart,
+        options: &SimplexOptions,
+    ) -> LpResult<LpSolution> {
+        let nrows = self.num_constraints();
+        let nvars = self.num_vars();
+        let prev_vars = basis
+            .statuses
+            .len()
+            .checked_sub(nrows)
+            .filter(|&p| p <= nvars)
+            .ok_or_else(|| {
+                LpError::InvalidModel(format!(
+                    "basis has {} statuses; expected between {} and {} for this model",
+                    basis.statuses.len(),
+                    nrows,
+                    nvars + nrows
+                ))
+            })?;
+        let mut statuses = Vec::with_capacity(nvars + nrows);
+        statuses.extend_from_slice(&basis.statuses[..prev_vars]);
+        for j in prev_vars..nvars {
+            let (l, u) = (self.lower[j], self.upper[j]);
+            statuses.push(if l.is_infinite() && u.is_infinite() {
+                crate::simplex::BasisStatus::Free
+            } else if l.is_infinite() {
+                crate::simplex::BasisStatus::AtUpper
+            } else if u.is_infinite() || l.abs() <= u.abs() {
+                crate::simplex::BasisStatus::AtLower
+            } else {
+                crate::simplex::BasisStatus::AtUpper
+            });
+        }
+        statuses.extend_from_slice(&basis.statuses[prev_vars..]);
+        let opts = SimplexOptions {
+            warm_start: Some(crate::simplex::WarmStart { statuses }),
+            ..options.clone()
+        };
+        self.solve_with(&opts)
+    }
+
+    /// Recovers the constraint-row duals (shadow prices) of a solution: `y[i]`
+    /// is the sensitivity of the optimal objective *in this problem's
+    /// optimization sense* to the right-hand side of row `i` — for a
+    /// maximization problem a binding `<=` capacity row gets `y[i] >= 0`, and a
+    /// variable's reduced cost is `c_j - sum_i y[i] a_ij` (non-positive for
+    /// at-lower-bound nonbasic variables at a maximum).
+    ///
+    /// A basis postsolved out of the presolve reductions can be *dual*-degenerate
+    /// in the original space (a singleton row turned into a variable bound keeps
+    /// its price on the bound, not the row), so the duals are recovered in two
+    /// steps: a presolve-free solve warm-started from the solution's exported
+    /// basis re-verifies optimality against the original model — near-free when
+    /// the basis is already dual-consistent — and the verified basis is then
+    /// factorized once for the transposed dual solve
+    /// ([`crate::simplex::recover_row_duals`]).
+    pub fn row_duals(&self, solution: &LpSolution) -> LpResult<Vec<f64>> {
+        let sf = self.to_standard_form()?;
+        let verify = simplex::solve(
+            &sf,
+            &SimplexOptions {
+                warm_start: Some(solution.basis.clone()),
+                presolve: false,
+                scaling: false,
+                ..SimplexOptions::default()
+            },
+        )?;
+        let y = simplex::recover_row_duals(&sf, &verify.basis)?;
+        let sign = match self.objective {
+            Objective::Minimize => 1.0,
+            Objective::Maximize => -1.0,
+        };
+        Ok(y.into_iter().map(|v| sign * v).collect())
     }
 
     /// Solves the problem with explicit solver options.
@@ -432,6 +556,92 @@ mod tests {
         assert_eq!(sol.row_activity.len(), 2);
         assert!(sol.row_activity[0] <= 4.0 + 1e-7);
         assert!(sol.row_activity[1] <= 2.0 + 1e-7);
+    }
+
+    #[test]
+    fn add_column_reaches_existing_rows() {
+        // max x s.t. x <= 4, x <= 3: optimum 3. Then append y with coefficient 1
+        // in the first row only and objective 2: max x + 2y, x + y <= 4, x <= 3
+        // -> optimum 8 at (0, 4).
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_nonneg_var("x", 1.0);
+        let r0 = lp.add_constraint([(x, 1.0)], ConstraintSense::Le, 4.0);
+        lp.add_constraint([(x, 1.0)], ConstraintSense::Le, 3.0);
+        let first = lp.solve().unwrap();
+        assert!((first.objective_value - 3.0).abs() < 1e-7);
+
+        let y = lp.add_column("y", 0.0, INF, 2.0, [(r0, 1.0)]);
+        let second = lp
+            .resolve_with(&first.basis, &SimplexOptions::default())
+            .unwrap();
+        assert!(
+            (second.objective_value - 8.0).abs() < 1e-7,
+            "{}",
+            second.objective_value
+        );
+        assert!((second.value(y) - 4.0).abs() < 1e-7);
+
+        // The warm resolve must agree with a cold solve of the extended model.
+        let cold = lp.solve().unwrap();
+        assert!((cold.objective_value - second.objective_value).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "references constraint")]
+    fn add_column_rejects_missing_rows() {
+        let mut lp = LpProblem::maximize();
+        lp.add_nonneg_var("x", 1.0);
+        lp.add_column("y", 0.0, INF, 1.0, [(0, 1.0)]);
+    }
+
+    #[test]
+    fn resolve_with_rejects_malformed_basis() {
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_nonneg_var("x", 1.0);
+        lp.add_constraint([(x, 1.0)], ConstraintSense::Le, 1.0);
+        let bad = crate::simplex::WarmStart {
+            statuses: Vec::new(),
+        };
+        assert!(matches!(
+            lp.resolve_with(&bad, &SimplexOptions::default()),
+            Err(LpError::InvalidModel(_))
+        ));
+    }
+
+    #[test]
+    fn row_duals_match_shadow_prices() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18. Binding rows 2 and 3
+        // have the textbook shadow prices 3/2 and 1; row 1 is slack (dual 0).
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_nonneg_var("x", 3.0);
+        let y = lp.add_nonneg_var("y", 5.0);
+        lp.add_constraint([(x, 1.0)], ConstraintSense::Le, 4.0);
+        lp.add_constraint([(y, 2.0)], ConstraintSense::Le, 12.0);
+        lp.add_constraint([(x, 3.0), (y, 2.0)], ConstraintSense::Le, 18.0);
+        let sol = lp.solve().unwrap();
+        let duals = lp.row_duals(&sol).unwrap();
+        assert!(duals[0].abs() < 1e-7, "{duals:?}");
+        assert!((duals[1] - 1.5).abs() < 1e-7, "{duals:?}");
+        assert!((duals[2] - 1.0).abs() < 1e-7, "{duals:?}");
+        // Reduced costs of the basic structurals are zero: c_j == y' a_j.
+        assert!((3.0 - (duals[0] + 3.0 * duals[2])).abs() < 1e-7);
+        assert!((5.0 - (2.0 * duals[1] + 2.0 * duals[2])).abs() < 1e-7);
+    }
+
+    #[test]
+    fn row_duals_minimize_sign_convention() {
+        // min x + 2y s.t. x + y >= 4, y >= 1. Optimum (3, 1), objective 5.
+        // Raising the first rhs by delta raises the minimum by delta: dual 1.
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_nonneg_var("x", 1.0);
+        let y = lp.add_nonneg_var("y", 2.0);
+        lp.add_constraint([(x, 1.0), (y, 1.0)], ConstraintSense::Ge, 4.0);
+        lp.add_constraint([(y, 1.0)], ConstraintSense::Ge, 1.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective_value - 5.0).abs() < 1e-7);
+        let duals = lp.row_duals(&sol).unwrap();
+        assert!((duals[0] - 1.0).abs() < 1e-7, "{duals:?}");
+        assert!((duals[1] - 1.0).abs() < 1e-7, "{duals:?}");
     }
 
     #[test]

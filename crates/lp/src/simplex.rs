@@ -61,6 +61,8 @@
 //! from an all-slack start. A warm basis that turns out singular (or malformed)
 //! falls back to the all-slack basis silently.
 
+use std::borrow::Cow;
+
 use crate::error::{LpError, LpResult};
 use crate::lu::{LuFactorization, LuScratch};
 use crate::sparse::{SparseScratch, SparseVec};
@@ -320,6 +322,49 @@ pub fn triangular_crash(sf: &StandardForm, preference: &[f64]) -> WarmStart {
     WarmStart { statuses }
 }
 
+/// Recomputes the row duals `y` of a basis exported by a finished solve:
+/// collects the basic columns named by `basis`, factorizes them once, and
+/// solves `Bᵀy = c_B`. Works on the *original* (unreduced, unscaled) standard
+/// form, so it composes with presolve: the exported basis of a presolved solve
+/// is already mapped back to the full model.
+///
+/// The duals are in the minimize sense of `sf`; the model layer
+/// ([`crate::LpProblem::row_duals`]) flips the sign for maximization problems.
+/// Errors if the basis has the wrong shape or its matrix is singular.
+pub fn recover_row_duals(sf: &StandardForm, basis: &WarmStart) -> LpResult<Vec<f64>> {
+    let nstruct = sf.cols.len();
+    if basis.statuses.len() != nstruct + sf.nrows {
+        return Err(LpError::InvalidModel(format!(
+            "basis has {} statuses, expected {}",
+            basis.statuses.len(),
+            nstruct + sf.nrows
+        )));
+    }
+    let mut cols = Vec::with_capacity(sf.nrows);
+    let mut cb = Vec::with_capacity(sf.nrows);
+    for (j, st) in basis.statuses.iter().enumerate() {
+        if matches!(st, BasisStatus::Basic) {
+            if j < nstruct {
+                cols.push(sf.cols[j].clone());
+                cb.push(sf.obj[j]);
+            } else {
+                cols.push(SparseVec::from_entries([(j - nstruct, -1.0)]));
+                cb.push(0.0);
+            }
+        }
+    }
+    if cols.len() != sf.nrows {
+        return Err(LpError::InvalidModel(format!(
+            "basis has {} basic variables, expected {}",
+            cols.len(),
+            sf.nrows
+        )));
+    }
+    let lu = LuFactorization::factorize(sf.nrows, &cols)?;
+    lu.solve_transpose(&mut cb);
+    Ok(cb)
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum VarStatus {
     Basic(usize),
@@ -329,9 +374,33 @@ enum VarStatus {
     FreeZero,
 }
 
+/// A structural column appended to a live solver session by
+/// [`Solver::add_columns`].
+#[derive(Debug, Clone)]
+pub struct NewColumn {
+    /// Sparse constraint-matrix column (`(row, coefficient)` entries).
+    pub col: SparseVec,
+    /// Objective coefficient (minimize sense).
+    pub obj: f64,
+    /// Lower bound.
+    pub lower: f64,
+    /// Upper bound.
+    pub upper: f64,
+}
+
 /// Bounded-variable revised simplex solver state.
+///
+/// Beyond the one-shot [`solve`] entry point, a `Solver` can be kept alive as an
+/// *incremental session* for column generation: [`Solver::new`] (or
+/// [`Solver::new_owned`]) builds the initial basis, [`Solver::reoptimize`] runs
+/// the two phases without consuming the solver, [`Solver::add_columns`] appends
+/// structural columns while keeping the factorized basis — including any
+/// accumulated Forrest–Tomlin updates — intact, and [`Solver::current_duals`]
+/// exposes the row duals the caller needs to price candidate columns.
 pub struct Solver<'a> {
-    sf: &'a StandardForm,
+    /// The model being solved. Borrowed until the first [`Solver::add_columns`]
+    /// call clones it into owned storage (columns can then be appended freely).
+    sf: Cow<'a, StandardForm>,
     opts: SimplexOptions,
     nstruct: usize,
     ntotal: usize,
@@ -395,6 +464,16 @@ impl<'a> Solver<'a> {
     /// Builds the initial basis: the warm start when one is provided and usable,
     /// the all-logical basis otherwise.
     pub fn new(sf: &'a StandardForm, opts: SimplexOptions) -> LpResult<Self> {
+        Self::from_cow(Cow::Borrowed(sf), opts)
+    }
+
+    /// [`Solver::new`] over an owned standard form — for sessions that outlive
+    /// the scope that built the model (column generation keeps one of these).
+    pub fn new_owned(sf: StandardForm, opts: SimplexOptions) -> LpResult<Solver<'static>> {
+        Solver::from_cow(Cow::Owned(sf), opts)
+    }
+
+    fn from_cow(sf: Cow<'a, StandardForm>, opts: SimplexOptions) -> LpResult<Self> {
         let nstruct = sf.cols.len();
         let nrows = sf.nrows;
         if sf.obj.len() != nstruct || sf.lower.len() != nstruct || sf.upper.len() != nstruct {
@@ -418,6 +497,19 @@ impl<'a> Solver<'a> {
         }
         let ntotal = nstruct + nrows;
         let use_devex = matches!(opts.pricing, Pricing::Devex);
+        // Only the phase-2 devex regime reads the row-wise copy; Dantzig
+        // solves skip the O(nnz) construction and the doubled footprint.
+        let a_rows = if use_devex {
+            let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); nrows];
+            for (j, col) in sf.cols.iter().enumerate() {
+                for (i, v) in col.iter() {
+                    rows[i].push((j, v));
+                }
+            }
+            rows
+        } else {
+            Vec::new()
+        };
 
         let mut solver = Self {
             sf,
@@ -443,19 +535,7 @@ impl<'a> Solver<'a> {
             row_buf: SparseScratch::new(nrows),
             spike_buf: SparseScratch::new(nrows),
             lu_scratch: LuScratch::new(nrows),
-            // Only the phase-2 devex regime reads the row-wise copy; Dantzig
-            // solves skip the O(nnz) construction and the doubled footprint.
-            a_rows: if use_devex {
-                let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); nrows];
-                for (j, col) in sf.cols.iter().enumerate() {
-                    for (i, v) in col.iter() {
-                        rows[i].push((j, v));
-                    }
-                }
-                rows
-            } else {
-                Vec::new()
-            },
+            a_rows,
             d: vec![0.0; ntotal],
             d_fresh: false,
             alpha_buf: SparseScratch::new(ntotal),
@@ -660,6 +740,21 @@ impl<'a> Solver<'a> {
 
     /// Runs both phases to optimality.
     pub fn solve(mut self) -> LpResult<StandardSolution> {
+        self.reoptimize()
+    }
+
+    /// Runs both phases to optimality without consuming the solver, so a session
+    /// can alternate [`Solver::add_columns`] and `reoptimize` calls.
+    ///
+    /// The solve continues from the *current* basis: after a previous
+    /// `reoptimize`, that basis is primal feasible (appended columns enter
+    /// nonbasic at a bound), so phase 1 is skipped entirely and phase 2 picks up
+    /// with the existing factorization — Forrest–Tomlin updates and all.
+    /// Iteration / pivot / refactorization counters reset per call, so each
+    /// round's [`StandardSolution`] reports only the work that round did.
+    pub fn reoptimize(&mut self) -> LpResult<StandardSolution> {
+        self.iterations = 0;
+        self.pivots = 0;
         // Count only in-solve refactorizations, not the initial basis setup.
         self.refactorizations = 0;
         if self.infeasibility() > self.opts.tol {
@@ -673,6 +768,134 @@ impl<'a> Solver<'a> {
         self.run_phase(false)?;
         self.recompute_basic_values();
         Ok(self.extract_solution())
+    }
+
+    /// Appends structural columns to a live session, preserving the solved basis.
+    ///
+    /// Contract, in terms of the solver state the next [`Solver::reoptimize`]
+    /// starts from:
+    ///
+    /// * the basis (and therefore the LU factorization, *including* any
+    ///   mid-cycle Forrest–Tomlin updates) is untouched — appending columns
+    ///   never changes the basis matrix, so nothing is refactorized;
+    /// * every new column enters nonbasic at its default bound (lower when
+    ///   finite, else upper, else free-at-zero), and basic values are
+    ///   recomputed in case a new column sits at a nonzero bound;
+    /// * new columns get unit devex weights; the incremental reduced-cost
+    ///   array is invalidated so the next pricing pass rebuilds it from a
+    ///   fresh dual solve (the appended columns' reduced costs included).
+    ///
+    /// Logical (slack) variables keep their identity: their indices shift up by
+    /// `cols.len()` because structural columns precede logicals in the
+    /// per-variable ordering — callers holding a [`WarmStart`] from before the
+    /// append can rebuild the equivalent start by splicing the new columns'
+    /// statuses in at position `old_ncols` (the model layer's
+    /// [`crate::LpProblem::resolve_with`] does exactly that).
+    ///
+    /// This method works on the *core* standard form: a session solver never
+    /// applies presolve or scaling, so row/column indices are stable across the
+    /// whole session.
+    pub fn add_columns(&mut self, cols: &[NewColumn]) -> LpResult<()> {
+        if cols.is_empty() {
+            return Ok(());
+        }
+        for (idx, c) in cols.iter().enumerate() {
+            if c.lower.is_nan() || c.upper.is_nan() || c.lower > c.upper {
+                return Err(LpError::InvalidModel(format!(
+                    "appended column {idx} has invalid bounds [{}, {}]",
+                    c.lower, c.upper
+                )));
+            }
+            if !c.obj.is_finite() {
+                return Err(LpError::InvalidModel(format!(
+                    "appended column {idx} has non-finite objective {}",
+                    c.obj
+                )));
+            }
+            if c.col.min_len() > self.nrows {
+                return Err(LpError::InvalidModel(format!(
+                    "appended column {idx} references row {} but the problem has {} rows",
+                    c.col.min_len() - 1,
+                    self.nrows
+                )));
+            }
+            for (_, v) in c.col.iter() {
+                if !v.is_finite() {
+                    return Err(LpError::InvalidModel(format!(
+                        "appended column {idx} has a non-finite coefficient"
+                    )));
+                }
+            }
+        }
+
+        let k = cols.len();
+        let old_nstruct = self.nstruct;
+        let sf = self.sf.to_mut();
+        for c in cols {
+            sf.cols.push(c.col.clone());
+            sf.obj.push(c.obj);
+            sf.lower.push(c.lower);
+            sf.upper.push(c.upper);
+        }
+
+        // Per-variable arrays are ordered structurals-then-logicals, so the new
+        // entries splice in *before* the logical block.
+        let mut new_status = Vec::with_capacity(k);
+        let mut new_x = Vec::with_capacity(k);
+        let mut any_nonzero = false;
+        for c in cols {
+            let (st, v) = Self::default_nonbasic(c.lower, c.upper);
+            any_nonzero |= v != 0.0;
+            new_status.push(st);
+            new_x.push(v);
+        }
+        self.status.splice(old_nstruct..old_nstruct, new_status);
+        self.x.splice(old_nstruct..old_nstruct, new_x);
+        self.weights
+            .splice(old_nstruct..old_nstruct, std::iter::repeat_n(1.0, k));
+        self.d
+            .splice(old_nstruct..old_nstruct, std::iter::repeat_n(0.0, k));
+        // Logical variable indices stored in the basis shift with the splice.
+        for j in self.basis.iter_mut() {
+            if *j >= old_nstruct {
+                *j += k;
+            }
+        }
+        self.nstruct += k;
+        self.ntotal += k;
+        self.alpha_buf.resize(self.ntotal);
+        // The phase-2 devex regime prices from the row-wise matrix copy.
+        if matches!(self.opts.pricing, Pricing::Devex) {
+            for (idx, c) in cols.iter().enumerate() {
+                let j = old_nstruct + idx;
+                for (i, v) in c.col.iter() {
+                    self.a_rows[i].push((j, v));
+                }
+            }
+        }
+        // Candidate lists hold pre-splice indices; reduced costs must be rebuilt
+        // so the appended columns price correctly.
+        self.candidates.clear();
+        self.minor_count = 0;
+        self.d_fresh = false;
+        if any_nonzero {
+            self.recompute_basic_values();
+        }
+        Ok(())
+    }
+
+    /// Row duals `y` solving `Bᵀy = c_B` for the current basis and the phase-2
+    /// (real) cost vector, dense in row space. A candidate column `a` with cost
+    /// `c` prices to the reduced cost `c - yᵀa`; at optimality every nonbasic
+    /// at-lower-bound column satisfies `c - yᵀa >= -tol`, which is the
+    /// certificate column-generation callers test against.
+    pub fn current_duals(&mut self) -> Vec<f64> {
+        self.compute_duals(false);
+        let mut y = vec![0.0; self.nrows];
+        for (i, v) in self.dual_buf.iter() {
+            y[i] = v;
+        }
+        y
     }
 
     /// A crude magnitude estimate used to make the phase-1 exit test scale-aware.

@@ -1,0 +1,376 @@
+//! Add-column / resolve properties on randomized (seeded ChaCha8) LPs: after
+//! appending columns to a solved model, the extended solve must match a cold
+//! solve of the full model —
+//!
+//! * at the model layer (`LpProblem::add_column` + `resolve_with`) across the
+//!   presolve on/off × warm-start on/off matrix, and
+//! * at the session layer (`Solver::add_columns` + `reoptimize`), where the
+//!   basis carries over *mid Forrest–Tomlin update cycle* (a large
+//!   `refactor_interval` keeps every pivot of the previous round in the update
+//!   file when columns are appended), across both pricing rules and several
+//!   append/reoptimize rounds.
+
+use a2a_lp::simplex::Solver;
+use a2a_lp::sparse::SparseVec;
+use a2a_lp::{
+    ConstraintSense, LpError, LpProblem, NewColumn, Pricing, SimplexOptions, StandardForm, INF,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn opts(presolve: bool, scaling: bool) -> SimplexOptions {
+    SimplexOptions {
+        presolve,
+        scaling,
+        ..SimplexOptions::default()
+    }
+}
+
+fn random_bounds(rng: &mut ChaCha8Rng) -> (f64, f64) {
+    match rng.random_range(0..8) {
+        // Occasionally a nonzero lower bound, so appended nonbasic columns
+        // perturb the basic values and exercise the recompute path.
+        0 => {
+            let l = rng.random_range(1..4) as f64;
+            (l, l + rng.random_range(1..6) as f64)
+        }
+        1 => {
+            let l = rng.random_range(0..4) as f64 - 2.0;
+            (l, l + rng.random_range(1..6) as f64)
+        }
+        2 => (0.0, rng.random_range(1..8) as f64),
+        _ => (0.0, INF),
+    }
+}
+
+/// Mostly-positive coefficients keep the maximize-with-`<=`-rows base bounded
+/// and feasible often enough for the matrix checks to actually run.
+fn random_coeff(rng: &mut ChaCha8Rng) -> f64 {
+    if rng.random_range(0..4) == 0 {
+        -(rng.random_range(1..4) as f64)
+    } else {
+        rng.random_range(1..4) as f64
+    }
+}
+
+/// `(lower, upper, obj, entries)` of one column to append post-solve.
+type AppendedColumn = (f64, f64, f64, Vec<(usize, f64)>);
+
+/// A random base model plus a batch of columns to append later. The base is
+/// built so that it is usually feasible and bounded (nonnegative variables,
+/// mostly `<=` rows with positive slack).
+struct Scenario {
+    base: LpProblem,
+    appended: Vec<AppendedColumn>,
+}
+
+fn random_scenario(rng: &mut ChaCha8Rng) -> Scenario {
+    let nvars = rng.random_range(2..6);
+    let nrows = rng.random_range(1..6);
+    let mut lp = LpProblem::maximize();
+    let mut vars = Vec::new();
+    for j in 0..nvars {
+        let (l, u) = random_bounds(rng);
+        let obj = rng.random_range(0..9) as f64 - 3.0;
+        vars.push(lp.add_var(format!("x{j}"), l, u, obj));
+    }
+    for i in 0..nrows {
+        let arity = rng.random_range(1..nvars.min(3) + 1);
+        let mut cols: Vec<usize> = (0..nvars).collect();
+        for k in 0..arity {
+            let pick = rng.random_range(0..cols.len() - k);
+            cols.swap(k, k + pick);
+        }
+        let coeffs: Vec<(a2a_lp::VarId, f64)> = cols
+            .iter()
+            .take(arity)
+            .map(|&j| (vars[j], random_coeff(rng)))
+            .collect();
+        let rhs = rng.random_range(0..14) as f64;
+        let sense = match rng.random_range(0..8) {
+            0 => ConstraintSense::Ge,
+            1 => ConstraintSense::Eq,
+            _ => ConstraintSense::Le,
+        };
+        let _ = i;
+        lp.add_constraint(coeffs, sense, rhs);
+    }
+
+    let nappend = rng.random_range(1..5);
+    let mut appended = Vec::with_capacity(nappend);
+    for _ in 0..nappend {
+        let (l, u) = random_bounds(rng);
+        let obj = rng.random_range(0..9) as f64 - 3.0;
+        let arity = rng.random_range(1..nrows.min(3) + 1);
+        let mut rows: Vec<usize> = (0..nrows).collect();
+        for k in 0..arity {
+            let pick = rng.random_range(0..rows.len() - k);
+            rows.swap(k, k + pick);
+        }
+        let entries: Vec<(usize, f64)> = rows
+            .iter()
+            .take(arity)
+            .map(|&r| (r, random_coeff(rng)))
+            .collect();
+        appended.push((l, u, obj, entries));
+    }
+    Scenario { base: lp, appended }
+}
+
+/// Model layer: `resolve_with` from the pre-append basis must agree with a cold
+/// solve of the extended model, under every presolve/scaling × warm-start
+/// combination.
+#[test]
+fn model_add_column_matrix_matches_cold_solve() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xADD_C01);
+    let mut exercised = 0usize;
+    for case in 0..150 {
+        let Scenario { mut base, appended } = random_scenario(&mut rng);
+        let tag = format!("case {case}");
+        // The pre-append solve must succeed for the scenario to make sense.
+        let Ok(first) = base.solve() else { continue };
+
+        for (idx, (l, u, obj, entries)) in appended.iter().enumerate() {
+            base.add_column(format!("a{idx}"), *l, *u, *obj, entries.iter().copied());
+        }
+
+        // Cold reference on the extended model (solver defaults).
+        let cold = base.solve();
+        for presolve in [false, true] {
+            for scaling in [false, true] {
+                let cfg = opts(presolve, scaling);
+                let cold_cfg = base.solve_with(&cfg);
+                let warm_cfg = base.resolve_with(&first.basis, &cfg);
+                match (&cold, &cold_cfg, &warm_cfg) {
+                    (Ok(a), Ok(b), Ok(c)) => {
+                        exercised += 1;
+                        let scale = 1.0 + a.objective_value.abs();
+                        assert!(
+                            (a.objective_value - b.objective_value).abs() < 1e-6 * scale,
+                            "{tag} p={presolve} s={scaling}: cold {} vs cold-cfg {}",
+                            a.objective_value,
+                            b.objective_value
+                        );
+                        assert!(
+                            (a.objective_value - c.objective_value).abs() < 1e-6 * scale,
+                            "{tag} p={presolve} s={scaling}: cold {} vs resolve {}",
+                            a.objective_value,
+                            c.objective_value
+                        );
+                    }
+                    (Err(LpError::Unbounded), Err(LpError::Unbounded), Err(LpError::Unbounded)) => {
+                    }
+                    // A forced nonzero lower bound on an appended column can make
+                    // the extended model infeasible; all paths must agree on it.
+                    (
+                        Err(LpError::Infeasible),
+                        Err(LpError::Infeasible),
+                        Err(LpError::Infeasible),
+                    ) => {}
+                    (a, b, c) => {
+                        panic!("{tag} p={presolve} s={scaling}: cold {a:?} / cold-cfg {b:?} / resolve {c:?} disagree")
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        exercised > 100,
+        "only {exercised} optimal matrix checks ran"
+    );
+}
+
+/// Converts a scenario to standard form plus the `NewColumn` batch for the
+/// session-layer test (maximize flips signs exactly like `to_standard_form`).
+fn scenario_standard_forms(s: &Scenario) -> (StandardForm, StandardForm, Vec<NewColumn>) {
+    let base_sf = s.base.to_standard_form().expect("valid model");
+    // Extended model: clone + append, mirroring what Solver::add_columns does.
+    let mut full = base_sf.clone();
+    let mut batch = Vec::new();
+    for (l, u, obj, entries) in &s.appended {
+        let col = SparseVec::from_entries(entries.iter().copied());
+        // Maximize model: internal objective is negated.
+        let c = NewColumn {
+            col,
+            obj: -*obj,
+            lower: *l,
+            upper: *u,
+        };
+        full.cols.push(c.col.clone());
+        full.obj.push(c.obj);
+        full.lower.push(c.lower);
+        full.upper.push(c.upper);
+        batch.push(c);
+    }
+    (base_sf, full, batch)
+}
+
+/// Session layer: `add_columns` + `reoptimize` on a live solver — whose basis
+/// still carries the previous round's pivots as Forrest–Tomlin updates — must
+/// match a cold solve of the full model, under both pricing rules.
+#[test]
+fn session_add_columns_mid_ft_cycle_matches_cold_solve() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF7_C3C1E);
+    let mut exercised = 0usize;
+    let mut with_pivots = 0usize;
+    for case in 0..120 {
+        let scenario = random_scenario(&mut rng);
+        let (base_sf, full_sf, batch) = scenario_standard_forms(&scenario);
+        for pricing in [Pricing::Devex, Pricing::Dantzig] {
+            let tag = format!("case {case} {pricing:?}");
+            // A large refactor interval keeps every pivot in the FT update file,
+            // so the append happens mid-update-cycle, never on a fresh basis.
+            let session_opts = SimplexOptions {
+                pricing,
+                presolve: false,
+                scaling: false,
+                refactor_interval: 10_000,
+                ..SimplexOptions::default()
+            };
+            let mut solver = match Solver::new(&base_sf, session_opts.clone()) {
+                Ok(s) => s,
+                Err(e) => panic!("{tag}: solver construction failed: {e:?}"),
+            };
+            let first = solver.reoptimize();
+            let Ok(first) = first else { continue };
+            if first.pivots > 0 {
+                with_pivots += 1;
+            }
+
+            // Append the batch in two chunks with a reoptimize in between, so the
+            // second append also lands on a basis whose FT file reflects columns
+            // that did not exist at construction time.
+            let split = batch.len() / 2;
+            solver.add_columns(&batch[..split]).expect("append chunk 1");
+            let mid = solver.reoptimize();
+            solver.add_columns(&batch[split..]).expect("append chunk 2");
+            let warm = solver.reoptimize();
+
+            let cold = a2a_lp::simplex::solve(
+                &full_sf,
+                &SimplexOptions {
+                    pricing,
+                    presolve: false,
+                    scaling: false,
+                    ..SimplexOptions::default()
+                },
+            );
+            match (&cold, &warm) {
+                (Ok(a), Ok(b)) => {
+                    exercised += 1;
+                    let scale = 1.0 + a.objective.abs();
+                    assert!(
+                        (a.objective - b.objective).abs() < 1e-6 * scale,
+                        "{tag}: cold {} vs session {}",
+                        a.objective,
+                        b.objective
+                    );
+                    // The session solution must be primal feasible for the full model.
+                    let mut activity = vec![0.0; full_sf.nrows];
+                    for (j, col) in full_sf.cols.iter().enumerate() {
+                        col.scatter_into(&mut activity, b.x[j]);
+                        assert!(
+                            b.x[j] >= full_sf.lower[j] - 1e-6 && b.x[j] <= full_sf.upper[j] + 1e-6,
+                            "{tag}: x[{j}] = {} out of bounds",
+                            b.x[j]
+                        );
+                    }
+                    for (i, &a_i) in activity.iter().enumerate() {
+                        let s = 1.0 + a_i.abs();
+                        assert!(
+                            a_i >= full_sf.row_lower[i] - 1e-6 * s
+                                && a_i <= full_sf.row_upper[i] + 1e-6 * s,
+                            "{tag}: row {i} activity {a_i} violates bounds"
+                        );
+                    }
+                }
+                (Err(LpError::Unbounded), Err(LpError::Unbounded)) => {
+                    exercised += 1;
+                }
+                (Err(LpError::Infeasible), Err(LpError::Infeasible)) => {
+                    exercised += 1;
+                }
+                // The intermediate solve may already be unbounded; then the final
+                // reoptimize reports the same.
+                (Err(LpError::Unbounded), _) if matches!(mid, Err(LpError::Unbounded)) => {}
+                (a, b) => panic!("{tag}: cold {a:?} vs session {b:?}"),
+            }
+        }
+    }
+    assert!(exercised > 60, "only {exercised} session checks ran");
+    assert!(
+        with_pivots > 40,
+        "only {with_pivots} base solves pivoted — FT cycle not exercised"
+    );
+}
+
+/// Appending zero columns is a no-op and malformed columns are rejected without
+/// corrupting the session.
+#[test]
+fn session_append_validation() {
+    let sf = StandardForm {
+        nrows: 1,
+        cols: vec![SparseVec::from_entries([(0, 1.0)])],
+        obj: vec![-1.0],
+        lower: vec![0.0],
+        upper: vec![2.0],
+        row_lower: vec![-INF],
+        row_upper: vec![5.0],
+    };
+    let mut solver = Solver::new(
+        &sf,
+        SimplexOptions {
+            presolve: false,
+            scaling: false,
+            ..SimplexOptions::default()
+        },
+    )
+    .unwrap();
+    let first = solver.reoptimize().unwrap();
+    assert!((first.objective + 2.0).abs() < 1e-9);
+
+    solver.add_columns(&[]).unwrap();
+    // Row index out of range.
+    let bad_row = NewColumn {
+        col: SparseVec::from_entries([(3, 1.0)]),
+        obj: 0.0,
+        lower: 0.0,
+        upper: INF,
+    };
+    assert!(matches!(
+        solver.add_columns(std::slice::from_ref(&bad_row)),
+        Err(LpError::InvalidModel(_))
+    ));
+    // Inverted bounds.
+    let bad_bounds = NewColumn {
+        col: SparseVec::from_entries([(0, 1.0)]),
+        obj: 0.0,
+        lower: 1.0,
+        upper: 0.0,
+    };
+    assert!(matches!(
+        solver.add_columns(std::slice::from_ref(&bad_bounds)),
+        Err(LpError::InvalidModel(_))
+    ));
+    // The session still works after the rejections.
+    let again = solver.reoptimize().unwrap();
+    assert!((again.objective + 2.0).abs() < 1e-9);
+
+    // A valid append at a nonzero lower bound shifts the optimum: new column
+    // consumes 3 units of the row at lower bound 3, leaving 2 for x.
+    solver
+        .add_columns(&[NewColumn {
+            col: SparseVec::from_entries([(0, 1.0)]),
+            obj: 0.0,
+            lower: 3.0,
+            upper: 3.0,
+        }])
+        .unwrap();
+    let shifted = solver.reoptimize().unwrap();
+    assert!(
+        (shifted.objective + 2.0).abs() < 1e-9,
+        "{}",
+        shifted.objective
+    );
+    assert!((shifted.x[1] - 3.0).abs() < 1e-9);
+}

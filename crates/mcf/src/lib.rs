@@ -18,7 +18,10 @@
 //!   store-and-forward (ML accelerator) fabrics, including the host-bottleneck variant
 //!   of Fig. 2.
 //! * [`pmcf`] — the path-variable MCF (§3.1.4) over explicit candidate path sets
-//!   (edge-disjoint, shortest, bounded length).
+//!   (edge-disjoint, shortest, bounded length), plus restricted-master column
+//!   generation ([`pmcf::solve_path_mcf_colgen_among`]) that grows the path set
+//!   adaptively by dual-cost shortest-path pricing and certifies optimality of
+//!   the unrestricted path LP on any topology.
 //! * [`extract`] — widest-path extraction (MCF-extP, §3.2.1) that converts link flows
 //!   into weighted path schedules for source-routed fabrics.
 //! * [`bounds`] — the analytic throughput upper bound and the Theorem-1 lower bound on
@@ -43,6 +46,9 @@ pub use decomposed::{
 };
 pub use extract::extract_widest_paths;
 pub use linkmcf::solve_link_mcf;
-pub use pmcf::{solve_path_mcf, PathSetKind};
+pub use pmcf::{
+    solve_path_mcf, solve_path_mcf_colgen, solve_path_mcf_colgen_among, ColGenOptions,
+    ColGenPathMcf, ColGenRound, ColGenSeed, ColGenStats, PathSetKind,
+};
 pub use tsmcf::{solve_tsmcf, TsMcfSolution};
 pub use types::{CommoditySet, LinkFlowSolution, McfError, McfResult, PathSchedule};

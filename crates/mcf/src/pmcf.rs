@@ -6,14 +6,39 @@
 //! paths, or all paths up to a length bound. With an unrestricted path set pMCF is the
 //! dual of the link MCF and therefore exact; with restricted sets it trades optimality
 //! for tractability exactly as studied in Fig. 8.
+//!
+//! # Column generation
+//!
+//! Fixed path sets trade optimality per topology family (the `Widened` set exists
+//! precisely because the edge-disjoint set collapses on single-uplink fat trees).
+//! [`solve_path_mcf_colgen_among`] removes the trade-off: it solves the *full* path
+//! LP to proven optimality by restricted-master column generation — seed a small
+//! path set, solve the restricted master, price every commodity by a cheapest path
+//! under the master's dual edge costs, append the improving paths as new LP columns
+//! ([`a2a_lp::Solver::add_columns`]) and continue from the previous basis, until no
+//! path prices below its commodity's convexity dual. The certificate at termination
+//! is exactly LP optimality of the unrestricted path formulation, so colgen agrees
+//! with link-MCF and decomposed-MCF on `F` on *any* topology.
 
-use a2a_lp::{ConstraintSense, LpProblem, SimplexOptions, VarId, INF};
+use std::collections::HashSet;
+use std::time::Instant;
+
+use a2a_lp::sparse::SparseVec;
+use a2a_lp::{
+    ConstraintSense, LpProblem, NewColumn, Pricing, SimplexOptions, Solver, StandardForm, VarId,
+    INF,
+};
 use a2a_topology::{paths, Path, Topology};
 
 use crate::linkmcf::validate;
 use crate::types::{CommoditySet, McfError, McfResult, PathSchedule};
 
 /// Candidate path-set family for pMCF.
+///
+/// Every variant fixes the candidate set *before* the LP solve, so optimality is
+/// only relative to the family (Fig. 8 studies the gaps). The column-generation
+/// entry points ([`solve_path_mcf_colgen_among`]) instead grow the set adaptively
+/// and certify optimality of the unrestricted path LP.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PathSetKind {
     /// A maximal set of edge-disjoint paths per commodity (at most `d` paths on a
@@ -222,6 +247,404 @@ pub fn solve_path_mcf_with_paths(
     ))
 }
 
+/// How [`solve_path_mcf_colgen_among`] seeds the restricted master's initial
+/// path set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColGenSeed {
+    /// One BFS shortest path per commodity — the minimal seed. Pricing provably
+    /// closes any gap this leaves (including the fat-tree single-spine
+    /// concentration the `Widened` set was hand-built for), at the cost of a
+    /// few more rounds.
+    ShortestPath,
+    /// Seed with a full fixed path-set family; pricing then only adds what the
+    /// family missed, which usually means fewer rounds on topologies where the
+    /// family is already near-optimal.
+    Kind(PathSetKind),
+}
+
+/// Options for the column-generation path-MCF solver.
+#[derive(Debug, Clone)]
+pub struct ColGenOptions {
+    /// Initial path set of the restricted master.
+    pub seed: ColGenSeed,
+    /// Hard cap on master-solve/pricing rounds. When the cap is hit the best
+    /// restricted solution is returned with
+    /// [`ColGenStats::proved_optimal`]` == false`.
+    pub max_rounds: usize,
+    /// Cap on columns appended per round (the most violating candidates win; at
+    /// most one candidate per commodity is generated each round).
+    pub max_columns_per_round: usize,
+    /// Reduced-cost tolerance of the pricing test: a path improves when its
+    /// dual-weighted length is below the commodity's convexity dual minus this.
+    pub tolerance: f64,
+    /// Pricing rule for the master simplex.
+    pub pricing: Pricing,
+}
+
+impl Default for ColGenOptions {
+    fn default() -> Self {
+        Self {
+            seed: ColGenSeed::ShortestPath,
+            max_rounds: 200,
+            max_columns_per_round: usize::MAX,
+            tolerance: 1e-7,
+            pricing: Pricing::default(),
+        }
+    }
+}
+
+/// Per-round measurements of a column-generation solve.
+#[derive(Debug, Clone)]
+pub struct ColGenRound {
+    /// Path columns in the restricted master when the round's solve started.
+    pub columns_in_master: usize,
+    /// Columns appended after pricing (0 on the terminating round).
+    pub columns_added: usize,
+    /// Wall time of the master (re)solve.
+    pub master_wall_secs: f64,
+    /// Wall time of dual extraction plus the per-source Dijkstra pricing sweep.
+    pub pricing_wall_secs: f64,
+    /// Simplex iterations of the master solve this round.
+    pub master_iterations: usize,
+    /// Basis changes of the master solve this round.
+    pub master_pivots: usize,
+    /// Concurrent flow value of the restricted master after this round's solve.
+    pub flow_value: f64,
+    /// Largest pricing violation found (`convexity dual - cheapest path cost`
+    /// over the *new* candidate paths); `<= tolerance` on the final round of a
+    /// proven-optimal run.
+    pub max_violation: f64,
+}
+
+/// Aggregate timing/progress statistics of a column-generation solve.
+#[derive(Debug, Clone)]
+pub struct ColGenStats {
+    /// One entry per master-solve/pricing round, in order.
+    pub rounds: Vec<ColGenRound>,
+    /// True when the run terminated with the optimality certificate: no
+    /// commodity has a path whose dual-weighted length is below its convexity
+    /// dual minus the tolerance — i.e. the restricted master's optimum is the
+    /// optimum of the unrestricted path LP.
+    pub proved_optimal: bool,
+    /// Path columns the master was seeded with.
+    pub seed_columns: usize,
+    /// Path columns in the master at termination.
+    pub total_columns: usize,
+}
+
+impl ColGenStats {
+    /// Number of master-solve/pricing rounds performed.
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Total master simplex iterations across all rounds.
+    pub fn total_master_iterations(&self) -> usize {
+        self.rounds.iter().map(|r| r.master_iterations).sum()
+    }
+
+    /// Total master basis changes across all rounds.
+    pub fn total_master_pivots(&self) -> usize {
+        self.rounds.iter().map(|r| r.master_pivots).sum()
+    }
+
+    /// Total wall time across master solves and pricing sweeps.
+    pub fn total_wall_secs(&self) -> f64 {
+        self.rounds
+            .iter()
+            .map(|r| r.master_wall_secs + r.pricing_wall_secs)
+            .sum()
+    }
+}
+
+/// Result of a column-generation path-MCF solve.
+#[derive(Debug, Clone)]
+pub struct ColGenPathMcf {
+    /// The weighted path schedule (same shape as every other pMCF result).
+    pub schedule: PathSchedule,
+    /// Per-round statistics and the optimality certificate flag.
+    pub stats: ColGenStats,
+}
+
+/// Solves path-MCF by column generation for an all-to-all among all nodes.
+pub fn solve_path_mcf_colgen(topo: &Topology, options: &ColGenOptions) -> McfResult<ColGenPathMcf> {
+    solve_path_mcf_colgen_among(topo, CommoditySet::all_pairs(topo.num_nodes()), options)
+}
+
+/// Solves path-MCF to proven optimality by restricted-master column generation.
+///
+/// The restricted master is the path LP over the current candidate sets,
+/// maximized over the concurrent flow `F` (built directly in standard form:
+/// one capacity row per finite-capacity edge — present from the start so later
+/// columns can always price against every edge — and one convexity/demand row
+/// per commodity). Each round re-solves the master *in place* through the
+/// incremental [`Solver`] session — appended columns enter nonbasic, the
+/// factorized basis carries over, so every re-solve is a warm phase-2
+/// continuation — then prices all commodities at once with one Dijkstra tree
+/// per source under the dual edge costs. Improving paths (dual-weighted length
+/// below the commodity's convexity dual minus
+/// [`ColGenOptions::tolerance`]) are appended, best violations first, capped by
+/// [`ColGenOptions::max_columns_per_round`].
+///
+/// Terminates with [`ColGenStats::proved_optimal`] when no improving path
+/// exists — the LP optimality certificate of the *unrestricted* path
+/// formulation — or returns the best restricted solution when
+/// [`ColGenOptions::max_rounds`] is exhausted.
+pub fn solve_path_mcf_colgen_among(
+    topo: &Topology,
+    commodities: CommoditySet,
+    options: &ColGenOptions,
+) -> McfResult<ColGenPathMcf> {
+    validate(topo, &commodities)?;
+    if options.max_rounds == 0 || options.max_columns_per_round == 0 {
+        return Err(McfError::BadArgument(
+            "colgen needs max_rounds >= 1 and max_columns_per_round >= 1 \
+             (a zero column cap could never make progress)"
+                .into(),
+        ));
+    }
+    let ncomm = commodities.len();
+
+    // Seed path sets, deduplicated per commodity.
+    let mut path_sets: Vec<Vec<Path>> = match options.seed {
+        ColGenSeed::ShortestPath => {
+            let mut sets = Vec::with_capacity(ncomm);
+            for (_, s, d) in commodities.iter() {
+                let p = paths::shortest_path(topo, s, d).ok_or_else(|| {
+                    McfError::BadTopology(format!("no {s}->{d} path exists for the seed"))
+                })?;
+                sets.push(vec![p]);
+            }
+            sets
+        }
+        ColGenSeed::Kind(kind) => build_path_sets(topo, &commodities, kind)?,
+    };
+    let mut seen: Vec<HashSet<Path>> = path_sets
+        .iter_mut()
+        .map(|set| {
+            let mut dedup = HashSet::with_capacity(set.len());
+            set.retain(|p| dedup.insert(p.clone()));
+            dedup
+        })
+        .collect();
+
+    // Row layout: one capacity row per finite-capacity edge (even if no seed
+    // path crosses it — a priced-in column may), then one demand row per
+    // commodity. Building the standard form directly keeps row indices stable
+    // for the whole session, which the dual extraction depends on.
+    let mut edge_row: Vec<Option<usize>> = Vec::with_capacity(topo.num_edges());
+    let mut row_lower = Vec::new();
+    let mut row_upper = Vec::new();
+    for edge in topo.edges() {
+        if edge.capacity.is_finite() {
+            edge_row.push(Some(row_lower.len()));
+            row_lower.push(-INF);
+            row_upper.push(edge.capacity);
+        } else {
+            edge_row.push(None);
+        }
+    }
+    let nedge_rows = row_lower.len();
+    // Demand rows: sum of the commodity's path weights minus F is >= 0.
+    for _ in 0..ncomm {
+        row_lower.push(0.0);
+        row_upper.push(INF);
+    }
+    let nrows = row_lower.len();
+
+    let path_column = |k: usize, p: &Path| -> SparseVec {
+        let mut entries: Vec<(usize, f64)> = Vec::with_capacity(p.hops() + 1);
+        for (u, v) in p.links() {
+            let e = topo.find_edge(u, v).expect("paths are validated in topo");
+            if let Some(r) = edge_row[e] {
+                entries.push((r, 1.0));
+            }
+        }
+        entries.push((nedge_rows + k, 1.0));
+        SparseVec::from_entries(entries)
+    };
+
+    // Column 0 is F (minimize -F); path columns follow in append order, with
+    // `col_owner[j - 1]` naming the commodity and within-set index of column j.
+    let mut cols = vec![SparseVec::from_entries(
+        (0..ncomm).map(|k| (nedge_rows + k, -1.0)),
+    )];
+    let mut obj = vec![-1.0];
+    let mut col_owner: Vec<(usize, usize)> = Vec::new();
+    for (k, set) in path_sets.iter().enumerate() {
+        for (pi, p) in set.iter().enumerate() {
+            cols.push(path_column(k, p));
+            obj.push(0.0);
+            col_owner.push((k, pi));
+        }
+    }
+    let seed_columns = col_owner.len();
+    let ncols = cols.len();
+    let sf = StandardForm {
+        nrows,
+        cols,
+        obj,
+        lower: vec![0.0; ncols],
+        upper: vec![INF; ncols],
+        row_lower,
+        row_upper,
+    };
+
+    // The session works on the core solver: no presolve/scaling, so row and
+    // column indices stay stable and the duals come straight off the basis.
+    let simplex_opts = SimplexOptions {
+        pricing: options.pricing,
+        presolve: false,
+        scaling: false,
+        ..SimplexOptions::default()
+    };
+    let mut solver = Solver::new_owned(sf, simplex_opts)?;
+
+    let endpoints = commodities.endpoints().to_vec();
+    let tol = options.tolerance;
+    let mut stats = ColGenStats {
+        rounds: Vec::new(),
+        proved_optimal: false,
+        seed_columns,
+        total_columns: seed_columns,
+    };
+    let final_sol;
+    loop {
+        let t_master = Instant::now();
+        let sol = solver.reoptimize().map_err(McfError::from)?;
+        let master_wall_secs = t_master.elapsed().as_secs_f64();
+        let flow_value = -sol.objective;
+
+        // Pricing: dual edge costs w_e = max(0, -y_e) (capacity-row duals are
+        // non-positive at a minimize optimum), convexity duals mu_k = y_{demand k}.
+        // A path improves iff its w-length is below mu_k - tolerance.
+        let t_pricing = Instant::now();
+        let y = solver.current_duals();
+        let mut weights = vec![0.0; topo.num_edges()];
+        for (e, r) in edge_row.iter().enumerate() {
+            if let Some(r) = *r {
+                weights[e] = (-y[r]).max(0.0);
+            }
+        }
+        let mut candidates: Vec<(f64, usize, Path)> = Vec::new();
+        for &s in &endpoints {
+            let tree = paths::weighted_shortest_path_tree(topo, s, &weights);
+            for &d in &endpoints {
+                if d == s {
+                    continue;
+                }
+                let k = commodities
+                    .index_of(s, d)
+                    .expect("endpoints enumerate the commodity set");
+                let mu = y[nedge_rows + k];
+                let cost = tree
+                    .distance(d)
+                    .expect("validated topologies are strongly connected");
+                let violation = mu - cost;
+                if violation > tol {
+                    let p = tree.path_to(d).expect("finite distance implies a path");
+                    if !seen[k].contains(&p) {
+                        candidates.push((violation, k, p));
+                    }
+                }
+            }
+        }
+        let pricing_wall_secs = t_pricing.elapsed().as_secs_f64();
+
+        // Most violating candidates first; commodity index breaks ties so the
+        // round is deterministic. The certificate and the recorded violation
+        // come from the *untruncated* list — a per-round column cap defers
+        // work, it must never manufacture an optimality proof.
+        candidates.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        let max_violation = candidates.first().map_or(0.0, |c| c.0);
+        let proved = candidates.is_empty();
+        let capped = !proved && stats.rounds.len() + 1 >= options.max_rounds;
+        candidates.truncate(options.max_columns_per_round);
+
+        let columns_in_master = stats.total_columns;
+        stats.rounds.push(ColGenRound {
+            columns_in_master,
+            // Only columns actually appended count; a round that terminates the
+            // loop (certificate or round cap) appends nothing.
+            columns_added: if proved || capped {
+                0
+            } else {
+                candidates.len()
+            },
+            master_wall_secs,
+            pricing_wall_secs,
+            master_iterations: sol.iterations,
+            master_pivots: sol.pivots,
+            flow_value,
+            max_violation,
+        });
+
+        if proved {
+            stats.proved_optimal = true;
+            final_sol = sol;
+            break;
+        }
+        if capped {
+            final_sol = sol;
+            break;
+        }
+
+        let new_cols: Vec<NewColumn> = candidates
+            .iter()
+            .map(|(_, k, p)| NewColumn {
+                col: path_column(*k, p),
+                obj: 0.0,
+                lower: 0.0,
+                upper: INF,
+            })
+            .collect();
+        solver.add_columns(&new_cols).map_err(McfError::from)?;
+        for (_, k, p) in candidates {
+            seen[k].insert(p.clone());
+            col_owner.push((k, path_sets[k].len()));
+            path_sets[k].push(p);
+        }
+        stats.total_columns = col_owner.len();
+    }
+
+    let sol = final_sol;
+    let flow_value = -sol.objective;
+    if flow_value <= WEIGHT_TOL {
+        return Err(McfError::Lp(
+            "column-generation path MCF produced a zero concurrent flow".into(),
+        ));
+    }
+
+    // Collect weighted paths; the thresholding fallback mirrors the fixed-set
+    // solver.
+    let mut raw: Vec<Vec<(Path, f64)>> = vec![Vec::new(); ncomm];
+    for (j, &(k, pi)) in col_owner.iter().enumerate() {
+        let w = sol.x[j + 1];
+        if w > WEIGHT_TOL {
+            raw[k].push((path_sets[k][pi].clone(), w));
+        }
+    }
+    let mut fixed = Vec::with_capacity(ncomm);
+    for ((_, s, d), list) in commodities.iter().zip(raw) {
+        if list.is_empty() {
+            let fallback = paths::shortest_path(topo, s, d).ok_or_else(|| {
+                McfError::BadTopology(format!("no {s}->{d} path exists for fallback"))
+            })?;
+            fixed.push(vec![(fallback, 1.0)]);
+        } else {
+            fixed.push(list);
+        }
+    }
+    Ok(ColGenPathMcf {
+        schedule: PathSchedule::from_weighted_paths(commodities, flow_value, fixed),
+        stats,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,6 +772,152 @@ mod tests {
                 disjoint.flow_value
             );
             assert!(widened.check_consistency(&topo, 1e-6).is_empty());
+        }
+    }
+
+    /// Colgen must be exact on graphs where the fixed sets already are, and its
+    /// certificate must hold at termination.
+    #[test]
+    fn colgen_matches_link_mcf_on_hypercube() {
+        let topo = generators::hypercube(3);
+        let link = solve_link_mcf(&topo).unwrap();
+        let cg = solve_path_mcf_colgen(&topo, &ColGenOptions::default()).unwrap();
+        assert!(cg.stats.proved_optimal, "certificate must hold");
+        assert!(
+            (cg.schedule.flow_value - link.flow_value).abs() <= 1e-6 * (1.0 + link.flow_value),
+            "colgen F = {} vs link F = {}",
+            cg.schedule.flow_value,
+            link.flow_value
+        );
+        assert!(cg.schedule.check_consistency(&topo, 1e-6).is_empty());
+        assert!(cg.stats.num_rounds() >= 1);
+        assert_eq!(
+            cg.stats.rounds.last().unwrap().columns_added,
+            0,
+            "final round proves optimality without adding columns"
+        );
+        assert!(cg.stats.total_columns >= cg.stats.seed_columns);
+    }
+
+    /// The fattree-16h regression, pinned against the *adaptive* fix: seeded
+    /// with nothing but one shortest path per commodity — the same starved
+    /// starting point that made the edge-disjoint set collapse to F = 1/24 —
+    /// column generation must price the parallel spines back in and reach the
+    /// decomposed optimum F = 1/15 with its certificate intact, no `Widened`
+    /// hand-tuning involved.
+    #[test]
+    fn colgen_closes_the_fat_tree_gap_from_a_shortest_path_seed() {
+        let ft = generators::fat_tree_two_level(4, 2, 4);
+        let commodities = CommoditySet::among(ft.hosts.clone());
+        let n = ft.hosts.len() as f64;
+        let optimum = 1.0 / (n - 1.0); // 1/15
+
+        let opts = ColGenOptions {
+            seed: ColGenSeed::ShortestPath,
+            ..ColGenOptions::default()
+        };
+        let cg = solve_path_mcf_colgen_among(&ft.graph, commodities, &opts).unwrap();
+        assert!(cg.stats.proved_optimal, "certificate must hold");
+        assert!(
+            (cg.schedule.flow_value - optimum).abs() < 1e-6,
+            "colgen F = {} vs optimum {optimum}",
+            cg.schedule.flow_value
+        );
+        // The seed alone is strictly worse (one spine per commodity), so the
+        // pricing rounds must have done real work.
+        assert!(cg.stats.rounds[0].flow_value < optimum - 1e-6);
+        assert!(cg.stats.total_columns > cg.stats.seed_columns);
+        assert!(cg.schedule.check_consistency(&ft.graph, 1e-6).is_empty());
+    }
+
+    /// Seeding with a fixed family must never hurt: colgen from the widened set
+    /// terminates at the same optimum, typically in fewer rounds.
+    #[test]
+    fn colgen_from_widened_seed_agrees() {
+        let topo = generators::torus(&[3, 3]);
+        let link = solve_link_mcf(&topo).unwrap();
+        let opts = ColGenOptions {
+            seed: ColGenSeed::Kind(PathSetKind::Widened { max_per_pair: 8 }),
+            ..ColGenOptions::default()
+        };
+        let cg = solve_path_mcf_colgen(&topo, &opts).unwrap();
+        assert!(cg.stats.proved_optimal);
+        assert!(
+            (cg.schedule.flow_value - link.flow_value).abs() <= 1e-6 * (1.0 + link.flow_value),
+            "colgen F = {} vs link F = {}",
+            cg.schedule.flow_value,
+            link.flow_value
+        );
+    }
+
+    /// A round cap short of convergence returns the restricted optimum without
+    /// the certificate, and the terminating round appends nothing (its
+    /// candidates are discarded, not silently counted).
+    #[test]
+    fn colgen_round_cap_reports_unproven() {
+        let ft = generators::fat_tree_two_level(4, 2, 4);
+        let commodities = CommoditySet::among(ft.hosts.clone());
+        let opts = ColGenOptions {
+            max_rounds: 1,
+            ..ColGenOptions::default()
+        };
+        let cg = solve_path_mcf_colgen_among(&ft.graph, commodities, &opts).unwrap();
+        assert!(!cg.stats.proved_optimal);
+        assert_eq!(cg.stats.num_rounds(), 1);
+        // The shortest-path seed on the fat tree is the 1/24 concentration.
+        assert!(cg.schedule.flow_value < 1.0 / 15.0 - 1e-6);
+        assert_eq!(cg.stats.rounds[0].columns_added, 0);
+        assert_eq!(cg.stats.total_columns, cg.stats.seed_columns);
+    }
+
+    /// A per-round column cap slows colgen down but must never fake the
+    /// certificate: with one column per round the fat tree still converges to
+    /// the true optimum, and the per-round accounting reconciles exactly.
+    #[test]
+    fn colgen_column_cap_defers_but_never_fakes_optimality() {
+        let ft = generators::fat_tree_two_level(2, 2, 2);
+        let commodities = CommoditySet::among(ft.hosts.clone());
+        let uncapped =
+            solve_path_mcf_colgen_among(&ft.graph, commodities.clone(), &ColGenOptions::default())
+                .unwrap();
+        let opts = ColGenOptions {
+            max_columns_per_round: 1,
+            max_rounds: 10_000,
+            ..ColGenOptions::default()
+        };
+        let capped = solve_path_mcf_colgen_among(&ft.graph, commodities, &opts).unwrap();
+        assert!(capped.stats.proved_optimal);
+        assert!(
+            (capped.schedule.flow_value - uncapped.schedule.flow_value).abs() < 1e-6,
+            "capped F = {} vs uncapped F = {}",
+            capped.schedule.flow_value,
+            uncapped.schedule.flow_value
+        );
+        assert!(capped.stats.num_rounds() >= uncapped.stats.num_rounds());
+        let appended: usize = capped.stats.rounds.iter().map(|r| r.columns_added).sum();
+        assert_eq!(
+            capped.stats.seed_columns + appended,
+            capped.stats.total_columns,
+            "per-round accounting must reconcile with the final column count"
+        );
+    }
+
+    /// Degenerate option values are rejected instead of spinning forever.
+    #[test]
+    fn colgen_rejects_zero_caps() {
+        let topo = generators::hypercube(2);
+        for opts in [
+            ColGenOptions {
+                max_rounds: 0,
+                ..ColGenOptions::default()
+            },
+            ColGenOptions {
+                max_columns_per_round: 0,
+                ..ColGenOptions::default()
+            },
+        ] {
+            let err = solve_path_mcf_colgen(&topo, &opts).unwrap_err();
+            assert!(matches!(err, McfError::BadArgument(_)));
         }
     }
 

@@ -30,4 +30,4 @@ pub mod puncture;
 pub mod transform;
 
 pub use graph::{Edge, EdgeId, NodeId, Topology};
-pub use paths::Path;
+pub use paths::{Path, ShortestPathTree};

@@ -146,48 +146,80 @@ pub fn shortest_path(topo: &Topology, s: NodeId, d: NodeId) -> Option<Path> {
     Some(Path::new_unchecked(nodes))
 }
 
-/// Dijkstra shortest path under non-negative per-edge weights (indexed by [`EdgeId`]).
-/// Ties are broken towards fewer hops. Returns `None` if unreachable.
-pub fn weighted_shortest_path(
+/// A single-source Dijkstra shortest-path tree under non-negative per-edge
+/// weights: distances, hop counts and predecessor links from one source to
+/// every reachable node.
+///
+/// Column-generation pricing builds one of these per *source* and reads off the
+/// cheapest path to every destination commodity — one heap run instead of one
+/// per `(source, destination)` pair ([`weighted_shortest_path_tree`]).
+#[derive(Debug, Clone)]
+pub struct ShortestPathTree {
+    source: NodeId,
+    dist: Vec<f64>,
+    prev: Vec<Option<NodeId>>,
+}
+
+impl ShortestPathTree {
+    /// The source node the tree was grown from.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Weighted distance from the source to `d`, or `None` if unreachable.
+    pub fn distance(&self, d: NodeId) -> Option<f64> {
+        self.dist[d].is_finite().then_some(self.dist[d])
+    }
+
+    /// The cheapest path from the source to `d`, or `None` if `d` is the source
+    /// itself or unreachable.
+    pub fn path_to(&self, d: NodeId) -> Option<Path> {
+        if d == self.source || self.dist[d].is_infinite() {
+            return None;
+        }
+        extract_prev_chain(&self.prev, self.source, d)
+    }
+}
+
+/// Min-heap item for the Dijkstra runs: orders by `(cost, hops)` so ties break
+/// towards fewer hops.
+#[derive(PartialEq)]
+struct HeapItem {
+    cost: f64,
+    hops: usize,
+    node: NodeId,
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(other.hops.cmp(&self.hops))
+    }
+}
+
+/// Shared Dijkstra core: runs from `s` until the heap drains, or until `target`
+/// is settled when one is given (the predecessor chain to a settled target is
+/// final even though other distances may not be).
+fn dijkstra(
     topo: &Topology,
     s: NodeId,
-    d: NodeId,
     weights: &[f64],
-) -> Option<Path> {
-    use std::cmp::Ordering;
+    target: Option<NodeId>,
+) -> (Vec<f64>, Vec<Option<NodeId>>) {
     use std::collections::BinaryHeap;
     assert_eq!(
         weights.len(),
         topo.num_edges(),
         "one weight per edge required"
     );
-    if s == d {
-        return None;
-    }
-
-    #[derive(PartialEq)]
-    struct Item {
-        cost: f64,
-        hops: usize,
-        node: NodeId,
-    }
-    impl Eq for Item {}
-    impl PartialOrd for Item {
-        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-    impl Ord for Item {
-        fn cmp(&self, other: &Self) -> Ordering {
-            // Min-heap by (cost, hops).
-            other
-                .cost
-                .partial_cmp(&self.cost)
-                .unwrap_or(Ordering::Equal)
-                .then(other.hops.cmp(&self.hops))
-        }
-    }
-
     let n = topo.num_nodes();
     let mut dist = vec![f64::INFINITY; n];
     let mut hops = vec![usize::MAX; n];
@@ -195,12 +227,12 @@ pub fn weighted_shortest_path(
     dist[s] = 0.0;
     hops[s] = 0;
     let mut heap = BinaryHeap::new();
-    heap.push(Item {
+    heap.push(HeapItem {
         cost: 0.0,
         hops: 0,
         node: s,
     });
-    while let Some(Item {
+    while let Some(HeapItem {
         cost,
         hops: h,
         node,
@@ -209,7 +241,7 @@ pub fn weighted_shortest_path(
         if cost > dist[node] + 1e-12 {
             continue;
         }
-        if node == d {
+        if target == Some(node) {
             break;
         }
         for &e in topo.out_edges(node) {
@@ -222,7 +254,7 @@ pub fn weighted_shortest_path(
                 dist[edge.dst] = nd;
                 hops[edge.dst] = nh;
                 prev[edge.dst] = Some(node);
-                heap.push(Item {
+                heap.push(HeapItem {
                     cost: nd,
                     hops: nh,
                     node: edge.dst,
@@ -230,9 +262,12 @@ pub fn weighted_shortest_path(
             }
         }
     }
-    if dist[d].is_infinite() {
-        return None;
-    }
+    (dist, prev)
+}
+
+/// Walks a Dijkstra/BFS predecessor chain back from `d` to `s` and returns the
+/// forward path. Chains are cycle-free under non-negative weights.
+fn extract_prev_chain(prev: &[Option<NodeId>], s: NodeId, d: NodeId) -> Option<Path> {
     let mut nodes = vec![d];
     let mut cur = d;
     while let Some(p) = prev[cur] {
@@ -242,9 +277,46 @@ pub fn weighted_shortest_path(
             break;
         }
     }
+    if cur != s {
+        return None;
+    }
     nodes.reverse();
-    // Dijkstra predecessor chains are cycle-free under non-negative weights.
     Some(Path::new_unchecked(nodes))
+}
+
+/// Dijkstra shortest path under non-negative per-edge weights (indexed by [`EdgeId`]).
+/// Ties are broken towards fewer hops. Returns `None` if unreachable.
+pub fn weighted_shortest_path(
+    topo: &Topology,
+    s: NodeId,
+    d: NodeId,
+    weights: &[f64],
+) -> Option<Path> {
+    if s == d {
+        return None;
+    }
+    let (dist, prev) = dijkstra(topo, s, weights, Some(d));
+    if dist[d].is_infinite() {
+        return None;
+    }
+    extract_prev_chain(&prev, s, d)
+}
+
+/// Grows the full single-source Dijkstra tree from `s` under non-negative
+/// per-edge weights (indexed by [`EdgeId`]); ties break towards fewer hops.
+/// Use [`ShortestPathTree::distance`] / [`ShortestPathTree::path_to`] to read
+/// cheapest distances and paths to every destination.
+pub fn weighted_shortest_path_tree(
+    topo: &Topology,
+    s: NodeId,
+    weights: &[f64],
+) -> ShortestPathTree {
+    let (dist, prev) = dijkstra(topo, s, weights, None);
+    ShortestPathTree {
+        source: s,
+        dist,
+        prev,
+    }
 }
 
 /// All shortest `s -> d` paths, capped at `max_paths` (enumeration order is
@@ -462,7 +534,12 @@ pub fn edge_disjoint_paths(topo: &Topology, s: NodeId, d: NodeId) -> Vec<Path> {
         }
     }
 
-    // Decompose the used edges into paths from s to d.
+    // Decompose the used edges into paths from s to d. The used-edge set is a
+    // unit flow, so each walk from s reaches d — but it may pass through a node
+    // twice (edge-disjointness does not imply node-disjointness, and on
+    // asymmetric graphs an augmentation can leave a figure-eight). A revisited
+    // node means the walk closed a cycle; cycles carry no s->d flow, so the
+    // loop is spliced out (its edges stay consumed) and the path stays simple.
     let mut out_used: Vec<Vec<EdgeId>> = vec![Vec::new(); topo.num_nodes()];
     for (e, &used) in forward_used.iter().enumerate() {
         if used {
@@ -470,19 +547,35 @@ pub fn edge_disjoint_paths(topo: &Topology, s: NodeId, d: NodeId) -> Vec<Path> {
         }
     }
     let mut paths = Vec::new();
+    let mut index_of = vec![usize::MAX; topo.num_nodes()];
     loop {
         let Some(first) = out_used[s].pop() else {
             break;
         };
         let mut nodes = vec![s];
+        index_of[s] = 0;
         let mut cur = topo.edge(first).dst;
-        nodes.push(cur);
-        while cur != d {
+        loop {
+            if index_of[cur] != usize::MAX {
+                // Splice out the cycle cur -> ... -> cur.
+                for &n in &nodes[index_of[cur] + 1..] {
+                    index_of[n] = usize::MAX;
+                }
+                nodes.truncate(index_of[cur] + 1);
+            } else {
+                index_of[cur] = nodes.len();
+                nodes.push(cur);
+            }
+            if cur == d {
+                break;
+            }
             let e = out_used[cur]
                 .pop()
                 .expect("flow conservation guarantees an outgoing used edge");
             cur = topo.edge(e).dst;
-            nodes.push(cur);
+        }
+        for &n in &nodes {
+            index_of[n] = usize::MAX;
         }
         paths.push(Path::new(nodes));
     }
@@ -574,6 +667,49 @@ mod tests {
     }
 
     #[test]
+    fn shortest_path_tree_agrees_with_point_queries() {
+        let t = generators::hypercube(3);
+        // Deterministic non-uniform weights keyed off the edge id.
+        let w: Vec<f64> = (0..t.num_edges()).map(|e| 1.0 + (e % 5) as f64).collect();
+        for s in 0..t.num_nodes() {
+            let tree = weighted_shortest_path_tree(&t, s, &w);
+            assert_eq!(tree.source(), s);
+            assert_eq!(tree.distance(s), Some(0.0));
+            assert!(tree.path_to(s).is_none());
+            for d in 0..t.num_nodes() {
+                if d == s {
+                    continue;
+                }
+                let p = weighted_shortest_path(&t, s, d, &w).expect("hypercube is connected");
+                let tp = tree.path_to(d).expect("tree covers every node");
+                let cost = |path: &Path| -> f64 {
+                    path.links()
+                        .map(|(u, v)| w[t.find_edge(u, v).unwrap()])
+                        .sum()
+                };
+                assert!(
+                    (cost(&p) - cost(&tp)).abs() < 1e-12,
+                    "{s}->{d}: tree cost {} vs point cost {}",
+                    cost(&tp),
+                    cost(&p)
+                );
+                assert!((tree.distance(d).unwrap() - cost(&tp)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_path_tree_marks_unreachable_nodes() {
+        let mut t = crate::Topology::new(3, "line");
+        t.add_edge(0, 1, 1.0);
+        let tree = weighted_shortest_path_tree(&t, 0, &[1.0]);
+        assert_eq!(tree.distance(1), Some(1.0));
+        assert!(tree.distance(2).is_none());
+        assert!(tree.path_to(2).is_none());
+        assert_eq!(tree.path_to(1).unwrap().nodes(), &[0, 1]);
+    }
+
+    #[test]
     fn edge_disjoint_paths_on_regular_graphs_match_degree() {
         let t = generators::hypercube(3);
         let paths = edge_disjoint_paths(&t, 0, 7);
@@ -585,6 +721,42 @@ mod tests {
                 assert!(used.insert(link), "link {link:?} reused");
             }
             assert!(p.is_valid_in(&t));
+        }
+    }
+
+    /// Regression: on asymmetric (punctured) graphs the max-flow used-edge set
+    /// can contain a figure-eight — a walk that revisits a node — and the
+    /// decomposition used to panic building a non-simple `Path`. The cycle must
+    /// be spliced out instead, leaving simple, pairwise edge-disjoint paths.
+    #[test]
+    fn edge_disjoint_paths_survive_punctured_graphs() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xED6E);
+        for base in [generators::torus(&[3, 3]), generators::torus(&[3, 4])] {
+            for _ in 0..25 {
+                let t = crate::puncture::remove_random_links(&base, 2, &mut rng);
+                if !t.is_strongly_connected() {
+                    continue;
+                }
+                for s in 0..t.num_nodes() {
+                    for d in 0..t.num_nodes() {
+                        if s == d {
+                            continue;
+                        }
+                        let paths = edge_disjoint_paths(&t, s, d);
+                        assert!(!paths.is_empty(), "{s}->{d} must stay connected");
+                        let mut used = std::collections::HashSet::new();
+                        for p in &paths {
+                            assert_eq!(p.source(), s);
+                            assert_eq!(p.dest(), d);
+                            assert!(p.is_valid_in(&t));
+                            for link in p.links() {
+                                assert!(used.insert(link), "link {link:?} reused");
+                            }
+                        }
+                    }
+                }
+            }
         }
     }
 
