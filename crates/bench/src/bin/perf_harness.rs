@@ -7,20 +7,25 @@
 //! presolve + scaling + Forrest–Tomlin pipeline where applicable (the colgen
 //! master runs the core solver so its row indices stay stable).
 //!
-//! Emits `BENCH_pr3.json` (median wall-clock over repetitions, simplex
+//! Emits `BENCH_pr4.json` (median wall-clock over repetitions, simplex
 //! iteration and pivot counts, presolve row/column reductions, refactorization
-//! counts, colgen round/column counts, and the decomposed cold/warm speedups)
-//! so future PRs have a performance trajectory to compare against, plus a
-//! human-readable summary on stderr.
+//! counts, colgen round/column/skipped-source counts, the decomposed cold/warm
+//! speedups, and simulator-vs-LP agreement columns) so future PRs have a
+//! performance trajectory to compare against, plus a human-readable summary on
+//! stderr.
 //!
 //! Every case asserts that both path-MCF configs and decomposed-MCF agree on
 //! the concurrent flow value, and that colgen terminates with its optimality
 //! certificate — the fat-tree divergence recorded in `BENCH_pr1.json` (a fixed
-//! path set silently capping `F`) can no longer slip through.
+//! path set silently capping `F`) can no longer slip through. The `sim-exec`
+//! workload runs solver → chunk lowering → event-driven simulation end-to-end
+//! and asserts the synchronized engine lands within quantization tolerance of
+//! the LP-predicted completion (`sim_vs_lp` ≈ 1) — a sim smoke gate that runs
+//! in the quick tier too.
 //!
 //! Usage: `perf_harness [--quick] [--out PATH] [--baseline PATH]`
 //!   --quick      CI smoke mode: smallest sizes only, one repetition.
-//!   --out        Output JSON path (default `BENCH_pr3.json`).
+//!   --out        Output JSON path (default `BENCH_pr4.json`).
 //!   --baseline   Compare against a previous JSON (same schema): exit nonzero if
 //!                any matching case regresses more than 1.5x in median wall time.
 
@@ -32,7 +37,10 @@ use a2a_mcf::decomposed::{solve_decomposed_mcf_with, DecomposedOptions};
 use a2a_mcf::pmcf::{
     solve_path_mcf_among, solve_path_mcf_colgen_among, ColGenOptions, PathSetKind,
 };
+use a2a_mcf::tsmcf::solve_tsmcf_auto;
 use a2a_mcf::CommoditySet;
+use a2a_schedule::ChunkedSchedule;
+use a2a_simnet::{simulate_chunked_event, EventSimOptions, ExecutionModel, SimParams};
 use a2a_topology::{generators, NodeId, Topology};
 
 /// Median wall-time regression (vs `--baseline`) tolerated before the harness
@@ -104,7 +112,46 @@ struct Record {
     presolve_cols_removed: Option<usize>,
     colgen_rounds: Option<usize>,
     colgen_columns: Option<usize>,
+    colgen_sources_skipped: Option<usize>,
+    sim_completion_secs: Option<f64>,
+    lp_predicted_secs: Option<f64>,
+    sim_vs_lp: Option<f64>,
     flow_value: f64,
+}
+
+impl Record {
+    /// A record with every optional column empty.
+    fn bare(
+        workload: &'static str,
+        case: &Case,
+        config: &'static str,
+        reps: usize,
+        median_wall_secs: f64,
+        flow_value: f64,
+    ) -> Self {
+        Record {
+            workload,
+            topology: case.name.clone(),
+            nodes: case.topo.num_nodes(),
+            endpoints: case.hosts.len(),
+            config,
+            reps,
+            median_wall_secs,
+            iterations: None,
+            pivots: None,
+            master_iterations: None,
+            refactorizations: None,
+            presolve_rows_removed: None,
+            presolve_cols_removed: None,
+            colgen_rounds: None,
+            colgen_columns: None,
+            colgen_sources_skipped: None,
+            sim_completion_secs: None,
+            lp_predicted_secs: None,
+            sim_vs_lp: None,
+            flow_value,
+        }
+    }
 }
 
 fn median(mut xs: Vec<f64>) -> f64 {
@@ -142,22 +189,20 @@ fn run_decomposed(case: &Case, config: &'static str, reps: usize) -> Record {
     }
     let solved = last.expect("at least one repetition");
     Record {
-        workload: "decomposed-mcf",
-        topology: case.name.clone(),
-        nodes: case.topo.num_nodes(),
-        endpoints: case.hosts.len(),
-        config,
-        reps,
-        median_wall_secs: median(walls),
         iterations: Some(solved.timings.total_iterations()),
         pivots: Some(solved.timings.total_pivots()),
         master_iterations: Some(solved.timings.master_iterations),
         refactorizations: Some(solved.timings.total_refactorizations()),
         presolve_rows_removed: Some(solved.timings.master_presolve_rows_removed),
         presolve_cols_removed: Some(solved.timings.master_presolve_cols_removed),
-        colgen_rounds: None,
-        colgen_columns: None,
-        flow_value: solved.solution.flow_value,
+        ..Record::bare(
+            "decomposed-mcf",
+            case,
+            config,
+            reps,
+            median(walls),
+            solved.solution.flow_value,
+        )
     }
 }
 
@@ -178,24 +223,7 @@ fn run_path_mcf(case: &Case, reps: usize) -> Record {
         walls.push(start.elapsed().as_secs_f64());
         flow = schedule.flow_value;
     }
-    Record {
-        workload: "path-mcf",
-        topology: case.name.clone(),
-        nodes: case.topo.num_nodes(),
-        endpoints: case.hosts.len(),
-        config: "widened",
-        reps,
-        median_wall_secs: median(walls),
-        iterations: None,
-        pivots: None,
-        master_iterations: None,
-        refactorizations: None,
-        presolve_rows_removed: None,
-        presolve_cols_removed: None,
-        colgen_rounds: None,
-        colgen_columns: None,
-        flow_value: flow,
-    }
+    Record::bare("path-mcf", case, "widened", reps, median(walls), flow)
 }
 
 fn run_path_mcf_colgen(case: &Case, reps: usize) -> Record {
@@ -217,27 +245,104 @@ fn run_path_mcf_colgen(case: &Case, reps: usize) -> Record {
         case.name
     );
     Record {
-        workload: "path-mcf",
-        topology: case.name.clone(),
-        nodes: case.topo.num_nodes(),
-        endpoints: case.hosts.len(),
-        config: "colgen",
-        reps,
-        median_wall_secs: median(walls),
         iterations: Some(solved.stats.total_master_iterations()),
         pivots: Some(solved.stats.total_master_pivots()),
-        master_iterations: None,
-        refactorizations: None,
-        presolve_rows_removed: None,
-        presolve_cols_removed: None,
         colgen_rounds: Some(solved.stats.num_rounds()),
         colgen_columns: Some(solved.stats.total_columns),
-        flow_value: solved.schedule.flow_value,
+        colgen_sources_skipped: Some(solved.stats.total_sources_skipped()),
+        ..Record::bare(
+            "path-mcf",
+            case,
+            "colgen",
+            reps,
+            median(walls),
+            solved.schedule.flow_value,
+        )
     }
+}
+
+/// Shard size of the end-to-end simulation workload: large enough that bandwidth
+/// dominates the per-step sync latency, small enough to stay milliseconds.
+const SIM_SHARD_BYTES: f64 = 8.0 * 1024.0 * 1024.0;
+
+/// Chunk granularity of the simulated schedules (fine: the sim-vs-LP agreement gate
+/// budgets only for 1/128-shard rounding error).
+const SIM_CHUNKS_PER_SHARD: usize = 128;
+
+/// End-to-end solver → chunk lowering → event-driven simulation, both execution
+/// models on one solve. The measured wall time covers the *simulation* only (the
+/// solve is the other workloads' job); the agreement columns compare simulated
+/// completion against the LP-predicted bound. Prediction and lowering both derive
+/// from the same *pruned* solution — the flow the simulator actually executes
+/// (pruning strips undelivered junk flow; on a degenerate vertex the junk can tie a
+/// bottleneck link, making the unpruned bound describe a different schedule).
+fn run_sim(case: &Case, reps: usize) -> Vec<Record> {
+    let solution = solve_tsmcf_auto(&case.topo).expect("tsMCF solve");
+    let pruned = solution.pruned(&case.topo);
+    let schedule = ChunkedSchedule::from_tsmcf_exact(&case.topo, &pruned, SIM_CHUNKS_PER_SHARD)
+        .expect("chunk lowering");
+    let params = SimParams::default();
+    let predicted = pruned.predicted_completion_seconds(
+        SIM_SHARD_BYTES,
+        params.link_bandwidth_gbps,
+        params.step_sync_latency_s,
+    );
+    let mut records = Vec::new();
+    for (config, model) in [
+        ("event-sync", ExecutionModel::Synchronized),
+        ("event-dep", ExecutionModel::DependencyDriven),
+    ] {
+        let options = EventSimOptions {
+            model,
+            ..EventSimOptions::default()
+        };
+        let mut walls = Vec::with_capacity(reps);
+        let mut last = None;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let report =
+                simulate_chunked_event(&case.topo, &schedule, SIM_SHARD_BYTES, &params, &options)
+                    .expect("nominal simulation");
+            walls.push(start.elapsed().as_secs_f64());
+            last = Some(report);
+        }
+        let report = last.expect("at least one repetition");
+        let ratio = report.report.completion_seconds / predicted;
+        if config == "event-sync" {
+            // The quick-tier sim smoke gate: the synchronized engine must land within
+            // quantization tolerance of the LP bound (same window the cross-backend
+            // test suite asserts).
+            let (lo, hi) = a2a_simnet::SIM_VS_LP_AGREEMENT_WINDOW;
+            assert!(
+                (lo..=hi).contains(&ratio),
+                "{}: simulated completion {} vs LP bound {predicted} (ratio {ratio:.4})",
+                case.name,
+                report.report.completion_seconds
+            );
+        }
+        records.push(Record {
+            sim_completion_secs: Some(report.report.completion_seconds),
+            lp_predicted_secs: Some(predicted),
+            sim_vs_lp: Some(ratio),
+            ..Record::bare(
+                "sim-exec",
+                case,
+                config,
+                reps,
+                median(walls),
+                pruned.effective_flow_value(),
+            )
+        });
+    }
+    records
 }
 
 fn json_opt(v: Option<usize>) -> String {
     v.map_or_else(|| "null".into(), |x| x.to_string())
+}
+
+fn json_opt_f64(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".into(), |x| format!("{x:.9}"))
 }
 
 /// Pulls a string field out of a single-line JSON object written by this tool.
@@ -309,7 +414,7 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
-    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_pr3.json".into());
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_pr4.json".into());
     let baseline_path = arg_value("--baseline");
 
     let cases: Vec<Case> = if quick {
@@ -361,14 +466,46 @@ fn main() {
         let rec = run_path_mcf_colgen(case, reps);
         eprintln!(
             "  path-mcf (colgen): median {:.3}s, {} rounds, {} columns, \
-             {} master iterations, F = {:.6}",
+             {} master iterations, {} sources skipped, F = {:.6}",
             rec.median_wall_secs,
             rec.colgen_rounds.unwrap_or(0),
             rec.colgen_columns.unwrap_or(0),
             rec.iterations.unwrap_or(0),
+            rec.colgen_sources_skipped.unwrap_or(0),
             rec.flow_value
         );
         records.push(rec);
+    }
+
+    // End-to-end simulation workload: solver → chunk lowering → event engine on the
+    // small store-and-forward topologies (both tiers, so the sim-vs-LP agreement
+    // gate runs in CI's quick mode too).
+    let sim_cases = vec![
+        Case {
+            name: "hypercube-3d".into(),
+            topo: generators::hypercube(3),
+            hosts: (0..8).collect(),
+        },
+        Case {
+            name: "torus-3x3".into(),
+            topo: generators::torus(&[3, 3]),
+            hosts: (0..9).collect(),
+        },
+    ];
+    for case in &sim_cases {
+        eprintln!("# {} (sim-exec)", case.name);
+        for rec in run_sim(case, 3) {
+            eprintln!(
+                "  sim-exec {}: median {:.6}s wall, simulated {:.6}s vs LP {:.6}s \
+                 (ratio {:.4})",
+                rec.config,
+                rec.median_wall_secs,
+                rec.sim_completion_secs.unwrap_or(0.0),
+                rec.lp_predicted_secs.unwrap_or(0.0),
+                rec.sim_vs_lp.unwrap_or(0.0),
+            );
+            records.push(rec);
+        }
     }
 
     // Cold/warm speedups per topology, plus agreement checks on F: the two
@@ -415,7 +552,7 @@ fn main() {
     // Hand-rolled JSON (no serde in this build environment).
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"pr\": 3,");
+    let _ = writeln!(json, "  \"pr\": 4,");
     let _ = writeln!(json, "  \"harness\": \"perf_harness\",");
     let _ = writeln!(json, "  \"quick\": {quick},");
     json.push_str("  \"results\": [\n");
@@ -426,7 +563,9 @@ fn main() {
              \"config\": \"{}\", \"reps\": {}, \"median_wall_secs\": {:.6}, \"iterations\": {}, \
              \"pivots\": {}, \"master_iterations\": {}, \"refactorizations\": {}, \
              \"presolve_rows_removed\": {}, \"presolve_cols_removed\": {}, \
-             \"colgen_rounds\": {}, \"colgen_columns\": {}, \"flow_value\": {:.9}}}",
+             \"colgen_rounds\": {}, \"colgen_columns\": {}, \
+             \"colgen_sources_skipped\": {}, \"sim_completion_secs\": {}, \
+             \"lp_predicted_secs\": {}, \"sim_vs_lp\": {}, \"flow_value\": {:.9}}}",
             r.workload,
             r.topology,
             r.nodes,
@@ -442,6 +581,10 @@ fn main() {
             json_opt(r.presolve_cols_removed),
             json_opt(r.colgen_rounds),
             json_opt(r.colgen_columns),
+            json_opt(r.colgen_sources_skipped),
+            json_opt_f64(r.sim_completion_secs),
+            json_opt_f64(r.lp_predicted_secs),
+            json_opt_f64(r.sim_vs_lp),
             r.flow_value,
         );
         json.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });

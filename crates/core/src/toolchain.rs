@@ -95,7 +95,12 @@ impl Toolchain {
             let augmented = HostNicAugmented::build(topo, host_units);
             let commodities = CommoditySet::among(augmented.hosts.clone());
             let steps = minimum_steps(&augmented.graph, &commodities)?;
-            let solution = solve_tsmcf_among(&augmented.graph, commodities, steps)?;
+            // Prune undelivered junk flow so the stored solution, the simulation
+            // and the consistency report all describe the executable flow the
+            // lowering produces. (`from_tsmcf` prunes again internally — idempotent,
+            // and negligible next to the tsMCF LP solve.)
+            let solution =
+                solve_tsmcf_among(&augmented.graph, commodities, steps)?.pruned(&augmented.graph);
             Ok(GeneratedSchedule::TimeStepped {
                 solution,
                 topology: augmented.graph,
@@ -104,7 +109,7 @@ impl Toolchain {
         } else {
             let commodities = CommoditySet::all_pairs(topo.num_nodes());
             let steps = minimum_steps(topo, &commodities)?;
-            let solution = solve_tsmcf_among(topo, commodities, steps)?;
+            let solution = solve_tsmcf_among(topo, commodities, steps)?.pruned(topo);
             Ok(GeneratedSchedule::TimeStepped {
                 solution,
                 topology: topo.clone(),

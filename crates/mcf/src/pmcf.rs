@@ -279,6 +279,14 @@ pub struct ColGenOptions {
     pub tolerance: f64,
     /// Pricing rule for the master simplex.
     pub pricing: Pricing,
+    /// Partial pricing: skip re-pricing a source whose relevant duals (the global
+    /// edge duals plus its own commodities' convexity duals) have drifted less than
+    /// this tolerance — accumulated — since the round it was last priced, provided
+    /// that pricing found no improving path then. `None` re-prices every source
+    /// every round. The optimality certificate is unaffected: a round that would
+    /// otherwise terminate while sources are being skipped re-prices them all
+    /// before declaring optimality.
+    pub partial_pricing: Option<f64>,
 }
 
 impl Default for ColGenOptions {
@@ -289,6 +297,7 @@ impl Default for ColGenOptions {
             max_columns_per_round: usize::MAX,
             tolerance: 1e-7,
             pricing: Pricing::default(),
+            partial_pricing: Some(1e-7),
         }
     }
 }
@@ -314,6 +323,10 @@ pub struct ColGenRound {
     /// over the *new* candidate paths); `<= tolerance` on the final round of a
     /// proven-optimal run.
     pub max_violation: f64,
+    /// Sources whose Dijkstra pricing sweep was skipped by partial pricing this
+    /// round (0 when partial pricing is disabled, and 0 on any round that forced a
+    /// full re-price to establish the optimality certificate).
+    pub sources_skipped: usize,
 }
 
 /// Aggregate timing/progress statistics of a column-generation solve.
@@ -354,6 +367,11 @@ impl ColGenStats {
             .iter()
             .map(|r| r.master_wall_secs + r.pricing_wall_secs)
             .sum()
+    }
+
+    /// Total source-pricing sweeps skipped by partial pricing across all rounds.
+    pub fn total_sources_skipped(&self) -> usize {
+        self.rounds.iter().map(|r| r.sources_skipped).sum()
     }
 }
 
@@ -501,6 +519,7 @@ pub fn solve_path_mcf_colgen_among(
     let mut solver = Solver::new_owned(sf, simplex_opts)?;
 
     let endpoints = commodities.endpoints().to_vec();
+    let nsrc = endpoints.len();
     let tol = options.tolerance;
     let mut stats = ColGenStats {
         rounds: Vec::new(),
@@ -508,6 +527,13 @@ pub fn solve_path_mcf_colgen_among(
         seed_columns,
         total_columns: seed_columns,
     };
+    // Partial-pricing state: accumulated dual drift per source since it was last
+    // priced (infinite before the first sweep), and whether that sweep produced a
+    // new candidate.
+    let mut acc_shift = vec![f64::INFINITY; nsrc];
+    let mut found_last = vec![true; nsrc];
+    let mut prev_weights: Vec<f64> = Vec::new();
+    let mut prev_mu: Vec<f64> = Vec::new();
     let final_sol;
     loop {
         let t_master = Instant::now();
@@ -526,29 +552,85 @@ pub fn solve_path_mcf_colgen_among(
                 weights[e] = (-y[r]).max(0.0);
             }
         }
-        let mut candidates: Vec<(f64, usize, Path)> = Vec::new();
-        for &s in &endpoints {
-            let tree = paths::weighted_shortest_path_tree(topo, s, &weights);
-            for &d in &endpoints {
-                if d == s {
-                    continue;
-                }
-                let k = commodities
-                    .index_of(s, d)
-                    .expect("endpoints enumerate the commodity set");
-                let mu = y[nedge_rows + k];
-                let cost = tree
-                    .distance(d)
-                    .expect("validated topologies are strongly connected");
-                let violation = mu - cost;
-                if violation > tol {
-                    let p = tree.path_to(d).expect("finite distance implies a path");
-                    if !seen[k].contains(&p) {
-                        candidates.push((violation, k, p));
+        // A path uses each edge at most once, so any path cost moves by at most the
+        // L1 norm of the edge-dual drift, and a commodity's violation by at most that
+        // plus its convexity-dual drift. Accumulating exactly that bound per source
+        // since its last sweep means a skipped source's largest possible violation is
+        // `tolerance + partial_pricing` — deferral stays bounded, and the optimality
+        // certificate itself never relies on it (the terminating round re-prices
+        // every skipped source).
+        if options.partial_pricing.is_some() && !prev_weights.is_empty() {
+            let edge_shift: f64 = weights
+                .iter()
+                .zip(&prev_weights)
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            for (si, &s) in endpoints.iter().enumerate() {
+                let mut mu_shift = 0.0f64;
+                for &d in &endpoints {
+                    if d != s {
+                        let k = commodities
+                            .index_of(s, d)
+                            .expect("endpoints enumerate the commodity set");
+                        mu_shift = mu_shift.max((y[nedge_rows + k] - prev_mu[k]).abs());
                     }
                 }
+                acc_shift[si] += edge_shift + mu_shift;
             }
         }
+
+        let price_source =
+            |si: usize, seen: &[HashSet<Path>], candidates: &mut Vec<(f64, usize, Path)>| -> bool {
+                let s = endpoints[si];
+                let tree = paths::weighted_shortest_path_tree(topo, s, &weights);
+                let mut found = false;
+                for &d in &endpoints {
+                    if d == s {
+                        continue;
+                    }
+                    let k = commodities
+                        .index_of(s, d)
+                        .expect("endpoints enumerate the commodity set");
+                    let mu = y[nedge_rows + k];
+                    let cost = tree
+                        .distance(d)
+                        .expect("validated topologies are strongly connected");
+                    let violation = mu - cost;
+                    if violation > tol {
+                        let p = tree.path_to(d).expect("finite distance implies a path");
+                        if !seen[k].contains(&p) {
+                            candidates.push((violation, k, p));
+                            found = true;
+                        }
+                    }
+                }
+                found
+            };
+
+        let mut candidates: Vec<(f64, usize, Path)> = Vec::new();
+        let mut skipped: Vec<usize> = Vec::new();
+        for si in 0..nsrc {
+            if let Some(pp_tol) = options.partial_pricing {
+                if acc_shift[si] <= pp_tol && !found_last[si] {
+                    skipped.push(si);
+                    continue;
+                }
+            }
+            found_last[si] = price_source(si, &seen, &mut candidates);
+            acc_shift[si] = 0.0;
+        }
+        let mut sources_skipped = skipped.len();
+        if candidates.is_empty() && !skipped.is_empty() {
+            // The round is about to terminate: the optimality certificate must rest
+            // on a full sweep, so re-price everything partial pricing deferred.
+            for si in skipped {
+                found_last[si] = price_source(si, &seen, &mut candidates);
+                acc_shift[si] = 0.0;
+            }
+            sources_skipped = 0;
+        }
+        prev_mu = y[nedge_rows..nedge_rows + ncomm].to_vec();
+        prev_weights = weights;
         let pricing_wall_secs = t_pricing.elapsed().as_secs_f64();
 
         // Most violating candidates first; commodity index breaks ties so the
@@ -581,6 +663,7 @@ pub fn solve_path_mcf_colgen_among(
             master_pivots: sol.pivots,
             flow_value,
             max_violation,
+            sources_skipped,
         });
 
         if proved {
@@ -900,6 +983,66 @@ mod tests {
             capped.stats.total_columns,
             "per-round accounting must reconcile with the final column count"
         );
+    }
+
+    /// Partial pricing must change nothing but the work done: same F, same
+    /// certificate, and the skipped-source accounting is recorded per round. The
+    /// one-column-per-round cap forces many near-identical rounds, which is where
+    /// skipping actually triggers.
+    #[test]
+    fn partial_pricing_preserves_f_and_certificate() {
+        let ft = generators::fat_tree_two_level(4, 2, 4);
+        let commodities = CommoditySet::among(ft.hosts.clone());
+        let full = ColGenOptions {
+            partial_pricing: None,
+            max_columns_per_round: 1,
+            max_rounds: 10_000,
+            ..ColGenOptions::default()
+        };
+        // A loose drift tolerance exercises the skip aggressively; correctness does
+        // not depend on it (skipping only defers columns, and the certificate is
+        // established by a forced full sweep).
+        let partial = ColGenOptions {
+            partial_pricing: Some(0.05),
+            ..full.clone()
+        };
+        let a = solve_path_mcf_colgen_among(&ft.graph, commodities.clone(), &full).unwrap();
+        let b = solve_path_mcf_colgen_among(&ft.graph, commodities, &partial).unwrap();
+        assert!(a.stats.proved_optimal && b.stats.proved_optimal);
+        assert!(
+            (a.schedule.flow_value - b.schedule.flow_value).abs() < 1e-9,
+            "full F = {} vs partial F = {}",
+            a.schedule.flow_value,
+            b.schedule.flow_value
+        );
+        assert_eq!(a.stats.total_sources_skipped(), 0);
+        assert!(
+            b.stats.total_sources_skipped() > 0,
+            "column-capped colgen should skip stale sources"
+        );
+        // The terminating round's certificate always rests on a full sweep.
+        assert_eq!(b.stats.rounds.last().unwrap().sources_skipped, 0);
+        // Skipping defers work but the certificate tolerance is unchanged, so the
+        // final optimum is bit-comparable.
+        assert!((a.schedule.flow_value - 1.0 / 15.0).abs() < 1e-6);
+    }
+
+    /// Partial pricing on the default (uncapped) configuration also agrees with
+    /// link-MCF across topology families.
+    #[test]
+    fn partial_pricing_agrees_with_link_mcf() {
+        for topo in [generators::hypercube(3), generators::torus(&[3, 3])] {
+            let link = solve_link_mcf(&topo).unwrap();
+            let cg = solve_path_mcf_colgen(&topo, &ColGenOptions::default()).unwrap();
+            assert!(cg.stats.proved_optimal);
+            assert!(
+                (cg.schedule.flow_value - link.flow_value).abs() <= 1e-6 * (1.0 + link.flow_value),
+                "{}: colgen F = {} vs link F = {}",
+                topo.name(),
+                cg.schedule.flow_value,
+                link.flow_value
+            );
+        }
     }
 
     /// Degenerate option values are rejected instead of spinning forever.

@@ -50,6 +50,26 @@ impl TsMcfSolution {
         out
     }
 
+    /// LP-predicted completion time of the lowered schedule, in seconds.
+    ///
+    /// The utilization constraint (16) makes `U_t` the busiest-link fraction of a
+    /// shard (relative to link capacity) moved in step `t`, so a synchronized
+    /// store-and-forward execution at shard size `m` bytes on links of
+    /// `link_bandwidth_gbps` GB/s per unit capacity is predicted to take
+    /// `Σ_t U_t · m / b + steps · α` with `α` the per-step synchronization latency.
+    /// This is the bound the event-driven simulator is validated against: on an
+    /// exactly-quantized schedule the synchronized engine reproduces it to
+    /// round-off, and chunk rounding accounts for the remaining gap.
+    pub fn predicted_completion_seconds(
+        &self,
+        shard_bytes: f64,
+        link_bandwidth_gbps: f64,
+        step_sync_latency_s: f64,
+    ) -> f64 {
+        self.total_utilization() * shard_bytes / (link_bandwidth_gbps * 1e9)
+            + self.steps as f64 * step_sync_latency_s
+    }
+
     /// Effective concurrent flow value implied by the schedule: one shard per commodity
     /// delivered in `total_utilization` bottleneck-link time units.
     pub fn effective_flow_value(&self) -> f64 {
@@ -58,6 +78,160 @@ impl TsMcfSolution {
             0.0
         } else {
             1.0 / total
+        }
+    }
+
+    /// Strips undelivered "junk" flow from the solution.
+    ///
+    /// The tsMCF constraints let flow *vanish* at intermediate nodes (conservation is
+    /// `out ≤ in`) and only require the terminus to receive at least one shard, so a
+    /// simplex vertex can carry whole extra copies of a commodity that never reach
+    /// the destination — they sit on non-bottleneck edges, cost nothing in the
+    /// objective, and survive into the solution. Executing them is pure waste: the
+    /// chunk lowering spends sender availability on the dead branches and has to
+    /// rescue the real ones with flush steps, inflating completion well beyond the
+    /// LP-predicted bound.
+    ///
+    /// This pass solves, per commodity, a max-flow on the time-expanded residual
+    /// restricted to the solution's own edge amounts (buffering free), keeps exactly
+    /// the one-shard sub-flow that reaches the terminus, and recomputes the per-step
+    /// utilizations from what remains. Utilizations can only decrease; a commodity
+    /// whose flow cannot route a full shard (inconsistent input) is left untouched.
+    pub fn pruned(&self, topo: &Topology) -> TsMcfSolution {
+        let n = topo.num_nodes();
+        let xnode = |layer: usize, v: usize| layer * n + v;
+        let mut flows: Vec<Vec<Vec<(EdgeId, f64)>>> =
+            vec![vec![Vec::new(); self.steps]; self.commodities.len()];
+        for (idx, s, d) in self.commodities.iter() {
+            // Residual graph: fabric arcs (t, u) -> (t+1, v) capped by the solution's
+            // amounts, buffering arcs (t, v) -> (t+1, v) uncapped.
+            let mut heads: Vec<usize> = Vec::new();
+            let mut caps: Vec<f64> = Vec::new();
+            let mut adj: Vec<Vec<usize>> = vec![Vec::new(); (self.steps + 1) * n];
+            // `origin[a]` identifies forward fabric arcs: (step, fabric edge).
+            let mut origin: Vec<Option<(usize, EdgeId)>> = Vec::new();
+            let add_arc = |from: usize,
+                           to: usize,
+                           cap: f64,
+                           orig: Option<(usize, EdgeId)>,
+                           heads: &mut Vec<usize>,
+                           caps: &mut Vec<f64>,
+                           origin: &mut Vec<Option<(usize, EdgeId)>>,
+                           adj: &mut Vec<Vec<usize>>| {
+                adj[from].push(heads.len());
+                heads.push(to);
+                caps.push(cap);
+                origin.push(orig);
+                adj[to].push(heads.len());
+                heads.push(from);
+                caps.push(0.0);
+                origin.push(None);
+            };
+            for t in 0..self.steps {
+                for v in 0..n {
+                    add_arc(
+                        xnode(t, v),
+                        xnode(t + 1, v),
+                        f64::INFINITY,
+                        None,
+                        &mut heads,
+                        &mut caps,
+                        &mut origin,
+                        &mut adj,
+                    );
+                }
+                for &(e, amount) in &self.flows[idx][t] {
+                    if amount <= FLOW_TOL {
+                        continue;
+                    }
+                    let edge = topo.edge(e);
+                    add_arc(
+                        xnode(t, edge.src),
+                        xnode(t + 1, edge.dst),
+                        amount,
+                        Some((t, e)),
+                        &mut heads,
+                        &mut caps,
+                        &mut origin,
+                        &mut adj,
+                    );
+                }
+            }
+            // Edmonds–Karp from (0, s) to (steps, d), demand-capped at one shard.
+            let source = xnode(0, s);
+            let sink = xnode(self.steps, d);
+            let mut demand = 1.0f64;
+            while demand > FLOW_TOL {
+                let mut pred: Vec<Option<usize>> = vec![None; (self.steps + 1) * n];
+                let mut queue = std::collections::VecDeque::new();
+                pred[source] = Some(usize::MAX);
+                queue.push_back(source);
+                while let Some(u) = queue.pop_front() {
+                    if u == sink {
+                        break;
+                    }
+                    for &a in &adj[u] {
+                        let v = heads[a];
+                        if pred[v].is_none() && caps[a] > FLOW_TOL {
+                            pred[v] = Some(a);
+                            queue.push_back(v);
+                        }
+                    }
+                }
+                if pred[sink].is_none() {
+                    break;
+                }
+                let mut bottleneck = demand;
+                let mut v = sink;
+                while v != source {
+                    let a = pred[v].expect("path reconstruction");
+                    bottleneck = bottleneck.min(caps[a]);
+                    v = heads[a ^ 1];
+                }
+                let mut v = sink;
+                while v != source {
+                    let a = pred[v].expect("path reconstruction");
+                    caps[a] -= bottleneck;
+                    caps[a ^ 1] += bottleneck;
+                    v = heads[a ^ 1];
+                }
+                demand -= bottleneck;
+            }
+            if demand > FLOW_TOL {
+                // Inconsistent input (the solution never delivered a full shard);
+                // keep it as-is rather than silently dropping data.
+                flows[idx] = self.flows[idx].clone();
+                continue;
+            }
+            // Used amount of a forward arc = its reverse residual.
+            for (a, orig) in origin.iter().enumerate() {
+                if let &Some((t, e)) = orig {
+                    let used = caps[a ^ 1];
+                    if used > FLOW_TOL {
+                        flows[idx][t].push((e, used));
+                    }
+                }
+            }
+        }
+        let mut step_utilization = vec![0.0f64; self.steps];
+        for t in 0..self.steps {
+            let mut per_edge = vec![0.0f64; topo.num_edges()];
+            for per_commodity in &flows {
+                for &(e, a) in &per_commodity[t] {
+                    per_edge[e] += a;
+                }
+            }
+            step_utilization[t] = per_edge
+                .iter()
+                .enumerate()
+                .map(|(e, &load)| load / topo.edge(e).capacity)
+                .fold(0.0, f64::max);
+        }
+        TsMcfSolution {
+            commodities: self.commodities.clone(),
+            steps: self.steps,
+            step_utilization,
+            flows,
         }
     }
 
@@ -263,6 +437,94 @@ pub fn solve_tsmcf_among_with(
         step_utilization,
         flows,
     })
+}
+
+#[cfg(test)]
+mod prune_tests {
+    use super::*;
+    use a2a_topology::generators;
+
+    /// Pruning keeps a consistent one-shard-per-commodity delivery, never adds flow,
+    /// and never increases any step utilization.
+    #[test]
+    fn pruned_solutions_stay_consistent_and_leaner() {
+        for topo in [
+            generators::hypercube(3),
+            generators::torus(&[3, 3]),
+            generators::random_regular(8, 3, 7),
+        ] {
+            let sol = solve_tsmcf_auto(&topo).unwrap();
+            let pruned = sol.pruned(&topo);
+            assert_eq!(pruned.steps, sol.steps);
+            assert!(pruned.check_consistency(&topo, 1e-6).is_empty());
+            for t in 0..sol.steps {
+                assert!(
+                    pruned.step_utilization[t] <= sol.step_utilization[t] + 1e-9,
+                    "{} step {t}: pruned {} > original {}",
+                    topo.name(),
+                    pruned.step_utilization[t],
+                    sol.step_utilization[t]
+                );
+            }
+            // Per (commodity, step, edge) the pruned amount never exceeds the original.
+            for (idx, _, _) in sol.commodities.iter() {
+                for t in 0..sol.steps {
+                    for &(e, a) in &pruned.flows[idx][t] {
+                        let orig: f64 = sol.flows[idx][t]
+                            .iter()
+                            .filter(|&&(oe, _)| oe == e)
+                            .map(|&(_, oa)| oa)
+                            .sum();
+                        assert!(a <= orig + 1e-9);
+                    }
+                }
+            }
+            // Exactly one shard arrives per commodity (junk over-delivery is gone).
+            for (idx, _, d) in pruned.commodities.iter() {
+                let mut delivered = 0.0;
+                for t in 0..pruned.steps {
+                    for &(e, a) in &pruned.flows[idx][t] {
+                        let edge = topo.edge(e);
+                        if edge.dst == d {
+                            delivered += a;
+                        } else if edge.src == d {
+                            delivered -= a;
+                        }
+                    }
+                }
+                assert!(
+                    (delivered - 1.0).abs() < 1e-6,
+                    "{}: net delivery {delivered}",
+                    topo.name()
+                );
+            }
+        }
+    }
+
+    /// The seed-7 random regular graph is the pinned regression: its tsMCF vertex
+    /// carries whole undelivered shard copies, which used to starve the real branches
+    /// in the chunk lowering and inflate simulated completion ~1.5x over the LP
+    /// bound.
+    #[test]
+    fn pruning_removes_undelivered_copies() {
+        let topo = generators::random_regular(8, 3, 7);
+        let sol = solve_tsmcf_auto(&topo).unwrap();
+        let pruned = sol.pruned(&topo);
+        let volume = |s: &TsMcfSolution| -> f64 {
+            s.flows
+                .iter()
+                .flat_map(|per_step| per_step.iter())
+                .flat_map(|list| list.iter())
+                .map(|&(_, a)| a)
+                .sum()
+        };
+        assert!(
+            volume(&pruned) < volume(&sol) - 0.5,
+            "expected at least half a shard of junk flow, got {} vs {}",
+            volume(&pruned),
+            volume(&sol)
+        );
+    }
 }
 
 #[cfg(test)]

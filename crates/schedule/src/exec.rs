@@ -1,0 +1,246 @@
+//! Execution semantics of the chunked IR: the transfer dependency DAG.
+//!
+//! A [`crate::ChunkedSchedule`] lists its transfers step by step, but real runtimes do
+//! not execute a global barrier between steps — a rank posts a send as soon as the
+//! chunks it forwards have landed. This module extracts that *data* dependency
+//! structure from the IR: each transfer becomes a [`TransferJob`], and a job depends on
+//! exactly the earlier jobs that delivered the chunks it sends onward.
+//!
+//! Dependencies are resolved by provenance replay: the extraction walks the steps in
+//! order, keeping a FIFO of chunk provenances per `(commodity, rank)` buffer (which job
+//! delivered each buffered chunk, or none for chunks resident at the origin). A
+//! transfer consumes from the front of its sender's FIFO, so the dependency assignment
+//! is deterministic and matches the buffering discipline that
+//! [`crate::ChunkedSchedule::validate`] checks. Because arrivals of a step are only
+//! applied after the whole step (store-and-forward), every dependency points to a job
+//! of a *strictly earlier* step, which makes the DAG acyclic with job ids already in
+//! topological order.
+
+use std::collections::VecDeque;
+
+use a2a_topology::NodeId;
+
+use crate::ir::ChunkedSchedule;
+
+/// One executable transfer: a [`crate::ChunkTransfer`] plus its position in the
+/// schedule and the jobs whose arrivals it consumes.
+#[derive(Debug, Clone)]
+pub struct TransferJob {
+    /// Step of the enclosing [`crate::ScheduleStep`].
+    pub step: usize,
+    /// Index of the transfer within its step.
+    pub index_in_step: usize,
+    /// Sending rank.
+    pub from: NodeId,
+    /// Receiving rank.
+    pub to: NodeId,
+    /// Rank that originally held the shard.
+    pub origin: NodeId,
+    /// Rank the shard is ultimately destined for.
+    pub final_dest: NodeId,
+    /// Number of chunks moved.
+    pub chunks: usize,
+    /// Ids of jobs (indices into [`TransferDag::jobs`]) that must complete before this
+    /// transfer can depart, sorted ascending and deduplicated. Empty for transfers that
+    /// only forward chunks resident at the commodity origin.
+    pub deps: Vec<usize>,
+}
+
+/// The data-dependency DAG of a chunked schedule.
+///
+/// Job ids follow the schedule's step-major transfer order, and every dependency id is
+/// strictly smaller than the dependent job's id (steps only consume chunks delivered by
+/// earlier steps), so `0..jobs.len()` is a valid topological order.
+#[derive(Debug, Clone)]
+pub struct TransferDag {
+    /// All transfers of the schedule in step-major order.
+    pub jobs: Vec<TransferJob>,
+    /// Number of ranks in the schedule.
+    pub num_ranks: usize,
+    /// Chunk granularity of the schedule.
+    pub chunks_per_shard: usize,
+    /// Number of steps in the source schedule.
+    pub num_steps: usize,
+}
+
+impl TransferDag {
+    /// Extracts the dependency DAG from a chunked schedule.
+    ///
+    /// Fails with a description of the first violation if the schedule is not
+    /// executable (a rank sends chunks it does not hold, or a transfer names an
+    /// unknown commodity) — the same conditions [`ChunkedSchedule::validate`] reports.
+    pub fn from_schedule(schedule: &ChunkedSchedule) -> Result<Self, String> {
+        let ncomm = schedule.commodities.len();
+        // Provenance FIFO per (commodity, rank): the job that delivered each buffered
+        // chunk (`None` for chunks initially resident at the origin).
+        let mut buffers: Vec<Vec<VecDeque<Option<usize>>>> =
+            vec![vec![VecDeque::new(); schedule.num_ranks]; ncomm];
+        for (idx, s, _) in schedule.commodities.iter() {
+            buffers[idx][s].extend(std::iter::repeat_n(None, schedule.chunks_per_shard));
+        }
+
+        let mut jobs: Vec<TransferJob> = Vec::new();
+        for (t, step) in schedule.steps.iter().enumerate() {
+            // Consume sender buffers first; arrivals land after the whole step.
+            let mut arrivals: Vec<(usize, NodeId, usize, usize)> = Vec::new();
+            for (i, tr) in step.transfers.iter().enumerate() {
+                let idx = schedule
+                    .commodities
+                    .index_of(tr.origin, tr.final_dest)
+                    .ok_or_else(|| {
+                        format!(
+                            "step {t}: transfer {i} names unknown commodity {}->{}",
+                            tr.origin, tr.final_dest
+                        )
+                    })?;
+                let fifo = &mut buffers[idx][tr.from];
+                if fifo.len() < tr.chunks {
+                    return Err(format!(
+                        "step {t}: rank {} sends {} chunks of {}->{} but holds {}",
+                        tr.from,
+                        tr.chunks,
+                        tr.origin,
+                        tr.final_dest,
+                        fifo.len()
+                    ));
+                }
+                let job_id = jobs.len();
+                let mut deps: Vec<usize> = fifo.drain(..tr.chunks).flatten().collect();
+                deps.sort_unstable();
+                deps.dedup();
+                debug_assert!(deps.iter().all(|&d| d < job_id));
+                arrivals.push((idx, tr.to, tr.chunks, job_id));
+                jobs.push(TransferJob {
+                    step: t,
+                    index_in_step: i,
+                    from: tr.from,
+                    to: tr.to,
+                    origin: tr.origin,
+                    final_dest: tr.final_dest,
+                    chunks: tr.chunks,
+                    deps,
+                });
+            }
+            for (idx, node, chunks, job_id) in arrivals {
+                buffers[idx][node].extend(std::iter::repeat_n(Some(job_id), chunks));
+            }
+        }
+        Ok(Self {
+            jobs,
+            num_ranks: schedule.num_ranks,
+            chunks_per_shard: schedule.chunks_per_shard,
+            num_steps: schedule.steps.len(),
+        })
+    }
+
+    /// Number of jobs (= total transfers of the schedule).
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Reverse adjacency: for each job, the ids of jobs that depend on it.
+    pub fn successors(&self) -> Vec<Vec<usize>> {
+        let mut succ = vec![Vec::new(); self.jobs.len()];
+        for (id, job) in self.jobs.iter().enumerate() {
+            for &d in &job.deps {
+                succ[d].push(id);
+            }
+        }
+        succ
+    }
+
+    /// Length (in jobs) of the longest dependency chain — the critical path of the
+    /// schedule if every transfer took unit time.
+    pub fn critical_path_len(&self) -> usize {
+        let mut depth = vec![1usize; self.jobs.len()];
+        let mut max = 0;
+        for id in 0..self.jobs.len() {
+            let d = 1 + self.jobs[id]
+                .deps
+                .iter()
+                .map(|&p| depth[p])
+                .max()
+                .unwrap_or(0);
+            depth[id] = d;
+            max = max.max(d);
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a2a_mcf::tsmcf::{solve_tsmcf, solve_tsmcf_auto};
+    use a2a_topology::generators;
+
+    #[test]
+    fn complete_graph_jobs_are_independent() {
+        let topo = generators::complete(3);
+        let sol = solve_tsmcf(&topo, 1).unwrap();
+        let sched = ChunkedSchedule::from_tsmcf(&topo, &sol, 8).unwrap();
+        let dag = TransferDag::from_schedule(&sched).unwrap();
+        assert_eq!(dag.num_jobs(), sched.total_transfers());
+        assert!(dag.jobs.iter().all(|j| j.deps.is_empty()));
+        assert_eq!(dag.critical_path_len(), 1);
+    }
+
+    #[test]
+    fn relayed_chunks_depend_on_their_inbound_copy() {
+        let topo = generators::ring(3);
+        let sol = solve_tsmcf_auto(&topo).unwrap();
+        let sched = ChunkedSchedule::from_tsmcf(&topo, &sol, 64).unwrap();
+        let dag = TransferDag::from_schedule(&sched).unwrap();
+        // The directed 3-ring must relay: some second-hop transfer depends on the
+        // first hop of the same commodity.
+        let chained = dag.jobs.iter().any(|j| !j.deps.is_empty());
+        assert!(chained, "ring schedules relay chunks");
+        for (id, job) in dag.jobs.iter().enumerate() {
+            for &d in &job.deps {
+                assert!(d < id, "dependency ids precede the job");
+                assert!(dag.jobs[d].step < job.step, "deps come from earlier steps");
+                // The dependency delivered chunks of the same commodity to the sender.
+                assert_eq!(dag.jobs[d].to, job.from);
+                assert_eq!(
+                    (dag.jobs[d].origin, dag.jobs[d].final_dest),
+                    (job.origin, job.final_dest)
+                );
+            }
+        }
+        assert!(dag.critical_path_len() >= 2);
+        assert!(dag.critical_path_len() <= sched.num_steps());
+    }
+
+    #[test]
+    fn successors_mirror_dependencies() {
+        let topo = generators::hypercube(2);
+        let sol = solve_tsmcf(&topo, 2).unwrap();
+        let sched = ChunkedSchedule::from_tsmcf(&topo, &sol, 64).unwrap();
+        let dag = TransferDag::from_schedule(&sched).unwrap();
+        let succ = dag.successors();
+        let forward: usize = dag.jobs.iter().map(|j| j.deps.len()).sum();
+        let backward: usize = succ.iter().map(Vec::len).sum();
+        assert_eq!(forward, backward);
+        for (id, list) in succ.iter().enumerate() {
+            for &s in list {
+                assert!(dag.jobs[s].deps.contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn inexecutable_schedules_are_rejected() {
+        let topo = generators::complete(3);
+        let sol = solve_tsmcf(&topo, 1).unwrap();
+        let mut sched = ChunkedSchedule::from_tsmcf(&topo, &sol, 4).unwrap();
+        sched.steps[0].transfers.push(crate::ChunkTransfer {
+            from: 1,
+            to: 2,
+            origin: 0,
+            final_dest: 2,
+            chunks: 99,
+        });
+        let err = TransferDag::from_schedule(&sched).unwrap_err();
+        assert!(err.contains("holds"), "{err}");
+    }
+}

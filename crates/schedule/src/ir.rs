@@ -71,14 +71,19 @@ impl ChunkedSchedule {
     /// `max_chunks_per_shard` caps the granularity: the lowering uses the smallest
     /// power-of-two chunk count (up to the cap) for which rounding the fractional
     /// transfers to whole chunks still delivers every shard completely.
+    ///
+    /// The solution is pruned first ([`TsMcfSolution::pruned`]): tsMCF vertices may
+    /// carry flow that never reaches its destination, and lowering those dead
+    /// branches both wastes bandwidth and starves the real ones at the sender.
     pub fn from_tsmcf(
         topo: &Topology,
         solution: &TsMcfSolution,
         max_chunks_per_shard: usize,
     ) -> Result<Self, String> {
+        let solution = solution.pruned(topo);
         let mut granularity = 1usize;
         loop {
-            let candidate = Self::quantize(topo, solution, granularity);
+            let candidate = Self::quantize(topo, &solution, granularity);
             if candidate.validate(topo).is_empty() {
                 return Ok(candidate);
             }
@@ -88,6 +93,42 @@ impl ChunkedSchedule {
                 ));
             }
             granularity *= 2;
+        }
+    }
+
+    /// Builds a chunked schedule at *exactly* the given granularity, quantizing the
+    /// solution **as given** (no internal pruning).
+    ///
+    /// [`ChunkedSchedule::from_tsmcf`] returns the coarsest valid granularity, which
+    /// executes correctly but can inflate per-link loads by up to a whole chunk per
+    /// transfer (a 0.5-shard transfer becomes a full shard at granularity 1). When
+    /// fidelity to the fractional solution matters — e.g. comparing simulated
+    /// completion against the LP-predicted bound — quantize finer: the rounding error
+    /// scales as `1 / chunks_per_shard`. Fails if rounding at this granularity leaves
+    /// the schedule inexecutable.
+    ///
+    /// Callers on this fidelity-sensitive path should pass
+    /// [`TsMcfSolution::pruned`] and derive any completion prediction from that same
+    /// pruned solution — a raw simplex vertex may carry undelivered junk flow, and
+    /// quantizing it both wastes bandwidth and makes the LP bound describe a
+    /// different schedule than the lowered one.
+    pub fn from_tsmcf_exact(
+        topo: &Topology,
+        solution: &TsMcfSolution,
+        chunks_per_shard: usize,
+    ) -> Result<Self, String> {
+        if chunks_per_shard == 0 {
+            return Err("granularity must be positive".into());
+        }
+        let candidate = Self::quantize(topo, solution, chunks_per_shard);
+        let issues = candidate.validate(topo);
+        if issues.is_empty() {
+            Ok(candidate)
+        } else {
+            Err(format!(
+                "granularity {chunks_per_shard} is not executable: {}",
+                issues.join("; ")
+            ))
         }
     }
 

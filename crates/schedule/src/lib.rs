@@ -6,6 +6,9 @@
 //! * [`ir`] — the chunked, time-stepped schedule IR produced from a
 //!   [`a2a_mcf::tsmcf::TsMcfSolution`] (link-based schedules for store-and-forward
 //!   fabrics), plus executability validation.
+//! * [`exec`] — execution semantics of the chunked IR: the transfer data-dependency
+//!   DAG ([`exec::TransferDag`]) consumed by the event-driven simulator, extracted by
+//!   provenance replay of the per-rank chunk buffers.
 //! * [`xml`] — lowering of the chunked IR to MSCCL-style and oneCCL-style XML programs
 //!   (send/recv instructions per rank per step).
 //! * [`routes`] — lowering of weighted path schedules to per-commodity route tables and
@@ -14,11 +17,13 @@
 //!   of routes deadlock-free on wormhole-routed fabrics (§5.5).
 
 pub mod deadlock;
+pub mod exec;
 pub mod ir;
 pub mod routes;
 pub mod xml;
 
 pub use deadlock::{assign_virtual_channels, LashVariant, VcAssignment};
+pub use exec::{TransferDag, TransferJob};
 pub use ir::{ChunkTransfer, ChunkedSchedule, ScheduleStep};
 pub use routes::{lower_path_schedule, RouteTable};
 pub use xml::{to_msccl_xml, to_oneccl_xml};

@@ -1,0 +1,211 @@
+//! Failure-path coverage for the two schedule validators.
+//!
+//! [`ChunkedSchedule::validate`] and [`RouteTable::validate`] return human-readable
+//! `Vec<String>` violation lists; the happy paths are exercised throughout the
+//! workspace but the individual failure branches were not pinned anywhere. Each test
+//! here corrupts a known-good artifact in exactly one way and asserts both that the
+//! validator objects and that it names the right violation.
+
+use a2a_mcf::pmcf::{solve_path_mcf, PathSetKind};
+use a2a_mcf::tsmcf::solve_tsmcf_auto;
+use a2a_schedule::{lower_path_schedule, ChunkTransfer, ChunkedSchedule, LashVariant, RouteTable};
+use a2a_topology::{generators, Path, Topology};
+
+fn chunked_on(topo: &Topology) -> ChunkedSchedule {
+    let sol = solve_tsmcf_auto(topo).unwrap();
+    let sched = ChunkedSchedule::from_tsmcf(topo, &sol, 64).unwrap();
+    assert!(sched.validate(topo).is_empty(), "baseline must be clean");
+    sched
+}
+
+fn route_table_on(topo: &Topology) -> RouteTable {
+    let sched = solve_path_mcf(topo, PathSetKind::EdgeDisjoint).unwrap();
+    let table = lower_path_schedule(topo, &sched, 8, LashVariant::Sequential);
+    assert!(table.validate().is_empty(), "baseline must be clean");
+    table
+}
+
+// ---------------------------------------------------------------------------
+// ChunkedSchedule::validate
+// ---------------------------------------------------------------------------
+
+#[test]
+fn chunked_validate_flags_missing_links() {
+    let topo = generators::ring(4); // directed: 2->0 does not exist
+    let mut sched = chunked_on(&topo);
+    sched.steps[0].transfers.push(ChunkTransfer {
+        from: 2,
+        to: 0,
+        origin: 2,
+        final_dest: 0,
+        chunks: 1,
+    });
+    let issues = sched.validate(&topo);
+    assert!(
+        issues.iter().any(|m| m.contains("missing link")),
+        "{issues:?}"
+    );
+}
+
+#[test]
+fn chunked_validate_flags_unknown_commodities() {
+    let topo = generators::complete(3);
+    let mut sched = chunked_on(&topo);
+    // origin == final_dest is not a commodity of any all-to-all.
+    sched.steps[0].transfers.push(ChunkTransfer {
+        from: 0,
+        to: 1,
+        origin: 1,
+        final_dest: 1,
+        chunks: 1,
+    });
+    let issues = sched.validate(&topo);
+    assert!(
+        issues.iter().any(|m| m.contains("unknown commodity")),
+        "{issues:?}"
+    );
+}
+
+#[test]
+fn chunked_validate_flags_oversends() {
+    // Chunk conservation at the sender: a rank cannot send chunks it does not hold
+    // (here: more chunks of its own shard than the granularity provides).
+    let topo = generators::complete(3);
+    let mut sched = chunked_on(&topo);
+    sched.steps[0].transfers.push(ChunkTransfer {
+        from: 0,
+        to: 1,
+        origin: 0,
+        final_dest: 1,
+        chunks: sched.chunks_per_shard * 10,
+    });
+    let issues = sched.validate(&topo);
+    assert!(issues.iter().any(|m| m.contains("but holds")), "{issues:?}");
+}
+
+#[test]
+fn chunked_validate_flags_relay_of_undelivered_chunks() {
+    // A relay hop whose inbound copy never arrives is a buffer violation at the
+    // intermediate rank, not just a shortfall at the destination.
+    let topo = generators::ring(3);
+    let mut sched = chunked_on(&topo);
+    // Commodity 0->2 relays 0->1->2 on the directed ring: drop the first hop and
+    // keep the relay.
+    let first_hop = sched.steps[0]
+        .transfers
+        .iter()
+        .position(|t| t.origin == 0 && t.final_dest == 2 && t.from == 0)
+        .expect("0->2 must leave its origin in step 0");
+    sched.steps[0].transfers.remove(first_hop);
+    let issues = sched.validate(&topo);
+    assert!(issues.iter().any(|m| m.contains("but holds")), "{issues:?}");
+}
+
+#[test]
+fn chunked_validate_flags_destination_shortfall() {
+    let topo = generators::complete(3);
+    let mut sched = chunked_on(&topo);
+    // Remove every transfer of one commodity: its destination ends short.
+    for step in &mut sched.steps {
+        step.transfers
+            .retain(|t| !(t.origin == 0 && t.final_dest == 1));
+    }
+    let issues = sched.validate(&topo);
+    assert!(
+        issues
+            .iter()
+            .any(|m| m.contains("destination holds") && m.contains("0->1")),
+        "{issues:?}"
+    );
+}
+
+#[test]
+fn chunked_validate_reports_every_violation_not_just_the_first() {
+    let topo = generators::complete(3);
+    let mut sched = chunked_on(&topo);
+    sched.steps[0].transfers.push(ChunkTransfer {
+        from: 1,
+        to: 2,
+        origin: 1,
+        final_dest: 1,
+        chunks: 1,
+    });
+    for step in &mut sched.steps {
+        step.transfers
+            .retain(|t| !(t.origin == 2 && t.final_dest == 0));
+    }
+    let issues = sched.validate(&topo);
+    assert!(issues.len() >= 2, "{issues:?}");
+}
+
+// ---------------------------------------------------------------------------
+// RouteTable::validate
+// ---------------------------------------------------------------------------
+
+#[test]
+fn route_table_validate_flags_chunk_undercoverage() {
+    let topo = generators::hypercube(3);
+    let mut table = route_table_on(&topo);
+    // Steal a chunk from the first commodity's first route: the shard is no longer
+    // covered exactly.
+    table.commodities[0].routes[0].chunks -= 1;
+    let issues = table.validate();
+    assert!(
+        issues.iter().any(|m| m.contains("chunks assigned")),
+        "{issues:?}"
+    );
+}
+
+#[test]
+fn route_table_validate_flags_chunk_overcoverage() {
+    let topo = generators::hypercube(3);
+    let mut table = route_table_on(&topo);
+    table.commodities[0].routes[0].chunks += 3;
+    let issues = table.validate();
+    assert!(
+        issues.iter().any(|m| m.contains("chunks assigned")),
+        "{issues:?}"
+    );
+}
+
+#[test]
+fn route_table_validate_flags_dangling_routes() {
+    let topo = generators::hypercube(3);
+    let mut table = route_table_on(&topo);
+    // A route whose endpoints do not match its commodity is dangling: it steers
+    // chunks somewhere the commodity never asked for.
+    let c = &mut table.commodities[0];
+    let (src, dst) = (c.src, c.dst);
+    let stray = Path::new(vec![dst, dst ^ 1]);
+    assert_ne!(stray.source(), src);
+    c.routes[0].path = stray;
+    let issues = table.validate();
+    assert!(
+        issues.iter().any(|m| m.contains("endpoints mismatch")),
+        "{issues:?}"
+    );
+}
+
+#[test]
+fn route_table_validate_flags_layer_overflow() {
+    let topo = generators::hypercube(3);
+    let mut table = route_table_on(&topo);
+    table.commodities[0].routes[0].layer = table.num_layers + 5;
+    let issues = table.validate();
+    assert!(
+        issues
+            .iter()
+            .any(|m| m.contains("layer") && m.contains("out of range")),
+        "{issues:?}"
+    );
+}
+
+#[test]
+fn route_table_validate_accumulates_violations_across_commodities() {
+    let topo = generators::hypercube(3);
+    let mut table = route_table_on(&topo);
+    table.commodities[0].routes[0].chunks += 1;
+    table.commodities[1].routes[0].layer = table.num_layers;
+    let issues = table.validate();
+    assert!(issues.len() >= 2, "{issues:?}");
+}

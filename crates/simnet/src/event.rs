@@ -1,0 +1,857 @@
+//! Discrete-event flow-level execution of chunked schedules.
+//!
+//! # Event model
+//!
+//! Every [`a2a_schedule::ChunkTransfer`] becomes a fluid *flow job* of
+//! `chunks · chunk_bytes` bytes on its directed link. The engine advances a
+//! continuous clock between two kinds of events — a job becoming ready and a flow
+//! draining — and between events every active flow progresses at a constant rate
+//! determined by **max-min fair sharing** over three resource families:
+//!
+//! * each finite-bandwidth link (its effective bandwidth under the
+//!   [`Scenario`](crate::Scenario), shrunk by the
+//!   [`QpContention`](crate::QpContention) factor for the number of concurrent flows
+//!   it carries),
+//! * each sender's host-injection bandwidth ([`SimParams::host_injection_gbps`]),
+//! * each receiver's host-ejection bandwidth (same cap).
+//!
+//! Rates are recomputed at every event (progressive filling), so a link speeds its
+//! survivors up the moment one of its flows drains — a link with pending bytes is
+//! never idle, which is what makes the synchronized mode agree exactly with the
+//! closed-form model of [`crate::linksim`].
+//!
+//! # Execution models (the α–β split)
+//!
+//! * [`ExecutionModel::Synchronized`] — the MSCCL/oneCCL interpreter semantics: a
+//!   global barrier between steps, `α = `[`SimParams::step_sync_latency_s`] paid once
+//!   per step. On nominal fabrics with no injection/QP limits this reproduces the
+//!   analytic [`crate::simulate_chunked_schedule`] to round-off (both models charge
+//!   each step its busiest link's drain time plus the sync).
+//! * [`ExecutionModel::DependencyDriven`] — asynchronous execution: a transfer
+//!   departs as soon as the inbound copies it forwards have landed
+//!   (the [`TransferDag`] extracted from the IR), paying
+//!   `α = `[`SimParams::per_hop_latency_s`] per transfer instead of a global sync.
+//!   Steps overlap wherever the data dependencies allow — a clear win in the
+//!   latency-bound regime (no barriers), while at large buffers the overlap can
+//!   make later-step flows *contend* with the current bottleneck link, so the
+//!   asynchronous completion is bracketed by the busiest-link drain bound from
+//!   below and a modest constant times the synchronized completion from above
+//!   (fair sharing is work-conserving, not makespan-monotone).
+//!
+//! β is implicit in the byte volumes and effective bandwidths. Units: bytes,
+//! seconds, and GB/s (1 GB/s = 1e9 bytes/s) throughout.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use a2a_schedule::{ChunkedSchedule, TransferDag};
+use a2a_topology::{EdgeId, NodeId, Topology};
+
+use crate::{Scenario, SimParams, SimReport};
+
+/// How the engine orders transfers in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionModel {
+    /// Global barrier between steps (store-and-forward interpreters); the per-step
+    /// synchronization latency is charged once per step.
+    #[default]
+    Synchronized,
+    /// Data-dependency-driven asynchronous execution; the per-hop latency is charged
+    /// per transfer, and steps overlap wherever dependencies allow.
+    DependencyDriven,
+}
+
+/// Options of an event-driven simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct EventSimOptions {
+    /// Execution model (synchronized barrier vs dependency-driven).
+    pub model: ExecutionModel,
+    /// Fabric perturbations applied during the run.
+    pub scenario: Scenario,
+}
+
+/// Why a simulation could not complete.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A transfer is routed over a link the scenario failed.
+    FailedLink {
+        /// Step of the offending transfer.
+        step: usize,
+        /// Sending rank.
+        from: NodeId,
+        /// Receiving rank.
+        to: NodeId,
+    },
+    /// A transfer uses a link that does not exist in the topology.
+    MissingLink {
+        /// Step of the offending transfer.
+        step: usize,
+        /// Sending rank.
+        from: NodeId,
+        /// Receiving rank.
+        to: NodeId,
+    },
+    /// The schedule is not executable (validation failure during dependency
+    /// extraction).
+    InvalidSchedule(String),
+    /// The event loop could not make progress (should be unreachable for schedules
+    /// that pass validation; kept as a hard backstop instead of an infinite loop).
+    Stalled {
+        /// Jobs that completed before the stall.
+        completed: usize,
+        /// Total jobs in the schedule.
+        total: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::FailedLink { step, from, to } => {
+                write!(f, "step {step}: transfer {from}->{to} uses a failed link")
+            }
+            SimError::MissingLink { step, from, to } => {
+                write!(f, "step {step}: transfer {from}->{to} uses a missing link")
+            }
+            SimError::InvalidSchedule(msg) => write!(f, "invalid schedule: {msg}"),
+            SimError::Stalled { completed, total } => {
+                write!(f, "simulation stalled after {completed}/{total} jobs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result alias for simulations that can fail.
+pub type SimResult<T> = Result<T, SimError>;
+
+/// Per-link usage accumulated over a run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkUsage {
+    /// Total bytes shipped over the link.
+    pub bytes: f64,
+    /// Wall time during which at least one flow was active on the link.
+    pub busy_secs: f64,
+    /// `bytes / (effective bandwidth · makespan)` — the link's share of the run it
+    /// spent moving data at full rate (0 for unused or infinite-bandwidth links).
+    pub utilization: f64,
+}
+
+/// Detailed result of an event-driven simulation.
+#[derive(Debug, Clone)]
+pub struct EventReport {
+    /// The headline completion/throughput report (same shape as the analytic model's).
+    pub report: SimReport,
+    /// Per-link usage, indexed by [`EdgeId`].
+    pub per_link: Vec<LinkUsage>,
+    /// Wall time at which the last transfer of each schedule step finished (pre-sync
+    /// in synchronized mode; steps overlap in dependency-driven mode).
+    pub step_completion_secs: Vec<f64>,
+    /// Number of transfer jobs executed.
+    pub num_jobs: usize,
+    /// Peak number of concurrently active flows.
+    pub max_concurrent_flows: usize,
+}
+
+impl EventReport {
+    /// The busiest link's utilization.
+    pub fn peak_link_utilization(&self) -> f64 {
+        self.per_link
+            .iter()
+            .map(|l| l.utilization)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// One fluid job: a whole-transfer byte volume on a directed link. Dependency
+/// structure stays in the [`TransferDag`] it was extracted from (same indexing).
+struct SimJob {
+    link: EdgeId,
+    src: NodeId,
+    dst: NodeId,
+    bytes: f64,
+    step: usize,
+}
+
+/// f64 wrapper with total order, for the ready-event heap (times are finite and
+/// non-negative).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Relative byte tolerance below which a flow counts as drained.
+const DRAIN_EPS: f64 = 1e-12;
+
+/// Simulates a chunked schedule with the event-driven engine.
+///
+/// The schedule must be executable on `topo`. The dependency extraction re-checks
+/// sender buffering and commodity membership (not delivery completeness — run
+/// [`ChunkedSchedule::validate`] for the full contract; a schedule that
+/// under-delivers still simulates, and its reported throughput assumes the full
+/// all-to-all volume). The scenario may slow, re-rate or fail links — a failed
+/// link that the schedule still uses is an error, which is exactly the signal that a
+/// degraded fabric needs a rerouted schedule (solve on the punctured topology, lower
+/// again, and re-simulate under the same scenario).
+pub fn simulate_chunked_event(
+    topo: &Topology,
+    schedule: &ChunkedSchedule,
+    shard_bytes: f64,
+    params: &SimParams,
+    options: &EventSimOptions,
+) -> SimResult<EventReport> {
+    let dag = TransferDag::from_schedule(schedule).map_err(SimError::InvalidSchedule)?;
+    let chunk_bytes = shard_bytes / schedule.chunks_per_shard as f64;
+
+    // Resolve every transfer onto a live link up front.
+    let mut jobs = Vec::with_capacity(dag.jobs.len());
+    let mut link_bw = vec![f64::INFINITY; topo.num_edges()];
+    for j in &dag.jobs {
+        let link = topo.find_edge(j.from, j.to).ok_or(SimError::MissingLink {
+            step: j.step,
+            from: j.from,
+            to: j.to,
+        })?;
+        let bw = options
+            .scenario
+            .effective_bandwidth(topo, link, params)
+            .ok_or(SimError::FailedLink {
+                step: j.step,
+                from: j.from,
+                to: j.to,
+            })?;
+        link_bw[link] = bw;
+        jobs.push(SimJob {
+            link,
+            src: j.from,
+            dst: j.to,
+            bytes: j.chunks as f64 * chunk_bytes,
+            step: j.step,
+        });
+    }
+
+    let mut engine = Engine {
+        jobs: &jobs,
+        dag: &dag,
+        link_bw: &link_bw,
+        params,
+        num_nodes: topo.num_nodes(),
+        num_steps: dag.num_steps,
+        link_seen: vec![0; topo.num_edges()],
+        seen_epoch: 0,
+    };
+    let outcome = match options.model {
+        ExecutionModel::Synchronized => engine.run_synchronized(),
+        ExecutionModel::DependencyDriven => engine.run_dependency_driven()?,
+    };
+
+    let makespan = outcome.completion;
+    let mut per_link = vec![LinkUsage::default(); topo.num_edges()];
+    for job in &jobs {
+        per_link[job.link].bytes += job.bytes;
+    }
+    for (e, busy) in outcome.link_busy.iter().enumerate() {
+        per_link[e].busy_secs = *busy;
+        if makespan > 0.0 && link_bw[e].is_finite() && link_bw[e] > 0.0 {
+            per_link[e].utilization = per_link[e].bytes / (link_bw[e] * makespan);
+        }
+    }
+    Ok(EventReport {
+        report: SimReport::new(schedule.commodities.num_endpoints(), shard_bytes, makespan),
+        per_link,
+        step_completion_secs: outcome.step_completion,
+        num_jobs: jobs.len(),
+        max_concurrent_flows: outcome.max_concurrent,
+    })
+}
+
+/// Raw timing outcome of one engine run.
+struct Outcome {
+    completion: f64,
+    step_completion: Vec<f64>,
+    link_busy: Vec<f64>,
+    max_concurrent: usize,
+}
+
+/// A flow currently draining.
+struct ActiveFlow {
+    job: usize,
+    remaining: f64,
+}
+
+struct Engine<'a> {
+    jobs: &'a [SimJob],
+    dag: &'a TransferDag,
+    link_bw: &'a [f64],
+    params: &'a SimParams,
+    num_nodes: usize,
+    num_steps: usize,
+    /// Scratch for per-event busy-time dedup (see [`Engine::advance`]).
+    link_seen: Vec<u64>,
+    seen_epoch: u64,
+}
+
+impl Engine<'_> {
+    /// Max-min fair rates (bytes/s) for the active flows under link, injection and
+    /// ejection capacities (progressive filling).
+    fn assign_rates(&self, active: &[ActiveFlow]) -> Vec<f64> {
+        let nf = active.len();
+        // Resource table: capacity, the flows using each resource, and (for the O(1)
+        // freeze update) each flow's own resource list — a flow touches at most
+        // three resources: its link, its sender's injection cap, its receiver's
+        // ejection cap.
+        let mut caps: Vec<f64> = Vec::new();
+        let mut members: Vec<Vec<usize>> = Vec::new();
+        let mut flow_res: Vec<Vec<usize>> = vec![Vec::with_capacity(3); nf];
+        {
+            // Links (finite bandwidth only; QP contention shrinks the capacity by the
+            // concurrent-flow count).
+            let mut link_res: std::collections::HashMap<EdgeId, usize> =
+                std::collections::HashMap::new();
+            for (fi, flow) in active.iter().enumerate() {
+                let e = self.jobs[flow.job].link;
+                if self.link_bw[e].is_infinite() {
+                    continue;
+                }
+                let ri = *link_res.entry(e).or_insert_with(|| {
+                    caps.push(self.link_bw[e]);
+                    members.push(Vec::new());
+                    caps.len() - 1
+                });
+                members[ri].push(fi);
+                flow_res[fi].push(ri);
+            }
+            if let Some(qp) = self.params.qp_contention {
+                for (&e, &ri) in &link_res {
+                    caps[ri] = self.link_bw[e] * qp.bandwidth_factor(members[ri].len());
+                }
+            }
+            // Host injection / ejection caps, one resource per involved node side.
+            if let Some(gbps) = self.params.host_injection_gbps {
+                let cap = gbps * 1e9;
+                let mut send_res = vec![usize::MAX; self.num_nodes];
+                let mut recv_res = vec![usize::MAX; self.num_nodes];
+                for (fi, flow) in active.iter().enumerate() {
+                    let job = &self.jobs[flow.job];
+                    for (node, table) in [(job.src, &mut send_res), (job.dst, &mut recv_res)] {
+                        if table[node] == usize::MAX {
+                            table[node] = caps.len();
+                            caps.push(cap);
+                            members.push(Vec::new());
+                        }
+                        members[table[node]].push(fi);
+                        flow_res[fi].push(table[node]);
+                    }
+                }
+            }
+        }
+
+        let mut rate = vec![0.0f64; nf];
+        let mut frozen = vec![false; nf];
+        let mut residual = caps;
+        let mut users: Vec<usize> = members.iter().map(Vec::len).collect();
+        let mut unfrozen = nf;
+        while unfrozen > 0 {
+            let mut best: Option<(f64, usize)> = None;
+            for (ri, &u) in users.iter().enumerate() {
+                if u == 0 {
+                    continue;
+                }
+                let level = residual[ri] / u as f64;
+                if best.is_none_or(|(b, _)| level < b) {
+                    best = Some((level, ri));
+                }
+            }
+            let Some((level, ri)) = best else {
+                // No finite resource constrains the survivors.
+                for (fi, r) in rate.iter_mut().enumerate() {
+                    if !frozen[fi] {
+                        *r = f64::INFINITY;
+                    }
+                }
+                break;
+            };
+            // Freeze the bottleneck resource's flows at the fair level and charge
+            // their share to every resource they touch.
+            for fi in members[ri].clone() {
+                if frozen[fi] {
+                    continue;
+                }
+                frozen[fi] = true;
+                unfrozen -= 1;
+                rate[fi] = level;
+                for &rj in &flow_res[fi] {
+                    residual[rj] = (residual[rj] - level).max(0.0);
+                    users[rj] -= 1;
+                }
+            }
+        }
+        rate
+    }
+
+    /// Drains the given active set to empty, advancing `t` and accumulating per-link
+    /// busy time. New flows never join mid-drain (synchronized step) — the caller
+    /// handles arrivals in the dependency-driven loop via `drain_until`.
+    fn drain_step(&mut self, active: &mut Vec<ActiveFlow>, t: &mut f64, link_busy: &mut [f64]) {
+        while !active.is_empty() {
+            let rates = self.assign_rates(active);
+            let mut dt = f64::INFINITY;
+            for (flow, &r) in active.iter().zip(&rates) {
+                dt = dt.min(if r.is_infinite() {
+                    0.0
+                } else {
+                    flow.remaining / r
+                });
+            }
+            self.advance(active, &rates, dt, t, link_busy);
+            active.retain(|f| f.remaining > DRAIN_EPS * self.jobs[f.job].bytes.max(1.0));
+        }
+    }
+
+    /// Advances all active flows by `dt` seconds at the given rates.
+    fn advance(
+        &mut self,
+        active: &mut [ActiveFlow],
+        rates: &[f64],
+        dt: f64,
+        t: &mut f64,
+        link_busy: &mut [f64],
+    ) {
+        if dt > 0.0 {
+            // Epoch-stamped scratch dedupes busy-time accounting per link without a
+            // per-event O(num_edges) allocation (advance runs once per event).
+            self.seen_epoch += 1;
+            for flow in active.iter() {
+                let e = self.jobs[flow.job].link;
+                if self.link_seen[e] != self.seen_epoch {
+                    self.link_seen[e] = self.seen_epoch;
+                    link_busy[e] += dt;
+                }
+            }
+        }
+        for (flow, &r) in active.iter_mut().zip(rates) {
+            flow.remaining = if r.is_infinite() {
+                0.0
+            } else {
+                (flow.remaining - r * dt).max(0.0)
+            };
+        }
+        *t += dt;
+    }
+
+    /// Synchronized (barrier) execution: each step's flows start together and the
+    /// step ends when the last drains, plus the per-step synchronization latency.
+    fn run_synchronized(&mut self) -> Outcome {
+        let mut t = 0.0f64;
+        let mut link_busy = vec![0.0f64; self.link_bw.len()];
+        let mut step_completion = vec![0.0f64; self.num_steps];
+        let mut max_concurrent = 0usize;
+        let mut next_job = 0usize;
+        for step in 0..self.num_steps {
+            let mut active = Vec::new();
+            while next_job < self.jobs.len() && self.jobs[next_job].step == step {
+                active.push(ActiveFlow {
+                    job: next_job,
+                    remaining: self.jobs[next_job].bytes,
+                });
+                next_job += 1;
+            }
+            max_concurrent = max_concurrent.max(active.len());
+            self.drain_step(&mut active, &mut t, &mut link_busy);
+            step_completion[step] = t;
+            t += self.params.step_sync_latency_s;
+        }
+        Outcome {
+            completion: t,
+            step_completion,
+            link_busy,
+            max_concurrent,
+        }
+    }
+
+    /// Dependency-driven execution: a job becomes ready `per_hop_latency_s` after its
+    /// last dependency drains; ready flows share the fabric max-min fairly.
+    fn run_dependency_driven(&mut self) -> SimResult<Outcome> {
+        let n = self.jobs.len();
+        let alpha = self.params.per_hop_latency_s;
+        let mut indeg: Vec<usize> = self.dag.jobs.iter().map(|j| j.deps.len()).collect();
+        let succ = self.dag.successors();
+        let mut ready: BinaryHeap<Reverse<(OrdF64, usize)>> = BinaryHeap::new();
+        for (id, &deg) in indeg.iter().enumerate() {
+            if deg == 0 {
+                ready.push(Reverse((OrdF64(alpha), id)));
+            }
+        }
+
+        let mut t = 0.0f64;
+        let mut link_busy = vec![0.0f64; self.link_bw.len()];
+        let mut step_completion = vec![0.0f64; self.num_steps];
+        let mut active: Vec<ActiveFlow> = Vec::new();
+        let mut completed = 0usize;
+        let mut max_concurrent = 0usize;
+        // Each iteration activates or completes at least one job, so 2n + 1 bounds the
+        // loop; the 4n + 16 guard turns any accounting bug into an error, not a hang.
+        let mut guard = 4 * n + 16;
+        while completed < n {
+            guard -= 1;
+            if guard == 0 {
+                return Err(SimError::Stalled {
+                    completed,
+                    total: n,
+                });
+            }
+            if active.is_empty() {
+                let Some(&Reverse((OrdF64(rt), _))) = ready.peek() else {
+                    return Err(SimError::Stalled {
+                        completed,
+                        total: n,
+                    });
+                };
+                t = t.max(rt);
+            }
+            while let Some(&Reverse((OrdF64(rt), id))) = ready.peek() {
+                if rt > t {
+                    break;
+                }
+                ready.pop();
+                active.push(ActiveFlow {
+                    job: id,
+                    remaining: self.jobs[id].bytes,
+                });
+            }
+            max_concurrent = max_concurrent.max(active.len());
+
+            let rates = self.assign_rates(&active);
+            let mut dt = f64::INFINITY;
+            for (flow, &r) in active.iter().zip(&rates) {
+                dt = dt.min(if r.is_infinite() {
+                    0.0
+                } else {
+                    flow.remaining / r
+                });
+            }
+            // Stop early if a new job becomes ready mid-drain.
+            if let Some(&Reverse((OrdF64(rt), _))) = ready.peek() {
+                dt = dt.min(rt - t);
+            }
+            self.advance(&mut active, &rates, dt, &mut t, &mut link_busy);
+
+            let mut i = 0;
+            while i < active.len() {
+                let flow = &active[i];
+                if flow.remaining > DRAIN_EPS * self.jobs[flow.job].bytes.max(1.0) {
+                    i += 1;
+                    continue;
+                }
+                let job = active.swap_remove(i).job;
+                completed += 1;
+                let step = self.jobs[job].step;
+                step_completion[step] = step_completion[step].max(t);
+                for &s in &succ[job] {
+                    indeg[s] -= 1;
+                    if indeg[s] == 0 {
+                        ready.push(Reverse((OrdF64(t + alpha), s)));
+                    }
+                }
+            }
+        }
+        Ok(Outcome {
+            completion: t,
+            step_completion,
+            link_busy,
+            max_concurrent,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a2a_mcf::tsmcf::{solve_tsmcf, solve_tsmcf_auto};
+    use a2a_topology::generators;
+
+    fn chunked(topo: &Topology, steps: Option<usize>) -> ChunkedSchedule {
+        let sol = match steps {
+            Some(s) => solve_tsmcf(topo, s).unwrap(),
+            None => solve_tsmcf_auto(topo).unwrap(),
+        };
+        ChunkedSchedule::from_tsmcf(topo, &sol, 128).unwrap()
+    }
+
+    #[test]
+    fn synchronized_engine_matches_the_analytic_model() {
+        for topo in [
+            generators::complete(4),
+            generators::ring(4),
+            generators::hypercube(3),
+        ] {
+            let sched = chunked(&topo, None);
+            let params = SimParams::default();
+            let shard = 8.0 * 1024.0 * 1024.0;
+            let analytic = crate::simulate_chunked_schedule(&topo, &sched, shard, &params);
+            let event =
+                simulate_chunked_event(&topo, &sched, shard, &params, &EventSimOptions::default())
+                    .unwrap();
+            let rel = (analytic.completion_seconds - event.report.completion_seconds).abs()
+                / analytic.completion_seconds;
+            assert!(
+                rel < 1e-9,
+                "{}: analytic {} vs event {}",
+                topo.name(),
+                analytic.completion_seconds,
+                event.report.completion_seconds
+            );
+        }
+    }
+
+    /// Asynchronous execution is bracketed, not dominated: overlapping steps can
+    /// contend on the bottleneck link (fair sharing is work-conserving but not
+    /// makespan-monotone), so dependency-driven completion may exceed the barrier
+    /// model by a small factor at large buffers — but it can never beat the
+    /// busiest-link drain bound, and at small buffers it must win by skipping the
+    /// per-step synchronizations (the Fig. 4 cut-through observation).
+    #[test]
+    fn dependency_driven_is_bracketed_by_drain_bound_and_sync_overhead() {
+        for topo in [
+            generators::ring(4),
+            generators::hypercube(3),
+            generators::torus(&[3, 3]),
+        ] {
+            let sched = chunked(&topo, None);
+            let params = SimParams::default();
+            let dep_opts = EventSimOptions {
+                model: ExecutionModel::DependencyDriven,
+                ..EventSimOptions::default()
+            };
+
+            let shard = 4.0 * 1024.0 * 1024.0;
+            let sync =
+                simulate_chunked_event(&topo, &sched, shard, &params, &EventSimOptions::default())
+                    .unwrap();
+            let dep = simulate_chunked_event(&topo, &sched, shard, &params, &dep_opts).unwrap();
+            assert_eq!(dep.num_jobs, sync.num_jobs);
+            // Lower bound: no execution drains the busiest link faster than the link.
+            let bw = params.link_bandwidth_gbps * 1e9;
+            let busiest_bytes = dep.per_link.iter().map(|l| l.bytes).fold(0.0, f64::max);
+            assert!(
+                dep.report.completion_seconds >= busiest_bytes / bw - 1e-12,
+                "{}: dep {} beats the busiest-link bound {}",
+                topo.name(),
+                dep.report.completion_seconds,
+                busiest_bytes / bw
+            );
+            // Upper bound: overlap-induced contention stays a modest constant factor.
+            assert!(
+                dep.report.completion_seconds <= sync.report.completion_seconds * 1.25,
+                "{}: dep {} vs sync {}",
+                topo.name(),
+                dep.report.completion_seconds,
+                sync.report.completion_seconds
+            );
+
+            // Latency-bound regime: skipping the barrier must win outright.
+            let tiny = 512.0;
+            let sync_tiny =
+                simulate_chunked_event(&topo, &sched, tiny, &params, &EventSimOptions::default())
+                    .unwrap();
+            let dep_tiny = simulate_chunked_event(&topo, &sched, tiny, &params, &dep_opts).unwrap();
+            assert!(
+                dep_tiny.report.completion_seconds < sync_tiny.report.completion_seconds,
+                "{}: dep {} should beat sync {} at tiny buffers",
+                topo.name(),
+                dep_tiny.report.completion_seconds,
+                sync_tiny.report.completion_seconds
+            );
+        }
+    }
+
+    #[test]
+    fn per_link_stats_account_for_every_byte() {
+        let topo = generators::hypercube(3);
+        let sched = chunked(&topo, None);
+        let shard = 1024.0 * 1024.0;
+        let chunk = shard / sched.chunks_per_shard as f64;
+        let expected: f64 = sched
+            .steps
+            .iter()
+            .flat_map(|s| s.transfers.iter())
+            .map(|t| t.chunks as f64 * chunk)
+            .sum();
+        let rep = simulate_chunked_event(
+            &topo,
+            &sched,
+            shard,
+            &SimParams::default(),
+            &EventSimOptions::default(),
+        )
+        .unwrap();
+        let total: f64 = rep.per_link.iter().map(|l| l.bytes).sum();
+        assert!((total - expected).abs() < 1e-6 * expected);
+        assert!(rep.peak_link_utilization() <= 1.0 + 1e-9);
+        assert!(rep.peak_link_utilization() > 0.0);
+        assert!(rep.max_concurrent_flows >= 1);
+        // Step completions are monotone in synchronized mode.
+        assert!(rep
+            .step_completion_secs
+            .windows(2)
+            .all(|w| w[0] <= w[1] + 1e-12));
+    }
+
+    #[test]
+    fn link_slowdown_stretches_completion() {
+        let topo = generators::torus(&[3, 3]);
+        let sched = chunked(&topo, None);
+        let params = SimParams::default();
+        let shard = 4.0 * 1024.0 * 1024.0;
+        let nominal =
+            simulate_chunked_event(&topo, &sched, shard, &params, &EventSimOptions::default())
+                .unwrap();
+        // Slow a link the schedule actually uses.
+        let used = nominal
+            .per_link
+            .iter()
+            .position(|l| l.bytes > 0.0)
+            .expect("some link carries traffic");
+        let slow = simulate_chunked_event(
+            &topo,
+            &sched,
+            shard,
+            &params,
+            &EventSimOptions {
+                scenario: Scenario::nominal().with_link_slowdown(used, 0.25),
+                ..EventSimOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            slow.report.completion_seconds > nominal.report.completion_seconds,
+            "slowdown {} must exceed nominal {}",
+            slow.report.completion_seconds,
+            nominal.report.completion_seconds
+        );
+    }
+
+    #[test]
+    fn straggler_nodes_slow_their_sends() {
+        let topo = generators::hypercube(3);
+        let sched = chunked(&topo, None);
+        let params = SimParams::default();
+        let shard = 4.0 * 1024.0 * 1024.0;
+        let nominal =
+            simulate_chunked_event(&topo, &sched, shard, &params, &EventSimOptions::default())
+                .unwrap();
+        let straggle = simulate_chunked_event(
+            &topo,
+            &sched,
+            shard,
+            &params,
+            &EventSimOptions {
+                scenario: Scenario::nominal().with_straggler(0, 0.1),
+                ..EventSimOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            straggle.report.completion_seconds > nominal.report.completion_seconds * 1.5,
+            "straggler {} vs nominal {}",
+            straggle.report.completion_seconds,
+            nominal.report.completion_seconds
+        );
+    }
+
+    #[test]
+    fn failed_link_reports_the_offending_transfer() {
+        let topo = generators::ring(3);
+        let sched = chunked(&topo, None);
+        // Every link of a directed 3-ring is used by the all-to-all.
+        let err = simulate_chunked_event(
+            &topo,
+            &sched,
+            1024.0,
+            &SimParams::default(),
+            &EventSimOptions {
+                scenario: Scenario::nominal().with_failed_link(0),
+                ..EventSimOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::FailedLink { .. }), "{err}");
+    }
+
+    #[test]
+    fn host_injection_caps_the_event_engine() {
+        let topo = generators::complete(4);
+        let sched = chunked(&topo, Some(1));
+        let shard = 16.0 * 1024.0 * 1024.0;
+        let free = simulate_chunked_event(
+            &topo,
+            &sched,
+            shard,
+            &SimParams::default(),
+            &EventSimOptions::default(),
+        )
+        .unwrap();
+        let capped_params = SimParams {
+            host_injection_gbps: Some(1.0),
+            ..SimParams::default()
+        };
+        let capped = simulate_chunked_event(
+            &topo,
+            &sched,
+            shard,
+            &capped_params,
+            &EventSimOptions::default(),
+        )
+        .unwrap();
+        assert!(capped.report.completion_seconds > free.report.completion_seconds);
+        // 3 shards of 16 MiB per node at 1 GB/s injection is at least 48 ms.
+        assert!(capped.report.completion_seconds >= 3.0 * shard / 1e9 - 1e-9);
+    }
+
+    #[test]
+    fn qp_contention_slows_flow_heavy_links() {
+        let topo = generators::torus(&[3, 3]);
+        let sched = chunked(&topo, None);
+        let shard = 4.0 * 1024.0 * 1024.0;
+        let clean = simulate_chunked_event(
+            &topo,
+            &sched,
+            shard,
+            &SimParams::default(),
+            &EventSimOptions::default(),
+        )
+        .unwrap();
+        let contended_params = SimParams {
+            qp_contention: Some(crate::QpContention {
+                free_flows_per_link: 1,
+                penalty_per_flow: 0.5,
+            }),
+            ..SimParams::default()
+        };
+        let contended = simulate_chunked_event(
+            &topo,
+            &sched,
+            shard,
+            &contended_params,
+            &EventSimOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            contended.report.completion_seconds >= clean.report.completion_seconds,
+            "contended {} vs clean {}",
+            contended.report.completion_seconds,
+            clean.report.completion_seconds
+        );
+    }
+}

@@ -9,7 +9,7 @@ use a2a_mcf::tsmcf::TsMcfSolution;
 use a2a_schedule::ChunkedSchedule;
 use a2a_topology::Topology;
 
-use crate::{SimParams, SimReport};
+use crate::{Scenario, SimError, SimParams, SimReport, SimResult};
 
 /// Simulates a fractional time-stepped schedule directly (amounts are fractions of a
 /// shard per commodity).
@@ -39,38 +39,69 @@ pub fn simulate_link_schedule(
     )
 }
 
-/// Simulates a chunked schedule (whole-chunk transfers, as lowered to MSCCL / oneCCL).
+/// Simulates a chunked schedule (whole-chunk transfers, as lowered to MSCCL / oneCCL)
+/// on the nominal fabric.
+///
+/// # Panics
+/// Panics if a transfer uses a link missing from `topo` — run
+/// [`ChunkedSchedule::validate`] first, or use [`simulate_chunked_schedule_with`] for
+/// a `Result`.
 pub fn simulate_chunked_schedule(
     topo: &Topology,
     schedule: &ChunkedSchedule,
     shard_bytes: f64,
     params: &SimParams,
 ) -> SimReport {
+    simulate_chunked_schedule_with(topo, schedule, shard_bytes, params, &Scenario::nominal())
+        .expect("nominal scenario on a validated schedule cannot fail")
+}
+
+/// Scenario-aware variant of [`simulate_chunked_schedule`]: link bandwidth overrides,
+/// slowdowns and straggler factors reshape each step's busiest-link time; a transfer
+/// over a failed (or missing) link is an error.
+pub fn simulate_chunked_schedule_with(
+    topo: &Topology,
+    schedule: &ChunkedSchedule,
+    shard_bytes: f64,
+    params: &SimParams,
+    scenario: &Scenario,
+) -> SimResult<SimReport> {
     let chunk_bytes = shard_bytes / schedule.chunks_per_shard as f64;
     let mut completion = 0.0f64;
-    for step in &schedule.steps {
-        let mut per_link_chunks: std::collections::HashMap<(usize, usize), usize> =
+    for (si, step) in schedule.steps.iter().enumerate() {
+        let mut per_link_chunks: std::collections::HashMap<usize, usize> =
             std::collections::HashMap::new();
         for t in &step.transfers {
-            *per_link_chunks.entry((t.from, t.to)).or_insert(0) += t.chunks;
+            let e = topo.find_edge(t.from, t.to).ok_or(SimError::MissingLink {
+                step: si,
+                from: t.from,
+                to: t.to,
+            })?;
+            if scenario.is_failed(e) {
+                return Err(SimError::FailedLink {
+                    step: si,
+                    from: t.from,
+                    to: t.to,
+                });
+            }
+            *per_link_chunks.entry(e).or_insert(0) += t.chunks;
         }
         let busiest = per_link_chunks
             .iter()
-            .map(|(&(u, v), &chunks)| {
-                let cap = topo
-                    .find_edge(u, v)
-                    .map(|e| topo.edge(e).capacity)
-                    .unwrap_or(1.0);
-                chunks as f64 * chunk_bytes / (params.link_bandwidth_gbps * 1e9 * cap)
+            .map(|(&e, &chunks)| {
+                let bw = scenario
+                    .effective_bandwidth(topo, e, params)
+                    .expect("failed links rejected above");
+                chunks as f64 * chunk_bytes / bw
             })
             .fold(0.0, f64::max);
         completion += busiest + params.step_sync_latency_s;
     }
-    SimReport::new(
+    Ok(SimReport::new(
         schedule.commodities.num_endpoints(),
         shard_bytes,
         completion,
-    )
+    ))
 }
 
 #[cfg(test)]

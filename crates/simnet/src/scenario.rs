@@ -1,0 +1,249 @@
+//! Degradation scenarios: per-link bandwidth overrides, slowdowns, failures and
+//! straggler nodes.
+//!
+//! A [`Scenario`] perturbs the nominal fabric the simulator executes on, without
+//! touching the [`a2a_topology::Topology`] the schedule was solved for — exactly the
+//! situation of a schedule running on degraded hardware. Knobs:
+//!
+//! * **Bandwidth overrides** — pin a directed link to an absolute bandwidth in GB/s
+//!   (heterogeneous fabrics: a few slow optics in an otherwise uniform torus).
+//! * **Slowdowns** — multiply a link's nominal bandwidth by a factor in `(0, 1]`
+//!   (congested or degraded links).
+//! * **Failures** — the link is down for the whole run; any transfer routed over it
+//!   makes the simulation fail with [`crate::SimError::FailedLink`]. Re-solving on the
+//!   punctured topology and simulating the rerouted schedule under the same scenario
+//!   models recovery.
+//! * **Stragglers** — a per-node factor multiplying the bandwidth of every link the
+//!   node *sends* on (slow host CPU / NIC).
+//!
+//! Seeded constructors ([`Scenario::seeded_slowdowns`], [`Scenario::seeded_failures`])
+//! draw the affected links reproducibly from a ChaCha8 stream so degradation sweeps
+//! are repeatable.
+
+use std::collections::{HashMap, HashSet};
+
+use a2a_topology::{EdgeId, NodeId, Topology};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::SimParams;
+
+/// A set of fabric perturbations applied during simulation.
+#[derive(Debug, Clone, Default)]
+pub struct Scenario {
+    /// Absolute bandwidth (GB/s) replacing the nominal `link_bandwidth · capacity` of
+    /// a directed edge.
+    bandwidth_overrides: HashMap<EdgeId, f64>,
+    /// Multiplicative slowdown per directed edge, in `(0, 1]`.
+    slowdowns: HashMap<EdgeId, f64>,
+    /// Directed edges that are down for the whole run.
+    failed: HashSet<EdgeId>,
+    /// Send-side bandwidth multiplier per straggler node, in `(0, 1]`.
+    stragglers: HashMap<NodeId, f64>,
+}
+
+impl Scenario {
+    /// The nominal scenario: no perturbations.
+    pub fn nominal() -> Self {
+        Self::default()
+    }
+
+    /// True if no knob is set (simulating under this scenario is exactly nominal).
+    pub fn is_nominal(&self) -> bool {
+        self.bandwidth_overrides.is_empty()
+            && self.slowdowns.is_empty()
+            && self.failed.is_empty()
+            && self.stragglers.is_empty()
+    }
+
+    /// Pins a directed edge to an absolute bandwidth in GB/s (replacing
+    /// `link_bandwidth_gbps · capacity`; slowdowns and straggler factors still apply
+    /// on top).
+    pub fn with_bandwidth_override(mut self, edge: EdgeId, gbps: f64) -> Self {
+        assert!(gbps > 0.0, "override bandwidth must be positive");
+        self.bandwidth_overrides.insert(edge, gbps);
+        self
+    }
+
+    /// Multiplies a directed edge's bandwidth by `factor` in `(0, 1]`.
+    pub fn with_link_slowdown(mut self, edge: EdgeId, factor: f64) -> Self {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "slowdown factor must be in (0, 1], got {factor}"
+        );
+        self.slowdowns.insert(edge, factor);
+        self
+    }
+
+    /// Marks a directed edge as failed for the whole run.
+    pub fn with_failed_link(mut self, edge: EdgeId) -> Self {
+        self.failed.insert(edge);
+        self
+    }
+
+    /// Marks `node` as a straggler: every link it sends on runs at `factor` of its
+    /// (possibly already perturbed) bandwidth.
+    pub fn with_straggler(mut self, node: NodeId, factor: f64) -> Self {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "straggler factor must be in (0, 1], got {factor}"
+        );
+        self.stragglers.insert(node, factor);
+        self
+    }
+
+    /// Draws `count` distinct directed edges (seeded) and slows each by a factor drawn
+    /// uniformly from `[min_factor, max_factor]`.
+    pub fn seeded_slowdowns(
+        topo: &Topology,
+        seed: u64,
+        count: usize,
+        min_factor: f64,
+        max_factor: f64,
+    ) -> Self {
+        assert!(
+            0.0 < min_factor && min_factor <= max_factor && max_factor <= 1.0,
+            "slowdown factors must satisfy 0 < min <= max <= 1"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut scenario = Self::nominal();
+        for e in pick_edges(topo, &mut rng, count) {
+            let f = min_factor + (max_factor - min_factor) * rng.random_f64();
+            scenario.slowdowns.insert(e, f);
+        }
+        scenario
+    }
+
+    /// Fails `count` distinct directed edges drawn from a seeded ChaCha8 stream.
+    pub fn seeded_failures(topo: &Topology, seed: u64, count: usize) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut scenario = Self::nominal();
+        scenario.failed.extend(pick_edges(topo, &mut rng, count));
+        scenario
+    }
+
+    /// True if the directed edge is failed under this scenario.
+    pub fn is_failed(&self, edge: EdgeId) -> bool {
+        self.failed.contains(&edge)
+    }
+
+    /// The failed edges, in unspecified order.
+    pub fn failed_links(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.failed.iter().copied()
+    }
+
+    /// Effective bandwidth of a directed edge in bytes/second under this scenario, or
+    /// `None` if the edge is failed. Infinite-capacity edges stay infinite (they are
+    /// never a bottleneck) unless explicitly overridden.
+    pub fn effective_bandwidth(
+        &self,
+        topo: &Topology,
+        edge: EdgeId,
+        params: &SimParams,
+    ) -> Option<f64> {
+        if self.is_failed(edge) {
+            return None;
+        }
+        let e = topo.edge(edge);
+        let base_gbps = self
+            .bandwidth_overrides
+            .get(&edge)
+            .copied()
+            .unwrap_or(params.link_bandwidth_gbps * e.capacity);
+        let slow = self.slowdowns.get(&edge).copied().unwrap_or(1.0);
+        let straggle = self.stragglers.get(&e.src).copied().unwrap_or(1.0);
+        Some(base_gbps * 1e9 * slow * straggle)
+    }
+}
+
+/// Picks up to `count` distinct edge ids uniformly without replacement.
+fn pick_edges(topo: &Topology, rng: &mut ChaCha8Rng, count: usize) -> Vec<EdgeId> {
+    let mut ids: Vec<EdgeId> = (0..topo.num_edges()).collect();
+    let count = count.min(ids.len());
+    // Partial Fisher–Yates: the first `count` positions end up uniform.
+    for i in 0..count {
+        let j = i + rng.random_range(0..ids.len() - i);
+        ids.swap(i, j);
+    }
+    ids.truncate(count);
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a2a_topology::generators;
+
+    #[test]
+    fn nominal_scenario_reproduces_link_bandwidth() {
+        let topo = generators::hypercube(3);
+        let params = SimParams::default();
+        let s = Scenario::nominal();
+        assert!(s.is_nominal());
+        for e in 0..topo.num_edges() {
+            let bw = s.effective_bandwidth(&topo, e, &params).unwrap();
+            assert!((bw - params.link_bandwidth_gbps * 1e9).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn knobs_compose_multiplicatively() {
+        let mut topo = a2a_topology::Topology::new(2, "pair");
+        let e = topo.add_edge(0, 1, 2.0);
+        let params = SimParams {
+            link_bandwidth_gbps: 10.0,
+            ..SimParams::default()
+        };
+        // Nominal: 10 GB/s * capacity 2 = 20 GB/s.
+        let s = Scenario::nominal()
+            .with_link_slowdown(e, 0.5)
+            .with_straggler(0, 0.5);
+        let bw = s.effective_bandwidth(&topo, e, &params).unwrap();
+        assert!((bw - 20.0e9 * 0.25).abs() < 1.0);
+        // An override replaces the nominal base but still stacks the factors.
+        let s = s.with_bandwidth_override(e, 4.0);
+        let bw = s.effective_bandwidth(&topo, e, &params).unwrap();
+        assert!((bw - 4.0e9 * 0.25).abs() < 1.0);
+    }
+
+    #[test]
+    fn failed_links_have_no_bandwidth() {
+        let topo = generators::ring(4);
+        let s = Scenario::nominal().with_failed_link(2);
+        assert!(s.is_failed(2));
+        assert!(!s.is_failed(1));
+        assert!(s
+            .effective_bandwidth(&topo, 2, &SimParams::default())
+            .is_none());
+        assert_eq!(s.failed_links().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn seeded_scenarios_are_reproducible_and_distinct() {
+        let topo = generators::torus(&[3, 3]);
+        let a = Scenario::seeded_failures(&topo, 7, 3);
+        let b = Scenario::seeded_failures(&topo, 7, 3);
+        let c = Scenario::seeded_failures(&topo, 8, 3);
+        let mut fa: Vec<_> = a.failed_links().collect();
+        let mut fb: Vec<_> = b.failed_links().collect();
+        fa.sort_unstable();
+        fb.sort_unstable();
+        assert_eq!(fa, fb, "same seed, same failures");
+        assert_eq!(fa.len(), 3);
+        let slow = Scenario::seeded_slowdowns(&topo, 11, 4, 0.25, 0.75);
+        assert!(!slow.is_nominal());
+        for (_, f) in slow.slowdowns.iter() {
+            assert!((0.25..=0.75).contains(f));
+        }
+        // Different seeds should (for this topology/seed pair) pick different sets.
+        let fc: Vec<_> = c.failed_links().collect();
+        assert!(fa.iter().any(|e| !fc.contains(e)) || fa.len() != fc.len());
+    }
+
+    #[test]
+    fn count_is_clamped_to_edge_count() {
+        let topo = generators::ring(3);
+        let s = Scenario::seeded_failures(&topo, 1, 100);
+        assert_eq!(s.failed_links().count(), topo.num_edges());
+    }
+}
