@@ -7,25 +7,28 @@
 //! presolve + scaling + Forrest–Tomlin pipeline where applicable (the colgen
 //! master runs the core solver so its row indices stay stable).
 //!
-//! Emits `BENCH_pr4.json` (median wall-clock over repetitions, simplex
+//! Emits `BENCH_pr5.json` (median wall-clock over repetitions, simplex
 //! iteration and pivot counts, presolve row/column reductions, refactorization
 //! counts, colgen round/column/skipped-source counts, the decomposed cold/warm
-//! speedups, and simulator-vs-LP agreement columns) so future PRs have a
-//! performance trajectory to compare against, plus a human-readable summary on
-//! stderr.
+//! and tsmcf dense/colgen speedups, and simulator-vs-LP agreement columns) so
+//! future PRs have a performance trajectory to compare against, plus a
+//! human-readable summary on stderr.
 //!
 //! Every case asserts that both path-MCF configs and decomposed-MCF agree on
 //! the concurrent flow value, and that colgen terminates with its optimality
 //! certificate — the fat-tree divergence recorded in `BENCH_pr1.json` (a fixed
-//! path set silently capping `F`) can no longer slip through. The `sim-exec`
-//! workload runs solver → chunk lowering → event-driven simulation end-to-end
-//! and asserts the synchronized engine lands within quantization tolerance of
-//! the LP-predicted completion (`sim_vs_lp` ≈ 1) — a sim smoke gate that runs
-//! in the quick tier too.
+//! path set silently capping `F`) can no longer slip through. The `tsmcf`
+//! workload compares the dense time-expanded edge formulation against
+//! time-expanded column generation (`tscolgen`, stabilized) and asserts they
+//! agree on `Σ_t U_t` wherever both run, with the colgen certificate required
+//! everywhere. The `sim-exec` workload runs solver → chunk lowering →
+//! event-driven simulation end-to-end and asserts the synchronized engine
+//! lands within quantization tolerance of the LP-predicted completion
+//! (`sim_vs_lp` ≈ 1) — a sim smoke gate that runs in the quick tier too.
 //!
 //! Usage: `perf_harness [--quick] [--out PATH] [--baseline PATH]`
 //!   --quick      CI smoke mode: smallest sizes only, one repetition.
-//!   --out        Output JSON path (default `BENCH_pr4.json`).
+//!   --out        Output JSON path (default `BENCH_pr5.json`).
 //!   --baseline   Compare against a previous JSON (same schema): exit nonzero if
 //!                any matching case regresses more than 1.5x in median wall time.
 
@@ -37,7 +40,8 @@ use a2a_mcf::decomposed::{solve_decomposed_mcf_with, DecomposedOptions};
 use a2a_mcf::pmcf::{
     solve_path_mcf_among, solve_path_mcf_colgen_among, ColGenOptions, PathSetKind,
 };
-use a2a_mcf::tsmcf::solve_tsmcf_auto;
+use a2a_mcf::tscolgen::solve_tsmcf_colgen_among_with;
+use a2a_mcf::tsmcf::{minimum_steps, solve_tsmcf_among, solve_tsmcf_auto};
 use a2a_mcf::CommoditySet;
 use a2a_schedule::ChunkedSchedule;
 use a2a_simnet::{simulate_chunked_event, EventSimOptions, ExecutionModel, SimParams};
@@ -261,6 +265,81 @@ fn run_path_mcf_colgen(case: &Case, reps: usize) -> Record {
     }
 }
 
+/// Relative tolerance for dense-vs-colgen agreement on the tsMCF objective
+/// `Σ_t U_t`.
+const TSMCF_REL_TOL: f64 = 1e-5;
+
+/// The tsMCF workload: column generation over delivery-exact time-expanded
+/// path columns (stabilized — the recommended configuration for these
+/// degenerate masters), against the dense edge formulation where the dense LP
+/// is still tractable. Dense-vs-colgen agreement on `Σ_t U_t` and the colgen
+/// optimality certificate are asserted; `flow_value` reports the effective
+/// concurrent flow `1 / Σ_t U_t` so the column is comparable across workloads.
+fn run_tsmcf(case: &Case, reps: usize, include_dense: bool) -> Vec<Record> {
+    let steps = minimum_steps(&case.topo, &CommoditySet::among(case.hosts.clone()))
+        .expect("tsMCF step bound");
+    let opts = a2a_mcf::ColGenOptions::stabilized();
+    let mut walls = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let commodities = CommoditySet::among(case.hosts.clone());
+        let start = Instant::now();
+        let solved = solve_tsmcf_colgen_among_with(&case.topo, commodities, steps, &opts)
+            .expect("tsMCF colgen solve");
+        walls.push(start.elapsed().as_secs_f64());
+        last = Some(solved);
+    }
+    let cg = last.expect("at least one repetition");
+    assert!(
+        cg.stats.proved_optimal,
+        "{}: tsmcf colgen terminated without its optimality certificate",
+        case.name
+    );
+    let mut records = vec![Record {
+        iterations: Some(cg.stats.total_master_iterations()),
+        pivots: Some(cg.stats.total_master_pivots()),
+        colgen_rounds: Some(cg.stats.num_rounds()),
+        colgen_columns: Some(cg.stats.total_columns),
+        colgen_sources_skipped: Some(cg.stats.total_sources_skipped()),
+        ..Record::bare(
+            "tsmcf",
+            case,
+            "colgen",
+            reps,
+            median(walls),
+            cg.solution.effective_flow_value(),
+        )
+    }];
+    if include_dense {
+        let mut walls = Vec::with_capacity(reps);
+        let mut last = None;
+        for _ in 0..reps {
+            let commodities = CommoditySet::among(case.hosts.clone());
+            let start = Instant::now();
+            let solved =
+                solve_tsmcf_among(&case.topo, commodities, steps).expect("dense tsMCF solve");
+            walls.push(start.elapsed().as_secs_f64());
+            last = Some(solved);
+        }
+        let dense = last.expect("at least one repetition");
+        let (du, cu) = (dense.total_utilization(), cg.solution.total_utilization());
+        assert!(
+            (du - cu).abs() <= TSMCF_REL_TOL * (1.0 + du.abs()),
+            "{}: dense tsMCF U = {du} vs colgen U = {cu}",
+            case.name
+        );
+        records.push(Record::bare(
+            "tsmcf",
+            case,
+            "dense",
+            reps,
+            median(walls),
+            dense.effective_flow_value(),
+        ));
+    }
+    records
+}
+
 /// Shard size of the end-to-end simulation workload: large enough that bandwidth
 /// dominates the per-step sync latency, small enough to stay milliseconds.
 const SIM_SHARD_BYTES: f64 = 8.0 * 1024.0 * 1024.0;
@@ -414,7 +493,7 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
-    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_pr4.json".into());
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_pr5.json".into());
     let baseline_path = arg_value("--baseline");
 
     let cases: Vec<Case> = if quick {
@@ -475,6 +554,50 @@ fn main() {
             rec.flow_value
         );
         records.push(rec);
+    }
+
+    // Time-stepped MCF workload: dense edge formulation vs time-expanded column
+    // generation. The small store-and-forward cases (fig3-scale, the 8-node
+    // testbed size) run dense + colgen in both tiers — the quick tier gates
+    // both the certificate and the dense/colgen agreement on Σ_t U_t — while
+    // the larger cases (up to the fig4-scale 27-node torus) run colgen only:
+    // the dense LP there is exactly the degenerate blow-up colgen replaces.
+    // Measured while sizing this workload: dense on hypercube-4d exhausts the
+    // 1M-iteration limit after ~385s (and fails numerically on some 12-node
+    // random regular instances), where colgen certifies optimality in ~0.3s.
+    let hypercube_case = |d: usize| Case {
+        name: format!("hypercube-{d}d"),
+        topo: generators::hypercube(d),
+        hosts: (0..1usize << d).collect(),
+    };
+    let ts_cases: Vec<(Case, bool)> = if quick {
+        vec![(hypercube_case(3), true), (Case::torus(&[3, 3]), true)]
+    } else {
+        vec![
+            (hypercube_case(3), true),
+            (Case::torus(&[3, 3]), true),
+            (hypercube_case(4), false),
+            (Case::torus(&[3, 3, 2]), false),
+            (Case::torus(&[3, 3, 3]), false),
+        ]
+    };
+    for (case, include_dense) in &ts_cases {
+        let reps = 3;
+        eprintln!("# {} (tsmcf)", case.name);
+        for rec in run_tsmcf(case, reps, *include_dense) {
+            eprintln!(
+                "  tsmcf {}: median {:.3}s, {} rounds, {} columns, {} master iterations, \
+                 {} sources skipped, F_eff = {:.6}",
+                rec.config,
+                rec.median_wall_secs,
+                rec.colgen_rounds.unwrap_or(0),
+                rec.colgen_columns.unwrap_or(0),
+                rec.iterations.unwrap_or(0),
+                rec.colgen_sources_skipped.unwrap_or(0),
+                rec.flow_value
+            );
+            records.push(rec);
+        }
     }
 
     // End-to-end simulation workload: solver → chunk lowering → event engine on the
@@ -549,10 +672,30 @@ fn main() {
         speedups.push((case.name.clone(), speedup));
     }
 
+    // Dense-over-colgen tsMCF speedups for the cases that ran both configs.
+    let mut ts_speedups: Vec<(String, f64)> = Vec::new();
+    for (case, include_dense) in &ts_cases {
+        if !include_dense {
+            continue;
+        }
+        let find = |config: &str| {
+            records
+                .iter()
+                .find(|r| r.workload == "tsmcf" && r.topology == case.name && r.config == config)
+                .expect("tsmcf workload ran")
+        };
+        let speedup = find("dense").median_wall_secs / find("colgen").median_wall_secs.max(1e-12);
+        eprintln!(
+            "# {}: tsmcf colgen speedup {:.2}x over dense",
+            case.name, speedup
+        );
+        ts_speedups.push((case.name.clone(), speedup));
+    }
+
     // Hand-rolled JSON (no serde in this build environment).
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"pr\": 4,");
+    let _ = writeln!(json, "  \"pr\": 5,");
     let _ = writeln!(json, "  \"harness\": \"perf_harness\",");
     let _ = writeln!(json, "  \"quick\": {quick},");
     json.push_str("  \"results\": [\n");
@@ -594,6 +737,16 @@ fn main() {
     for (i, (name, s)) in speedups.iter().enumerate() {
         let _ = write!(json, "    \"{name}\": {s:.3}");
         json.push_str(if i + 1 < speedups.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"tsmcf_speedup_colgen_over_dense\": {\n");
+    for (i, (name, s)) in ts_speedups.iter().enumerate() {
+        let _ = write!(json, "    \"{name}\": {s:.3}");
+        json.push_str(if i + 1 < ts_speedups.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     json.push_str("  }\n}\n");
 

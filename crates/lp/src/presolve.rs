@@ -17,10 +17,16 @@
 //! 4. **Singleton-row substitution** — a row with exactly one structural entry is
 //!    a bound `row_lower/a <= x_j <= row_upper/a`; the bound is folded into the
 //!    variable and the row dropped (crossing bounds again abort as infeasible).
+//! 5. **Doubleton-row substitution** — an *equality* row with exactly two
+//!    structural entries `a·x + b·y = c` determines one variable from the
+//!    other: `y = (c − a·x)/b` is substituted into every other row and the
+//!    objective, `y`'s bounds are folded into `x`, and both the row and `y` are
+//!    removed. The eliminated variable is the one with the sparser column (less
+//!    fill-in), and numerically lopsided rows (`|a/b|` extreme) are left alone.
 //!
 //! The passes iterate to a fixpoint (eliminating a fixed variable can empty a
-//! row; substituting a singleton row can fix a variable), then the surviving
-//! rows/columns are compacted into a reduced [`StandardForm`].
+//! row; substituting a singleton or doubleton row can fix a variable), then the
+//! surviving rows/columns are compacted into a reduced [`StandardForm`].
 //!
 //! Optionally the reduced model is **scaled**: geometric-mean row/column scaling
 //! (two sweeps), with every scale rounded to a power of two so the transform is
@@ -68,6 +74,26 @@ pub fn solve_with_reductions(
     Ok(reduction.postsolve(sf, reduced_sol))
 }
 
+/// Numerical guard for doubleton substitution: rows whose coefficient ratio
+/// exceeds this are left alone (substituting would scale errors by the ratio).
+const DOUBLETON_MAX_RATIO: f64 = 1e8;
+
+/// One elimination recorded during presolve, replayed in reverse by postsolve.
+enum PostsolveOp {
+    /// Column `col` was fixed at `value`.
+    Fix { col: usize, value: f64 },
+    /// Column `y` was substituted out of equality row `row`:
+    /// `a·x + b·y = rhs`, so `y = (rhs − a·x) / b`.
+    Doubleton {
+        row: usize,
+        y: usize,
+        b: f64,
+        x: usize,
+        a: f64,
+        rhs: f64,
+    },
+}
+
 /// A presolved model plus everything needed to map solutions back.
 pub struct Reduction {
     /// The reduced (and possibly scaled) standard form handed to the simplex.
@@ -78,8 +104,8 @@ pub struct Reduction {
     keep_cols: Vec<usize>,
     /// Original row index of every reduced row, in order.
     keep_rows: Vec<usize>,
-    /// Eliminated fixed columns: `(original column, value)`.
-    fixed: Vec<(usize, f64)>,
+    /// Eliminations in the order presolve performed them.
+    ops: Vec<PostsolveOp>,
     /// Per-reduced-column scale `c_j` (`x_orig = c_j * x_scaled`); all ones when
     /// scaling is off.
     col_scale: Vec<f64>,
@@ -102,17 +128,26 @@ impl Reduction {
         let mut row_upper = sf.row_upper.clone();
         let mut col_alive = vec![true; ncols];
         let mut row_alive = vec![true; nrows];
-        let mut fixed: Vec<(usize, f64)> = Vec::new();
+        let mut ops: Vec<PostsolveOp> = Vec::new();
 
-        // Row-wise view of the structural matrix for the singleton-row pass.
-        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); nrows];
+        // Working matrix: doubleton substitution rewrites coefficients, so the
+        // passes operate on a mutable copy. `mat[j]` holds the current entries
+        // of column j (entries of dead rows linger and are filtered on use);
+        // `row_cols[i]` lists candidate columns of row i (no duplicates, may go
+        // stale after cancellation); `row_nnz[i]` counts alive entries exactly.
+        let mut mat: Vec<Vec<(usize, f64)>> = sf.cols.iter().map(|c| c.iter().collect()).collect();
+        let mut obj = sf.obj.clone();
+        let mut row_cols: Vec<Vec<usize>> = vec![Vec::new(); nrows];
         let mut row_nnz = vec![0usize; nrows];
-        for (j, col) in sf.cols.iter().enumerate() {
-            for (i, v) in col.iter() {
-                rows[i].push((j, v));
+        for (j, col) in mat.iter().enumerate() {
+            for &(i, _) in col {
+                row_cols[i].push(j);
                 row_nnz[i] += 1;
             }
         }
+        let entry_of = |mat: &[Vec<(usize, f64)>], j: usize, i: usize| -> Option<f64> {
+            mat[j].iter().find(|&&(r, _)| r == i).map(|&(_, v)| v)
+        };
 
         let feas = |bound: f64| tol * (1.0 + bound.abs());
 
@@ -135,7 +170,7 @@ impl Reduction {
                     }
                     if lower[j] == upper[j] {
                         let v = lower[j];
-                        for (i, a) in sf.cols[j].iter() {
+                        for &(i, a) in &mat[j] {
                             if !row_alive[i] {
                                 continue;
                             }
@@ -148,12 +183,12 @@ impl Reduction {
                             row_nnz[i] -= 1;
                         }
                         col_alive[j] = false;
-                        fixed.push((j, v));
+                        ops.push(PostsolveOp::Fix { col: j, value: v });
                         changed = true;
                     }
                 }
 
-                // Passes 2-4: empty, free and singleton rows.
+                // Passes 2-5: empty, free, singleton and doubleton rows.
                 for i in 0..nrows {
                     if !row_alive[i] {
                         continue;
@@ -173,9 +208,10 @@ impl Reduction {
                         continue;
                     }
                     if row_nnz[i] == 1 {
-                        let &(j, a) = rows[i]
+                        let (j, a) = row_cols[i]
                             .iter()
-                            .find(|&&(j, _)| col_alive[j])
+                            .filter(|&&j| col_alive[j])
+                            .find_map(|&j| entry_of(&mat, j, i).map(|a| (j, a)))
                             .expect("row_nnz tracks alive entries");
                         // Implied bounds row_lower/a and row_upper/a, ordered by
                         // the sign of `a` (infinite row bounds map naturally).
@@ -191,6 +227,98 @@ impl Reduction {
                             return Err(LpError::Infeasible);
                         }
                         row_alive[i] = false;
+                        changed = true;
+                        continue;
+                    }
+                    if row_nnz[i] == 2 && row_lower[i] == row_upper[i] && row_lower[i].is_finite() {
+                        // Doubleton equality a·x + b·y = rhs: substitute y out.
+                        let mut pair: Vec<(usize, f64)> = row_cols[i]
+                            .iter()
+                            .filter(|&&j| col_alive[j])
+                            .filter_map(|&j| entry_of(&mat, j, i).map(|a| (j, a)))
+                            .collect();
+                        debug_assert_eq!(pair.len(), 2, "row_nnz tracks alive entries");
+                        let rhs = row_lower[i];
+                        // Eliminate the sparser column (less fill-in); ties go to
+                        // the larger pivot magnitude.
+                        let alive_nnz =
+                            |j: usize| mat[j].iter().filter(|&&(r, _)| row_alive[r]).count();
+                        let (n0, n1) = (alive_nnz(pair[0].0), alive_nnz(pair[1].0));
+                        if n1 < n0 || (n1 == n0 && pair[1].1.abs() > pair[0].1.abs()) {
+                            pair.swap(0, 1);
+                        }
+                        let (y, b) = pair[0];
+                        let (x, a) = pair[1];
+                        let ratio = (a / b).abs();
+                        if !(ratio.is_finite()
+                            && (1.0 / DOUBLETON_MAX_RATIO..=DOUBLETON_MAX_RATIO).contains(&ratio))
+                        {
+                            continue; // numerically lopsided; leave the row alone
+                        }
+                        // Fold y's bounds into x: a·x = rhs − b·y with
+                        // y in [lower[y], upper[y]].
+                        let (t1, t2) = (rhs - b * lower[y], rhs - b * upper[y]);
+                        let (axl, axu) = if b > 0.0 { (t2, t1) } else { (t1, t2) };
+                        let (xl, xu) = if a > 0.0 {
+                            (axl / a, axu / a)
+                        } else {
+                            (axu / a, axl / a)
+                        };
+                        if xl > lower[x] {
+                            lower[x] = xl;
+                        }
+                        if xu < upper[x] {
+                            upper[x] = xu;
+                        }
+                        if lower[x] > upper[x] + feas(lower[x]) {
+                            return Err(LpError::Infeasible);
+                        }
+                        // Substitute y = (rhs − a·x)/b into every other row and
+                        // the objective.
+                        row_alive[i] = false;
+                        let y_entries: Vec<(usize, f64)> = mat[y]
+                            .iter()
+                            .filter(|&&(r, _)| row_alive[r])
+                            .copied()
+                            .collect();
+                        for &(r, d) in &y_entries {
+                            let shift = d * rhs / b;
+                            if row_lower[r].is_finite() {
+                                row_lower[r] -= shift;
+                            }
+                            if row_upper[r].is_finite() {
+                                row_upper[r] -= shift;
+                            }
+                            let delta = -d * a / b;
+                            if let Some(pos) = mat[x].iter().position(|&(rr, _)| rr == r) {
+                                let new = mat[x][pos].1 + delta;
+                                if new == 0.0 {
+                                    // Exact cancellation: the entry vanishes.
+                                    mat[x].swap_remove(pos);
+                                    row_nnz[r] -= 1;
+                                } else {
+                                    mat[x][pos].1 = new;
+                                }
+                            } else if delta != 0.0 {
+                                mat[x].push((r, delta));
+                                if !row_cols[r].contains(&x) {
+                                    row_cols[r].push(x);
+                                }
+                                row_nnz[r] += 1;
+                            }
+                            // y's entry disappears with the column.
+                            row_nnz[r] -= 1;
+                        }
+                        obj[x] += -obj[y] * a / b;
+                        col_alive[y] = false;
+                        ops.push(PostsolveOp::Doubleton {
+                            row: i,
+                            y,
+                            b,
+                            x,
+                            a,
+                            rhs,
+                        });
                         changed = true;
                     }
                 }
@@ -210,17 +338,19 @@ impl Reduction {
         }
         let mut red_cols: Vec<SparseVec> = Vec::with_capacity(keep_cols.len());
         for &j in &keep_cols {
-            red_cols.push(SparseVec::from_entries(
-                sf.cols[j]
-                    .iter()
-                    .filter(|&(i, _)| row_alive[i])
-                    .map(|(i, v)| (row_map[i], v)),
-            ));
+            let mut entries: Vec<(usize, f64)> = mat[j]
+                .iter()
+                .filter(|&&(i, _)| row_alive[i])
+                .map(|&(i, v)| (row_map[i], v))
+                .collect();
+            // Substitution fill-in appends out of order.
+            entries.sort_unstable_by_key(|&(i, _)| i);
+            red_cols.push(SparseVec::from_entries(entries));
         }
         let mut reduced = StandardForm {
             nrows: keep_rows.len(),
             cols: red_cols,
-            obj: keep_cols.iter().map(|&j| sf.obj[j]).collect(),
+            obj: keep_cols.iter().map(|&j| obj[j]).collect(),
             lower: keep_cols.iter().map(|&j| lower[j]).collect(),
             upper: keep_cols.iter().map(|&j| upper[j]).collect(),
             row_lower: keep_rows.iter().map(|&i| row_lower[i]).collect(),
@@ -239,7 +369,7 @@ impl Reduction {
             orig_nrows: nrows,
             keep_cols,
             keep_rows,
-            fixed,
+            ops,
             col_scale,
         })
     }
@@ -273,17 +403,35 @@ impl Reduction {
     }
 
     /// Maps a reduced solution back onto the original model: primal values are
-    /// unscaled and fixed variables re-inserted, row activities and the objective
-    /// are recomputed against the original data, and the basis is completed with
-    /// the removed rows' logical variables marked basic (always nonsingular: each
-    /// such slack is the only basic column covering its row).
+    /// unscaled and the eliminations replayed in reverse (fixed variables
+    /// re-inserted, doubleton-substituted variables recomputed from their
+    /// partner), row activities and the objective are recomputed against the
+    /// original data, and the basis is completed per removed row — the logical
+    /// variable for bound-style removals (always nonsingular: each such slack is
+    /// the only basic column covering its row), the substituted variable for
+    /// doubleton rows whose recovered value sits strictly between its bounds
+    /// (generically nonsingular; the solver's warm start falls back to the
+    /// all-slack basis on the degenerate exceptions).
     pub fn postsolve(&self, orig: &StandardForm, sol: StandardSolution) -> StandardSolution {
         let mut x = vec![0.0; self.orig_ncols];
         for (jr, &j) in self.keep_cols.iter().enumerate() {
             x[j] = sol.x[jr] * self.col_scale[jr];
         }
-        for &(j, v) in &self.fixed {
-            x[j] = v;
+        // Later eliminations may reference variables removed earlier, so the
+        // replay runs newest-first: by the time an op computes its value, every
+        // variable it depends on has been restored.
+        for op in self.ops.iter().rev() {
+            match *op {
+                PostsolveOp::Fix { col, value } => x[col] = value,
+                PostsolveOp::Doubleton {
+                    y,
+                    b,
+                    x: xc,
+                    a,
+                    rhs,
+                    ..
+                } => x[y] = (rhs - a * x[xc]) / b,
+            }
         }
 
         let mut row_activity = vec![0.0; self.orig_nrows];
@@ -296,7 +444,8 @@ impl Reduction {
 
         // Basis: kept columns/rows inherit the reduced statuses; fixed columns
         // are nonbasic at their (degenerate) bound; removed rows' logicals join
-        // the basis.
+        // the basis, except doubleton rows whose substituted variable is
+        // interior (then the variable is basic and the slack nonbasic).
         let mut statuses = vec![BasisStatus::Basic; self.orig_ncols + self.orig_nrows];
         for j in 0..self.orig_ncols {
             statuses[j] = BasisStatus::AtLower;
@@ -309,6 +458,20 @@ impl Reduction {
             statuses[self.orig_ncols + i] = sol.basis.statuses[red_ncols + ir];
         }
         // (Removed rows keep the Basic default from initialization.)
+        for op in &self.ops {
+            if let PostsolveOp::Doubleton { row, y, .. } = *op {
+                let v = x[y];
+                let tol = 1e-9 * (1.0 + v.abs());
+                if (v - orig.lower[y]).abs() <= tol {
+                    statuses[y] = BasisStatus::AtLower;
+                } else if (v - orig.upper[y]).abs() <= tol {
+                    statuses[y] = BasisStatus::AtUpper;
+                } else {
+                    statuses[y] = BasisStatus::Basic;
+                    statuses[self.orig_ncols + row] = BasisStatus::AtLower;
+                }
+            }
+        }
 
         StandardSolution {
             x,
@@ -457,6 +620,104 @@ mod tests {
         let base = solve(&sf, &opts(false, false)).unwrap();
         assert!((sol.objective - base.objective).abs() < 1e-8);
         assert_eq!(sol.presolve_rows_removed, 2);
+    }
+
+    #[test]
+    fn doubleton_equality_rows_are_substituted() {
+        // max x + y  s.t.  x + y = 4 (doubleton), x <= 3, y <= 3, x,y >= 0.
+        // Substituting y = 4 - x folds y's bounds into x ([1, 3] after the
+        // fold) and leaves a model with no rows at all.
+        let sf = StandardForm {
+            nrows: 1,
+            cols: vec![col(&[(0, 1.0)]), col(&[(0, 1.0)])],
+            obj: vec![-1.0, -1.0],
+            lower: vec![0.0, 0.0],
+            upper: vec![3.0, 3.0],
+            row_lower: vec![4.0],
+            row_upper: vec![4.0],
+        };
+        let red = Reduction::build(&sf, &opts(true, false)).unwrap();
+        assert_eq!(red.rows_removed(), 1);
+        assert_eq!(red.cols_removed(), 1);
+        assert_eq!(red.reduced.nrows, 0);
+        assert_eq!(red.reduced.lower[0], 1.0, "y <= 3 implies x >= 1");
+        assert_eq!(red.reduced.upper[0], 3.0);
+        let sol = solve(&sf, &opts(true, false)).unwrap();
+        let base = solve(&sf, &opts(false, false)).unwrap();
+        assert!((sol.objective - base.objective).abs() < 1e-9);
+        // Exactly one shard of x + y = 4 is recovered for y.
+        assert!((sol.x[0] + sol.x[1] - 4.0).abs() < 1e-9);
+        assert_eq!(sol.presolve_rows_removed, 1);
+        assert_eq!(sol.presolve_cols_removed, 1);
+    }
+
+    #[test]
+    fn doubleton_substitution_rewrites_other_rows() {
+        // x + y = 3 is a doubleton; y also appears in x + 2y <= 5 and in the
+        // objective. Substituting y = 3 - x turns the second row into
+        // -x <= -1 (i.e. x >= 1) and the objective -2y into 2x - 6.
+        let sf = StandardForm {
+            nrows: 2,
+            cols: vec![
+                col(&[(0, 1.0), (1, 1.0)]),
+                col(&[(0, 1.0), (1, 2.0)]),
+                col(&[(1, 1.0)]),
+            ],
+            obj: vec![-1.0, -2.0, 0.5],
+            lower: vec![0.0, 0.0, 0.0],
+            upper: vec![INF, INF, 4.0],
+            row_lower: vec![3.0, -INF],
+            row_upper: vec![3.0, 5.0],
+        };
+        let plain = solve(&sf, &opts(false, false)).unwrap();
+        let pre = solve(&sf, &opts(true, true)).unwrap();
+        assert!(
+            (plain.objective - pre.objective).abs() < 1e-8,
+            "{} vs {}",
+            plain.objective,
+            pre.objective
+        );
+        assert!(pre.presolve_cols_removed >= 1);
+        // The postsolved point satisfies the original equality exactly.
+        assert!((pre.x[0] + pre.x[1] - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn doubleton_infeasibility_via_folded_bounds_detected() {
+        // x + y = 10 with x <= 2, y <= 3 cannot hold.
+        let sf = StandardForm {
+            nrows: 1,
+            cols: vec![col(&[(0, 1.0)]), col(&[(0, 1.0)])],
+            obj: vec![1.0, 1.0],
+            lower: vec![0.0, 0.0],
+            upper: vec![2.0, 3.0],
+            row_lower: vec![10.0],
+            row_upper: vec![10.0],
+        };
+        assert_eq!(
+            solve(&sf, &opts(true, false)).unwrap_err(),
+            LpError::Infeasible
+        );
+    }
+
+    #[test]
+    fn lopsided_doubleton_rows_are_left_alone() {
+        // The coefficient ratio exceeds the substitution guard, so the row
+        // must survive presolve (and still solve correctly).
+        let sf = StandardForm {
+            nrows: 1,
+            cols: vec![col(&[(0, 1e9)]), col(&[(0, 1.0)])],
+            obj: vec![-1.0, -1.0],
+            lower: vec![0.0, 0.0],
+            upper: vec![1.0, 1.0],
+            row_lower: vec![1.0],
+            row_upper: vec![1.0],
+        };
+        let red = Reduction::build(&sf, &opts(true, false)).unwrap();
+        assert_eq!(red.rows_removed(), 0);
+        let plain = solve(&sf, &opts(false, false)).unwrap();
+        let pre = solve(&sf, &opts(true, false)).unwrap();
+        assert!((plain.objective - pre.objective).abs() < 1e-7);
     }
 
     #[test]

@@ -884,6 +884,46 @@ impl<'a> Solver<'a> {
         Ok(())
     }
 
+    /// Replaces the phase-2 objective coefficients of the given structural
+    /// columns in a live session, preserving the solved basis.
+    ///
+    /// The basis (and factorization) is untouched — only costs change — so the
+    /// next [`Solver::reoptimize`] is a warm phase-2 continuation from the same
+    /// vertex under the new objective. The incremental reduced costs and
+    /// pricing candidate list are invalidated so the next pricing pass rebuilds
+    /// them from a fresh dual solve against the new costs.
+    ///
+    /// This is the session hook stabilized column generation builds on: boxstep
+    /// / penalty-style stabilization keeps artificial columns in the master
+    /// whose costs track the moving stability center, and updating those costs
+    /// must not discard the basis the way a cold rebuild would.
+    pub fn set_objective_coeffs(&mut self, changes: &[(usize, f64)]) -> LpResult<()> {
+        if changes.is_empty() {
+            return Ok(());
+        }
+        for &(j, c) in changes {
+            if j >= self.nstruct {
+                return Err(LpError::InvalidModel(format!(
+                    "objective change targets column {j} but the problem has {} structural columns",
+                    self.nstruct
+                )));
+            }
+            if !c.is_finite() {
+                return Err(LpError::InvalidModel(format!(
+                    "objective change for column {j} is non-finite ({c})"
+                )));
+            }
+        }
+        let sf = self.sf.to_mut();
+        for &(j, c) in changes {
+            sf.obj[j] = c;
+        }
+        self.candidates.clear();
+        self.minor_count = 0;
+        self.d_fresh = false;
+        Ok(())
+    }
+
     /// Row duals `y` solving `Bᵀy = c_B` for the current basis and the phase-2
     /// (real) cost vector, dense in row space. A candidate column `a` with cost
     /// `c` prices to the reduced cost `c - yᵀa`; at optimality every nonbasic
@@ -1830,6 +1870,8 @@ mod tests {
     fn warm_start_roundtrip_skips_work() {
         // Solve once cold, then re-solve warm-started from the optimal basis: the
         // warm solve must agree on the optimum and need (near) zero pivots.
+        // Presolve is off — its doubleton pass would solve this model outright,
+        // and the point here is the *simplex* warm-start path.
         let sf = StandardForm {
             nrows: 2,
             cols: vec![col(&[(0, 1.0), (1, 1.0)]), col(&[(0, 1.0), (1, -1.0)])],
@@ -1839,11 +1881,16 @@ mod tests {
             row_lower: vec![5.0, 1.0],
             row_upper: vec![5.0, 1.0],
         };
-        let cold = solve(&sf, &SimplexOptions::default()).unwrap();
+        let core = SimplexOptions {
+            presolve: false,
+            scaling: false,
+            ..SimplexOptions::default()
+        };
+        let cold = solve(&sf, &core).unwrap();
         assert!(cold.pivots > 0);
         let warm_opts = SimplexOptions {
             warm_start: Some(cold.basis.clone()),
-            ..SimplexOptions::default()
+            ..core
         };
         let warm = solve(&sf, &warm_opts).unwrap();
         assert!((warm.objective - cold.objective).abs() < 1e-9);

@@ -218,6 +218,92 @@ fn randomized_presolve_round_trip() {
     );
 }
 
+/// Doubleton-focused round trip: the base generator already draws arity-2
+/// equality rows, but this suite *forces* several per model so the doubleton
+/// substitution pass (fill-in rewrites, bound folding, postsolve value
+/// recovery, basis completion) is exercised on every case rather than by luck.
+#[test]
+fn randomized_doubleton_round_trip() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xD0B_7E70);
+    let mut optimal = 0usize;
+    let mut substituted = 0usize;
+    for case in 0..200 {
+        let mut sf = random_standard_form(&mut rng);
+        let nvars = sf.cols.len();
+        // Append 1-2 equality doubleton rows over random distinct column pairs.
+        for _ in 0..rng.random_range(1..3) {
+            let j0 = rng.random_range(0..nvars);
+            let mut j1 = rng.random_range(0..nvars - 1);
+            if j1 >= j0 {
+                j1 += 1;
+            }
+            let c0 = (rng.random_range(0..5) as f64 - 2.0).abs().max(1.0)
+                * if rng.random_bool(0.5) { 1.0 } else { -1.0 };
+            let c1 = (rng.random_range(0..5) as f64 - 2.0).abs().max(1.0)
+                * if rng.random_bool(0.5) { 1.0 } else { -1.0 };
+            let i = sf.nrows;
+            sf.nrows += 1;
+            // Draw the rhs through a bound-feasible point so the forced row is
+            // satisfiable on its own (the base rows may still conflict).
+            let pick = |j: usize, rng: &mut ChaCha8Rng| -> f64 {
+                let lo = sf.lower[j].max(-2.0);
+                let hi = sf.upper[j].min(2.0).max(lo);
+                lo + (hi - lo) * 0.25 * rng.random_range(0..5) as f64
+            };
+            let rhs = c0 * pick(j0, &mut rng) + c1 * pick(j1, &mut rng);
+            sf.row_lower.push(rhs);
+            sf.row_upper.push(rhs);
+            // SparseVec has no push; rebuild the two touched columns.
+            for (j, c) in [(j0, c0), (j1, c1)] {
+                let mut entries: Vec<(usize, f64)> = sf.cols[j].iter().collect();
+                entries.push((i, c));
+                sf.cols[j] = SparseVec::from_entries(entries);
+            }
+        }
+        let tag = format!("doubleton case {case}");
+        let plain = solve(&sf, &opts(false, false));
+        let pre = solve(&sf, &opts(true, true));
+        match (plain, pre) {
+            (Ok(a), Ok(b)) => {
+                optimal += 1;
+                if b.presolve_cols_removed > 0 {
+                    substituted += 1;
+                }
+                let scale = 1.0 + a.objective.abs();
+                assert!(
+                    (a.objective - b.objective).abs() < 1e-6 * scale,
+                    "{tag}: objective {} (plain) vs {} (presolved)",
+                    a.objective,
+                    b.objective
+                );
+                assert_solution_valid(&sf, &b, &tag);
+                let warm = solve(
+                    &sf,
+                    &SimplexOptions {
+                        warm_start: Some(b.basis.clone()),
+                        ..opts(true, true)
+                    },
+                )
+                .unwrap_or_else(|e| panic!("{tag}: warm restart failed: {e:?}"));
+                assert!(
+                    (warm.objective - b.objective).abs() < 1e-6 * scale,
+                    "{tag}: warm restart objective {} vs {}",
+                    warm.objective,
+                    b.objective
+                );
+            }
+            (Err(LpError::Infeasible), Err(LpError::Infeasible)) => {}
+            (Err(LpError::Unbounded), Err(LpError::Unbounded)) => {}
+            (a, b) => panic!("{tag}: plain {a:?} disagrees with presolved {b:?}"),
+        }
+    }
+    assert!(optimal > 30, "only {optimal} optimal cases");
+    assert!(
+        substituted > 30,
+        "only {substituted} cases eliminated columns"
+    );
+}
+
 #[test]
 fn all_fixed_random_models() {
     let mut rng = ChaCha8Rng::seed_from_u64(77);

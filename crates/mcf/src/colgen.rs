@@ -1,0 +1,456 @@
+//! Shared restricted-master column-generation core.
+//!
+//! Two colgen solvers live in this crate — [`crate::pmcf`] (path-MCF over the
+//! base topology) and [`crate::tscolgen`] (time-stepped MCF over the
+//! time-expanded topology) — and they share everything but the master LP and
+//! the shape of a column: the option/statistics surface ([`ColGenOptions`],
+//! [`ColGenRound`], [`ColGenStats`]), the drift-based partial-pricing tracker
+//! ([`PartialPricing`]), and **dual stabilization** ([`Stabilization`],
+//! [`DualStabilizer`]).
+//!
+//! # Dual stabilization
+//!
+//! On degenerate masters (the time-expanded LPs especially) the duals of
+//! consecutive restricted-master optima oscillate wildly between extreme
+//! vertices of the optimal face, so each pricing round chases a different
+//! corner and generates columns that the next round's duals disavow. Wentges
+//! smoothing prices at a convex combination of a *stability center* and the
+//! fresh duals,
+//!
+//! ```text
+//! ŷ = α · center + (1 − α) · y,      center' = ŷ
+//! ```
+//!
+//! which damps the oscillation (and, as a side effect, shrinks the per-round
+//! dual drift that [`PartialPricing`] accumulates — stabilization is what makes
+//! the drift-based source skip actually fire). Smoothing never weakens the
+//! optimality certificate: a sweep at smoothed duals that finds no improving
+//! column is a *misprice*, not a proof, so the driver collapses the center onto
+//! the true duals and re-prices everything unsmoothed before terminating.
+
+use crate::pmcf::PathSetKind;
+use a2a_lp::Pricing;
+
+/// How a column-generation solver seeds its restricted master.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColGenSeed {
+    /// One cheapest/earliest path per commodity — the minimal seed. Pricing
+    /// provably closes any gap this leaves, at the cost of a few more rounds.
+    /// For [`crate::tscolgen`] this is the earliest-arrival time-expanded path
+    /// (BFS shortest route, then buffer at the destination).
+    ShortestPath,
+    /// Seed with a full fixed path-set family; pricing then only adds what the
+    /// family missed. [`crate::tscolgen`] lowers each base path to its
+    /// earliest-departure time expansion (paths longer than the step budget are
+    /// dropped, falling back to the shortest path).
+    Kind(PathSetKind),
+}
+
+/// Dual stabilization applied to the pricing duals of a colgen run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Stabilization {
+    /// Price at the master's raw duals (no stabilization).
+    #[default]
+    None,
+    /// Wentges smoothing: price at `α · center + (1 − α) · y` where the center
+    /// follows the smoothed point. `alpha` in `[0, 1)`; higher damps harder.
+    /// Termination is unaffected — a no-candidate sweep at smoothed duals
+    /// forces an unsmoothed full re-price before the certificate is declared.
+    Smoothing {
+        /// Weight of the stability center in the smoothed duals.
+        alpha: f64,
+    },
+}
+
+/// Options shared by the column-generation solvers
+/// ([`crate::pmcf::solve_path_mcf_colgen_among`],
+/// [`crate::tscolgen::solve_tsmcf_colgen_among_with`]).
+#[derive(Debug, Clone)]
+pub struct ColGenOptions {
+    /// Initial column set of the restricted master.
+    pub seed: ColGenSeed,
+    /// Hard cap on master-solve/pricing rounds. When the cap is hit the best
+    /// restricted solution is returned with
+    /// [`ColGenStats::proved_optimal`]` == false`.
+    pub max_rounds: usize,
+    /// Cap on columns appended per round (the most violating candidates win; at
+    /// most one candidate per commodity is generated each round).
+    pub max_columns_per_round: usize,
+    /// Reduced-cost tolerance of the pricing test: a path improves when its
+    /// dual-weighted length is below the commodity's convexity dual minus this.
+    pub tolerance: f64,
+    /// Pricing rule for the master simplex.
+    pub pricing: Pricing,
+    /// Partial pricing: skip re-pricing a source whose relevant duals (the
+    /// global arc duals plus its own commodities' convexity duals) have drifted
+    /// less than this tolerance — accumulated — since the round it was last
+    /// priced, provided that pricing found no improving path then. `None`
+    /// re-prices every source every round. The optimality certificate is
+    /// unaffected: a round that would otherwise terminate while sources are
+    /// being skipped re-prices them all before declaring optimality.
+    pub partial_pricing: Option<f64>,
+    /// Dual stabilization of the pricing duals (see [`Stabilization`]).
+    pub stabilization: Stabilization,
+}
+
+impl Default for ColGenOptions {
+    fn default() -> Self {
+        Self {
+            seed: ColGenSeed::ShortestPath,
+            max_rounds: 200,
+            max_columns_per_round: usize::MAX,
+            tolerance: 1e-7,
+            pricing: Pricing::default(),
+            partial_pricing: Some(1e-7),
+            stabilization: Stabilization::None,
+        }
+    }
+}
+
+impl ColGenOptions {
+    /// The default options with Wentges smoothing at `α = 0.5` — the
+    /// recommended configuration for the degenerate time-expanded masters.
+    pub fn stabilized() -> Self {
+        Self {
+            stabilization: Stabilization::Smoothing { alpha: 0.5 },
+            ..Self::default()
+        }
+    }
+
+    /// Validates the option fields shared by every colgen solver, so entry
+    /// points fail with [`crate::types::McfError::BadArgument`]-style errors
+    /// instead of panicking mid-solve. Returns a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_rounds == 0 || self.max_columns_per_round == 0 {
+            return Err(
+                "colgen needs max_rounds >= 1 and max_columns_per_round >= 1 \
+                 (a zero column cap could never make progress)"
+                    .into(),
+            );
+        }
+        if let Stabilization::Smoothing { alpha } = self.stabilization {
+            if !(0.0..1.0).contains(&alpha) {
+                return Err(format!("smoothing weight must be in [0, 1), got {alpha}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-round measurements of a column-generation solve.
+#[derive(Debug, Clone)]
+pub struct ColGenRound {
+    /// Columns in the restricted master when the round's solve started.
+    pub columns_in_master: usize,
+    /// Columns appended after pricing (0 on the terminating round).
+    pub columns_added: usize,
+    /// Wall time of the master (re)solve.
+    pub master_wall_secs: f64,
+    /// Wall time of dual extraction plus the per-source Dijkstra pricing sweep.
+    pub pricing_wall_secs: f64,
+    /// Simplex iterations of the master solve this round.
+    pub master_iterations: usize,
+    /// Basis changes of the master solve this round.
+    pub master_pivots: usize,
+    /// Objective-level value of the restricted master after this round's solve
+    /// (concurrent flow `F` for pMCF, total utilization `Σ_t U_t` for tsMCF).
+    pub flow_value: f64,
+    /// Largest pricing violation found (`convexity dual - cheapest path cost`
+    /// over the *new* candidate paths, under the duals the sweep priced at);
+    /// `<= tolerance` on the final round of a proven-optimal run.
+    pub max_violation: f64,
+    /// Sources whose Dijkstra pricing sweep was skipped by partial pricing this
+    /// round (0 when partial pricing is disabled, and 0 on any round that forced
+    /// a full re-price to establish the optimality certificate).
+    pub sources_skipped: usize,
+}
+
+/// Aggregate timing/progress statistics of a column-generation solve.
+#[derive(Debug, Clone)]
+pub struct ColGenStats {
+    /// One entry per master-solve/pricing round, in order.
+    pub rounds: Vec<ColGenRound>,
+    /// True when the run terminated with the optimality certificate: no
+    /// commodity has a column whose dual-weighted cost is below its convexity
+    /// dual minus the tolerance, established by a full sweep at the master's
+    /// *raw* duals — i.e. the restricted master's optimum is the optimum of the
+    /// unrestricted formulation.
+    pub proved_optimal: bool,
+    /// Columns the master was seeded with.
+    pub seed_columns: usize,
+    /// Columns in the master at termination.
+    pub total_columns: usize,
+    /// Pricing sweeps that found no candidate at *smoothed* duals and had to be
+    /// redone at the raw duals (0 when stabilization is off). Each misprice
+    /// resets the stability center.
+    pub misprices: usize,
+}
+
+impl ColGenStats {
+    /// An empty statistics block for a master seeded with `seed_columns`.
+    pub fn new(seed_columns: usize) -> Self {
+        Self {
+            rounds: Vec::new(),
+            proved_optimal: false,
+            seed_columns,
+            total_columns: seed_columns,
+            misprices: 0,
+        }
+    }
+
+    /// Number of master-solve/pricing rounds performed.
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Total master simplex iterations across all rounds.
+    pub fn total_master_iterations(&self) -> usize {
+        self.rounds.iter().map(|r| r.master_iterations).sum()
+    }
+
+    /// Total master basis changes across all rounds.
+    pub fn total_master_pivots(&self) -> usize {
+        self.rounds.iter().map(|r| r.master_pivots).sum()
+    }
+
+    /// Total wall time across master solves and pricing sweeps.
+    pub fn total_wall_secs(&self) -> f64 {
+        self.rounds
+            .iter()
+            .map(|r| r.master_wall_secs + r.pricing_wall_secs)
+            .sum()
+    }
+
+    /// Total source-pricing sweeps skipped by partial pricing across all rounds.
+    pub fn total_sources_skipped(&self) -> usize {
+        self.rounds.iter().map(|r| r.sources_skipped).sum()
+    }
+}
+
+/// The Wentges-smoothing stability center of a colgen run.
+///
+/// Driver protocol per round: call [`DualStabilizer::pricing_duals`] with the
+/// master's raw duals and price at the returned vector. If the sweep finds no
+/// candidate and [`DualStabilizer::is_smoothed`] returned true, call
+/// [`DualStabilizer::collapse`] and re-price everything at the raw duals — only
+/// that sweep can certify optimality.
+#[derive(Debug, Clone)]
+pub struct DualStabilizer {
+    alpha: f64,
+    center: Vec<f64>,
+}
+
+impl DualStabilizer {
+    /// A stabilizer for the given policy (inactive for [`Stabilization::None`]).
+    ///
+    /// # Panics
+    /// Panics if a smoothing weight is outside `[0, 1)`.
+    pub fn new(stab: Stabilization) -> Self {
+        let alpha = match stab {
+            Stabilization::None => 0.0,
+            Stabilization::Smoothing { alpha } => {
+                assert!(
+                    (0.0..1.0).contains(&alpha),
+                    "smoothing weight must be in [0, 1), got {alpha}"
+                );
+                alpha
+            }
+        };
+        Self {
+            alpha,
+            center: Vec::new(),
+        }
+    }
+
+    /// True when the stabilizer damps at all.
+    pub fn is_active(&self) -> bool {
+        self.alpha > 0.0
+    }
+
+    /// The duals to price at this round, updating the stability center to the
+    /// smoothed point. Returns `(duals, smoothed)` where `smoothed` says the
+    /// result differs from `y` (so a no-candidate sweep is a misprice, not a
+    /// certificate). The first round anchors the center at `y` unsmoothed.
+    pub fn pricing_duals(&mut self, y: &[f64]) -> (Vec<f64>, bool) {
+        if !self.is_active() || self.center.len() != y.len() {
+            // Inactive, first round, or the master grew rows (it never does in
+            // the current solvers — columns grow, rows are fixed): anchor here.
+            self.center = y.to_vec();
+            return (y.to_vec(), false);
+        }
+        let mut smoothed = Vec::with_capacity(y.len());
+        let mut differs = false;
+        for (c, &v) in self.center.iter().zip(y) {
+            let s = self.alpha * c + (1.0 - self.alpha) * v;
+            if (s - v).abs() > 1e-12 * (1.0 + v.abs()) {
+                differs = true;
+            }
+            smoothed.push(s);
+        }
+        self.center.copy_from_slice(&smoothed);
+        (smoothed, differs)
+    }
+
+    /// Collapses the center onto the raw duals after a misprice, so the
+    /// certificate sweep (and the next round) price unsmoothed from here.
+    pub fn collapse(&mut self, y: &[f64]) {
+        self.center.clear();
+        self.center.extend_from_slice(y);
+    }
+}
+
+/// Drift-based partial-pricing tracker shared by the colgen solvers.
+///
+/// A column uses each priced arc at most once, so a commodity's pricing
+/// violation moves by at most the L1 norm of the arc-weight drift plus its own
+/// convexity-dual drift. Accumulating exactly that bound per source since its
+/// last sweep bounds a skipped source's largest possible violation by
+/// `tolerance + skip tolerance`; the optimality certificate never relies on it
+/// (the terminating round re-prices every skipped source). Under
+/// [`Stabilization::Smoothing`] the tracker runs on the *smoothed* duals — the
+/// vector pricing actually uses — which is precisely why stabilization makes
+/// the skip fire more often.
+#[derive(Debug, Clone)]
+pub struct PartialPricing {
+    tol: Option<f64>,
+    acc_shift: Vec<f64>,
+    found_last: Vec<bool>,
+    prev_weights: Vec<f64>,
+    prev_mu: Vec<f64>,
+}
+
+impl PartialPricing {
+    /// A tracker over `nsrc` pricing sources; `tol` of `None` disables skipping
+    /// (every `should_skip` is false).
+    pub fn new(tol: Option<f64>, nsrc: usize) -> Self {
+        Self {
+            tol,
+            acc_shift: vec![f64::INFINITY; nsrc],
+            found_last: vec![true; nsrc],
+            prev_weights: Vec::new(),
+            prev_mu: Vec::new(),
+        }
+    }
+
+    /// Accumulates this round's dual drift: `weights` are the pricing arc
+    /// weights, `mu` the per-commodity convexity duals, and
+    /// `commodities_of_source[si]` lists the commodity indices priced from
+    /// source `si`. Call once per round before the sweep, with the same duals
+    /// the sweep prices at.
+    pub fn accumulate(
+        &mut self,
+        weights: &[f64],
+        mu: &[f64],
+        commodities_of_source: &[Vec<usize>],
+    ) {
+        if self.tol.is_some() && self.prev_weights.len() == weights.len() {
+            let weight_shift: f64 = weights
+                .iter()
+                .zip(&self.prev_weights)
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            for (si, ks) in commodities_of_source.iter().enumerate() {
+                let mut mu_shift = 0.0f64;
+                for &k in ks {
+                    mu_shift = mu_shift.max((mu[k] - self.prev_mu[k]).abs());
+                }
+                self.acc_shift[si] += weight_shift + mu_shift;
+            }
+        }
+        self.prev_weights.clear();
+        self.prev_weights.extend_from_slice(weights);
+        self.prev_mu.clear();
+        self.prev_mu.extend_from_slice(mu);
+    }
+
+    /// True if source `si` may be skipped this round: its accumulated drift is
+    /// under the tolerance and its last sweep found nothing.
+    pub fn should_skip(&self, si: usize) -> bool {
+        match self.tol {
+            Some(tol) => self.acc_shift[si] <= tol && !self.found_last[si],
+            None => false,
+        }
+    }
+
+    /// Records that source `si` was priced this round and whether the sweep
+    /// produced a candidate.
+    pub fn mark_priced(&mut self, si: usize, found: bool) {
+        self.found_last[si] = found;
+        self.acc_shift[si] = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stabilizer_none_passes_duals_through() {
+        let mut st = DualStabilizer::new(Stabilization::None);
+        assert!(!st.is_active());
+        let (d, smoothed) = st.pricing_duals(&[1.0, -2.0]);
+        assert_eq!(d, vec![1.0, -2.0]);
+        assert!(!smoothed);
+        let (d, smoothed) = st.pricing_duals(&[3.0, 4.0]);
+        assert_eq!(d, vec![3.0, 4.0]);
+        assert!(!smoothed);
+    }
+
+    #[test]
+    fn smoothing_damps_dual_movement() {
+        let mut st = DualStabilizer::new(Stabilization::Smoothing { alpha: 0.5 });
+        // First round anchors the center.
+        let (d0, s0) = st.pricing_duals(&[0.0, 0.0]);
+        assert_eq!(d0, vec![0.0, 0.0]);
+        assert!(!s0);
+        // Second round: halfway between the center and the new duals.
+        let (d1, s1) = st.pricing_duals(&[2.0, -2.0]);
+        assert_eq!(d1, vec![1.0, -1.0]);
+        assert!(s1);
+        // The center followed the smoothed point.
+        let (d2, s2) = st.pricing_duals(&[2.0, -2.0]);
+        assert_eq!(d2, vec![1.5, -1.5]);
+        assert!(s2);
+        // Collapsing re-anchors: the next identical duals are unsmoothed.
+        st.collapse(&[2.0, -2.0]);
+        let (d3, s3) = st.pricing_duals(&[2.0, -2.0]);
+        assert_eq!(d3, vec![2.0, -2.0]);
+        assert!(!s3);
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing weight")]
+    fn smoothing_weight_of_one_is_rejected() {
+        DualStabilizer::new(Stabilization::Smoothing { alpha: 1.0 });
+    }
+
+    #[test]
+    fn partial_pricing_skips_only_quiet_found_nothing_sources() {
+        let per_source = vec![vec![0usize], vec![1usize]];
+        let mut pp = PartialPricing::new(Some(0.1), 2);
+        // Before any sweep nothing may be skipped (infinite initial drift).
+        assert!(!pp.should_skip(0) && !pp.should_skip(1));
+        pp.accumulate(&[1.0, 1.0], &[0.5, 0.5], &per_source);
+        pp.mark_priced(0, false);
+        pp.mark_priced(1, true);
+        // Identical duals next round: source 0 (found nothing) skips, source 1
+        // (found a candidate) does not.
+        pp.accumulate(&[1.0, 1.0], &[0.5, 0.5], &per_source);
+        assert!(pp.should_skip(0));
+        assert!(!pp.should_skip(1));
+        // A large drift un-skips source 0.
+        pp.accumulate(&[2.0, 1.0], &[0.5, 0.5], &per_source);
+        assert!(!pp.should_skip(0));
+    }
+
+    #[test]
+    fn partial_pricing_disabled_never_skips() {
+        let per_source = vec![vec![0usize]];
+        let mut pp = PartialPricing::new(None, 1);
+        pp.accumulate(&[1.0], &[0.0], &per_source);
+        pp.mark_priced(0, false);
+        pp.accumulate(&[1.0], &[0.0], &per_source);
+        assert!(!pp.should_skip(0));
+    }
+}

@@ -16,12 +16,26 @@
 //!   (parallelised with rayon) that recover per-commodity flows.
 //! * [`tsmcf`] — the time-stepped MCF over a time-expanded graph (§3.1.3) used for
 //!   store-and-forward (ML accelerator) fabrics, including the host-bottleneck variant
-//!   of Fig. 2.
+//!   of Fig. 2. This is the dense edge formulation: one flow variable per
+//!   (commodity, expanded edge), conservation `out ≤ in`, minimize `Σ_t U_t`.
 //! * [`pmcf`] — the path-variable MCF (§3.1.4) over explicit candidate path sets
 //!   (edge-disjoint, shortest, bounded length), plus restricted-master column
 //!   generation ([`pmcf::solve_path_mcf_colgen_among`]) that grows the path set
 //!   adaptively by dual-cost shortest-path pricing and certifies optimality of
 //!   the unrestricted path LP on any topology.
+//! * [`colgen`] — the column-generation core shared by `pmcf` and `tscolgen`:
+//!   options/statistics, drift-based partial pricing, and dual stabilization
+//!   (Wentges smoothing) for the degenerate masters.
+//! * [`tscolgen`] — tsMCF solved by column generation over **delivery-exact
+//!   time-expanded path columns**: every column is a whole `(0, s) → (steps, d)`
+//!   path of the time-expanded graph, so solutions conserve flow exactly and
+//!   carry zero undelivered "junk" flow by construction
+//!   ([`tsmcf::TsMcfSolution::pruned`] is a structural no-op on this backend).
+//!   One Dijkstra tree per source over per-(edge, step) dual costs prices a
+//!   commodity's whole time horizon in one run; on the hardest time-expanded
+//!   LPs (huge degenerate plateaus) this is orders of magnitude faster than the
+//!   dense formulation. See the [`tscolgen`] module docs for when to pick dense
+//!   vs. colgen.
 //! * [`extract`] — widest-path extraction (MCF-extP, §3.2.1) that converts link flows
 //!   into weighted path schedules for source-routed fabrics.
 //! * [`bounds`] — the analytic throughput upper bound and the Theorem-1 lower bound on
@@ -31,15 +45,18 @@
 
 pub mod analysis;
 pub mod bounds;
+pub mod colgen;
 pub mod decomposed;
 pub mod extract;
 pub mod linkmcf;
 pub mod pmcf;
+pub mod tscolgen;
 pub mod tsmcf;
 pub mod types;
 
 pub use analysis::{max_link_load_of_paths, path_schedule_all_to_all_time, throughput_gbps};
 pub use bounds::{lower_bound_all_to_all_time, throughput_upper_bound};
+pub use colgen::{ColGenOptions, ColGenRound, ColGenSeed, ColGenStats, Stabilization};
 pub use decomposed::{
     solve_decomposed_mcf, solve_decomposed_mcf_with, DecomposedMcf, DecomposedOptions,
     DecomposedTimings,
@@ -47,8 +64,11 @@ pub use decomposed::{
 pub use extract::extract_widest_paths;
 pub use linkmcf::solve_link_mcf;
 pub use pmcf::{
-    solve_path_mcf, solve_path_mcf_colgen, solve_path_mcf_colgen_among, ColGenOptions,
-    ColGenPathMcf, ColGenRound, ColGenSeed, ColGenStats, PathSetKind,
+    solve_path_mcf, solve_path_mcf_colgen, solve_path_mcf_colgen_among, ColGenPathMcf, PathSetKind,
+};
+pub use tscolgen::{
+    solve_tsmcf_colgen, solve_tsmcf_colgen_among, solve_tsmcf_colgen_among_with,
+    solve_tsmcf_colgen_auto, TsColGen,
 };
 pub use tsmcf::{solve_tsmcf, TsMcfSolution};
 pub use types::{CommoditySet, LinkFlowSolution, McfError, McfResult, PathSchedule};

@@ -25,8 +25,7 @@ use std::time::Instant;
 
 use a2a_lp::sparse::SparseVec;
 use a2a_lp::{
-    ConstraintSense, LpProblem, NewColumn, Pricing, SimplexOptions, Solver, StandardForm, VarId,
-    INF,
+    ConstraintSense, LpProblem, NewColumn, SimplexOptions, Solver, StandardForm, VarId, INF,
 };
 use a2a_topology::{paths, Path, Topology};
 
@@ -247,133 +246,13 @@ pub fn solve_path_mcf_with_paths(
     ))
 }
 
-/// How [`solve_path_mcf_colgen_among`] seeds the restricted master's initial
-/// path set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ColGenSeed {
-    /// One BFS shortest path per commodity — the minimal seed. Pricing provably
-    /// closes any gap this leaves (including the fat-tree single-spine
-    /// concentration the `Widened` set was hand-built for), at the cost of a
-    /// few more rounds.
-    ShortestPath,
-    /// Seed with a full fixed path-set family; pricing then only adds what the
-    /// family missed, which usually means fewer rounds on topologies where the
-    /// family is already near-optimal.
-    Kind(PathSetKind),
-}
-
-/// Options for the column-generation path-MCF solver.
-#[derive(Debug, Clone)]
-pub struct ColGenOptions {
-    /// Initial path set of the restricted master.
-    pub seed: ColGenSeed,
-    /// Hard cap on master-solve/pricing rounds. When the cap is hit the best
-    /// restricted solution is returned with
-    /// [`ColGenStats::proved_optimal`]` == false`.
-    pub max_rounds: usize,
-    /// Cap on columns appended per round (the most violating candidates win; at
-    /// most one candidate per commodity is generated each round).
-    pub max_columns_per_round: usize,
-    /// Reduced-cost tolerance of the pricing test: a path improves when its
-    /// dual-weighted length is below the commodity's convexity dual minus this.
-    pub tolerance: f64,
-    /// Pricing rule for the master simplex.
-    pub pricing: Pricing,
-    /// Partial pricing: skip re-pricing a source whose relevant duals (the global
-    /// edge duals plus its own commodities' convexity duals) have drifted less than
-    /// this tolerance — accumulated — since the round it was last priced, provided
-    /// that pricing found no improving path then. `None` re-prices every source
-    /// every round. The optimality certificate is unaffected: a round that would
-    /// otherwise terminate while sources are being skipped re-prices them all
-    /// before declaring optimality.
-    pub partial_pricing: Option<f64>,
-}
-
-impl Default for ColGenOptions {
-    fn default() -> Self {
-        Self {
-            seed: ColGenSeed::ShortestPath,
-            max_rounds: 200,
-            max_columns_per_round: usize::MAX,
-            tolerance: 1e-7,
-            pricing: Pricing::default(),
-            partial_pricing: Some(1e-7),
-        }
-    }
-}
-
-/// Per-round measurements of a column-generation solve.
-#[derive(Debug, Clone)]
-pub struct ColGenRound {
-    /// Path columns in the restricted master when the round's solve started.
-    pub columns_in_master: usize,
-    /// Columns appended after pricing (0 on the terminating round).
-    pub columns_added: usize,
-    /// Wall time of the master (re)solve.
-    pub master_wall_secs: f64,
-    /// Wall time of dual extraction plus the per-source Dijkstra pricing sweep.
-    pub pricing_wall_secs: f64,
-    /// Simplex iterations of the master solve this round.
-    pub master_iterations: usize,
-    /// Basis changes of the master solve this round.
-    pub master_pivots: usize,
-    /// Concurrent flow value of the restricted master after this round's solve.
-    pub flow_value: f64,
-    /// Largest pricing violation found (`convexity dual - cheapest path cost`
-    /// over the *new* candidate paths); `<= tolerance` on the final round of a
-    /// proven-optimal run.
-    pub max_violation: f64,
-    /// Sources whose Dijkstra pricing sweep was skipped by partial pricing this
-    /// round (0 when partial pricing is disabled, and 0 on any round that forced a
-    /// full re-price to establish the optimality certificate).
-    pub sources_skipped: usize,
-}
-
-/// Aggregate timing/progress statistics of a column-generation solve.
-#[derive(Debug, Clone)]
-pub struct ColGenStats {
-    /// One entry per master-solve/pricing round, in order.
-    pub rounds: Vec<ColGenRound>,
-    /// True when the run terminated with the optimality certificate: no
-    /// commodity has a path whose dual-weighted length is below its convexity
-    /// dual minus the tolerance — i.e. the restricted master's optimum is the
-    /// optimum of the unrestricted path LP.
-    pub proved_optimal: bool,
-    /// Path columns the master was seeded with.
-    pub seed_columns: usize,
-    /// Path columns in the master at termination.
-    pub total_columns: usize,
-}
-
-impl ColGenStats {
-    /// Number of master-solve/pricing rounds performed.
-    pub fn num_rounds(&self) -> usize {
-        self.rounds.len()
-    }
-
-    /// Total master simplex iterations across all rounds.
-    pub fn total_master_iterations(&self) -> usize {
-        self.rounds.iter().map(|r| r.master_iterations).sum()
-    }
-
-    /// Total master basis changes across all rounds.
-    pub fn total_master_pivots(&self) -> usize {
-        self.rounds.iter().map(|r| r.master_pivots).sum()
-    }
-
-    /// Total wall time across master solves and pricing sweeps.
-    pub fn total_wall_secs(&self) -> f64 {
-        self.rounds
-            .iter()
-            .map(|r| r.master_wall_secs + r.pricing_wall_secs)
-            .sum()
-    }
-
-    /// Total source-pricing sweeps skipped by partial pricing across all rounds.
-    pub fn total_sources_skipped(&self) -> usize {
-        self.rounds.iter().map(|r| r.sources_skipped).sum()
-    }
-}
+// The option/statistics surface and the stabilization + partial-pricing
+// machinery are shared with the time-expanded colgen solver; re-exported here
+// so existing `pmcf::ColGenOptions` paths keep working.
+pub use crate::colgen::{
+    ColGenOptions, ColGenRound, ColGenSeed, ColGenStats, DualStabilizer, PartialPricing,
+    Stabilization,
+};
 
 /// Result of a column-generation path-MCF solve.
 #[derive(Debug, Clone)]
@@ -414,13 +293,7 @@ pub fn solve_path_mcf_colgen_among(
     options: &ColGenOptions,
 ) -> McfResult<ColGenPathMcf> {
     validate(topo, &commodities)?;
-    if options.max_rounds == 0 || options.max_columns_per_round == 0 {
-        return Err(McfError::BadArgument(
-            "colgen needs max_rounds >= 1 and max_columns_per_round >= 1 \
-             (a zero column cap could never make progress)"
-                .into(),
-        ));
-    }
+    options.validate().map_err(McfError::BadArgument)?;
     let ncomm = commodities.len();
 
     // Seed path sets, deduplicated per commodity.
@@ -521,19 +394,24 @@ pub fn solve_path_mcf_colgen_among(
     let endpoints = commodities.endpoints().to_vec();
     let nsrc = endpoints.len();
     let tol = options.tolerance;
-    let mut stats = ColGenStats {
-        rounds: Vec::new(),
-        proved_optimal: false,
-        seed_columns,
-        total_columns: seed_columns,
-    };
-    // Partial-pricing state: accumulated dual drift per source since it was last
-    // priced (infinite before the first sweep), and whether that sweep produced a
-    // new candidate.
-    let mut acc_shift = vec![f64::INFINITY; nsrc];
-    let mut found_last = vec![true; nsrc];
-    let mut prev_weights: Vec<f64> = Vec::new();
-    let mut prev_mu: Vec<f64> = Vec::new();
+    let mut stats = ColGenStats::new(seed_columns);
+    // Commodity indices priced from each source, for the drift tracker.
+    let commodities_of_source: Vec<Vec<usize>> = endpoints
+        .iter()
+        .map(|&s| {
+            endpoints
+                .iter()
+                .filter(|&&d| d != s)
+                .map(|&d| {
+                    commodities
+                        .index_of(s, d)
+                        .expect("endpoints enumerate the commodity set")
+                })
+                .collect()
+        })
+        .collect();
+    let mut stabilizer = DualStabilizer::new(options.stabilization);
+    let mut partial = PartialPricing::new(options.partial_pricing, nsrc);
     let final_sol;
     loop {
         let t_master = Instant::now();
@@ -543,94 +421,91 @@ pub fn solve_path_mcf_colgen_among(
 
         // Pricing: dual edge costs w_e = max(0, -y_e) (capacity-row duals are
         // non-positive at a minimize optimum), convexity duals mu_k = y_{demand k}.
-        // A path improves iff its w-length is below mu_k - tolerance.
+        // A path improves iff its w-length is below mu_k - tolerance. Under
+        // stabilization the sweep prices at the smoothed duals; the drift tracker
+        // runs on the same vector, which is what makes the skip fire.
         let t_pricing = Instant::now();
-        let y = solver.current_duals();
-        let mut weights = vec![0.0; topo.num_edges()];
-        for (e, r) in edge_row.iter().enumerate() {
-            if let Some(r) = *r {
-                weights[e] = (-y[r]).max(0.0);
-            }
-        }
-        // A path uses each edge at most once, so any path cost moves by at most the
-        // L1 norm of the edge-dual drift, and a commodity's violation by at most that
-        // plus its convexity-dual drift. Accumulating exactly that bound per source
-        // since its last sweep means a skipped source's largest possible violation is
-        // `tolerance + partial_pricing` — deferral stays bounded, and the optimality
-        // certificate itself never relies on it (the terminating round re-prices
-        // every skipped source).
-        if options.partial_pricing.is_some() && !prev_weights.is_empty() {
-            let edge_shift: f64 = weights
-                .iter()
-                .zip(&prev_weights)
-                .map(|(a, b)| (a - b).abs())
-                .sum();
-            for (si, &s) in endpoints.iter().enumerate() {
-                let mut mu_shift = 0.0f64;
-                for &d in &endpoints {
-                    if d != s {
-                        let k = commodities
-                            .index_of(s, d)
-                            .expect("endpoints enumerate the commodity set");
-                        mu_shift = mu_shift.max((y[nedge_rows + k] - prev_mu[k]).abs());
-                    }
+        let y_raw = solver.current_duals();
+        let (y, smoothed) = stabilizer.pricing_duals(&y_raw);
+        let weights_from = |y: &[f64]| -> Vec<f64> {
+            let mut weights = vec![0.0; topo.num_edges()];
+            for (e, r) in edge_row.iter().enumerate() {
+                if let Some(r) = *r {
+                    weights[e] = (-y[r]).max(0.0);
                 }
-                acc_shift[si] += edge_shift + mu_shift;
             }
-        }
+            weights
+        };
+        let mut weights = weights_from(&y);
+        let mut mu: Vec<f64> = y[nedge_rows..nedge_rows + ncomm].to_vec();
+        partial.accumulate(&weights, &mu, &commodities_of_source);
 
-        let price_source =
-            |si: usize, seen: &[HashSet<Path>], candidates: &mut Vec<(f64, usize, Path)>| -> bool {
-                let s = endpoints[si];
-                let tree = paths::weighted_shortest_path_tree(topo, s, &weights);
-                let mut found = false;
-                for &d in &endpoints {
-                    if d == s {
-                        continue;
-                    }
-                    let k = commodities
-                        .index_of(s, d)
-                        .expect("endpoints enumerate the commodity set");
-                    let mu = y[nedge_rows + k];
-                    let cost = tree
-                        .distance(d)
-                        .expect("validated topologies are strongly connected");
-                    let violation = mu - cost;
-                    if violation > tol {
-                        let p = tree.path_to(d).expect("finite distance implies a path");
-                        if !seen[k].contains(&p) {
-                            candidates.push((violation, k, p));
-                            found = true;
-                        }
+        let price_source = |si: usize,
+                            weights: &[f64],
+                            mu: &[f64],
+                            seen: &[HashSet<Path>],
+                            candidates: &mut Vec<(f64, usize, Path)>|
+         -> bool {
+            let s = endpoints[si];
+            let tree = paths::weighted_shortest_path_tree(topo, s, weights);
+            let mut found = false;
+            for &d in &endpoints {
+                if d == s {
+                    continue;
+                }
+                let k = commodities
+                    .index_of(s, d)
+                    .expect("endpoints enumerate the commodity set");
+                let cost = tree
+                    .distance(d)
+                    .expect("validated topologies are strongly connected");
+                let violation = mu[k] - cost;
+                if violation > tol {
+                    let p = tree.path_to(d).expect("finite distance implies a path");
+                    if !seen[k].contains(&p) {
+                        candidates.push((violation, k, p));
+                        found = true;
                     }
                 }
-                found
-            };
+            }
+            found
+        };
 
         let mut candidates: Vec<(f64, usize, Path)> = Vec::new();
         let mut skipped: Vec<usize> = Vec::new();
         for si in 0..nsrc {
-            if let Some(pp_tol) = options.partial_pricing {
-                if acc_shift[si] <= pp_tol && !found_last[si] {
-                    skipped.push(si);
-                    continue;
-                }
+            if partial.should_skip(si) {
+                skipped.push(si);
+                continue;
             }
-            found_last[si] = price_source(si, &seen, &mut candidates);
-            acc_shift[si] = 0.0;
+            let found = price_source(si, &weights, &mu, &seen, &mut candidates);
+            partial.mark_priced(si, found);
         }
         let mut sources_skipped = skipped.len();
-        if candidates.is_empty() && !skipped.is_empty() {
-            // The round is about to terminate: the optimality certificate must rest
-            // on a full sweep, so re-price everything partial pricing deferred.
-            for si in skipped {
-                found_last[si] = price_source(si, &seen, &mut candidates);
-                acc_shift[si] = 0.0;
+        if candidates.is_empty() && (smoothed || !skipped.is_empty()) {
+            // The round is about to terminate, but the optimality certificate
+            // must rest on a full sweep at the master's *raw* duals: a
+            // no-candidate sweep at smoothed duals is a misprice (collapse the
+            // stability center and re-price everything), and partial pricing's
+            // deferred sources must be re-priced either way.
+            if smoothed {
+                stats.misprices += 1;
+                stabilizer.collapse(&y_raw);
+                weights = weights_from(&y_raw);
+                mu = y_raw[nedge_rows..nedge_rows + ncomm].to_vec();
+                partial.accumulate(&weights, &mu, &commodities_of_source);
+                for si in 0..nsrc {
+                    let found = price_source(si, &weights, &mu, &seen, &mut candidates);
+                    partial.mark_priced(si, found);
+                }
+            } else {
+                for si in skipped {
+                    let found = price_source(si, &weights, &mu, &seen, &mut candidates);
+                    partial.mark_priced(si, found);
+                }
             }
             sources_skipped = 0;
         }
-        prev_mu = y[nedge_rows..nedge_rows + ncomm].to_vec();
-        prev_weights = weights;
         let pricing_wall_secs = t_pricing.elapsed().as_secs_f64();
 
         // Most violating candidates first; commodity index breaks ties so the
@@ -1025,6 +900,50 @@ mod tests {
         // Skipping defers work but the certificate tolerance is unchanged, so the
         // final optimum is bit-comparable.
         assert!((a.schedule.flow_value - 1.0 / 15.0).abs() < 1e-6);
+    }
+
+    /// The ROADMAP claim, pinned: dual stabilization is what makes the
+    /// drift-based source skip fire. With the same loose drift tolerance and a
+    /// 1-column-per-round cap, Wentges smoothing damps the per-round dual
+    /// oscillation, so far more sources sit under the drift threshold — while F
+    /// and the optimality certificate are unchanged (misprice sweeps re-price
+    /// everything at raw duals before terminating).
+    #[test]
+    fn stabilization_makes_partial_pricing_fire_more() {
+        let ft = generators::fat_tree_two_level(4, 2, 4);
+        let commodities = CommoditySet::among(ft.hosts.clone());
+        let base = ColGenOptions {
+            partial_pricing: Some(1e-3),
+            max_columns_per_round: 4,
+            max_rounds: 10_000,
+            ..ColGenOptions::default()
+        };
+        let stabilized = ColGenOptions {
+            stabilization: Stabilization::Smoothing { alpha: 0.5 },
+            ..base.clone()
+        };
+        let plain = solve_path_mcf_colgen_among(&ft.graph, commodities.clone(), &base).unwrap();
+        let stab = solve_path_mcf_colgen_among(&ft.graph, commodities, &stabilized).unwrap();
+        assert!(plain.stats.proved_optimal && stab.stats.proved_optimal);
+        assert!(
+            (plain.schedule.flow_value - stab.schedule.flow_value).abs() < 1e-9,
+            "plain F = {} vs stabilized F = {}",
+            plain.schedule.flow_value,
+            stab.schedule.flow_value
+        );
+        assert!((stab.schedule.flow_value - 1.0 / 15.0).abs() < 1e-6);
+        // The point of the exercise: smoothing shrinks per-round dual drift, so
+        // the skip fires more often per pricing round.
+        let skip_rate = |s: &ColGenStats| s.total_sources_skipped() as f64 / s.num_rounds() as f64;
+        assert!(
+            skip_rate(&stab.stats) > skip_rate(&plain.stats),
+            "stabilized skip rate {:.3} should beat unstabilized {:.3}",
+            skip_rate(&stab.stats),
+            skip_rate(&plain.stats)
+        );
+        // The certificate still rests on an unsmoothed full sweep.
+        assert_eq!(stab.stats.rounds.last().unwrap().sources_skipped, 0);
+        assert!(stab.stats.misprices >= 1, "smoothing must have mispriced");
     }
 
     /// Partial pricing on the default (uncapped) configuration also agrees with

@@ -72,9 +72,13 @@ impl ChunkedSchedule {
     /// power-of-two chunk count (up to the cap) for which rounding the fractional
     /// transfers to whole chunks still delivers every shard completely.
     ///
-    /// The solution is pruned first ([`TsMcfSolution::pruned`]): tsMCF vertices may
-    /// carry flow that never reaches its destination, and lowering those dead
-    /// branches both wastes bandwidth and starves the real ones at the sender.
+    /// The solution is pruned first ([`TsMcfSolution::pruned`]): *dense* tsMCF
+    /// vertices may carry flow that never reaches its destination, and lowering
+    /// those dead branches both wastes bandwidth and starves the real ones at
+    /// the sender. Solutions from the column-generation backend
+    /// (`a2a_mcf::tscolgen`) are delivery-exact, so the prune is a cheap no-op
+    /// on them — they lower identically through here or
+    /// [`ChunkedSchedule::from_tsmcf_exact`].
     pub fn from_tsmcf(
         topo: &Topology,
         solution: &TsMcfSolution,
@@ -109,9 +113,11 @@ impl ChunkedSchedule {
     ///
     /// Callers on this fidelity-sensitive path should pass
     /// [`TsMcfSolution::pruned`] and derive any completion prediction from that same
-    /// pruned solution — a raw simplex vertex may carry undelivered junk flow, and
-    /// quantizing it both wastes bandwidth and makes the LP bound describe a
-    /// different schedule than the lowered one.
+    /// pruned solution — a raw *dense* simplex vertex may carry undelivered junk
+    /// flow, and quantizing it both wastes bandwidth and makes the LP bound
+    /// describe a different schedule than the lowered one. Column-generation
+    /// solutions (`a2a_mcf::tscolgen`) are delivery-exact and need no pruning
+    /// before this call.
     pub fn from_tsmcf_exact(
         topo: &Topology,
         solution: &TsMcfSolution,

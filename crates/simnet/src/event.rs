@@ -241,11 +241,19 @@ pub fn simulate_chunked_event(
         });
     }
 
+    // Per-message α multipliers (1.0 without jitter). Job ids are the
+    // schedule's step-major transfer order, the message identity the scenario
+    // keys its draw on.
+    let alpha_factor: Vec<f64> = (0..jobs.len())
+        .map(|id| options.scenario.alpha_factor(id))
+        .collect();
+
     let mut engine = Engine {
         jobs: &jobs,
         dag: &dag,
         link_bw: &link_bw,
         params,
+        alpha_factor: &alpha_factor,
         num_nodes: topo.num_nodes(),
         num_steps: dag.num_steps,
         link_seen: vec![0; topo.num_edges()],
@@ -295,6 +303,9 @@ struct Engine<'a> {
     dag: &'a TransferDag,
     link_bw: &'a [f64],
     params: &'a SimParams,
+    /// Per-job α multiplier from the scenario's per-message jitter (all 1.0
+    /// when jitter is off).
+    alpha_factor: &'a [f64],
     num_nodes: usize,
     num_steps: usize,
     /// Scratch for per-event busy-time dedup (see [`Engine::advance`]).
@@ -460,7 +471,12 @@ impl Engine<'_> {
         let mut next_job = 0usize;
         for step in 0..self.num_steps {
             let mut active = Vec::new();
+            // A barrier waits for its slowest participant, so the step's α is
+            // the per-step sync latency times the worst per-message jitter
+            // factor among the step's transfers (1.0 for an empty step).
+            let mut step_alpha_factor = 1.0f64;
             while next_job < self.jobs.len() && self.jobs[next_job].step == step {
+                step_alpha_factor = step_alpha_factor.max(self.alpha_factor[next_job]);
                 active.push(ActiveFlow {
                     job: next_job,
                     remaining: self.jobs[next_job].bytes,
@@ -470,7 +486,7 @@ impl Engine<'_> {
             max_concurrent = max_concurrent.max(active.len());
             self.drain_step(&mut active, &mut t, &mut link_busy);
             step_completion[step] = t;
-            t += self.params.step_sync_latency_s;
+            t += self.params.step_sync_latency_s * step_alpha_factor;
         }
         Outcome {
             completion: t,
@@ -490,7 +506,7 @@ impl Engine<'_> {
         let mut ready: BinaryHeap<Reverse<(OrdF64, usize)>> = BinaryHeap::new();
         for (id, &deg) in indeg.iter().enumerate() {
             if deg == 0 {
-                ready.push(Reverse((OrdF64(alpha), id)));
+                ready.push(Reverse((OrdF64(alpha * self.alpha_factor[id]), id)));
             }
         }
 
@@ -561,7 +577,7 @@ impl Engine<'_> {
                 for &s in &succ[job] {
                     indeg[s] -= 1;
                     if indeg[s] == 0 {
-                        ready.push(Reverse((OrdF64(t + alpha), s)));
+                        ready.push(Reverse((OrdF64(t + alpha * self.alpha_factor[s]), s)));
                     }
                 }
             }

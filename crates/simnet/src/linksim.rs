@@ -68,9 +68,15 @@ pub fn simulate_chunked_schedule_with(
 ) -> SimResult<SimReport> {
     let chunk_bytes = shard_bytes / schedule.chunks_per_shard as f64;
     let mut completion = 0.0f64;
+    // Message ids are step-major transfer order — the same identity the event
+    // engine keys per-message α jitter on, which keeps the two backends equal
+    // under jittered scenarios.
+    let mut message_id = 0usize;
     for (si, step) in schedule.steps.iter().enumerate() {
         let mut per_link_chunks: std::collections::HashMap<usize, usize> =
             std::collections::HashMap::new();
+        // A synchronized step's α is stretched by its slowest message's jitter.
+        let mut step_alpha_factor = 1.0f64;
         for t in &step.transfers {
             let e = topo.find_edge(t.from, t.to).ok_or(SimError::MissingLink {
                 step: si,
@@ -84,6 +90,8 @@ pub fn simulate_chunked_schedule_with(
                     to: t.to,
                 });
             }
+            step_alpha_factor = step_alpha_factor.max(scenario.alpha_factor(message_id));
+            message_id += 1;
             *per_link_chunks.entry(e).or_insert(0) += t.chunks;
         }
         let busiest = per_link_chunks
@@ -95,7 +103,7 @@ pub fn simulate_chunked_schedule_with(
                 chunks as f64 * chunk_bytes / bw
             })
             .fold(0.0, f64::max);
-        completion += busiest + params.step_sync_latency_s;
+        completion += busiest + params.step_sync_latency_s * step_alpha_factor;
     }
     Ok(SimReport::new(
         schedule.commodities.num_endpoints(),

@@ -15,10 +15,15 @@
 //!   models recovery.
 //! * **Stragglers** — a per-node factor multiplying the bandwidth of every link the
 //!   node *sends* on (slow host CPU / NIC).
+//! * **Per-message α jitter** — every message's launch latency (the per-step
+//!   sync α in synchronized execution, the per-hop α in dependency-driven
+//!   execution) is multiplied by a factor drawn reproducibly per message id
+//!   ([`Scenario::with_alpha_jitter`]): software-stack noise on the control
+//!   path, as opposed to the bandwidth knobs above which perturb the data path.
 //!
-//! Seeded constructors ([`Scenario::seeded_slowdowns`], [`Scenario::seeded_failures`])
-//! draw the affected links reproducibly from a ChaCha8 stream so degradation sweeps
-//! are repeatable.
+//! Seeded constructors ([`Scenario::seeded_slowdowns`], [`Scenario::seeded_failures`],
+//! [`Scenario::with_alpha_jitter`]) draw their perturbations reproducibly from
+//! ChaCha8 streams so degradation sweeps are repeatable.
 
 use std::collections::{HashMap, HashSet};
 
@@ -27,6 +32,16 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use crate::SimParams;
+
+/// Seeded per-message latency jitter: message `id` draws its α multiplier from
+/// a ChaCha8 stream keyed by `(seed, id)`, so the factor is a pure function of
+/// the message identity — independent of simulation order or backend.
+#[derive(Debug, Clone, Copy)]
+struct AlphaJitter {
+    seed: u64,
+    min_factor: f64,
+    max_factor: f64,
+}
 
 /// A set of fabric perturbations applied during simulation.
 #[derive(Debug, Clone, Default)]
@@ -40,6 +55,8 @@ pub struct Scenario {
     failed: HashSet<EdgeId>,
     /// Send-side bandwidth multiplier per straggler node, in `(0, 1]`.
     stragglers: HashMap<NodeId, f64>,
+    /// Per-message latency jitter, if enabled.
+    alpha_jitter: Option<AlphaJitter>,
 }
 
 impl Scenario {
@@ -54,6 +71,7 @@ impl Scenario {
             && self.slowdowns.is_empty()
             && self.failed.is_empty()
             && self.stragglers.is_empty()
+            && self.alpha_jitter.is_none()
     }
 
     /// Pins a directed edge to an absolute bandwidth in GB/s (replacing
@@ -90,6 +108,42 @@ impl Scenario {
         );
         self.stragglers.insert(node, factor);
         self
+    }
+
+    /// Enables seeded per-message α jitter: message `id` multiplies its launch
+    /// latency (per-step sync α in synchronized execution, per-hop α in
+    /// dependency-driven execution) by a factor drawn uniformly from
+    /// `[min_factor, max_factor]`, keyed by `(seed, id)`. Message ids follow the
+    /// schedule's step-major transfer order, so the same message draws the same
+    /// factor in every backend.
+    ///
+    /// # Panics
+    /// Panics unless `0 < min_factor <= max_factor`.
+    pub fn with_alpha_jitter(mut self, seed: u64, min_factor: f64, max_factor: f64) -> Self {
+        assert!(
+            0.0 < min_factor && min_factor <= max_factor,
+            "alpha jitter factors must satisfy 0 < min <= max, got [{min_factor}, {max_factor}]"
+        );
+        self.alpha_jitter = Some(AlphaJitter {
+            seed,
+            min_factor,
+            max_factor,
+        });
+        self
+    }
+
+    /// The α multiplier of message `id` under this scenario (1.0 without jitter).
+    pub fn alpha_factor(&self, message_id: usize) -> f64 {
+        let Some(j) = self.alpha_jitter else {
+            return 1.0;
+        };
+        // SplitMix-style bijective scramble of the id keeps per-message streams
+        // decorrelated even for consecutive ids under the same seed.
+        let mut z = (message_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let mut rng = ChaCha8Rng::seed_from_u64(j.seed ^ (z ^ (z >> 31)));
+        j.min_factor + (j.max_factor - j.min_factor) * rng.random_f64()
     }
 
     /// Draws `count` distinct directed edges (seeded) and slows each by a factor drawn
@@ -238,6 +292,31 @@ mod tests {
         // Different seeds should (for this topology/seed pair) pick different sets.
         let fc: Vec<_> = c.failed_links().collect();
         assert!(fa.iter().any(|e| !fc.contains(e)) || fa.len() != fc.len());
+    }
+
+    #[test]
+    fn alpha_jitter_is_deterministic_per_message_and_bounded() {
+        let s = Scenario::nominal().with_alpha_jitter(42, 1.0, 3.0);
+        assert!(!s.is_nominal());
+        let mut distinct = std::collections::HashSet::new();
+        for id in 0..64 {
+            let f = s.alpha_factor(id);
+            assert!((1.0..=3.0).contains(&f), "factor {f} out of range");
+            assert_eq!(f, s.alpha_factor(id), "same id must redraw identically");
+            distinct.insert(f.to_bits());
+        }
+        assert!(distinct.len() > 32, "factors should vary across messages");
+        // A different seed reshuffles the draws.
+        let other = Scenario::nominal().with_alpha_jitter(43, 1.0, 3.0);
+        assert!((0..64).any(|id| s.alpha_factor(id) != other.alpha_factor(id)));
+        // Without jitter the factor is exactly 1.
+        assert_eq!(Scenario::nominal().alpha_factor(7), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha jitter factors")]
+    fn alpha_jitter_rejects_bad_range() {
+        let _ = Scenario::nominal().with_alpha_jitter(1, 2.0, 1.0);
     }
 
     #[test]

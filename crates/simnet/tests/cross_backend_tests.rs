@@ -299,3 +299,153 @@ fn seeded_degradations_run_end_to_end() {
         );
     }
 }
+
+/// Per-message α jitter, end to end: the jittered run is reproducible, bounded
+/// by the jitter range applied to the α terms, and the analytic model stays
+/// equal to the synchronized event engine under the *same* jittered scenario
+/// (both charge each step its slowest message's launch factor, keyed by the
+/// step-major message id).
+#[test]
+fn alpha_jitter_is_seeded_and_backends_stay_equal() {
+    let params = SimParams::default();
+    // Latency-bound shard size so the α terms dominate and the jitter is visible.
+    let shard = 2048.0;
+    for topo in [generators::hypercube(3), generators::torus(&[3, 3])] {
+        let sched = schedule_for(&topo);
+        let jitter = Scenario::nominal().with_alpha_jitter(7, 1.5, 3.0);
+        let sync_opts = |scenario: Scenario| EventSimOptions {
+            model: ExecutionModel::Synchronized,
+            scenario,
+        };
+
+        let nominal = simulate_chunked_event(
+            &topo,
+            &sched,
+            shard,
+            &params,
+            &sync_opts(Scenario::nominal()),
+        )
+        .unwrap();
+        let jittered =
+            simulate_chunked_event(&topo, &sched, shard, &params, &sync_opts(jitter.clone()))
+                .unwrap();
+        let again =
+            simulate_chunked_event(&topo, &sched, shard, &params, &sync_opts(jitter.clone()))
+                .unwrap();
+        assert_eq!(
+            jittered.report.completion_seconds,
+            again.report.completion_seconds,
+            "{}: same seed must reproduce exactly",
+            topo.name()
+        );
+        // Factors in [1.5, 3.0] stretch every step's α by at least 1.5x and at
+        // most 3x; the bandwidth term is untouched.
+        let steps = sched.num_steps() as f64;
+        let extra = jittered.report.completion_seconds - nominal.report.completion_seconds;
+        assert!(
+            extra >= 0.5 * steps * params.step_sync_latency_s - 1e-12
+                && extra <= 2.0 * steps * params.step_sync_latency_s + 1e-12,
+            "{}: jitter added {extra}s over {steps} steps",
+            topo.name()
+        );
+
+        // Backend equality must survive the jittered scenario.
+        let analytic = AnalyticBackend {
+            params: params.clone(),
+            scenario: jitter.clone(),
+        };
+        let a = analytic.simulate(&topo, &sched, shard).unwrap();
+        let rel = (a.completion_seconds - jittered.report.completion_seconds).abs()
+            / a.completion_seconds;
+        assert!(
+            rel < 1e-9,
+            "{}: analytic {} vs event {} under jitter",
+            topo.name(),
+            a.completion_seconds,
+            jittered.report.completion_seconds
+        );
+
+        // The dependency-driven model charges α per message: jitter must slow
+        // it too, and a different seed draws a different execution.
+        let dep_opts = |scenario: Scenario| EventSimOptions {
+            model: ExecutionModel::DependencyDriven,
+            scenario,
+        };
+        let dep_nominal = simulate_chunked_event(
+            &topo,
+            &sched,
+            shard,
+            &params,
+            &dep_opts(Scenario::nominal()),
+        )
+        .unwrap();
+        let dep_jittered =
+            simulate_chunked_event(&topo, &sched, shard, &params, &dep_opts(jitter.clone()))
+                .unwrap();
+        assert!(
+            dep_jittered.report.completion_seconds > dep_nominal.report.completion_seconds,
+            "{}: dependency-driven jitter {} must exceed nominal {}",
+            topo.name(),
+            dep_jittered.report.completion_seconds,
+            dep_nominal.report.completion_seconds
+        );
+        let other_seed = Scenario::nominal().with_alpha_jitter(8, 1.5, 3.0);
+        let dep_other =
+            simulate_chunked_event(&topo, &sched, shard, &params, &dep_opts(other_seed)).unwrap();
+        assert_ne!(
+            dep_jittered.report.completion_seconds,
+            dep_other.report.completion_seconds,
+            "{}: different jitter seeds should differ",
+            topo.name()
+        );
+    }
+}
+
+/// tsMCF column generation feeds the same lowering and simulation pipeline as
+/// the dense solver: colgen solutions are delivery-exact (no pruning pass), so
+/// `from_tsmcf_exact` lowers them directly, the synchronized engine lands
+/// within quantization tolerance of the LP-predicted bound, and both backends
+/// agree on the result.
+#[test]
+fn tsmcf_colgen_schedules_execute_and_validate_like_dense() {
+    use a2a_mcf::tscolgen::solve_tsmcf_colgen_auto;
+    let params = SimParams::default();
+    let shard = 64.0 * 1024.0 * 1024.0;
+    for topo in families() {
+        let cg = solve_tsmcf_colgen_auto(&topo).expect("colgen tsMCF solves");
+        assert!(
+            cg.stats.proved_optimal,
+            "{}: colgen certificate missing",
+            topo.name()
+        );
+        // Delivery-exact: no pruning pass before lowering.
+        let sched = ChunkedSchedule::from_tsmcf_exact(&topo, &cg.solution, CHUNK_CAP)
+            .expect("colgen solutions lower without pruning");
+        assert!(sched.validate(&topo).is_empty());
+        let predicted = cg.solution.predicted_completion_seconds(
+            shard,
+            params.link_bandwidth_gbps,
+            params.step_sync_latency_s,
+        );
+        let simulated =
+            simulate_chunked_event(&topo, &sched, shard, &params, &EventSimOptions::default())
+                .unwrap();
+        let ratio = simulated.report.completion_seconds / predicted;
+        let (lo, hi) = a2a_simnet::SIM_VS_LP_AGREEMENT_WINDOW;
+        assert!(
+            (lo..=hi).contains(&ratio),
+            "{}: simulated {} vs LP bound {predicted} (ratio {ratio:.4})",
+            topo.name(),
+            simulated.report.completion_seconds
+        );
+        // Cross-backend equality holds for colgen-lowered schedules too.
+        let analytic = AnalyticBackend {
+            params: params.clone(),
+            scenario: Scenario::nominal(),
+        };
+        let a = analytic.simulate(&topo, &sched, shard).unwrap();
+        let rel = (a.completion_seconds - simulated.report.completion_seconds).abs()
+            / a.completion_seconds;
+        assert!(rel < 1e-9, "{}: analytic vs event mismatch", topo.name());
+    }
+}
