@@ -7,12 +7,13 @@
 //! presolve + scaling + Forrest–Tomlin pipeline where applicable (the colgen
 //! master runs the core solver so its row indices stay stable).
 //!
-//! Emits `BENCH_pr5.json` (median wall-clock over repetitions, simplex
+//! Emits `BENCH_pr6.json` (median wall-clock over repetitions, simplex
 //! iteration and pivot counts, presolve row/column reductions, refactorization
 //! counts, colgen round/column/skipped-source counts, the decomposed cold/warm
-//! and tsmcf dense/colgen speedups, and simulator-vs-LP agreement columns) so
-//! future PRs have a performance trajectory to compare against, plus a
-//! human-readable summary on stderr.
+//! and tsmcf dense/colgen speedups, simulator-vs-LP agreement columns, and the
+//! replan makespan-loss and solve-time columns) so future PRs have a
+//! performance trajectory to compare against, plus a human-readable summary on
+//! stderr.
 //!
 //! Every case asserts that both path-MCF configs and decomposed-MCF agree on
 //! the concurrent flow value, and that colgen terminates with its optimality
@@ -24,11 +25,16 @@
 //! everywhere. The `sim-exec` workload runs solver → chunk lowering →
 //! event-driven simulation end-to-end and asserts the synchronized engine
 //! lands within quantization tolerance of the LP-predicted completion
-//! (`sim_vs_lp` ≈ 1) — a sim smoke gate that runs in the quick tier too.
+//! (`sim_vs_lp` ≈ 1) — a sim smoke gate that runs in the quick tier too. The
+//! `replan` workload runs the closed-loop digital twin (kill a
+//! schedule-carrying link mid-run, snapshot, warm-started residual re-solve,
+//! splice, resume) and gates the replanned makespan within
+//! [`REPLAN_VS_CLAIRVOYANT_MAX`] of the clairvoyant punctured re-solve — in
+//! the quick tier too.
 //!
 //! Usage: `perf_harness [--quick] [--out PATH] [--baseline PATH]`
 //!   --quick      CI smoke mode: smallest sizes only, one repetition.
-//!   --out        Output JSON path (default `BENCH_pr5.json`).
+//!   --out        Output JSON path (default `BENCH_pr6.json`).
 //!   --baseline   Compare against a previous JSON (same schema): exit nonzero if
 //!                any matching case regresses more than 1.5x in median wall time.
 
@@ -40,11 +46,15 @@ use a2a_mcf::decomposed::{solve_decomposed_mcf_with, DecomposedOptions};
 use a2a_mcf::pmcf::{
     solve_path_mcf_among, solve_path_mcf_colgen_among, ColGenOptions, PathSetKind,
 };
-use a2a_mcf::tscolgen::solve_tsmcf_colgen_among_with;
-use a2a_mcf::tsmcf::{minimum_steps, solve_tsmcf_among, solve_tsmcf_auto};
-use a2a_mcf::CommoditySet;
+use a2a_mcf::tscolgen::{solve_tsmcf_colgen_among_with, solve_tsmcf_colgen_auto};
+use a2a_mcf::tsmcf::{minimum_steps, solve_tsmcf_among_dense, solve_tsmcf_auto};
+use a2a_mcf::{CommoditySet, Stabilization};
 use a2a_schedule::ChunkedSchedule;
-use a2a_simnet::{simulate_chunked_event, EventSimOptions, ExecutionModel, SimParams};
+use a2a_simnet::{
+    replan_run, simulate_chunked_event, simulate_chunked_timeline, EventSimOptions,
+    ExecutionModel, IncumbentPool, ReplanOptions, Scenario, ScenarioTimeline, SimParams,
+    TimelineRun,
+};
 use a2a_topology::{generators, NodeId, Topology};
 
 /// Median wall-time regression (vs `--baseline`) tolerated before the harness
@@ -120,6 +130,9 @@ struct Record {
     sim_completion_secs: Option<f64>,
     lp_predicted_secs: Option<f64>,
     sim_vs_lp: Option<f64>,
+    replan_solve_secs: Option<f64>,
+    replan_vs_clairvoyant: Option<f64>,
+    replan_vs_nominal: Option<f64>,
     flow_value: f64,
 }
 
@@ -153,6 +166,9 @@ impl Record {
             sim_completion_secs: None,
             lp_predicted_secs: None,
             sim_vs_lp: None,
+            replan_solve_secs: None,
+            replan_vs_clairvoyant: None,
+            replan_vs_nominal: None,
             flow_value,
         }
     }
@@ -231,7 +247,24 @@ fn run_path_mcf(case: &Case, reps: usize) -> Record {
 }
 
 fn run_path_mcf_colgen(case: &Case, reps: usize) -> Record {
-    let opts = ColGenOptions::default(); // shortest-path seed, devex master
+    // Stabilized (Wentges smoothing) with drift-based partial pricing — the
+    // production configuration. Smoothing is what calms the dual trajectory
+    // enough for the partial-pricing source skip to actually fire, and the
+    // default 1e-7 drift tolerance is far below the O(1) per-round L1 dual
+    // drift of these masters — 1e-1 is where the skip fires without losing
+    // the optimality certificate (the terminating pass re-prices every
+    // skipped source). The smoothing weight is deliberately light: at the
+    // stabilized() default of 0.5 the lagging duals triple the round count on
+    // torus-8x8 (51 rounds / 40.7s vs. 15 / 25.0s unstabilized) and the 1840
+    // skips don't pay for it, while 0.1 keeps the skip mechanism firing on
+    // every case (650 skipped sources on torus-8x8) at 25 rounds. The skip
+    // rate is gated below: a refactor that silently stops skipping fails the
+    // harness.
+    let opts = ColGenOptions {
+        partial_pricing: Some(1e-1),
+        stabilization: Stabilization::Smoothing { alpha: 0.1 },
+        ..ColGenOptions::default()
+    };
     let mut walls = Vec::with_capacity(reps);
     let mut last = None;
     for _ in 0..reps {
@@ -246,6 +279,12 @@ fn run_path_mcf_colgen(case: &Case, reps: usize) -> Record {
     assert!(
         solved.stats.proved_optimal,
         "{}: colgen terminated without its optimality certificate",
+        case.name
+    );
+    assert!(
+        solved.stats.total_sources_skipped() > 0,
+        "{}: stabilized partial pricing skipped no source — the production \
+         speedup mechanism (ROADMAP item 2) is not firing",
         case.name
     );
     Record {
@@ -316,8 +355,10 @@ fn run_tsmcf(case: &Case, reps: usize, include_dense: bool) -> Vec<Record> {
         for _ in 0..reps {
             let commodities = CommoditySet::among(case.hosts.clone());
             let start = Instant::now();
+            // Explicitly dense: `solve_tsmcf_among` now auto-dispatches to colgen
+            // past the size cutover, and this config measures the dense vertex.
             let solved =
-                solve_tsmcf_among(&case.topo, commodities, steps).expect("dense tsMCF solve");
+                solve_tsmcf_among_dense(&case.topo, commodities, steps).expect("dense tsMCF solve");
             walls.push(start.elapsed().as_secs_f64());
             last = Some(solved);
         }
@@ -416,6 +457,172 @@ fn run_sim(case: &Case, reps: usize) -> Vec<Record> {
     records
 }
 
+/// Quick-tier gate on the closed-loop replan quality: the replanned makespan
+/// must stay within this factor of the clairvoyant punctured re-solve (a full
+/// re-solve on the punctured topology, as if the failure had been known before
+/// the run started).
+const REPLAN_VS_CLAIRVOYANT_MAX: f64 = 1.10;
+
+/// Shard size of the replan workload (large enough that several steps are in
+/// flight when the link dies).
+const REPLAN_SHARD_BYTES: f64 = 64.0 * 1024.0 * 1024.0;
+
+/// Chunk granularity of the replanned schedules (coarse on purpose: the
+/// residual demands are whole-chunk, and 1/8-shard rounding keeps the residual
+/// LP small).
+const REPLAN_CHUNKS_PER_SHARD: usize = 8;
+
+/// The failure instant of the replan workload, as a fraction of the nominal
+/// makespan (same pin as the end-to-end test suite: late enough that the
+/// residual is strictly smaller than the clairvoyant's full all-to-all).
+const REPLAN_FAILURE_FRACTION: f64 = 0.7;
+
+/// The closed-loop digital-twin workload: kill the first schedule-carrying
+/// link mid-run, snapshot in-flight state, re-solve the residual tsMCF on the
+/// punctured topology warm-started from the nominal incumbent columns, splice
+/// and resume. Two records per case: `replanned` (measured wall = the whole
+/// detect→splice→resume loop; the makespan-loss columns compare against the
+/// clairvoyant and nominal makespans, `replan_solve_secs` isolates the
+/// residual LP, `master_iterations` is the warm residual's iteration count)
+/// and `clairvoyant` (the cold full re-solve on the punctured topology;
+/// measured wall = that solve). Gates, in the quick tier too: replanned
+/// makespan ≤ [`REPLAN_VS_CLAIRVOYANT_MAX`] of clairvoyant, and the
+/// warm-started residual spends fewer master iterations than the cold
+/// clairvoyant solve.
+fn run_replan(case: &Case, reps: usize) -> Vec<Record> {
+    let params = SimParams::default();
+    let cg = solve_tsmcf_colgen_auto(&case.topo).expect("nominal tsMCF solve");
+    let schedule =
+        ChunkedSchedule::from_tsmcf_exact(&case.topo, &cg.solution, REPLAN_CHUNKS_PER_SHARD)
+            .expect("nominal schedule quantizes");
+    let pool = IncumbentPool {
+        columns: cg.columns,
+        commodities: cg.solution.commodities.clone(),
+        steps: cg.solution.steps,
+    };
+    let nominal = simulate_chunked_timeline(
+        &case.topo,
+        &schedule,
+        REPLAN_SHARD_BYTES,
+        &params,
+        &ScenarioTimeline::nominal(),
+        ExecutionModel::Synchronized,
+    )
+    .expect("nominal run");
+    let t_nominal = match nominal {
+        TimelineRun::Completed(r) => r.report.completion_seconds,
+        TimelineRun::Interrupted(_) => unreachable!("no events on the nominal timeline"),
+    };
+    let tr = &schedule.steps[0].transfers[0];
+    let edge = case
+        .topo
+        .find_edge(tr.from, tr.to)
+        .expect("transfer uses a link");
+    let timeline = ScenarioTimeline::new(Scenario::nominal())
+        .with_link_failure_at(REPLAN_FAILURE_FRACTION * t_nominal, edge);
+
+    let mut walls = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let run = replan_run(
+            &case.topo,
+            &schedule,
+            REPLAN_SHARD_BYTES,
+            &params,
+            &timeline,
+            Some(&pool),
+            &ReplanOptions::default(),
+        )
+        .expect("replan completes");
+        walls.push(start.elapsed().as_secs_f64());
+        last = Some(run);
+    }
+    let run = last.expect("at least one repetition");
+    let attempt = run.attempts.first().expect("the failure interrupts the run");
+    assert!(
+        !attempt.used_fallback,
+        "{}: the LP repair path is the one measured here",
+        case.name
+    );
+    let t_replanned = run.completion_seconds();
+
+    // The clairvoyant benchmark: cold full re-solve on the punctured topology,
+    // simulated failure-free.
+    let punctured = case.topo.without_edges(&attempt.failed_links);
+    let mut clair_walls = Vec::with_capacity(reps);
+    let mut clair_last = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let solved = solve_tsmcf_colgen_auto(&punctured).expect("clairvoyant solve");
+        clair_walls.push(start.elapsed().as_secs_f64());
+        clair_last = Some(solved);
+    }
+    let clair = clair_last.expect("at least one repetition");
+    let clair_schedule =
+        ChunkedSchedule::from_tsmcf_exact(&punctured, &clair.solution, REPLAN_CHUNKS_PER_SHARD)
+            .expect("clairvoyant schedule quantizes");
+    let t_clair = match simulate_chunked_timeline(
+        &punctured,
+        &clair_schedule,
+        REPLAN_SHARD_BYTES,
+        &params,
+        &ScenarioTimeline::nominal(),
+        ExecutionModel::Synchronized,
+    )
+    .expect("clairvoyant run")
+    {
+        TimelineRun::Completed(r) => r.report.completion_seconds,
+        TimelineRun::Interrupted(_) => unreachable!("no events on the clairvoyant timeline"),
+    };
+
+    let vs_clair = t_replanned / t_clair;
+    let vs_nominal = t_replanned / t_nominal;
+    assert!(
+        vs_clair <= REPLAN_VS_CLAIRVOYANT_MAX,
+        "{}: replanned makespan {t_replanned:.6}s is {vs_clair:.4}x the clairvoyant \
+         {t_clair:.6}s (> {REPLAN_VS_CLAIRVOYANT_MAX}x)",
+        case.name
+    );
+    let cold_iterations = clair.stats.total_master_iterations();
+    assert!(
+        attempt.master_iterations < cold_iterations,
+        "{}: warm residual ({} master iterations) should beat the cold clairvoyant ({})",
+        case.name,
+        attempt.master_iterations,
+        cold_iterations
+    );
+    vec![
+        Record {
+            master_iterations: Some(attempt.master_iterations),
+            sim_completion_secs: Some(t_replanned),
+            replan_solve_secs: Some(attempt.solve_wall_secs),
+            replan_vs_clairvoyant: Some(vs_clair),
+            replan_vs_nominal: Some(vs_nominal),
+            ..Record::bare(
+                "replan",
+                case,
+                "replanned",
+                reps,
+                median(walls),
+                cg.solution.effective_flow_value(),
+            )
+        },
+        Record {
+            master_iterations: Some(cold_iterations),
+            sim_completion_secs: Some(t_clair),
+            ..Record::bare(
+                "replan",
+                case,
+                "clairvoyant",
+                reps,
+                median(clair_walls),
+                clair.solution.effective_flow_value(),
+            )
+        },
+    ]
+}
+
 fn json_opt(v: Option<usize>) -> String {
     v.map_or_else(|| "null".into(), |x| x.to_string())
 }
@@ -493,7 +700,7 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
-    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_pr5.json".into());
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_pr6.json".into());
     let baseline_path = arg_value("--baseline");
 
     let cases: Vec<Case> = if quick {
@@ -631,6 +838,38 @@ fn main() {
         }
     }
 
+    // Closed-loop replan workload: mid-run failure, snapshot, warm-started
+    // residual re-solve, splice, resume — gated against the clairvoyant
+    // punctured re-solve in both tiers (the cases are testbed-scale, ~a second
+    // each, so the quick tier affords the full loop).
+    let replan_cases = vec![
+        Case::torus(&[3, 3]),
+        Case {
+            name: "random-regular-10x3".into(),
+            topo: generators::random_regular(10, 3, 7),
+            hosts: (0..10).collect(),
+        },
+    ];
+    for case in &replan_cases {
+        eprintln!("# {} (replan)", case.name);
+        for rec in run_replan(case, 3) {
+            eprintln!(
+                "  replan {}: median {:.3}s wall, makespan {:.6}s, {} master iterations, \
+                 solve {:.3}s, vs-clairvoyant {}, vs-nominal {}",
+                rec.config,
+                rec.median_wall_secs,
+                rec.sim_completion_secs.unwrap_or(0.0),
+                rec.master_iterations.unwrap_or(0),
+                rec.replan_solve_secs.unwrap_or(0.0),
+                rec.replan_vs_clairvoyant
+                    .map_or_else(|| "-".into(), |r| format!("{r:.4}x")),
+                rec.replan_vs_nominal
+                    .map_or_else(|| "-".into(), |r| format!("{r:.4}x")),
+            );
+            records.push(rec);
+        }
+    }
+
     // Cold/warm speedups per topology, plus agreement checks on F: the two
     // decomposed configs must agree, and path-MCF (widened) must agree with the
     // decomposed optimum on every case.
@@ -695,7 +934,7 @@ fn main() {
     // Hand-rolled JSON (no serde in this build environment).
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"pr\": 5,");
+    let _ = writeln!(json, "  \"pr\": 6,");
     let _ = writeln!(json, "  \"harness\": \"perf_harness\",");
     let _ = writeln!(json, "  \"quick\": {quick},");
     json.push_str("  \"results\": [\n");
@@ -708,7 +947,9 @@ fn main() {
              \"presolve_rows_removed\": {}, \"presolve_cols_removed\": {}, \
              \"colgen_rounds\": {}, \"colgen_columns\": {}, \
              \"colgen_sources_skipped\": {}, \"sim_completion_secs\": {}, \
-             \"lp_predicted_secs\": {}, \"sim_vs_lp\": {}, \"flow_value\": {:.9}}}",
+             \"lp_predicted_secs\": {}, \"sim_vs_lp\": {}, \
+             \"replan_solve_secs\": {}, \"replan_vs_clairvoyant\": {}, \
+             \"replan_vs_nominal\": {}, \"flow_value\": {:.9}}}",
             r.workload,
             r.topology,
             r.nodes,
@@ -728,6 +969,9 @@ fn main() {
             json_opt_f64(r.sim_completion_secs),
             json_opt_f64(r.lp_predicted_secs),
             json_opt_f64(r.sim_vs_lp),
+            json_opt_f64(r.replan_solve_secs),
+            json_opt_f64(r.replan_vs_clairvoyant),
+            json_opt_f64(r.replan_vs_nominal),
             r.flow_value,
         );
         json.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });

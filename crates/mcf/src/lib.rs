@@ -35,7 +35,13 @@
 //!   commodity's whole time horizon in one run; on the hardest time-expanded
 //!   LPs (huge degenerate plateaus) this is orders of magnitude faster than the
 //!   dense formulation. See the [`tscolgen`] module docs for when to pick dense
-//!   vs. colgen.
+//!   vs. colgen; [`tsmcf::solve_tsmcf_among_with`] auto-dispatches between the
+//!   two by instance size.
+//! * [`residual`] — re-planning after a mid-run failure: a snapshot of where
+//!   the bytes are becomes a list of [`residual::TsDemand`]s solved on the
+//!   punctured topology by the same delivery-exact column generation,
+//!   warm-started from the nominal solve's incumbent column pool
+//!   ([`tscolgen::TsColumn`]).
 //! * [`extract`] — widest-path extraction (MCF-extP, §3.2.1) that converts link flows
 //!   into weighted path schedules for source-routed fabrics.
 //! * [`bounds`] — the analytic throughput upper bound and the Theorem-1 lower bound on
@@ -50,6 +56,7 @@ pub mod decomposed;
 pub mod extract;
 pub mod linkmcf;
 pub mod pmcf;
+pub mod residual;
 pub mod tscolgen;
 pub mod tsmcf;
 pub mod types;
@@ -66,9 +73,16 @@ pub use linkmcf::solve_link_mcf;
 pub use pmcf::{
     solve_path_mcf, solve_path_mcf_colgen, solve_path_mcf_colgen_among, ColGenPathMcf, PathSetKind,
 };
+pub use residual::{
+    residual_minimum_steps, solve_residual_colgen, warm_seeds_from_columns, ResidualColGen,
+    ResidualSolution, TsDemand,
+};
 pub use tscolgen::{
     solve_tsmcf_colgen, solve_tsmcf_colgen_among, solve_tsmcf_colgen_among_with,
-    solve_tsmcf_colgen_auto, TsColGen,
+    solve_tsmcf_colgen_auto, TsColGen, TsColumn,
 };
-pub use tsmcf::{solve_tsmcf, TsMcfSolution};
+pub use tsmcf::{
+    solve_tsmcf, solve_tsmcf_among, solve_tsmcf_among_dense, solve_tsmcf_among_dense_with,
+    solve_tsmcf_among_with, solve_tsmcf_auto, TsMcfSolution, DENSE_COLGEN_CUTOVER_VARS,
+};
 pub use types::{CommoditySet, LinkFlowSolution, McfError, McfResult, PathSchedule};

@@ -1,0 +1,871 @@
+//! Residual tsMCF: re-planning an interrupted collective from where its bytes are.
+//!
+//! When a link dies mid-collective, the shards of the all-to-all are no longer
+//! at their sources: some are delivered, some sit buffered at intermediate
+//! nodes, and the transfer that died on the failed link left a stranded
+//! remainder at its sender. The re-planning problem is therefore *not* an
+//! all-to-all — it is a list of [`TsDemand`]s, each saying "`amount` shards of
+//! the `origin → dest` commodity currently sit at node `at` and must still
+//! reach `dest`", solved on the punctured topology.
+//!
+//! This module reuses the delivery-exact time-expanded column formulation of
+//! [`crate::tscolgen`] with three changes:
+//!
+//! * **demand-indexed convexity**: one convexity row per demand with
+//!   right-hand side `amount` (the nominal solver's rows are `== 1`), so a
+//!   demand's path columns together carry exactly the stranded amount —
+//!   partial chunks re-enter the plan at their holding node without rounding;
+//! * **holding-node sources**: pricing runs one Dijkstra tree per *distinct
+//!   holding node* (not per commodity source) — after a failure many demands
+//!   share the few nodes that were buffering, so the residual pricing is
+//!   cheaper than nominal pricing even before warm starts;
+//! * **warm seeds**: the caller may seed the restricted master from the
+//!   incumbent column pool of the nominal solve
+//!   ([`warm_seeds_from_columns`] cuts each incumbent trajectory at the
+//!   holding node and keeps suffixes that survive the puncture), so the first
+//!   master already contains the certified-good routes and the solve typically
+//!   needs fewer simplex iterations than a cold clairvoyant re-solve.
+//!
+//! Infeasibility is typed, never a panic: a destination unreachable on the
+//! punctured fabric surfaces as [`McfError::BadTopology`] from
+//! [`residual_minimum_steps`], which the re-planning driver turns into its
+//! graceful-degradation fallback.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+use a2a_lp::sparse::SparseVec;
+use a2a_lp::{NewColumn, SimplexOptions, Solver, StandardForm, INF};
+use a2a_topology::transform::TimeExpanded;
+use a2a_topology::{paths, EdgeId, NodeId, Path, Topology};
+
+use crate::colgen::{ColGenOptions, ColGenRound, ColGenStats, DualStabilizer, PartialPricing};
+use crate::tscolgen::TsColumn;
+use crate::types::{CommoditySet, McfError, McfResult};
+
+/// Column weight below which a path's flow is dropped from the extraction.
+const FLOW_TOL: f64 = 1e-9;
+
+/// One residual demand: `amount` shards of the original `origin → dest`
+/// commodity currently held at node `at`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TsDemand {
+    /// Source of the original commodity. Provenance label only — the residual
+    /// flow starts at [`TsDemand::at`], not here.
+    pub origin: NodeId,
+    /// Final destination the shards must still reach.
+    pub dest: NodeId,
+    /// Node currently holding the shards: the layer-0 entry of the residual flow.
+    pub at: NodeId,
+    /// Shards still to deliver, as a fraction of one shard
+    /// (`chunks / chunks_per_shard`). May exceed 1 when a snapshot merges
+    /// holdings. Must be positive and finite.
+    pub amount: f64,
+}
+
+/// A solved residual plan: per-demand time-stepped flows on the punctured
+/// topology, in the same `(edge, amount)`-per-step shape the chunk lowering
+/// consumes.
+#[derive(Debug, Clone)]
+pub struct ResidualSolution {
+    /// The demands, in instance order (flow index == demand index).
+    pub demands: Vec<TsDemand>,
+    /// Number of communication steps of the residual plan.
+    pub steps: usize,
+    /// Optimal per-step utilization `U_t`.
+    pub step_utilization: Vec<f64>,
+    /// `flows[demand][step]` = positive transfers `(edge, amount)` of that
+    /// demand in that step, in shard units (a demand of amount `a` moves `a`
+    /// across its cut).
+    pub flows: Vec<Vec<Vec<(EdgeId, f64)>>>,
+}
+
+impl ResidualSolution {
+    /// Sum of per-step utilizations — proportional to the completion time of
+    /// the lowered suffix at large buffer sizes.
+    pub fn total_utilization(&self) -> f64 {
+        self.step_utilization.iter().sum()
+    }
+
+    /// Validates causality (a node never forwards shards it does not hold),
+    /// delivery (every demand's `amount` reaches `dest`) and non-negativity.
+    /// Returns human-readable violations; empty means executable.
+    pub fn check_consistency(&self, topo: &Topology, tol: f64) -> Vec<String> {
+        let mut issues = Vec::new();
+        for (idx, dem) in self.demands.iter().enumerate() {
+            let mut buffer = vec![0.0f64; topo.num_nodes()];
+            buffer[dem.at] = dem.amount;
+            for step in 0..self.steps {
+                let mut outgoing = vec![0.0f64; topo.num_nodes()];
+                for &(e, amount) in &self.flows[idx][step] {
+                    if amount < -tol {
+                        issues.push(format!(
+                            "demand {idx} ({} at {} -> {}): negative transfer at step {step}",
+                            dem.origin, dem.at, dem.dest
+                        ));
+                    }
+                    outgoing[topo.edge(e).src] += amount;
+                }
+                for (u, &out) in outgoing.iter().enumerate() {
+                    if out > buffer[u] + tol {
+                        issues.push(format!(
+                            "demand {idx}: node {u} sends {out} at step {step} but holds {}",
+                            buffer[u]
+                        ));
+                    }
+                }
+                for &(e, amount) in &self.flows[idx][step] {
+                    let edge = topo.edge(e);
+                    buffer[edge.src] -= amount;
+                    buffer[edge.dst] += amount;
+                }
+            }
+            if buffer[dem.dest] + tol < dem.amount {
+                issues.push(format!(
+                    "demand {idx}: destination {} holds only {} of {} after {} steps",
+                    dem.dest, buffer[dem.dest], dem.amount, self.steps
+                ));
+            }
+        }
+        issues
+    }
+}
+
+/// Result of a residual column-generation solve: the plan, the colgen
+/// statistics (the warm-vs-cold iteration comparison reads
+/// [`ColGenStats::total_master_iterations`]), and the incumbent pool for
+/// warm-starting a *further* replan after a cascading failure.
+#[derive(Debug, Clone)]
+pub struct ResidualColGen {
+    /// The residual plan.
+    pub solution: ResidualSolution,
+    /// Per-round statistics and the optimality certificate flag.
+    pub stats: ColGenStats,
+    /// Positive-weight columns of the final master ([`TsColumn::owner`] is the
+    /// demand index).
+    pub columns: Vec<TsColumn>,
+}
+
+fn validate_demands(topo: &Topology, demands: &[TsDemand]) -> McfResult<()> {
+    if demands.is_empty() {
+        return Err(McfError::BadArgument(
+            "residual instance has no demands (nothing left to deliver)".into(),
+        ));
+    }
+    let n = topo.num_nodes();
+    for (idx, d) in demands.iter().enumerate() {
+        if d.origin >= n || d.dest >= n || d.at >= n {
+            return Err(McfError::BadArgument(format!(
+                "demand {idx} references a node outside the topology ({} nodes)",
+                n
+            )));
+        }
+        if !(d.amount.is_finite() && d.amount > 0.0) {
+            return Err(McfError::BadArgument(format!(
+                "demand {idx} has non-positive amount {}",
+                d.amount
+            )));
+        }
+        if d.at == d.dest {
+            return Err(McfError::BadArgument(format!(
+                "demand {idx} is already delivered (held at its destination {})",
+                d.dest
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Minimum number of steps a residual instance needs: the longest shortest
+/// path from any holding node to its demand's destination. A destination that
+/// is unreachable on the (punctured) topology is the *typed* infeasibility
+/// signal of the re-planning loop — [`McfError::BadTopology`], never a panic.
+pub fn residual_minimum_steps(topo: &Topology, demands: &[TsDemand]) -> McfResult<usize> {
+    validate_demands(topo, demands)?;
+    let mut dist_from: HashMap<NodeId, Vec<Option<usize>>> = HashMap::new();
+    let mut needed = 1usize;
+    for d in demands {
+        let dist = dist_from
+            .entry(d.at)
+            .or_insert_with(|| topo.bfs_distances(d.at));
+        let hops = dist[d.dest].ok_or_else(|| {
+            McfError::BadTopology(format!(
+                "destination {} is unreachable from holding node {} on this fabric",
+                d.dest, d.at
+            ))
+        })?;
+        needed = needed.max(hops);
+    }
+    Ok(needed)
+}
+
+/// Cuts the incumbent column pool of a nominal solve into warm seeds for a
+/// residual instance.
+///
+/// For each demand, the columns of its original commodity are scanned: where a
+/// column's move chain visits the demand's holding node, the suffix from
+/// there to the destination becomes a seed path — provided every hop survived
+/// the puncture. The chain is read off the column's arcs alone
+/// ([`TsColumn::move_chain`]), so columns from an earlier *residual* repair —
+/// which start at a mid-fabric holding node, not at the commodity origin —
+/// seed a cascading repair just as well as nominal columns do. Paths are
+/// returned as `(demand index, base-graph path)` pairs on the *punctured*
+/// topology's node ids (node ids are preserved by [`Topology::without_edges`];
+/// edge ids are not, which is why seeds are node paths).
+pub fn warm_seeds_from_columns(
+    columns: &[TsColumn],
+    commodities: &CommoditySet,
+    nominal_topo: &Topology,
+    punctured: &Topology,
+    demands: &[TsDemand],
+) -> Vec<(usize, Path)> {
+    let mut by_owner: HashMap<usize, Vec<&TsColumn>> = HashMap::new();
+    for col in columns {
+        by_owner.entry(col.owner).or_default().push(col);
+    }
+    let mut seeds = Vec::new();
+    for (idx, dem) in demands.iter().enumerate() {
+        let Some(k) = commodities.index_of(dem.origin, dem.dest) else {
+            continue;
+        };
+        let mut dedup: HashSet<Vec<NodeId>> = HashSet::new();
+        for col in by_owner.get(&k).into_iter().flatten() {
+            let chain = col.move_chain(nominal_topo);
+            let Some(cut) = chain.iter().position(|&v| v == dem.at) else {
+                continue;
+            };
+            let nodes = chain[cut..].to_vec();
+            if nodes.len() < 2 || *nodes.last().expect("non-empty") != dem.dest {
+                continue;
+            }
+            let survives = nodes
+                .windows(2)
+                .all(|w| punctured.find_edge(w[0], w[1]).is_some());
+            if survives && dedup.insert(nodes.clone()) {
+                seeds.push((idx, Path::new(nodes)));
+            }
+        }
+    }
+    seeds
+}
+
+/// Solves a residual instance by column generation, optionally warm-started.
+///
+/// `warm` holds `(demand index, base-graph path)` seeds — typically from
+/// [`warm_seeds_from_columns`] — each a path from the demand's holding node to
+/// its destination on `topo`. Seeds that are out of range, mismatch their
+/// demand's endpoints, use a missing edge, or exceed the step budget are
+/// silently dropped (they are hints, not constraints); every demand always
+/// gets its earliest-arrival shortest path so the master starts feasible.
+pub fn solve_residual_colgen(
+    topo: &Topology,
+    demands: &[TsDemand],
+    steps: usize,
+    options: &ColGenOptions,
+    warm: &[(usize, Path)],
+) -> McfResult<ResidualColGen> {
+    if steps == 0 {
+        return Err(McfError::BadArgument("steps must be at least 1".into()));
+    }
+    let required = residual_minimum_steps(topo, demands)?;
+    if steps < required {
+        return Err(McfError::BadArgument(format!(
+            "{steps} steps is below the residual diameter {required}"
+        )));
+    }
+    options.validate().map_err(McfError::BadArgument)?;
+    let ndem = demands.len();
+    let expanded = TimeExpanded::build(topo, steps);
+    let xg = &expanded.graph;
+
+    // Row layout mirrors the nominal master: one capacity row per
+    // finite-capacity fabric arc, then one convexity row per demand — with
+    // right-hand side `amount` instead of 1, so columns carry shard units.
+    let mut arc_row: Vec<Option<usize>> = Vec::with_capacity(xg.num_edges());
+    let mut row_lower = Vec::new();
+    let mut row_upper = Vec::new();
+    for xe in 0..xg.num_edges() {
+        if !expanded.is_self_edge(xe) && xg.edge(xe).capacity.is_finite() {
+            arc_row.push(Some(row_lower.len()));
+            row_lower.push(-INF);
+            row_upper.push(0.0);
+        } else {
+            arc_row.push(None);
+        }
+    }
+    let ncap_rows = row_lower.len();
+    for d in demands {
+        row_lower.push(d.amount);
+        row_upper.push(d.amount);
+    }
+    let nrows = row_lower.len();
+
+    let fabric_arcs = |p: &Path| -> Vec<(usize, EdgeId, EdgeId)> {
+        let mut arcs = Vec::with_capacity(p.hops());
+        for (u, v) in p.links() {
+            let xe = xg
+                .find_edge(u, v)
+                .expect("pricing paths live in the expanded graph");
+            if expanded.is_self_edge(xe) {
+                continue;
+            }
+            let t = expanded.layer_of(u);
+            let base = topo
+                .find_edge(expanded.base_of(u), expanded.base_of(v))
+                .expect("expanded fabric arcs mirror base edges");
+            arcs.push((t, base, xe));
+        }
+        arcs
+    };
+    let path_column = |k: usize, arcs: &[(usize, EdgeId, EdgeId)]| -> SparseVec {
+        let mut entries: Vec<(usize, f64)> = Vec::with_capacity(arcs.len() + 1);
+        for &(_, _, xe) in arcs {
+            if let Some(r) = arc_row[xe] {
+                entries.push((r, 1.0));
+            }
+        }
+        entries.push((ncap_rows + k, 1.0));
+        SparseVec::from_entries(entries)
+    };
+    // Detour splicing, identical to the nominal solver (see
+    // `tscolgen::solve_tsmcf_colgen_among_with` for the argument).
+    let shortcut_detours = |p: &Path| -> Path {
+        let mut out: Vec<usize> = Vec::new();
+        let mut pos_of_base: HashMap<usize, usize> = HashMap::new();
+        for &x in p.nodes() {
+            let b = expanded.base_of(x);
+            if let Some(&q) = pos_of_base.get(&b) {
+                for k in q + 1..out.len() {
+                    let bb = expanded.base_of(out[k]);
+                    if pos_of_base.get(&bb) == Some(&k) {
+                        pos_of_base.remove(&bb);
+                    }
+                }
+                out.truncate(q + 1);
+                let t0 = expanded.layer_of(out[q]);
+                for t in t0 + 1..=expanded.layer_of(x) {
+                    out.push(expanded.node_at(t, b));
+                }
+            } else {
+                pos_of_base.insert(b, out.len());
+                out.push(x);
+            }
+        }
+        Path::new(out)
+    };
+    let expand_earliest = |p: &Path| -> Path {
+        let mut nodes = Vec::with_capacity(steps + 1);
+        for (i, &v) in p.nodes().iter().enumerate() {
+            nodes.push(expanded.node_at(i, v));
+        }
+        for t in p.hops() + 1..=steps {
+            nodes.push(expanded.node_at(t, p.dest()));
+        }
+        Path::new(nodes)
+    };
+
+    // Seeds: the earliest-arrival shortest path per demand (guaranteed by the
+    // diameter check above), plus whatever warm suffixes validate.
+    let mut path_sets: Vec<Vec<Path>> = Vec::with_capacity(ndem);
+    for d in demands {
+        let p = paths::shortest_path(topo, d.at, d.dest)
+            .expect("residual_minimum_steps verified reachability");
+        path_sets.push(vec![expand_earliest(&p)]);
+    }
+    for (idx, p) in warm {
+        let usable = *idx < ndem
+            && p.source() == demands[*idx].at
+            && p.dest() == demands[*idx].dest
+            && p.hops() <= steps
+            && p.is_valid_in(topo);
+        if usable {
+            path_sets[*idx].push(expand_earliest(p));
+        }
+    }
+    let mut seen: Vec<HashSet<Path>> = path_sets
+        .iter_mut()
+        .map(|set| {
+            let mut dedup = HashSet::with_capacity(set.len());
+            set.retain(|p| dedup.insert(p.clone()));
+            dedup
+        })
+        .collect();
+
+    let mut cols: Vec<SparseVec> = Vec::new();
+    let mut obj: Vec<f64> = Vec::new();
+    for t in 0..steps {
+        let entries = (0..xg.num_edges()).filter_map(|xe| {
+            let r = arc_row[xe]?;
+            let e = xg.edge(xe);
+            (expanded.layer_of(e.src) == t).then_some((r, -e.capacity))
+        });
+        cols.push(SparseVec::from_entries(entries));
+        obj.push(1.0);
+    }
+    let mut col_owner: Vec<usize> = Vec::new();
+    let mut col_arcs: Vec<Vec<(usize, EdgeId, EdgeId)>> = Vec::new();
+    for (k, set) in path_sets.into_iter().enumerate() {
+        for p in set {
+            let arcs = fabric_arcs(&p);
+            cols.push(path_column(k, &arcs));
+            obj.push(0.0);
+            col_owner.push(k);
+            col_arcs.push(arcs);
+        }
+    }
+    let seed_columns = col_owner.len();
+    let ncols = cols.len();
+    let sf = StandardForm {
+        nrows,
+        cols,
+        obj,
+        lower: vec![0.0; ncols],
+        upper: vec![INF; ncols],
+        row_lower,
+        row_upper,
+    };
+    let simplex_opts = SimplexOptions {
+        pricing: options.pricing,
+        presolve: false,
+        scaling: false,
+        ..SimplexOptions::default()
+    };
+    let mut solver = Solver::new_owned(sf, simplex_opts)?;
+
+    // Pricing sources are the *distinct holding nodes*: one Dijkstra tree per
+    // holding node prices every demand stranded there.
+    let mut starts: Vec<NodeId> = Vec::new();
+    let mut demands_of_start: Vec<Vec<usize>> = Vec::new();
+    {
+        let mut index_of_start: HashMap<NodeId, usize> = HashMap::new();
+        for (k, d) in demands.iter().enumerate() {
+            let si = *index_of_start.entry(d.at).or_insert_with(|| {
+                starts.push(d.at);
+                demands_of_start.push(Vec::new());
+                starts.len() - 1
+            });
+            demands_of_start[si].push(k);
+        }
+    }
+    let nsrc = starts.len();
+    let tol = options.tolerance;
+    let mut stats = ColGenStats::new(seed_columns);
+    let mut stabilizer = DualStabilizer::new(options.stabilization);
+    let mut partial = PartialPricing::new(options.partial_pricing, nsrc);
+    let final_sol;
+    loop {
+        let t_master = Instant::now();
+        let sol = solver.reoptimize().map_err(McfError::from)?;
+        let master_wall_secs = t_master.elapsed().as_secs_f64();
+        let total_utilization = sol.objective;
+
+        let t_pricing = Instant::now();
+        let y_raw = solver.current_duals();
+        let (y, smoothed) = stabilizer.pricing_duals(&y_raw);
+        let weights_from = |y: &[f64]| -> Vec<f64> {
+            let mut weights = vec![0.0; xg.num_edges()];
+            for (xe, r) in arc_row.iter().enumerate() {
+                if let Some(r) = *r {
+                    weights[xe] = (-y[r]).max(0.0);
+                }
+            }
+            weights
+        };
+        let mut weights = weights_from(&y);
+        let mut mu: Vec<f64> = y[ncap_rows..ncap_rows + ndem].to_vec();
+        partial.accumulate(&weights, &mu, &demands_of_start);
+
+        let price_source = |si: usize,
+                            weights: &[f64],
+                            mu: &[f64],
+                            seen: &[HashSet<Path>],
+                            candidates: &mut Vec<(f64, usize, Path)>|
+         -> bool {
+            let tree =
+                paths::weighted_shortest_path_tree(xg, expanded.node_at(0, starts[si]), weights);
+            let mut found = false;
+            for &k in &demands_of_start[si] {
+                let terminus = expanded.node_at(steps, demands[k].dest);
+                let cost = tree
+                    .distance(terminus)
+                    .expect("step budget >= residual diameter keeps termini reachable");
+                let violation = mu[k] - cost;
+                if violation > tol {
+                    let p = shortcut_detours(
+                        &tree
+                            .path_to(terminus)
+                            .expect("finite distance implies a path"),
+                    );
+                    if !seen[k].contains(&p) {
+                        candidates.push((violation, k, p));
+                        found = true;
+                    }
+                }
+            }
+            found
+        };
+
+        let mut candidates: Vec<(f64, usize, Path)> = Vec::new();
+        let mut skipped: Vec<usize> = Vec::new();
+        for si in 0..nsrc {
+            if partial.should_skip(si) {
+                skipped.push(si);
+                continue;
+            }
+            let found = price_source(si, &weights, &mu, &seen, &mut candidates);
+            partial.mark_priced(si, found);
+        }
+        let mut sources_skipped = skipped.len();
+        if candidates.is_empty() && (smoothed || !skipped.is_empty()) {
+            if smoothed {
+                stats.misprices += 1;
+                stabilizer.collapse(&y_raw);
+                weights = weights_from(&y_raw);
+                mu = y_raw[ncap_rows..ncap_rows + ndem].to_vec();
+                partial.accumulate(&weights, &mu, &demands_of_start);
+                for si in 0..nsrc {
+                    let found = price_source(si, &weights, &mu, &seen, &mut candidates);
+                    partial.mark_priced(si, found);
+                }
+            } else {
+                for si in skipped {
+                    let found = price_source(si, &weights, &mu, &seen, &mut candidates);
+                    partial.mark_priced(si, found);
+                }
+            }
+            sources_skipped = 0;
+        }
+        let pricing_wall_secs = t_pricing.elapsed().as_secs_f64();
+
+        candidates.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        let max_violation = candidates.first().map_or(0.0, |c| c.0);
+        let proved = candidates.is_empty();
+        let capped = !proved && stats.rounds.len() + 1 >= options.max_rounds;
+        candidates.truncate(options.max_columns_per_round);
+
+        let columns_in_master = stats.total_columns;
+        stats.rounds.push(ColGenRound {
+            columns_in_master,
+            columns_added: if proved || capped {
+                0
+            } else {
+                candidates.len()
+            },
+            master_wall_secs,
+            pricing_wall_secs,
+            master_iterations: sol.iterations,
+            master_pivots: sol.pivots,
+            flow_value: total_utilization,
+            max_violation,
+            sources_skipped,
+        });
+
+        if proved {
+            stats.proved_optimal = true;
+            final_sol = sol;
+            break;
+        }
+        if capped {
+            final_sol = sol;
+            break;
+        }
+
+        let mut new_cols = Vec::with_capacity(candidates.len());
+        for (_, k, p) in &candidates {
+            let arcs = fabric_arcs(p);
+            new_cols.push(NewColumn {
+                col: path_column(*k, &arcs),
+                obj: 0.0,
+                lower: 0.0,
+                upper: INF,
+            });
+            col_arcs.push(arcs);
+        }
+        solver.add_columns(&new_cols).map_err(McfError::from)?;
+        for (_, k, p) in candidates {
+            col_owner.push(k);
+            seen[k].insert(p);
+        }
+        stats.total_columns = col_owner.len();
+    }
+
+    let sol = final_sol;
+    let mut flows: Vec<Vec<Vec<(EdgeId, f64)>>> = vec![vec![Vec::new(); steps]; ndem];
+    let mut columns: Vec<TsColumn> = Vec::new();
+    {
+        let mut agg: Vec<Vec<HashMap<EdgeId, f64>>> = vec![vec![HashMap::new(); steps]; ndem];
+        for (j, &k) in col_owner.iter().enumerate() {
+            let w = sol.x[steps + j];
+            if w <= FLOW_TOL {
+                continue;
+            }
+            for &(t, base, _) in &col_arcs[j] {
+                *agg[k][t].entry(base).or_insert(0.0) += w;
+            }
+            columns.push(TsColumn {
+                owner: k,
+                weight: w,
+                arcs: col_arcs[j].iter().map(|&(t, base, _)| (t, base)).collect(),
+            });
+        }
+        for (k, per_step) in agg.into_iter().enumerate() {
+            for (t, map) in per_step.into_iter().enumerate() {
+                let mut list: Vec<(EdgeId, f64)> =
+                    map.into_iter().filter(|&(_, a)| a > FLOW_TOL).collect();
+                list.sort_unstable_by_key(|&(e, _)| e);
+                flows[k][t] = list;
+            }
+        }
+    }
+    let step_utilization: Vec<f64> = (0..steps).map(|t| sol.x[t].max(0.0)).collect();
+
+    Ok(ResidualColGen {
+        solution: ResidualSolution {
+            demands: demands.to_vec(),
+            steps,
+            step_utilization,
+            flows,
+        },
+        stats,
+        columns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tscolgen::{solve_tsmcf_colgen_among_with, solve_tsmcf_colgen_auto};
+    use crate::tsmcf::minimum_steps;
+    use a2a_topology::generators;
+
+    /// A residual instance with every shard still at its origin *is* the
+    /// all-to-all: the solvers must agree on the optimal utilization.
+    #[test]
+    fn full_all_to_all_residual_matches_the_nominal_solve() {
+        for topo in [generators::hypercube(2), generators::torus(&[3, 3])] {
+            let commodities = CommoditySet::all_pairs(topo.num_nodes());
+            let nominal = solve_tsmcf_colgen_auto(&topo).unwrap();
+            let demands: Vec<TsDemand> = commodities
+                .iter()
+                .map(|(_, s, d)| TsDemand {
+                    origin: s,
+                    dest: d,
+                    at: s,
+                    amount: 1.0,
+                })
+                .collect();
+            assert_eq!(
+                residual_minimum_steps(&topo, &demands).unwrap(),
+                nominal.solution.steps
+            );
+            let res = solve_residual_colgen(
+                &topo,
+                &demands,
+                nominal.solution.steps,
+                &ColGenOptions::default(),
+                &[],
+            )
+            .unwrap();
+            assert!(res.stats.proved_optimal, "{}: certificate", topo.name());
+            assert!(res.solution.check_consistency(&topo, 1e-6).is_empty());
+            assert!(
+                (res.solution.total_utilization() - nominal.solution.total_utilization()).abs()
+                    <= 1e-5 * (1.0 + nominal.solution.total_utilization()),
+                "{}: residual U = {} vs nominal U = {}",
+                topo.name(),
+                res.solution.total_utilization(),
+                nominal.solution.total_utilization()
+            );
+        }
+    }
+
+    /// Partial amounts (the fractional remainders of interrupted transfers)
+    /// deliver exactly and cost no more than whole shards.
+    #[test]
+    fn partial_amounts_deliver_exactly() {
+        let topo = generators::torus(&[3, 3]);
+        let demands = vec![
+            TsDemand {
+                origin: 0,
+                dest: 4,
+                at: 1,
+                amount: 0.25,
+            },
+            TsDemand {
+                origin: 0,
+                dest: 8,
+                at: 0,
+                amount: 1.0,
+            },
+            // Same (at, dest) pair twice: independent convexity rows.
+            TsDemand {
+                origin: 3,
+                dest: 4,
+                at: 1,
+                amount: 0.5,
+            },
+        ];
+        let steps = residual_minimum_steps(&topo, &demands).unwrap();
+        let res =
+            solve_residual_colgen(&topo, &demands, steps, &ColGenOptions::default(), &[]).unwrap();
+        assert!(res.stats.proved_optimal);
+        assert!(res.solution.check_consistency(&topo, 1e-6).is_empty());
+        // Exact delivery per demand (convexity RHS == amount).
+        for (idx, dem) in res.solution.demands.iter().enumerate() {
+            let mut delivered = 0.0;
+            for t in 0..res.solution.steps {
+                for &(e, a) in &res.solution.flows[idx][t] {
+                    let edge = topo.edge(e);
+                    if edge.dst == dem.dest {
+                        delivered += a;
+                    } else if edge.src == dem.dest {
+                        delivered -= a;
+                    }
+                }
+            }
+            assert!(
+                (delivered - dem.amount).abs() < 1e-6,
+                "demand {idx}: delivered {delivered}, wanted {}",
+                dem.amount
+            );
+        }
+    }
+
+    /// Replanning on a punctured fabric routes around the hole; the typed
+    /// BadTopology error fires when the destination is genuinely unreachable.
+    #[test]
+    fn punctured_fabric_reroutes_or_reports_unreachable() {
+        let topo = generators::torus(&[3, 3]);
+        let cut = topo.find_edge(0, 1).unwrap();
+        let punctured = topo.without_edges(&[cut]);
+        let demands = vec![TsDemand {
+            origin: 0,
+            dest: 1,
+            at: 0,
+            amount: 1.0,
+        }];
+        let steps = residual_minimum_steps(&punctured, &demands).unwrap();
+        assert!(steps >= 2, "the direct link is gone");
+        let res = solve_residual_colgen(&punctured, &demands, steps, &ColGenOptions::default(), &[])
+            .unwrap();
+        assert!(res.stats.proved_optimal);
+        assert!(res.solution.check_consistency(&punctured, 1e-6).is_empty());
+
+        // Directed ring: cutting 1 -> 2 disconnects 2 from 1 entirely.
+        let ring = generators::ring(3);
+        let cut = ring.find_edge(1, 2).unwrap();
+        let broken = ring.without_edges(&[cut]);
+        let stranded = vec![TsDemand {
+            origin: 0,
+            dest: 2,
+            at: 1,
+            amount: 0.5,
+        }];
+        let err = residual_minimum_steps(&broken, &stranded).unwrap_err();
+        assert!(matches!(err, McfError::BadTopology(_)));
+        assert!(err.to_string().contains("unreachable"));
+    }
+
+    /// Warm seeds harvested from the nominal incumbent pool survive the
+    /// puncture as valid suffixes, enter the master as seed columns, and leave
+    /// the certified optimum unchanged.
+    #[test]
+    fn warm_seeds_enter_the_master_and_preserve_the_optimum() {
+        let topo = generators::torus(&[3, 3]);
+        let commodities = CommoditySet::all_pairs(topo.num_nodes());
+        let steps = minimum_steps(&topo, &commodities).unwrap();
+        let nominal = solve_tsmcf_colgen_among_with(
+            &topo,
+            commodities.clone(),
+            steps,
+            &ColGenOptions::default(),
+        )
+        .unwrap();
+        assert!(!nominal.columns.is_empty());
+
+        // Kill one edge the nominal plan uses, strand the affected shards one
+        // hop downstream of their origins.
+        let cut = topo.find_edge(0, 1).unwrap();
+        let punctured = topo.without_edges(&[cut]);
+        let demands: Vec<TsDemand> = commodities
+            .iter()
+            .filter(|&(_, s, d)| s != 4 && d != 4)
+            .map(|(_, s, d)| TsDemand {
+                origin: s,
+                dest: d,
+                at: s,
+                amount: 1.0,
+            })
+            .collect();
+        let warm = warm_seeds_from_columns(
+            &nominal.columns,
+            &commodities,
+            &topo,
+            &punctured,
+            &demands,
+        );
+        assert!(
+            !warm.is_empty(),
+            "origin holdings reuse whole incumbent paths"
+        );
+        for &(idx, ref p) in &warm {
+            assert_eq!(p.source(), demands[idx].at);
+            assert_eq!(p.dest(), demands[idx].dest);
+            assert!(p.is_valid_in(&punctured));
+        }
+        let rsteps = residual_minimum_steps(&punctured, &demands).unwrap();
+        let cold =
+            solve_residual_colgen(&punctured, &demands, rsteps, &ColGenOptions::default(), &[])
+                .unwrap();
+        let warm_run =
+            solve_residual_colgen(&punctured, &demands, rsteps, &ColGenOptions::default(), &warm)
+                .unwrap();
+        assert!(cold.stats.proved_optimal && warm_run.stats.proved_optimal);
+        assert!(
+            warm_run.stats.seed_columns > cold.stats.seed_columns,
+            "warm master starts with extra columns ({} vs {})",
+            warm_run.stats.seed_columns,
+            cold.stats.seed_columns
+        );
+        assert!(
+            (warm_run.solution.total_utilization() - cold.solution.total_utilization()).abs()
+                <= 1e-5 * (1.0 + cold.solution.total_utilization())
+        );
+    }
+
+    /// Malformed demands fail with typed errors, never panics.
+    #[test]
+    fn malformed_demands_are_rejected() {
+        let topo = generators::hypercube(2);
+        let base = TsDemand {
+            origin: 0,
+            dest: 1,
+            at: 0,
+            amount: 1.0,
+        };
+        for bad in [
+            vec![],
+            vec![TsDemand { amount: 0.0, ..base }],
+            vec![TsDemand {
+                amount: f64::NAN,
+                ..base
+            }],
+            vec![TsDemand { at: 1, ..base }],
+            vec![TsDemand { dest: 9, ..base }],
+        ] {
+            assert!(matches!(
+                residual_minimum_steps(&topo, &bad).unwrap_err(),
+                McfError::BadArgument(_)
+            ));
+        }
+        // Step budget below the residual diameter.
+        assert!(matches!(
+            solve_residual_colgen(&topo, &[base], 0, &ColGenOptions::default(), &[]).unwrap_err(),
+            McfError::BadArgument(_)
+        ));
+    }
+}

@@ -64,7 +64,7 @@ use std::time::Instant;
 use a2a_lp::sparse::SparseVec;
 use a2a_lp::{NewColumn, SimplexOptions, Solver, StandardForm, INF};
 use a2a_topology::transform::TimeExpanded;
-use a2a_topology::{paths, EdgeId, Path, Topology};
+use a2a_topology::{paths, EdgeId, NodeId, Path, Topology};
 
 use crate::colgen::ColGenStats;
 use crate::colgen::{ColGenOptions, ColGenRound, ColGenSeed, DualStabilizer, PartialPricing};
@@ -75,6 +75,68 @@ use crate::types::{CommoditySet, McfError, McfResult};
 /// Column weight below which a path's flow is dropped from the extracted
 /// solution (same threshold the dense extraction uses).
 const FLOW_TOL: f64 = 1e-9;
+
+/// One positive-weight column of the incumbent master at termination: the
+/// index of the commodity (or residual demand) that owns it, its weight in the
+/// optimal basis, and its fabric arcs as `(step, base edge)` pairs in
+/// traversal order (buffering steps carry no arc).
+///
+/// The pool is what warm-started re-solves seed from: after a mid-run failure,
+/// [`crate::residual`] cuts each incumbent trajectory at the node holding the
+/// stranded shards and re-uses the suffix on the punctured fabric, so the
+/// residual master starts from routes the nominal optimum already certified.
+#[derive(Debug, Clone)]
+pub struct TsColumn {
+    /// Commodity index (for [`TsColGen`]) or demand index (for
+    /// [`crate::residual::ResidualColGen`]) owning the column.
+    pub owner: usize,
+    /// Column weight in the final solution (shards travelling this path).
+    pub weight: f64,
+    /// Fabric arcs `(step, base edge)`, ascending in step.
+    pub arcs: Vec<(usize, EdgeId)>,
+}
+
+impl TsColumn {
+    /// The base-node trajectory the column implies: `trajectory[t]` is where
+    /// the shard sits after `t` steps, starting from `source` and buffering in
+    /// place on steps without a fabric arc.
+    pub fn node_trajectory(&self, source: NodeId, steps: usize, topo: &Topology) -> Vec<NodeId> {
+        let mut nodes = Vec::with_capacity(steps + 1);
+        nodes.push(source);
+        let mut next_arc = 0;
+        for t in 0..steps {
+            let here = *nodes.last().expect("trajectory starts non-empty");
+            if next_arc < self.arcs.len() && self.arcs[next_arc].0 == t {
+                let edge = topo.edge(self.arcs[next_arc].1);
+                debug_assert_eq!(edge.src, here, "column arcs chain from the source");
+                nodes.push(edge.dst);
+                next_arc += 1;
+            } else {
+                nodes.push(here);
+            }
+        }
+        nodes
+    }
+
+    /// The chain of base nodes the column's arcs traverse, buffering steps
+    /// compressed away: `[arcs[0].src, arcs[0].dst, ...]` (empty when the
+    /// column never moves). Unlike [`TsColumn::node_trajectory`] this makes no
+    /// assumption about where the chain starts, so it also works on residual
+    /// columns that begin at a mid-fabric holding node rather than at the
+    /// commodity origin.
+    pub fn move_chain(&self, topo: &Topology) -> Vec<NodeId> {
+        let mut nodes = Vec::with_capacity(self.arcs.len() + 1);
+        for &(_, e) in &self.arcs {
+            let edge = topo.edge(e);
+            match nodes.last().copied() {
+                None => nodes.push(edge.src),
+                Some(prev) => debug_assert_eq!(prev, edge.src, "column arcs chain"),
+            }
+            nodes.push(edge.dst);
+        }
+        nodes
+    }
+}
 
 /// Result of a column-generation tsMCF solve: the time-stepped solution (same
 /// shape as the dense solver's, directly lowerable) plus the colgen statistics
@@ -88,6 +150,10 @@ pub struct TsColGen {
     pub solution: TsMcfSolution,
     /// Per-round statistics and the optimality certificate flag.
     pub stats: ColGenStats,
+    /// The incumbent column pool: every path column with positive weight in
+    /// the final master, for warm-starting re-solves (see
+    /// [`crate::residual::warm_seeds_from_columns`]).
+    pub columns: Vec<TsColumn>,
 }
 
 /// Solves tsMCF by column generation for an all-to-all among all nodes, with an
@@ -508,6 +574,7 @@ pub fn solve_tsmcf_colgen_among_with(
     // flow exactly, so the solution is junk-free by construction.
     let sol = final_sol;
     let mut flows: Vec<Vec<Vec<(EdgeId, f64)>>> = vec![vec![Vec::new(); steps]; ncomm];
+    let mut columns: Vec<TsColumn> = Vec::new();
     {
         let mut agg: Vec<Vec<HashMap<EdgeId, f64>>> = vec![vec![HashMap::new(); steps]; ncomm];
         for (j, &k) in col_owner.iter().enumerate() {
@@ -518,6 +585,11 @@ pub fn solve_tsmcf_colgen_among_with(
             for &(t, base, _) in &col_arcs[j] {
                 *agg[k][t].entry(base).or_insert(0.0) += w;
             }
+            columns.push(TsColumn {
+                owner: k,
+                weight: w,
+                arcs: col_arcs[j].iter().map(|&(t, base, _)| (t, base)).collect(),
+            });
         }
         for (k, per_step) in agg.into_iter().enumerate() {
             for (t, map) in per_step.into_iter().enumerate() {
@@ -538,6 +610,7 @@ pub fn solve_tsmcf_colgen_among_with(
             flows,
         },
         stats,
+        columns,
     })
 }
 

@@ -319,10 +319,72 @@ pub fn solve_tsmcf_among(
     solve_tsmcf_among_with(topo, commodities, steps, &SimplexOptions::default())
 }
 
-/// [`solve_tsmcf_among`] with explicit LP solver options (pricing, presolve,
-/// scaling). The time-expanded LPs carry thousands of forced-zero "useless flow"
-/// variables, so presolve pays off disproportionately here.
+/// Above this many dense flow variables (commodities × expanded edges) the
+/// dense edge formulation's degenerate plateaus dominate solve time and
+/// [`solve_tsmcf_among_with`] dispatches to the stabilized column-generation
+/// backend instead. The bench-quick instances (torus-3x3 ≈ 6.5k vars,
+/// hypercube-3 ≈ 5.4k) sit comfortably on the dense side; fig3/fig4-scale
+/// instances (hypercube-4 ≈ 77k) are colgen territory.
+pub const DENSE_COLGEN_CUTOVER_VARS: usize = 20_000;
+
+/// Number of flow variables the dense formulation would allocate for an
+/// instance: one per (commodity, expanded edge), where each of the `steps`
+/// layers carries `|E|` fabric arcs and `|V|` buffering self arcs.
+pub fn dense_instance_vars(topo: &Topology, commodities: &CommoditySet, steps: usize) -> usize {
+    commodities.len() * steps * (topo.num_edges() + topo.num_nodes())
+}
+
+/// [`solve_tsmcf_among`] with explicit LP solver options — **auto-dispatching**
+/// between the dense edge formulation and column generation by instance size.
+///
+/// Instances up to [`DENSE_COLGEN_CUTOVER_VARS`] dense variables solve the
+/// edge LP directly ([`solve_tsmcf_among_dense_with`]); larger ones go to the
+/// stabilized delivery-exact column generation
+/// ([`crate::tscolgen::solve_tsmcf_colgen_among_with`]), which is orders of
+/// magnitude faster there and junk-free by construction. Both backends return
+/// the same [`TsMcfSolution`] shape and certify the same optimum, so callers —
+/// the re-planning driver's clairvoyant re-solves in particular — can use this
+/// one entry point at any scale. The `options` pricing rule is forwarded to
+/// whichever backend runs; dense-only knobs (presolve, scaling) apply only on
+/// the dense side. Note the dense backend's solutions may carry undelivered
+/// junk flow (see [`TsMcfSolution::pruned`]); colgen's never do.
 pub fn solve_tsmcf_among_with(
+    topo: &Topology,
+    commodities: CommoditySet,
+    steps: usize,
+    options: &SimplexOptions,
+) -> McfResult<TsMcfSolution> {
+    if dense_instance_vars(topo, &commodities, steps) > DENSE_COLGEN_CUTOVER_VARS {
+        let colgen_opts = crate::colgen::ColGenOptions {
+            pricing: options.pricing,
+            ..crate::colgen::ColGenOptions::stabilized()
+        };
+        let cg = crate::tscolgen::solve_tsmcf_colgen_among_with(
+            topo,
+            commodities,
+            steps,
+            &colgen_opts,
+        )?;
+        return Ok(cg.solution);
+    }
+    solve_tsmcf_among_dense_with(topo, commodities, steps, options)
+}
+
+/// The dense edge formulation with default LP options, regardless of instance
+/// size. Pin a test or comparison to this entry when the *dense* simplex
+/// vertex itself is the object of interest (e.g. its junk-flow behavior).
+pub fn solve_tsmcf_among_dense(
+    topo: &Topology,
+    commodities: CommoditySet,
+    steps: usize,
+) -> McfResult<TsMcfSolution> {
+    solve_tsmcf_among_dense_with(topo, commodities, steps, &SimplexOptions::default())
+}
+
+/// [`solve_tsmcf_among_dense`] with explicit LP solver options (pricing,
+/// presolve, scaling). The time-expanded LPs carry thousands of forced-zero
+/// "useless flow" variables, so presolve pays off disproportionately here.
+pub fn solve_tsmcf_among_dense_with(
     topo: &Topology,
     commodities: CommoditySet,
     steps: usize,
@@ -597,6 +659,34 @@ mod tests {
             assert!(amount > 0.5);
             assert!(e < topo.num_edges());
         }
+    }
+
+    /// The auto-dispatch sizing: bench-quick instances stay dense, fig-scale
+    /// ones cross the cutover into colgen (where the dense plateaus would
+    /// dominate), and the explicit dense entry agrees with the dispatcher on
+    /// the dense side bit-for-bit.
+    #[test]
+    fn dispatch_cutover_splits_quick_from_fig_scale() {
+        let small = generators::torus(&[3, 3]);
+        let c_small = CommoditySet::all_pairs(small.num_nodes());
+        let s_small = minimum_steps(&small, &c_small).unwrap();
+        assert!(dense_instance_vars(&small, &c_small, s_small) <= DENSE_COLGEN_CUTOVER_VARS);
+
+        let big = generators::hypercube(4);
+        let c_big = CommoditySet::all_pairs(big.num_nodes());
+        let s_big = minimum_steps(&big, &c_big).unwrap();
+        assert!(dense_instance_vars(&big, &c_big, s_big) > DENSE_COLGEN_CUTOVER_VARS);
+
+        let dispatched = solve_tsmcf_among_with(
+            &small,
+            c_small.clone(),
+            s_small,
+            &SimplexOptions::default(),
+        )
+        .unwrap();
+        let dense = solve_tsmcf_among_dense(&small, c_small, s_small).unwrap();
+        assert_eq!(dispatched.step_utilization, dense.step_utilization);
+        assert_eq!(dispatched.flows, dense.flows);
     }
 
     #[test]

@@ -1,0 +1,531 @@
+//! Splicing a repaired suffix onto the executed prefix of an interrupted run.
+//!
+//! When the event simulator interrupts a schedule mid-run, the chunks are
+//! scattered: the executed prefix (including the truncated step in flight at
+//! the failure) left every chunk either delivered or buffered at some rank.
+//! The re-planning loop solves a residual instance
+//! ([`a2a_mcf::residual`]) for the undelivered chunks on the punctured fabric
+//! and this module turns that plan back into executable schedule steps:
+//!
+//! * [`lower_residual_suffix`] quantizes the residual flows into whole-chunk
+//!   transfers, starting from the holding nodes instead of the origins — the
+//!   residual analog of [`ChunkedSchedule::from_tsmcf_exact`];
+//! * [`greedy_reroute_suffix`] is the graceful-degradation fallback when the
+//!   residual LP is unavailable (infeasible puncture pre-check, solve-time
+//!   budget exceeded): every demand walks a shortest path hop by hop, one hop
+//!   per step — correct and failure-free whenever the destinations are
+//!   reachable at all, just not bandwidth-optimal;
+//! * [`splice_schedule`] concatenates prefix and suffix into one
+//!   [`SplicedSchedule`], re-validates the whole thing against the original
+//!   topology (the prefix legally used links that have since died; the suffix
+//!   must not — pass them as `forbidden`), and so certifies that every
+//!   commodity still delivers exactly one shard end-to-end across the
+//!   prefix/suffix boundary;
+//! * [`realized_route_table`] replays a chunked schedule into the per-chunk
+//!   route table it actually realizes (FIFO provenance, the discipline of
+//!   [`crate::exec::TransferDag`]), so spliced schedules can be checked with
+//!   [`RouteTable::validate`] like any source-routed artifact.
+
+use std::collections::VecDeque;
+
+use a2a_mcf::residual::{ResidualSolution, TsDemand};
+use a2a_mcf::CommoditySet;
+use a2a_topology::{paths, NodeId, Path, Topology};
+
+use crate::ir::{ChunkTransfer, ChunkedSchedule, ScheduleStep};
+use crate::routes::{CommodityRoutes, Route, RouteTable};
+
+/// A schedule stitched from the executed prefix of an interrupted run and a
+/// re-planned suffix, validated end-to-end.
+#[derive(Debug, Clone)]
+pub struct SplicedSchedule {
+    /// The full schedule: prefix steps followed by suffix steps. Passes
+    /// [`ChunkedSchedule::validate`] against the original topology.
+    pub schedule: ChunkedSchedule,
+    /// Number of leading steps that replay the executed prefix (the last of
+    /// them may be the truncated in-flight step of the failure instant).
+    pub prefix_steps: usize,
+    /// Number of trailing steps contributed by the re-planned suffix.
+    pub suffix_steps: usize,
+}
+
+/// Converts a demand's shard amount to its whole-chunk count. The re-planning
+/// snapshot counts whole chunks and builds amounts as `chunks / cps`, so the
+/// round-trip is exact.
+fn demand_chunks(demand: &TsDemand, chunks_per_shard: usize) -> usize {
+    (demand.amount * chunks_per_shard as f64).round() as usize
+}
+
+/// Quantizes a residual plan into executable schedule steps on the punctured
+/// topology.
+///
+/// Each demand's chunks start buffered at its holding node; fractional
+/// transfers are rounded to whole chunks capped by what the sender holds
+/// (the discipline of the nominal lowering), and chunks stranded by rounding
+/// are flushed one hop per extra step along shortest punctured paths. Fails
+/// with a description when a flush target is unreachable or rounding cannot
+/// settle — never panics.
+pub fn lower_residual_suffix(
+    punctured: &Topology,
+    residual: &ResidualSolution,
+    chunks_per_shard: usize,
+) -> Result<Vec<ScheduleStep>, String> {
+    if chunks_per_shard == 0 {
+        return Err("granularity must be positive".into());
+    }
+    let num_ranks = punctured.num_nodes();
+    let ndem = residual.demands.len();
+    // Remaining chunks of each *demand* at each rank (demands of the same
+    // commodity at different holding nodes stay separate here; the emitted
+    // transfers carry only the commodity labels).
+    let mut buffered: Vec<Vec<usize>> = vec![vec![0; num_ranks]; ndem];
+    for (k, d) in residual.demands.iter().enumerate() {
+        buffered[k][d.at] = demand_chunks(d, chunks_per_shard);
+    }
+    let mut steps = Vec::with_capacity(residual.steps);
+    for t in 0..residual.steps {
+        let mut step = ScheduleStep::default();
+        let mut arrivals: Vec<(usize, NodeId, usize)> = Vec::new();
+        for (k, dem) in residual.demands.iter().enumerate() {
+            for &(e, amount) in &residual.flows[k][t] {
+                let edge = punctured.edge(e);
+                let want = (amount * chunks_per_shard as f64).round() as usize;
+                let want = want.max(if amount > 1e-9 { 1 } else { 0 });
+                let available = buffered[k][edge.src];
+                let chunks = want.min(available);
+                if chunks == 0 {
+                    continue;
+                }
+                buffered[k][edge.src] -= chunks;
+                arrivals.push((k, edge.dst, chunks));
+                step.transfers.push(ChunkTransfer {
+                    from: edge.src,
+                    to: edge.dst,
+                    origin: dem.origin,
+                    final_dest: dem.dest,
+                    chunks,
+                });
+            }
+        }
+        for (k, node, chunks) in arrivals {
+            buffered[k][node] += chunks;
+        }
+        steps.push(step);
+    }
+    // Flush rounding residue one hop per extra step, exactly like the nominal
+    // lowering — but on the punctured fabric, so the flush can never route
+    // through a dead link.
+    let mut extra_guard = 0;
+    loop {
+        let mut flush = ScheduleStep::default();
+        let mut flush_arrivals: Vec<(usize, NodeId, usize)> = Vec::new();
+        for (k, dem) in residual.demands.iter().enumerate() {
+            for rank in 0..num_ranks {
+                if rank == dem.dest || buffered[k][rank] == 0 {
+                    continue;
+                }
+                let path = paths::shortest_path(punctured, rank, dem.dest).ok_or_else(|| {
+                    format!(
+                        "demand {k}: destination {} unreachable from {rank} while flushing",
+                        dem.dest
+                    )
+                })?;
+                let next = path.nodes()[1];
+                let chunks = buffered[k][rank];
+                buffered[k][rank] = 0;
+                flush_arrivals.push((k, next, chunks));
+                flush.transfers.push(ChunkTransfer {
+                    from: rank,
+                    to: next,
+                    origin: dem.origin,
+                    final_dest: dem.dest,
+                    chunks,
+                });
+            }
+        }
+        for (k, node, chunks) in flush_arrivals {
+            buffered[k][node] += chunks;
+        }
+        if flush.transfers.is_empty() {
+            break;
+        }
+        steps.push(flush);
+        extra_guard += 1;
+        if extra_guard > num_ranks {
+            return Err("rounding residue failed to settle within the flush budget".into());
+        }
+    }
+    Ok(steps)
+}
+
+/// Graceful-degradation fallback: route every demand along a shortest path of
+/// the punctured topology, one hop per step, all demands concurrently.
+///
+/// Ignores bandwidth entirely — links shared by many demands serialize inside
+/// a step and the simulated makespan shows it — but it always terminates
+/// (each demand strictly approaches its destination) and fails *typed*, not
+/// by panicking, when a destination is unreachable.
+pub fn greedy_reroute_suffix(
+    punctured: &Topology,
+    demands: &[TsDemand],
+    chunks_per_shard: usize,
+) -> Result<Vec<ScheduleStep>, String> {
+    if chunks_per_shard == 0 {
+        return Err("granularity must be positive".into());
+    }
+    let mut position: Vec<NodeId> = demands.iter().map(|d| d.at).collect();
+    let chunks: Vec<usize> = demands
+        .iter()
+        .map(|d| demand_chunks(d, chunks_per_shard))
+        .collect();
+    let mut steps = Vec::new();
+    loop {
+        let mut step = ScheduleStep::default();
+        for (k, dem) in demands.iter().enumerate() {
+            if position[k] == dem.dest || chunks[k] == 0 {
+                continue;
+            }
+            let path = paths::shortest_path(punctured, position[k], dem.dest).ok_or_else(|| {
+                format!(
+                    "demand {k}: destination {} unreachable from {} on the punctured fabric",
+                    dem.dest, position[k]
+                )
+            })?;
+            let next = path.nodes()[1];
+            step.transfers.push(ChunkTransfer {
+                from: position[k],
+                to: next,
+                origin: dem.origin,
+                final_dest: dem.dest,
+                chunks: chunks[k],
+            });
+            position[k] = next;
+        }
+        if step.transfers.is_empty() {
+            return Ok(steps);
+        }
+        steps.push(step);
+        if steps.len() > punctured.num_nodes() * 2 {
+            return Err("greedy reroute failed to converge (shortest paths cycle?)".into());
+        }
+    }
+}
+
+/// Concatenates the executed prefix and a re-planned suffix into one schedule
+/// and re-validates it end-to-end.
+///
+/// `reference` supplies the rank count, commodity set and chunk granularity of
+/// the interrupted schedule. `topo` must be the *original* (pre-failure)
+/// topology: the prefix legally used links that died later. `forbidden` lists
+/// the dead links as `(src, dst)` pairs; any suffix transfer over one of them
+/// is rejected — the re-planned tail must survive on the punctured fabric.
+///
+/// On success every commodity provably delivers exactly one shard across the
+/// prefix/suffix boundary: that is what [`ChunkedSchedule::validate`] checks
+/// from the nominal initial buffers.
+pub fn splice_schedule(
+    topo: &Topology,
+    reference: &ChunkedSchedule,
+    executed_prefix: &[ScheduleStep],
+    suffix: &[ScheduleStep],
+    forbidden: &[(NodeId, NodeId)],
+) -> Result<SplicedSchedule, String> {
+    for (t, step) in suffix.iter().enumerate() {
+        for tr in &step.transfers {
+            if forbidden.contains(&(tr.from, tr.to)) {
+                return Err(format!(
+                    "suffix step {t}: transfer {}->{} uses a failed link",
+                    tr.from, tr.to
+                ));
+            }
+        }
+    }
+    let schedule = ChunkedSchedule {
+        num_ranks: reference.num_ranks,
+        commodities: reference.commodities.clone(),
+        chunks_per_shard: reference.chunks_per_shard,
+        steps: executed_prefix
+            .iter()
+            .chain(suffix.iter())
+            .cloned()
+            .collect(),
+    };
+    let issues = schedule.validate(topo);
+    if !issues.is_empty() {
+        return Err(format!("spliced schedule is invalid: {}", issues.join("; ")));
+    }
+    Ok(SplicedSchedule {
+        schedule,
+        prefix_steps: executed_prefix.len(),
+        suffix_steps: suffix.len(),
+    })
+}
+
+/// Replays a chunked schedule into the per-chunk route table it realizes.
+///
+/// Chunk identity follows the FIFO buffering discipline of
+/// [`crate::exec::TransferDag`]: a transfer forwards the oldest buffered
+/// chunks of its commodity at the sender, so every chunk's node trajectory is
+/// deterministic. Identical trajectories aggregate into one [`Route`] whose
+/// chunk count and weight reflect how many chunks actually travelled it
+/// (single layer — the table describes realized store-and-forward movement,
+/// not a VC assignment). Fails when some commodity does not deliver all its
+/// chunks — for a validated [`SplicedSchedule`] this cannot happen.
+pub fn realized_route_table(
+    schedule: &ChunkedSchedule,
+    commodities: &CommoditySet,
+) -> Result<RouteTable, String> {
+    let ncomm = commodities.len();
+    // FIFO of chunk trajectories per (commodity, rank).
+    let mut buffers: Vec<Vec<VecDeque<Vec<NodeId>>>> =
+        vec![vec![VecDeque::new(); schedule.num_ranks]; ncomm];
+    for (idx, s, _) in commodities.iter() {
+        for _ in 0..schedule.chunks_per_shard {
+            buffers[idx][s].push_back(vec![s]);
+        }
+    }
+    for (t, step) in schedule.steps.iter().enumerate() {
+        let mut arrivals: Vec<(usize, NodeId, Vec<Vec<NodeId>>)> = Vec::new();
+        for tr in &step.transfers {
+            let idx = commodities
+                .index_of(tr.origin, tr.final_dest)
+                .ok_or_else(|| {
+                    format!(
+                        "step {t}: unknown commodity {}->{}",
+                        tr.origin, tr.final_dest
+                    )
+                })?;
+            let fifo = &mut buffers[idx][tr.from];
+            if fifo.len() < tr.chunks {
+                return Err(format!(
+                    "step {t}: rank {} sends {} chunks of {}->{} but holds {}",
+                    tr.from,
+                    tr.chunks,
+                    tr.origin,
+                    tr.final_dest,
+                    fifo.len()
+                ));
+            }
+            let mut moved: Vec<Vec<NodeId>> = fifo.drain(..tr.chunks).collect();
+            for trajectory in &mut moved {
+                trajectory.push(tr.to);
+            }
+            arrivals.push((idx, tr.to, moved));
+        }
+        for (idx, node, moved) in arrivals {
+            buffers[idx][node].extend(moved);
+        }
+    }
+    let mut table = Vec::with_capacity(ncomm);
+    for (idx, s, d) in commodities.iter() {
+        let delivered = &buffers[idx][d];
+        if delivered.len() != schedule.chunks_per_shard {
+            return Err(format!(
+                "commodity {s}->{d}: {} of {} chunks delivered",
+                delivered.len(),
+                schedule.chunks_per_shard
+            ));
+        }
+        // Aggregate identical trajectories into weighted routes.
+        let mut routes: Vec<(Vec<NodeId>, usize)> = Vec::new();
+        for trajectory in delivered {
+            match routes.iter_mut().find(|(nodes, _)| nodes == trajectory) {
+                Some((_, count)) => *count += 1,
+                None => routes.push((trajectory.clone(), 1)),
+            }
+        }
+        table.push(CommodityRoutes {
+            src: s,
+            dst: d,
+            routes: routes
+                .into_iter()
+                .map(|(nodes, count)| Route {
+                    path: Path::new(nodes),
+                    weight: count as f64 / schedule.chunks_per_shard as f64,
+                    chunks: count,
+                    layer: 0,
+                })
+                .collect(),
+        });
+    }
+    Ok(RouteTable {
+        commodities: table,
+        chunks_per_shard: schedule.chunks_per_shard,
+        num_layers: 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a2a_mcf::residual::{residual_minimum_steps, solve_residual_colgen};
+    use a2a_mcf::{solve_tsmcf_colgen_auto, ColGenOptions};
+    use a2a_topology::generators;
+
+    /// Replays a prefix from nominal initial buffers and returns the per-rank
+    /// chunk holdings of every commodity: the ground truth a snapshot reports.
+    fn holdings_after(
+        schedule: &ChunkedSchedule,
+        prefix: &[ScheduleStep],
+    ) -> Vec<Vec<usize>> {
+        let mut buffered = vec![vec![0usize; schedule.num_ranks]; schedule.commodities.len()];
+        for (idx, s, _) in schedule.commodities.iter() {
+            buffered[idx][s] = schedule.chunks_per_shard;
+        }
+        for step in prefix {
+            let mut arrivals = Vec::new();
+            for tr in &step.transfers {
+                let idx = schedule
+                    .commodities
+                    .index_of(tr.origin, tr.final_dest)
+                    .unwrap();
+                assert!(buffered[idx][tr.from] >= tr.chunks);
+                buffered[idx][tr.from] -= tr.chunks;
+                arrivals.push((idx, tr.to, tr.chunks));
+            }
+            for (idx, node, chunks) in arrivals {
+                buffered[idx][node] += chunks;
+            }
+        }
+        buffered
+    }
+
+    fn demands_from_holdings(
+        schedule: &ChunkedSchedule,
+        buffered: &[Vec<usize>],
+    ) -> Vec<TsDemand> {
+        let cps = schedule.chunks_per_shard as f64;
+        let mut demands = Vec::new();
+        for (idx, s, d) in schedule.commodities.iter() {
+            for (rank, &chunks) in buffered[idx].iter().enumerate() {
+                if chunks > 0 && rank != d {
+                    demands.push(TsDemand {
+                        origin: s,
+                        dest: d,
+                        at: rank,
+                        amount: chunks as f64 / cps,
+                    });
+                }
+            }
+        }
+        demands
+    }
+
+    /// The full splice pipeline on a mid-schedule cut: prefix replayed, the
+    /// residual solved on the punctured torus, suffix lowered and spliced —
+    /// and the result passes both schedule validation and the realized route
+    /// table validation.
+    #[test]
+    fn residual_suffix_splices_onto_an_executed_prefix() {
+        let topo = generators::torus(&[3, 3]);
+        let cg = solve_tsmcf_colgen_auto(&topo).unwrap();
+        let nominal = ChunkedSchedule::from_tsmcf_exact(&topo, &cg.solution, 8).unwrap();
+        assert!(nominal.num_steps() >= 2);
+
+        // Cut after the first step; kill a link the rest of the plan uses.
+        let prefix = &nominal.steps[..1];
+        let buffered = holdings_after(&nominal, prefix);
+        let dead = (0usize, 1usize);
+        let punctured = topo.without_edges(&[topo.find_edge(dead.0, dead.1).unwrap()]);
+        let demands = demands_from_holdings(&nominal, &buffered);
+        assert!(!demands.is_empty());
+
+        let steps = residual_minimum_steps(&punctured, &demands).unwrap();
+        let res = solve_residual_colgen(&punctured, &demands, steps, &ColGenOptions::default(), &[])
+            .unwrap();
+        assert!(res.stats.proved_optimal);
+        let suffix = lower_residual_suffix(&punctured, &res.solution, nominal.chunks_per_shard)
+            .unwrap();
+        let spliced = splice_schedule(&topo, &nominal, prefix, &suffix, &[dead]).unwrap();
+        assert_eq!(spliced.prefix_steps, 1);
+        assert_eq!(spliced.suffix_steps, suffix.len());
+        assert!(spliced.schedule.validate(&topo).is_empty());
+
+        let table = realized_route_table(&spliced.schedule, &spliced.schedule.commodities).unwrap();
+        assert!(table.validate().is_empty());
+        // No chunk of the suffix crossed the dead link after the cut: every
+        // realized trajectory's post-prefix hops avoid it. (The prefix itself
+        // ran before the failure, so hops there may legally use it.)
+        for c in &table.commodities {
+            let total: usize = c.routes.iter().map(|r| r.chunks).sum();
+            assert_eq!(total, spliced.schedule.chunks_per_shard);
+        }
+    }
+
+    /// The greedy fallback survives punctures the LP never sees and the splice
+    /// still validates end-to-end.
+    #[test]
+    fn greedy_fallback_splices_and_validates() {
+        let topo = generators::torus(&[3, 3]);
+        let cg = solve_tsmcf_colgen_auto(&topo).unwrap();
+        let nominal = ChunkedSchedule::from_tsmcf_exact(&topo, &cg.solution, 8).unwrap();
+        let prefix = &nominal.steps[..1];
+        let buffered = holdings_after(&nominal, prefix);
+        let dead = (3usize, 4usize);
+        let punctured = topo.without_edges(&[topo.find_edge(dead.0, dead.1).unwrap()]);
+        let demands = demands_from_holdings(&nominal, &buffered);
+        let suffix =
+            greedy_reroute_suffix(&punctured, &demands, nominal.chunks_per_shard).unwrap();
+        let spliced = splice_schedule(&topo, &nominal, prefix, &suffix, &[dead]).unwrap();
+        assert!(spliced.schedule.validate(&topo).is_empty());
+        assert!(
+            realized_route_table(&spliced.schedule, &spliced.schedule.commodities)
+                .unwrap()
+                .validate()
+                .is_empty()
+        );
+    }
+
+    /// A suffix that touches a forbidden (dead) link is rejected before any
+    /// validation replay.
+    #[test]
+    fn suffix_over_a_dead_link_is_rejected() {
+        let topo = generators::torus(&[3, 3]);
+        let cg = solve_tsmcf_colgen_auto(&topo).unwrap();
+        let nominal = ChunkedSchedule::from_tsmcf_exact(&topo, &cg.solution, 8).unwrap();
+        let mut bad = ScheduleStep::default();
+        bad.transfers.push(ChunkTransfer {
+            from: 0,
+            to: 1,
+            origin: 0,
+            final_dest: 1,
+            chunks: 1,
+        });
+        let err = splice_schedule(&topo, &nominal, &nominal.steps, &[bad], &[(0, 1)]).unwrap_err();
+        assert!(err.contains("failed link"), "{err}");
+    }
+
+    /// Unreachable destinations surface as typed errors from the fallback.
+    #[test]
+    fn greedy_fallback_reports_unreachable_destinations() {
+        let ring = generators::ring(3);
+        let broken = ring.without_edges(&[ring.find_edge(1, 2).unwrap()]);
+        let demands = vec![TsDemand {
+            origin: 0,
+            dest: 2,
+            at: 1,
+            amount: 1.0,
+        }];
+        let err = greedy_reroute_suffix(&broken, &demands, 4).unwrap_err();
+        assert!(err.contains("unreachable"), "{err}");
+    }
+
+    /// The realized route table of a nominal (unspliced) schedule: one shard
+    /// per commodity, trajectories from origin to destination.
+    #[test]
+    fn realized_routes_cover_every_shard() {
+        let topo = generators::hypercube(3);
+        let cg = solve_tsmcf_colgen_auto(&topo).unwrap();
+        let sched = ChunkedSchedule::from_tsmcf_exact(&topo, &cg.solution, 8).unwrap();
+        let table = realized_route_table(&sched, &sched.commodities).unwrap();
+        assert!(table.validate().is_empty());
+        assert_eq!(table.commodities.len(), sched.commodities.len());
+        for c in &table.commodities {
+            for r in &c.routes {
+                assert_eq!(r.path.source(), c.src);
+                assert_eq!(r.path.dest(), c.dst);
+                assert!(r.path.is_valid_in(&topo));
+            }
+        }
+    }
+}

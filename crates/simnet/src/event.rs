@@ -44,9 +44,11 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use a2a_schedule::{ChunkedSchedule, TransferDag};
+use a2a_mcf::CommoditySet;
+use a2a_schedule::{ChunkTransfer, ChunkedSchedule, ScheduleStep, TransferDag};
 use a2a_topology::{EdgeId, NodeId, Topology};
 
+use crate::scenario::ScenarioTimeline;
 use crate::{Scenario, SimParams, SimReport};
 
 /// How the engine orders transfers in time.
@@ -102,6 +104,8 @@ pub enum SimError {
         /// Total jobs in the schedule.
         total: usize,
     },
+    /// The requested run mode is not implemented for this engine configuration.
+    Unsupported(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -117,6 +121,7 @@ impl std::fmt::Display for SimError {
             SimError::Stalled { completed, total } => {
                 write!(f, "simulation stalled after {completed}/{total} jobs")
             }
+            SimError::Unsupported(msg) => write!(f, "unsupported run mode: {msg}"),
         }
     }
 }
@@ -212,9 +217,52 @@ pub fn simulate_chunked_event(
     options: &EventSimOptions,
 ) -> SimResult<EventReport> {
     let dag = TransferDag::from_schedule(schedule).map_err(SimError::InvalidSchedule)?;
-    let chunk_bytes = shard_bytes / schedule.chunks_per_shard as f64;
+    let (jobs, link_bw) =
+        resolve_jobs(topo, schedule, shard_bytes, params, &options.scenario, &dag)?;
 
-    // Resolve every transfer onto a live link up front.
+    // Per-message α multipliers (1.0 without jitter). Job ids are the
+    // schedule's step-major transfer order, the message identity the scenario
+    // keys its draw on.
+    let alpha_factor: Vec<f64> = (0..jobs.len())
+        .map(|id| options.scenario.alpha_factor(id))
+        .collect();
+
+    let mut engine = Engine {
+        jobs: &jobs,
+        dag: &dag,
+        link_bw: link_bw.clone(),
+        params,
+        alpha_factor: &alpha_factor,
+        num_nodes: topo.num_nodes(),
+        num_steps: dag.num_steps,
+        link_seen: vec![0; topo.num_edges()],
+        seen_epoch: 0,
+    };
+    let outcome = match options.model {
+        ExecutionModel::Synchronized => engine.run_synchronized(),
+        ExecutionModel::DependencyDriven => engine.run_dependency_driven()?,
+    };
+    Ok(build_report(
+        schedule,
+        shard_bytes,
+        &jobs,
+        &link_bw,
+        outcome,
+    ))
+}
+
+/// Resolves every transfer of the schedule onto a live link up front, under the
+/// given (static) scenario. Returns the fluid jobs plus the per-edge effective
+/// bandwidths of the used links (unused links stay at `+inf`).
+fn resolve_jobs(
+    topo: &Topology,
+    schedule: &ChunkedSchedule,
+    shard_bytes: f64,
+    params: &SimParams,
+    scenario: &Scenario,
+    dag: &TransferDag,
+) -> SimResult<(Vec<SimJob>, Vec<f64>)> {
+    let chunk_bytes = shard_bytes / schedule.chunks_per_shard as f64;
     let mut jobs = Vec::with_capacity(dag.jobs.len());
     let mut link_bw = vec![f64::INFINITY; topo.num_edges()];
     for j in &dag.jobs {
@@ -223,8 +271,7 @@ pub fn simulate_chunked_event(
             from: j.from,
             to: j.to,
         })?;
-        let bw = options
-            .scenario
+        let bw = scenario
             .effective_bandwidth(topo, link, params)
             .ok_or(SimError::FailedLink {
                 step: j.step,
@@ -240,33 +287,21 @@ pub fn simulate_chunked_event(
             step: j.step,
         });
     }
+    Ok((jobs, link_bw))
+}
 
-    // Per-message α multipliers (1.0 without jitter). Job ids are the
-    // schedule's step-major transfer order, the message identity the scenario
-    // keys its draw on.
-    let alpha_factor: Vec<f64> = (0..jobs.len())
-        .map(|id| options.scenario.alpha_factor(id))
-        .collect();
-
-    let mut engine = Engine {
-        jobs: &jobs,
-        dag: &dag,
-        link_bw: &link_bw,
-        params,
-        alpha_factor: &alpha_factor,
-        num_nodes: topo.num_nodes(),
-        num_steps: dag.num_steps,
-        link_seen: vec![0; topo.num_edges()],
-        seen_epoch: 0,
-    };
-    let outcome = match options.model {
-        ExecutionModel::Synchronized => engine.run_synchronized(),
-        ExecutionModel::DependencyDriven => engine.run_dependency_driven()?,
-    };
-
+/// Assembles the [`EventReport`] from a finished engine run. Utilization uses the
+/// links' bandwidths at the start of the run (for timeline runs, the t=0 values).
+fn build_report(
+    schedule: &ChunkedSchedule,
+    shard_bytes: f64,
+    jobs: &[SimJob],
+    link_bw: &[f64],
+    outcome: Outcome,
+) -> EventReport {
     let makespan = outcome.completion;
-    let mut per_link = vec![LinkUsage::default(); topo.num_edges()];
-    for job in &jobs {
+    let mut per_link = vec![LinkUsage::default(); link_bw.len()];
+    for job in jobs {
         per_link[job.link].bytes += job.bytes;
     }
     for (e, busy) in outcome.link_busy.iter().enumerate() {
@@ -275,13 +310,382 @@ pub fn simulate_chunked_event(
             per_link[e].utilization = per_link[e].bytes / (link_bw[e] * makespan);
         }
     }
-    Ok(EventReport {
+    EventReport {
         report: SimReport::new(schedule.commodities.num_endpoints(), shard_bytes, makespan),
         per_link,
         step_completion_secs: outcome.step_completion,
         num_jobs: jobs.len(),
         max_concurrent_flows: outcome.max_concurrent,
-    })
+    }
+}
+
+/// Where the chunks of one commodity sit at snapshot time: `chunks` whole chunks
+/// of commodity `(origin → final_dest)` held at rank `at` (equal to `final_dest`
+/// for delivered chunks). `stranded_chunks` of them were committed to a transfer
+/// whose link failed mid-flight — they are retained whole at the sender and
+/// re-enter the residual problem from there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkHolding {
+    /// Commodity source rank.
+    pub origin: NodeId,
+    /// Commodity destination rank.
+    pub final_dest: NodeId,
+    /// Rank currently holding the chunks.
+    pub at: NodeId,
+    /// Whole chunks held (delivered if `at == final_dest`).
+    pub chunks: usize,
+    /// Chunks of `chunks` that were cut off a failed link (`<= chunks`).
+    pub stranded_chunks: usize,
+}
+
+/// The in-flight state of a run interrupted by a mid-run link failure: where
+/// every chunk is, what was executed, and the exact byte ledger of the cut.
+///
+/// **Partial-transfer accounting.** Every transfer active at the failure instant
+/// is cut: the receiver keeps the whole chunks that fully drained; the rest stay
+/// whole at the sender (a partially-drained chunk is retransmitted — its drained
+/// bytes are reported in [`InFlightSnapshot::in_flight_bytes`], not silently
+/// lost). Sender-retained chunks of a transfer whose *own link failed* are
+/// marked stranded; retained chunks of live-link transfers are ordinary buffered
+/// chunks. Chunk conservation is exact:
+/// `delivered_chunks + buffered_chunks + stranded_chunks == total_chunks`, and in
+/// bytes `delivered_bytes + buffered_bytes + stranded_bytes + in_flight_bytes ==
+/// total_bytes` (the partially-drained fraction of each cut chunk is carried by
+/// `in_flight_bytes`; its undrained fraction by the stranded/buffered class of
+/// its sender-retained chunk).
+#[derive(Debug, Clone)]
+pub struct InFlightSnapshot {
+    /// Simulated time of the interrupting failure event.
+    pub time: f64,
+    /// All edges failed at `time` (cumulative over the timeline), in the
+    /// *original* topology's edge ids — the set to puncture before re-solving.
+    pub failed_links: Vec<EdgeId>,
+    /// Number of ranks of the interrupted schedule.
+    pub num_ranks: usize,
+    /// Chunk granularity of the interrupted schedule.
+    pub chunks_per_shard: usize,
+    /// Shard size in bytes the run was shipping per commodity.
+    pub shard_bytes: f64,
+    /// The interrupted schedule's commodities.
+    pub commodities: CommoditySet,
+    /// Location of every chunk (delivered, buffered or stranded), aggregated per
+    /// `(commodity, holding rank)`.
+    pub holdings: Vec<ChunkHolding>,
+    /// The executed prefix: every step that completed before the cut, plus the
+    /// cut step truncated to the chunks that fully drained per transfer (omitted
+    /// when nothing of the cut step completed). Splicing a repaired suffix onto
+    /// this prefix reproduces the state in `holdings`.
+    pub executed_prefix: Vec<ScheduleStep>,
+    /// Whole chunks sitting at their final destination.
+    pub delivered_chunks: usize,
+    /// Whole chunks buffered at intermediate ranks (not stranded).
+    pub buffered_chunks: usize,
+    /// Whole chunks retained at senders because their link died mid-transfer.
+    pub stranded_chunks: usize,
+    /// Bytes of `delivered_chunks`.
+    pub delivered_bytes: f64,
+    /// Bytes of `buffered_chunks`, minus the drained fraction of partially-drained
+    /// live-link chunks (that fraction is in `in_flight_bytes`).
+    pub buffered_bytes: f64,
+    /// Undrained bytes of transfers cut off failed links.
+    pub stranded_bytes: f64,
+    /// Drained bytes of partially-transferred chunks (work that must be redone:
+    /// the chunk is retransmitted whole from its sender).
+    pub in_flight_bytes: f64,
+}
+
+impl InFlightSnapshot {
+    /// Total chunks across all commodities.
+    pub fn total_chunks(&self) -> usize {
+        self.commodities.len() * self.chunks_per_shard
+    }
+
+    /// Total bytes across all commodities.
+    pub fn total_bytes(&self) -> f64 {
+        self.commodities.len() as f64 * self.shard_bytes
+    }
+
+    /// Holdings still awaiting delivery (`at != final_dest`) — the residual
+    /// demand of the re-planning problem.
+    pub fn undelivered(&self) -> impl Iterator<Item = &ChunkHolding> + '_ {
+        self.holdings.iter().filter(|h| h.at != h.final_dest)
+    }
+}
+
+/// Result of a timeline run: either the schedule completed (possibly under
+/// degraded capacities), or a failure stranded in-flight work and the run was
+/// interrupted with a snapshot to re-plan from.
+#[derive(Debug, Clone)]
+pub enum TimelineRun {
+    /// The run completed; the report's utilization figures use the t=0 bandwidths.
+    Completed(EventReport),
+    /// A link failure interrupted the run mid-flight.
+    Interrupted(InFlightSnapshot),
+}
+
+/// Simulates a chunked schedule under a [`ScenarioTimeline`] (synchronized
+/// execution only).
+///
+/// Events at `t <= 0` fold into the base scenario, so a failure at `t = 0`
+/// rejects the schedule up front with [`SimError::FailedLink`], exactly like the
+/// static engine; an event-free timeline reproduces [`simulate_chunked_event`]
+/// bit-for-bit. Dynamic events re-rate links at their event boundary (drains in
+/// progress are cut and rates recomputed). A dynamic [`LinkFail`] event checks
+/// whether any *remaining* transfer (active or in a future step) uses the dead
+/// link: if none does, the run continues; otherwise the run stops and returns an
+/// [`InFlightSnapshot`] with partial-transfer accounting.
+///
+/// [`LinkFail`]: crate::scenario::TimedEvent::LinkFail
+pub fn simulate_chunked_timeline(
+    topo: &Topology,
+    schedule: &ChunkedSchedule,
+    shard_bytes: f64,
+    params: &SimParams,
+    timeline: &ScenarioTimeline,
+    model: ExecutionModel,
+) -> SimResult<TimelineRun> {
+    if model != ExecutionModel::Synchronized {
+        return Err(SimError::Unsupported(
+            "timeline simulation is only implemented for synchronized execution".into(),
+        ));
+    }
+    let dag = TransferDag::from_schedule(schedule).map_err(SimError::InvalidSchedule)?;
+    // Fold t <= 0 events into the starting scenario; a failure at t = 0 rejects
+    // the schedule here, identically to the static engine.
+    let start = timeline.scenario_at(0.0);
+    let (jobs, link_bw) = resolve_jobs(topo, schedule, shard_bytes, params, &start, &dag)?;
+    let alpha_factor: Vec<f64> = (0..jobs.len()).map(|id| start.alpha_factor(id)).collect();
+
+    let mut engine = Engine {
+        jobs: &jobs,
+        dag: &dag,
+        link_bw: link_bw.clone(),
+        params,
+        alpha_factor: &alpha_factor,
+        num_nodes: topo.num_nodes(),
+        num_steps: dag.num_steps,
+        link_seen: vec![0; topo.num_edges()],
+        seen_epoch: 0,
+    };
+
+    let times = timeline.dynamic_event_times();
+    if times.is_empty() {
+        let outcome = engine.run_synchronized();
+        return Ok(TimelineRun::Completed(build_report(
+            schedule,
+            shard_bytes,
+            &jobs,
+            &link_bw,
+            outcome,
+        )));
+    }
+
+    // Resolve each event boundary into a full capacity table up front.
+    let boundaries: Vec<Boundary> = times
+        .iter()
+        .map(|&te| {
+            let sc = timeline.scenario_at(te);
+            let mut bw = vec![f64::INFINITY; topo.num_edges()];
+            let mut failed = vec![false; topo.num_edges()];
+            let mut failed_links = Vec::new();
+            for e in 0..topo.num_edges() {
+                match sc.effective_bandwidth(topo, e, params) {
+                    Some(b) => {
+                        // Only used links need a finite entry (matching the
+                        // static resolution); unused links stay +inf.
+                        if link_bw[e].is_finite() {
+                            bw[e] = b;
+                        }
+                    }
+                    None => {
+                        bw[e] = 0.0;
+                        failed[e] = true;
+                        failed_links.push(e);
+                    }
+                }
+            }
+            Boundary {
+                time: te,
+                link_bw: bw,
+                failed,
+                failed_links,
+            }
+        })
+        .collect();
+
+    match engine.run_synchronized_timeline(&boundaries) {
+        TimelineOutcome::Completed(outcome) => Ok(TimelineRun::Completed(build_report(
+            schedule,
+            shard_bytes,
+            &jobs,
+            &link_bw,
+            outcome,
+        ))),
+        TimelineOutcome::Interrupted(cut) => Ok(TimelineRun::Interrupted(build_snapshot(
+            schedule,
+            shard_bytes,
+            &jobs,
+            &dag,
+            &boundaries[cut.boundary],
+            &cut,
+        ))),
+    }
+}
+
+/// A resolved timeline event boundary: the full capacity table in effect from
+/// `time` on.
+struct Boundary {
+    time: f64,
+    link_bw: Vec<f64>,
+    /// Per-edge failure flag at this time (cumulative).
+    failed: Vec<bool>,
+    /// Failed edge ids at this time, ascending.
+    failed_links: Vec<EdgeId>,
+}
+
+/// Raw interruption record from the timeline engine.
+struct Interrupt {
+    /// Failure event time.
+    time: f64,
+    /// Step that was draining (or about to start) when the run was cut.
+    cut_step: usize,
+    /// `(job id, remaining bytes)` for every job of the cut step; jobs that fully
+    /// drained before the cut carry `0.0`.
+    remaining: Vec<(usize, f64)>,
+    /// Index of the triggering boundary.
+    boundary: usize,
+}
+
+enum TimelineOutcome {
+    Completed(Outcome),
+    Interrupted(Interrupt),
+}
+
+/// Builds the [`InFlightSnapshot`] of an interrupted run by replaying the
+/// schedule's buffer state up to the cut and applying partial-transfer
+/// accounting to the cut step.
+fn build_snapshot(
+    schedule: &ChunkedSchedule,
+    shard_bytes: f64,
+    jobs: &[SimJob],
+    dag: &TransferDag,
+    boundary: &Boundary,
+    cut: &Interrupt,
+) -> InFlightSnapshot {
+    let ncomm = schedule.commodities.len();
+    let cps = schedule.chunks_per_shard;
+    let chunk_bytes = shard_bytes / cps as f64;
+    let n = schedule.num_ranks;
+
+    // Replay fully executed steps: per-(commodity, rank) whole-chunk counts.
+    let mut buffered = vec![vec![0usize; n]; ncomm];
+    for (idx, s, _) in schedule.commodities.iter() {
+        buffered[idx][s] = cps;
+    }
+    for step in schedule.steps.iter().take(cut.cut_step) {
+        for tr in &step.transfers {
+            let idx = schedule
+                .commodities
+                .index_of(tr.origin, tr.final_dest)
+                .expect("schedule transfer names a known commodity");
+            buffered[idx][tr.from] -= tr.chunks;
+            buffered[idx][tr.to] += tr.chunks;
+        }
+    }
+
+    // Cut the in-flight step: each transfer keeps its fully-drained chunks at
+    // the receiver; the rest stay whole at the sender. Track the stranded ones
+    // (failed link) and the byte ledger of partially-drained chunks.
+    let mut stranded_at = vec![vec![0usize; n]; ncomm];
+    let mut stranded_chunks = 0usize;
+    let mut stranded_bytes = 0.0f64;
+    let mut in_flight_bytes = 0.0f64;
+    let mut partial_live_bytes = 0.0f64;
+    let mut truncated = Vec::new();
+    for &(job_id, remaining) in &cut.remaining {
+        let job = &jobs[job_id];
+        let tj = &dag.jobs[job_id];
+        let tr = &schedule.steps[tj.step].transfers[tj.index_in_step];
+        debug_assert_eq!((tr.from, tr.to), (job.src, job.dst));
+        let drained = (job.bytes - remaining).max(0.0);
+        let completed = ((drained / chunk_bytes + 1e-9).floor() as usize).min(tr.chunks);
+        let retained = tr.chunks - completed;
+        let partial = (drained - completed as f64 * chunk_bytes).max(0.0);
+        let idx = schedule
+            .commodities
+            .index_of(tr.origin, tr.final_dest)
+            .expect("schedule transfer names a known commodity");
+        buffered[idx][tr.from] -= tr.chunks;
+        buffered[idx][tr.from] += retained;
+        buffered[idx][tr.to] += completed;
+        if boundary.failed[job.link] {
+            stranded_at[idx][tr.from] += retained;
+            stranded_chunks += retained;
+            stranded_bytes += remaining;
+            in_flight_bytes += partial;
+        } else {
+            partial_live_bytes += partial;
+            in_flight_bytes += partial;
+        }
+        if completed > 0 {
+            truncated.push(ChunkTransfer {
+                from: tr.from,
+                to: tr.to,
+                origin: tr.origin,
+                final_dest: tr.final_dest,
+                chunks: completed,
+            });
+        }
+    }
+
+    let mut executed_prefix: Vec<ScheduleStep> =
+        schedule.steps.iter().take(cut.cut_step).cloned().collect();
+    if !truncated.is_empty() {
+        executed_prefix.push(ScheduleStep {
+            transfers: truncated,
+        });
+    }
+
+    let mut holdings = Vec::new();
+    let mut delivered_chunks = 0usize;
+    for (idx, _, d) in schedule.commodities.iter() {
+        for at in 0..n {
+            let chunks = buffered[idx][at];
+            if chunks == 0 {
+                continue;
+            }
+            if at == d {
+                delivered_chunks += chunks;
+            }
+            let (origin, final_dest) = schedule.commodities.pair(idx);
+            holdings.push(ChunkHolding {
+                origin,
+                final_dest,
+                at,
+                chunks,
+                stranded_chunks: stranded_at[idx][at].min(chunks),
+            });
+        }
+    }
+    let total_chunks = ncomm * cps;
+    let buffered_chunks = total_chunks - delivered_chunks - stranded_chunks;
+    InFlightSnapshot {
+        time: cut.time,
+        failed_links: boundary.failed_links.clone(),
+        num_ranks: n,
+        chunks_per_shard: cps,
+        shard_bytes,
+        commodities: schedule.commodities.clone(),
+        holdings,
+        executed_prefix,
+        delivered_chunks,
+        buffered_chunks,
+        stranded_chunks,
+        delivered_bytes: delivered_chunks as f64 * chunk_bytes,
+        buffered_bytes: buffered_chunks as f64 * chunk_bytes - partial_live_bytes,
+        stranded_bytes,
+        in_flight_bytes,
+    }
 }
 
 /// Raw timing outcome of one engine run.
@@ -301,7 +705,9 @@ struct ActiveFlow {
 struct Engine<'a> {
     jobs: &'a [SimJob],
     dag: &'a TransferDag,
-    link_bw: &'a [f64],
+    /// Current effective bandwidth per edge. Owned because timeline runs rewrite
+    /// it at event boundaries; static runs never touch it after construction.
+    link_bw: Vec<f64>,
     params: &'a SimParams,
     /// Per-job α multiplier from the scenario's per-message jitter (all 1.0
     /// when jitter is off).
@@ -494,6 +900,114 @@ impl Engine<'_> {
             link_busy,
             max_concurrent,
         }
+    }
+
+    /// True if any transfer that has not finished — an active flow of the current
+    /// step or any job of a later step — uses a failed link.
+    fn remaining_work_uses_failed(
+        &self,
+        active: &[ActiveFlow],
+        next_job: usize,
+        failed: &[bool],
+    ) -> bool {
+        active.iter().any(|f| failed[self.jobs[f.job].link])
+            || self.jobs[next_job..].iter().any(|j| failed[j.link])
+    }
+
+    /// Synchronized execution under timed capacity changes: drains are cut at
+    /// every boundary, capacities are re-read, and a failure that strands
+    /// remaining work interrupts the run. With an empty boundary list this is
+    /// exactly [`Engine::run_synchronized`].
+    fn run_synchronized_timeline(&mut self, boundaries: &[Boundary]) -> TimelineOutcome {
+        let mut t = 0.0f64;
+        let mut link_busy = vec![0.0f64; self.link_bw.len()];
+        let mut step_completion = vec![0.0f64; self.num_steps];
+        let mut max_concurrent = 0usize;
+        let mut next_job = 0usize;
+        let mut bi = 0usize;
+        for step in 0..self.num_steps {
+            let step_first_job = next_job;
+            let mut active = Vec::new();
+            let mut step_alpha_factor = 1.0f64;
+            while next_job < self.jobs.len() && self.jobs[next_job].step == step {
+                step_alpha_factor = step_alpha_factor.max(self.alpha_factor[next_job]);
+                active.push(ActiveFlow {
+                    job: next_job,
+                    remaining: self.jobs[next_job].bytes,
+                });
+                next_job += 1;
+            }
+            max_concurrent = max_concurrent.max(active.len());
+            while !active.is_empty() {
+                let rates = self.assign_rates(&active);
+                let mut dt = f64::INFINITY;
+                for (flow, &r) in active.iter().zip(&rates) {
+                    dt = dt.min(if r.is_infinite() {
+                        0.0
+                    } else {
+                        flow.remaining / r
+                    });
+                }
+                // Cut the drain at the next event boundary.
+                if bi < boundaries.len() && boundaries[bi].time - t <= dt {
+                    let dt_to_event = (boundaries[bi].time - t).max(0.0);
+                    self.advance(&mut active, &rates, dt_to_event, &mut t, &mut link_busy);
+                    active.retain(|f| f.remaining > DRAIN_EPS * self.jobs[f.job].bytes.max(1.0));
+                    let b = &boundaries[bi];
+                    self.link_bw.copy_from_slice(&b.link_bw);
+                    bi += 1;
+                    if !b.failed_links.is_empty()
+                        && self.remaining_work_uses_failed(&active, next_job, &b.failed)
+                    {
+                        let remaining = (step_first_job..next_job)
+                            .map(|j| {
+                                let left = active
+                                    .iter()
+                                    .find(|f| f.job == j)
+                                    .map_or(0.0, |f| f.remaining);
+                                (j, left)
+                            })
+                            .collect();
+                        return TimelineOutcome::Interrupted(Interrupt {
+                            time: b.time,
+                            cut_step: step,
+                            remaining,
+                            boundary: bi - 1,
+                        });
+                    }
+                    continue;
+                }
+                self.advance(&mut active, &rates, dt, &mut t, &mut link_busy);
+                active.retain(|f| f.remaining > DRAIN_EPS * self.jobs[f.job].bytes.max(1.0));
+            }
+            step_completion[step] = t;
+            // Events during the synchronization window fire at the barrier: no
+            // flow is in flight, so a failure only matters for future steps (the
+            // cut falls exactly on the step boundary, with no partial transfers).
+            let sync_end = t + self.params.step_sync_latency_s * step_alpha_factor;
+            while bi < boundaries.len() && boundaries[bi].time <= sync_end {
+                let b = &boundaries[bi];
+                self.link_bw.copy_from_slice(&b.link_bw);
+                bi += 1;
+                if !b.failed_links.is_empty()
+                    && self.remaining_work_uses_failed(&[], next_job, &b.failed)
+                {
+                    return TimelineOutcome::Interrupted(Interrupt {
+                        time: b.time.max(t),
+                        cut_step: step + 1,
+                        remaining: Vec::new(),
+                        boundary: bi - 1,
+                    });
+                }
+            }
+            t = sync_end;
+        }
+        TimelineOutcome::Completed(Outcome {
+            completion: t,
+            step_completion,
+            link_busy,
+            max_concurrent,
+        })
     }
 
     /// Dependency-driven execution: a job becomes ready `per_hop_latency_s` after its
@@ -833,6 +1347,222 @@ mod tests {
         assert!(capped.report.completion_seconds > free.report.completion_seconds);
         // 3 shards of 16 MiB per node at 1 GB/s injection is at least 48 ms.
         assert!(capped.report.completion_seconds >= 3.0 * shard / 1e9 - 1e-9);
+    }
+
+    #[test]
+    fn empty_timeline_reproduces_the_static_engine_exactly() {
+        for topo in [
+            generators::hypercube(3),
+            generators::torus(&[3, 3]),
+            generators::ring(4),
+        ] {
+            let sched = chunked(&topo, None);
+            let params = SimParams::default();
+            let shard = 4.0 * 1024.0 * 1024.0;
+            let scenario = Scenario::nominal().with_alpha_jitter(9, 1.0, 2.0);
+            let static_rep = simulate_chunked_event(
+                &topo,
+                &sched,
+                shard,
+                &params,
+                &EventSimOptions {
+                    scenario: scenario.clone(),
+                    ..EventSimOptions::default()
+                },
+            )
+            .unwrap();
+            let analytic = crate::simulate_chunked_schedule_with(
+                &topo, &sched, shard, &params, &scenario,
+            )
+            .unwrap();
+            let tl = ScenarioTimeline::new(scenario);
+            let TimelineRun::Completed(tl_rep) = simulate_chunked_timeline(
+                &topo,
+                &sched,
+                shard,
+                &params,
+                &tl,
+                ExecutionModel::Synchronized,
+            )
+            .unwrap() else {
+                panic!("empty timeline must complete");
+            };
+            // Bit-for-bit against the static event engine.
+            assert_eq!(
+                tl_rep.report.completion_seconds,
+                static_rep.report.completion_seconds
+            );
+            assert_eq!(tl_rep.step_completion_secs, static_rep.step_completion_secs);
+            // And the analytic == event-sync 1e-9 contract survives.
+            let rel = (analytic.completion_seconds - tl_rep.report.completion_seconds).abs()
+                / analytic.completion_seconds;
+            assert!(rel < 1e-9, "{}: rel {rel}", topo.name());
+        }
+    }
+
+    #[test]
+    fn t_zero_failure_rejects_like_the_static_scenario() {
+        let topo = generators::ring(3);
+        let sched = chunked(&topo, None);
+        let static_err = simulate_chunked_event(
+            &topo,
+            &sched,
+            1024.0,
+            &SimParams::default(),
+            &EventSimOptions {
+                scenario: Scenario::nominal().with_failed_link(0),
+                ..EventSimOptions::default()
+            },
+        )
+        .unwrap_err();
+        let tl = ScenarioTimeline::nominal().with_link_failure_at(0.0, 0);
+        let tl_err = simulate_chunked_timeline(
+            &topo,
+            &sched,
+            1024.0,
+            &SimParams::default(),
+            &tl,
+            ExecutionModel::Synchronized,
+        )
+        .unwrap_err();
+        assert!(matches!(tl_err, SimError::FailedLink { .. }));
+        assert_eq!(tl_err, static_err, "t=0 failure must match the static rejection");
+    }
+
+    #[test]
+    fn nonfatal_timeline_events_rerate_without_interrupting() {
+        let topo = generators::torus(&[3, 3]);
+        let sched = chunked(&topo, None);
+        let params = SimParams::default();
+        let shard = 4.0 * 1024.0 * 1024.0;
+        let nominal =
+            simulate_chunked_event(&topo, &sched, shard, &params, &EventSimOptions::default())
+                .unwrap();
+        let used = nominal
+            .per_link
+            .iter()
+            .position(|l| l.bytes > 0.0)
+            .expect("some link carries traffic");
+        let mid = nominal.report.completion_seconds * 0.3;
+        // Degrade mid-run: completes, slower than nominal, faster than degraded-from-t0.
+        let tl = ScenarioTimeline::nominal().with_link_degrade_at(mid, used, 0.1);
+        let TimelineRun::Completed(mid_deg) = simulate_chunked_timeline(
+            &topo,
+            &sched,
+            shard,
+            &params,
+            &tl,
+            ExecutionModel::Synchronized,
+        )
+        .unwrap() else {
+            panic!("degrade must not interrupt");
+        };
+        let from_start = simulate_chunked_event(
+            &topo,
+            &sched,
+            shard,
+            &params,
+            &EventSimOptions {
+                scenario: Scenario::nominal().with_link_slowdown(used, 0.1),
+                ..EventSimOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            mid_deg.report.completion_seconds > nominal.report.completion_seconds,
+            "mid-run degrade {} must exceed nominal {}",
+            mid_deg.report.completion_seconds,
+            nominal.report.completion_seconds
+        );
+        assert!(
+            mid_deg.report.completion_seconds < from_start.report.completion_seconds,
+            "mid-run degrade {} must beat degraded-from-start {}",
+            mid_deg.report.completion_seconds,
+            from_start.report.completion_seconds
+        );
+        // A failure with no remaining work on the link never interrupts.
+        let tl = ScenarioTimeline::nominal()
+            .with_link_failure_at(nominal.report.completion_seconds * 1.5, used);
+        let run = simulate_chunked_timeline(
+            &topo,
+            &sched,
+            shard,
+            &params,
+            &tl,
+            ExecutionModel::Synchronized,
+        )
+        .unwrap();
+        let TimelineRun::Completed(rep) = run else {
+            panic!("failing an unused link must not interrupt");
+        };
+        assert_eq!(
+            rep.report.completion_seconds,
+            nominal.report.completion_seconds
+        );
+    }
+
+    #[test]
+    fn mid_run_failure_snapshot_conserves_every_byte() {
+        let topo = generators::torus(&[3, 3]);
+        let sched = chunked(&topo, None);
+        let params = SimParams::default();
+        let shard = 4.0 * 1024.0 * 1024.0;
+        let nominal =
+            simulate_chunked_event(&topo, &sched, shard, &params, &EventSimOptions::default())
+                .unwrap();
+        let used = nominal
+            .per_link
+            .iter()
+            .position(|l| l.bytes > 0.0)
+            .expect("some link carries traffic");
+        // Sweep several cut times; each snapshot must balance its ledger exactly.
+        let mut interrupted = 0;
+        for frac in [0.15, 0.35, 0.55, 0.75, 0.95] {
+            let t_fail = nominal.report.completion_seconds * frac;
+            let tl = ScenarioTimeline::nominal().with_link_failure_at(t_fail, used);
+            let run = simulate_chunked_timeline(
+                &topo,
+                &sched,
+                shard,
+                &params,
+                &tl,
+                ExecutionModel::Synchronized,
+            )
+            .unwrap();
+            let TimelineRun::Interrupted(snap) = run else {
+                continue;
+            };
+            interrupted += 1;
+            assert_eq!(snap.failed_links, vec![used]);
+            assert!((snap.time - t_fail).abs() < 1e-12);
+            // Chunk ledger: exact integers.
+            assert_eq!(
+                snap.delivered_chunks + snap.buffered_chunks + snap.stranded_chunks,
+                snap.total_chunks()
+            );
+            let held: usize = snap.holdings.iter().map(|h| h.chunks).sum();
+            assert_eq!(held, snap.total_chunks());
+            // Byte ledger: delivered + buffered + stranded + in-flight == total.
+            let total = snap.delivered_bytes
+                + snap.buffered_bytes
+                + snap.stranded_bytes
+                + snap.in_flight_bytes;
+            assert!(
+                (total - snap.total_bytes()).abs() < 1e-6 * snap.total_bytes(),
+                "byte ledger {total} vs {}",
+                snap.total_bytes()
+            );
+            // Each cut transfer contributes at most one partially-drained chunk.
+            let chunk = shard / snap.chunks_per_shard as f64;
+            let widest_step = sched.steps.iter().map(|s| s.transfers.len()).max().unwrap();
+            assert!(snap.in_flight_bytes <= widest_step as f64 * chunk + 1e-9);
+            // Prefix transfers never exceed the original schedule's.
+            assert!(snap.executed_prefix.len() <= sched.steps.len());
+        }
+        assert!(
+            interrupted >= 2,
+            "expected several cut times to interrupt, got {interrupted}"
+        );
     }
 
     #[test]

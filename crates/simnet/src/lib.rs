@@ -23,6 +23,14 @@
 //!   collective finishes when the busiest link has drained, subject to optional
 //!   host-injection limits and the queue-pair contention penalty (§5.5).
 //!
+//! The simulator doubles as a **closed-loop digital twin**: [`scenario::ScenarioTimeline`]
+//! injects timed mid-run failures/degradations, [`event::simulate_chunked_timeline`]
+//! returns an [`InFlightSnapshot`] instead of an error when a failure strands
+//! in-flight work, and [`replan`] closes the loop — residual re-solve on the
+//! punctured fabric (warm-started from the incumbent column pool), splice onto
+//! the executed prefix, resume; greedy shortest-path fallback under a solve-time
+//! deadline.
+//!
 //! All backends report the paper's throughput metric `(N - 1) · m / T` so the figure
 //! harnesses can sweep buffer sizes exactly like Figs. 3–5. Units everywhere: bytes,
 //! seconds, GB/s (1 GB/s = 1e9 bytes/s).
@@ -30,17 +38,21 @@
 pub mod event;
 pub mod linksim;
 pub mod pathsim;
+pub mod replan;
 pub mod scenario;
 
 pub use event::{
-    simulate_chunked_event, EventReport, EventSimOptions, ExecutionModel, LinkUsage, SimError,
-    SimResult,
+    simulate_chunked_event, simulate_chunked_timeline, ChunkHolding, EventReport, EventSimOptions,
+    ExecutionModel, InFlightSnapshot, LinkUsage, SimError, SimResult, TimelineRun,
+};
+pub use replan::{
+    replan_run, IncumbentPool, ReplanAttempt, ReplanError, ReplanOptions, ReplanRun,
 };
 pub use linksim::{
     simulate_chunked_schedule, simulate_chunked_schedule_with, simulate_link_schedule,
 };
 pub use pathsim::simulate_path_schedule;
-pub use scenario::Scenario;
+pub use scenario::{Scenario, ScenarioTimeline, TimedEvent};
 
 use a2a_schedule::ChunkedSchedule;
 use a2a_topology::Topology;

@@ -210,6 +210,182 @@ impl Scenario {
     }
 }
 
+/// A fabric event occurring at a point in simulated time (see [`ScenarioTimeline`]).
+///
+/// Events change *capacities*: they never move data. The event engine applies them
+/// at event boundaries — a drain in progress is cut at the event time, rates are
+/// recomputed, and the run continues (or, for a failure that strands in-flight
+/// work, is interrupted with an [`crate::InFlightSnapshot`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TimedEvent {
+    /// The directed edge goes down (and stays down until a [`TimedEvent::LinkRecover`]).
+    LinkFail {
+        /// Edge that fails.
+        edge: EdgeId,
+    },
+    /// The directed edge's bandwidth is multiplied by `factor` in `(0, 1]`,
+    /// compounding with any slowdown already in effect.
+    LinkDegrade {
+        /// Edge that degrades.
+        edge: EdgeId,
+        /// Multiplicative factor in `(0, 1]`.
+        factor: f64,
+    },
+    /// The directed edge returns to its base-scenario state: the failure flag and
+    /// every timeline-applied degradation on it are cleared.
+    LinkRecover {
+        /// Edge that recovers.
+        edge: EdgeId,
+    },
+    /// `node` becomes a straggler: every link it sends on runs at `factor` of its
+    /// bandwidth from this time on (compounding with an existing straggler factor).
+    StragglerOnset {
+        /// Node that starts straggling.
+        node: NodeId,
+        /// Multiplicative send-side factor in `(0, 1]`.
+        factor: f64,
+    },
+}
+
+/// A [`Scenario`] plus a timed sequence of fabric events: the input of the
+/// closed-loop replanning pipeline (see the `replan` module).
+///
+/// The timeline starts from `base` (any static scenario — overrides, slowdowns,
+/// static failures, jitter) and applies each event at its timestamp. Events at
+/// `t <= 0` are folded into the base before the run starts, so a
+/// [`TimedEvent::LinkFail`] at `t = 0` behaves exactly like a static
+/// [`Scenario::with_failed_link`]: the pre-run link resolution rejects the
+/// schedule with [`crate::SimError::FailedLink`]. An empty timeline reproduces
+/// the static engine bit-for-bit.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioTimeline {
+    base: Scenario,
+    /// Events sorted by time (stable: same-time events apply in insertion order).
+    events: Vec<(f64, TimedEvent)>,
+}
+
+impl ScenarioTimeline {
+    /// A timeline over the given static base scenario, with no events yet.
+    pub fn new(base: Scenario) -> Self {
+        Self {
+            base,
+            events: Vec::new(),
+        }
+    }
+
+    /// A timeline over the nominal scenario with no events.
+    pub fn nominal() -> Self {
+        Self::default()
+    }
+
+    /// The static base scenario.
+    pub fn base(&self) -> &Scenario {
+        &self.base
+    }
+
+    /// The events, sorted by time.
+    pub fn events(&self) -> &[(f64, TimedEvent)] {
+        &self.events
+    }
+
+    /// True if no event happens strictly after `t = 0` (the run is static).
+    pub fn is_static(&self) -> bool {
+        self.events.iter().all(|&(t, _)| t <= 0.0)
+    }
+
+    fn push(mut self, time: f64, event: TimedEvent) -> Self {
+        assert!(time.is_finite(), "event time must be finite, got {time}");
+        // Stable insertion keeps same-time events in insertion order.
+        let at = self.events.partition_point(|&(t, _)| t <= time);
+        self.events.insert(at, (time, event));
+        self
+    }
+
+    /// Fails `edge` at `time`.
+    pub fn with_link_failure_at(self, time: f64, edge: EdgeId) -> Self {
+        self.push(time, TimedEvent::LinkFail { edge })
+    }
+
+    /// Multiplies `edge`'s bandwidth by `factor` in `(0, 1]` from `time` on.
+    pub fn with_link_degrade_at(self, time: f64, edge: EdgeId, factor: f64) -> Self {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "degrade factor must be in (0, 1], got {factor}"
+        );
+        self.push(time, TimedEvent::LinkDegrade { edge, factor })
+    }
+
+    /// Restores `edge` to its base-scenario state at `time`.
+    pub fn with_link_recovery_at(self, time: f64, edge: EdgeId) -> Self {
+        self.push(time, TimedEvent::LinkRecover { edge })
+    }
+
+    /// Makes `node` a straggler (send-side factor in `(0, 1]`) from `time` on.
+    pub fn with_straggler_onset_at(self, time: f64, node: NodeId, factor: f64) -> Self {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "straggler factor must be in (0, 1], got {factor}"
+        );
+        self.push(time, TimedEvent::StragglerOnset { node, factor })
+    }
+
+    /// The scenario in effect at time `t`: the base with every event at time
+    /// `<= t` applied, in order.
+    pub fn scenario_at(&self, t: f64) -> Scenario {
+        let mut s = self.base.clone();
+        for &(et, ref ev) in &self.events {
+            if et > t {
+                break;
+            }
+            apply_event(&mut s, &self.base, ev);
+        }
+        s
+    }
+
+    /// Distinct event times strictly after `t = 0`, ascending — the boundaries at
+    /// which the event engine re-reads capacities.
+    pub fn dynamic_event_times(&self) -> Vec<f64> {
+        let mut times: Vec<f64> = Vec::new();
+        for &(t, _) in &self.events {
+            if t > 0.0 && times.last() != Some(&t) {
+                times.push(t);
+            }
+        }
+        times
+    }
+}
+
+/// Applies one event on top of `s`. `base` is the untouched starting scenario
+/// (recovery restores an edge to its base state).
+fn apply_event(s: &mut Scenario, base: &Scenario, ev: &TimedEvent) {
+    match *ev {
+        TimedEvent::LinkFail { edge } => {
+            s.failed.insert(edge);
+        }
+        TimedEvent::LinkDegrade { edge, factor } => {
+            *s.slowdowns.entry(edge).or_insert(1.0) *= factor;
+        }
+        TimedEvent::LinkRecover { edge } => {
+            if base.failed.contains(&edge) {
+                s.failed.insert(edge);
+            } else {
+                s.failed.remove(&edge);
+            }
+            match base.slowdowns.get(&edge) {
+                Some(&f) => {
+                    s.slowdowns.insert(edge, f);
+                }
+                None => {
+                    s.slowdowns.remove(&edge);
+                }
+            }
+        }
+        TimedEvent::StragglerOnset { node, factor } => {
+            *s.stragglers.entry(node).or_insert(1.0) *= factor;
+        }
+    }
+}
+
 /// Picks up to `count` distinct edge ids uniformly without replacement.
 fn pick_edges(topo: &Topology, rng: &mut ChaCha8Rng, count: usize) -> Vec<EdgeId> {
     let mut ids: Vec<EdgeId> = (0..topo.num_edges()).collect();
@@ -324,5 +500,62 @@ mod tests {
         let topo = generators::ring(3);
         let s = Scenario::seeded_failures(&topo, 1, 100);
         assert_eq!(s.failed_links().count(), topo.num_edges());
+    }
+
+    #[test]
+    fn timeline_events_stay_sorted_and_compose() {
+        let topo = generators::ring(4);
+        let params = SimParams::default();
+        let tl = ScenarioTimeline::nominal()
+            .with_link_degrade_at(2.0, 0, 0.5)
+            .with_link_failure_at(1.0, 1)
+            .with_straggler_onset_at(3.0, 2, 0.25)
+            .with_link_recovery_at(4.0, 1);
+        let times: Vec<f64> = tl.events().iter().map(|&(t, _)| t).collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(tl.dynamic_event_times(), vec![1.0, 2.0, 3.0, 4.0]);
+        assert!(!tl.is_static());
+
+        // Before any event: nominal.
+        assert!(tl.scenario_at(0.5).is_nominal());
+        // After the failure, edge 1 is down.
+        assert!(tl.scenario_at(1.5).is_failed(1));
+        // After the degrade, edge 0 runs at half rate.
+        let bw = tl.scenario_at(2.5).effective_bandwidth(&topo, 0, &params);
+        assert!((bw.unwrap() - 0.5 * params.link_bandwidth_gbps * 1e9).abs() < 1.0);
+        // The straggler multiplies node 2's send links (edge ids: ring(4) edge
+        // from node 2). The recovery restores edge 1.
+        let late = tl.scenario_at(10.0);
+        assert!(!late.is_failed(1), "recovery clears the failure");
+    }
+
+    #[test]
+    fn timeline_degrades_compound_and_recovery_restores_base() {
+        let topo = generators::ring(3);
+        let params = SimParams::default();
+        let base = Scenario::nominal().with_link_slowdown(0, 0.5);
+        let tl = ScenarioTimeline::new(base)
+            .with_link_degrade_at(1.0, 0, 0.5)
+            .with_link_degrade_at(2.0, 0, 0.5)
+            .with_link_recovery_at(3.0, 0);
+        let nominal_bw = params.link_bandwidth_gbps * 1e9;
+        let bw = |t: f64| {
+            tl.scenario_at(t)
+                .effective_bandwidth(&topo, 0, &params)
+                .unwrap()
+        };
+        assert!((bw(0.0) - 0.5 * nominal_bw).abs() < 1.0);
+        assert!((bw(1.5) - 0.25 * nominal_bw).abs() < 1.0);
+        assert!((bw(2.5) - 0.125 * nominal_bw).abs() < 1.0);
+        // Recovery restores the *base* slowdown, not full nominal.
+        assert!((bw(3.5) - 0.5 * nominal_bw).abs() < 1.0);
+    }
+
+    #[test]
+    fn t_zero_events_fold_into_the_base() {
+        let tl = ScenarioTimeline::nominal().with_link_failure_at(0.0, 2);
+        assert!(tl.is_static());
+        assert!(tl.scenario_at(0.0).is_failed(2));
+        assert!(tl.dynamic_event_times().is_empty());
     }
 }
