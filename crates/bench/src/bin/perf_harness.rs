@@ -7,13 +7,16 @@
 //! presolve + scaling + Forrest–Tomlin pipeline where applicable (the colgen
 //! master runs the core solver so its row indices stay stable).
 //!
-//! Emits `BENCH_pr6.json` (median wall-clock over repetitions, simplex
+//! Emits `BENCH_pr7.json` (median wall-clock over repetitions, simplex
 //! iteration and pivot counts, presolve row/column reductions, refactorization
-//! counts, colgen round/column/skipped-source counts, the decomposed cold/warm
-//! and tsmcf dense/colgen speedups, simulator-vs-LP agreement columns, and the
-//! replan makespan-loss and solve-time columns) so future PRs have a
-//! performance trajectory to compare against, plus a human-readable summary on
-//! stderr.
+//! counts, colgen round/column/skipped-source counts, the colgen pricing-wall
+//! and pricing-thread columns, the decomposed cold/warm and tsmcf dense/colgen
+//! speedups, simulator-vs-LP agreement columns, and the replan makespan-loss
+//! and solve-time columns) so future PRs have a performance trajectory to
+//! compare against, plus a human-readable summary on stderr. A
+//! serial-vs-parallel pricing gate on the tier's largest path-MCF case
+//! asserts thread count never changes results, and (at ≥ 4 cores) that the
+//! parallel sweep cuts the pricing wall at least 2x.
 //!
 //! Every case asserts that both path-MCF configs and decomposed-MCF agree on
 //! the concurrent flow value, and that colgen terminates with its optimality
@@ -34,7 +37,7 @@
 //!
 //! Usage: `perf_harness [--quick] [--out PATH] [--baseline PATH]`
 //!   --quick      CI smoke mode: smallest sizes only, one repetition.
-//!   --out        Output JSON path (default `BENCH_pr6.json`).
+//!   --out        Output JSON path (default `BENCH_pr7.json`).
 //!   --baseline   Compare against a previous JSON (same schema): exit nonzero if
 //!                any matching case regresses more than 1.5x in median wall time.
 
@@ -51,9 +54,8 @@ use a2a_mcf::tsmcf::{minimum_steps, solve_tsmcf_among_dense, solve_tsmcf_auto};
 use a2a_mcf::{CommoditySet, Stabilization};
 use a2a_schedule::ChunkedSchedule;
 use a2a_simnet::{
-    replan_run, simulate_chunked_event, simulate_chunked_timeline, EventSimOptions,
-    ExecutionModel, IncumbentPool, ReplanOptions, Scenario, ScenarioTimeline, SimParams,
-    TimelineRun,
+    replan_run, simulate_chunked_event, simulate_chunked_timeline, EventSimOptions, ExecutionModel,
+    IncumbentPool, ReplanOptions, Scenario, ScenarioTimeline, SimParams, TimelineRun,
 };
 use a2a_topology::{generators, NodeId, Topology};
 
@@ -127,6 +129,8 @@ struct Record {
     colgen_rounds: Option<usize>,
     colgen_columns: Option<usize>,
     colgen_sources_skipped: Option<usize>,
+    colgen_pricing_wall_secs: Option<f64>,
+    pricing_threads: Option<usize>,
     sim_completion_secs: Option<f64>,
     lp_predicted_secs: Option<f64>,
     sim_vs_lp: Option<f64>,
@@ -163,6 +167,8 @@ impl Record {
             colgen_rounds: None,
             colgen_columns: None,
             colgen_sources_skipped: None,
+            colgen_pricing_wall_secs: None,
+            pricing_threads: None,
             sim_completion_secs: None,
             lp_predicted_secs: None,
             sim_vs_lp: None,
@@ -293,6 +299,8 @@ fn run_path_mcf_colgen(case: &Case, reps: usize) -> Record {
         colgen_rounds: Some(solved.stats.num_rounds()),
         colgen_columns: Some(solved.stats.total_columns),
         colgen_sources_skipped: Some(solved.stats.total_sources_skipped()),
+        colgen_pricing_wall_secs: Some(solved.stats.total_pricing_wall_secs()),
+        pricing_threads: Some(solved.stats.pricing_threads),
         ..Record::bare(
             "path-mcf",
             case,
@@ -301,6 +309,78 @@ fn run_path_mcf_colgen(case: &Case, reps: usize) -> Record {
             median(walls),
             solved.schedule.flow_value,
         )
+    }
+}
+
+/// Minimum pricing-wall speedup the parallel sweep must deliver over a forced
+/// serial sweep on the largest path-MCF case. Only gated when the machine has
+/// at least [`PRICING_GATE_MIN_CORES`] cores — below that the parallel sweep
+/// cannot physically win and the gate degrades to an equality-of-results run.
+const PRICING_SPEEDUP_MIN: f64 = 2.0;
+const PRICING_GATE_MIN_CORES: usize = 4;
+
+/// Serial-vs-parallel pricing-wall comparison on one case. Always asserts the
+/// two runs agree on F, rounds, and columns (byte-identical rounds are pinned
+/// by the `parallel_pricing_tests` suite); enforces the ≥2x pricing-wall
+/// speedup only at ≥ 4 cores.
+fn gate_parallel_pricing(case: &Case) {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let opts = |threads: Option<usize>| ColGenOptions {
+        partial_pricing: Some(1e-1),
+        stabilization: Stabilization::Smoothing { alpha: 0.1 },
+        pricing_threads: threads,
+        ..ColGenOptions::default()
+    };
+    let serial = solve_path_mcf_colgen_among(
+        &case.topo,
+        CommoditySet::among(case.hosts.clone()),
+        &opts(Some(1)),
+    )
+    .expect("serial pricing solve");
+    let parallel = solve_path_mcf_colgen_among(
+        &case.topo,
+        CommoditySet::among(case.hosts.clone()),
+        &opts(None),
+    )
+    .expect("parallel pricing solve");
+    assert_eq!(
+        serial.stats.num_rounds(),
+        parallel.stats.num_rounds(),
+        "{}: thread count changed the round trajectory",
+        case.name
+    );
+    assert_eq!(
+        serial.stats.total_columns, parallel.stats.total_columns,
+        "{}: thread count changed the column set",
+        case.name
+    );
+    assert!(
+        (serial.schedule.flow_value - parallel.schedule.flow_value).abs()
+            <= 1e-9 * (1.0 + serial.schedule.flow_value.abs()),
+        "{}: thread count changed F ({} vs {})",
+        case.name,
+        serial.schedule.flow_value,
+        parallel.schedule.flow_value
+    );
+    let sw = serial.stats.total_pricing_wall_secs();
+    let pw = parallel.stats.total_pricing_wall_secs();
+    let speedup = sw / pw.max(1e-12);
+    eprintln!(
+        "# {}: pricing wall {:.3}s serial vs {:.3}s at {} threads ({:.2}x)",
+        case.name, sw, pw, parallel.stats.pricing_threads, speedup
+    );
+    if cores >= PRICING_GATE_MIN_CORES {
+        assert!(
+            speedup >= PRICING_SPEEDUP_MIN,
+            "{}: parallel pricing speedup {speedup:.2}x below the {PRICING_SPEEDUP_MIN}x gate \
+             at {cores} cores",
+            case.name
+        );
+    } else {
+        eprintln!(
+            "# {}: pricing speedup gate skipped ({cores} cores < {PRICING_GATE_MIN_CORES})",
+            case.name
+        );
     }
 }
 
@@ -317,7 +397,22 @@ const TSMCF_REL_TOL: f64 = 1e-5;
 fn run_tsmcf(case: &Case, reps: usize, include_dense: bool) -> Vec<Record> {
     let steps = minimum_steps(&case.topo, &CommoditySet::among(case.hosts.clone()))
         .expect("tsMCF step bound");
-    let opts = a2a_mcf::ColGenOptions::stabilized();
+    // Same light α = 0.1 smoothing as the path-MCF colgen workload (the
+    // stabilized() default of 0.5 lags the duals and inflates rounds), with a
+    // looser drift tolerance: partial pricing accumulates L1 dual drift over
+    // the *time-expanded* arc space (|E| · steps dimensions), so per-round
+    // drift here is an order of magnitude above the base-graph pmcf master's
+    // and the pmcf tolerance of 1e-1 never fires. Measured while sizing: at 7
+    // every ts case skips sources (13 on hypercube-3d … 271 on torus-3x3x3)
+    // at unchanged wall time, at 3 the two hypercubes and torus-3x3x3 skip
+    // nothing, and at 10+ the staler duals inflate rounds (torus-3x3x3
+    // 43 rounds / 3.3s vs 37 / 2.2s). The skip rate is gated below just like
+    // the path-MCF rows — PR 6 only gated pmcf.
+    let opts = ColGenOptions {
+        partial_pricing: Some(7.0),
+        stabilization: Stabilization::Smoothing { alpha: 0.1 },
+        ..ColGenOptions::default()
+    };
     let mut walls = Vec::with_capacity(reps);
     let mut last = None;
     for _ in 0..reps {
@@ -334,12 +429,20 @@ fn run_tsmcf(case: &Case, reps: usize, include_dense: bool) -> Vec<Record> {
         "{}: tsmcf colgen terminated without its optimality certificate",
         case.name
     );
+    assert!(
+        cg.stats.total_sources_skipped() > 0,
+        "{}: tsmcf stabilized partial pricing skipped no source — the production \
+         speedup mechanism (ROADMAP item 2) is not firing on the time-expanded master",
+        case.name
+    );
     let mut records = vec![Record {
         iterations: Some(cg.stats.total_master_iterations()),
         pivots: Some(cg.stats.total_master_pivots()),
         colgen_rounds: Some(cg.stats.num_rounds()),
         colgen_columns: Some(cg.stats.total_columns),
         colgen_sources_skipped: Some(cg.stats.total_sources_skipped()),
+        colgen_pricing_wall_secs: Some(cg.stats.total_pricing_wall_secs()),
+        pricing_threads: Some(cg.stats.pricing_threads),
         ..Record::bare(
             "tsmcf",
             case,
@@ -539,7 +642,10 @@ fn run_replan(case: &Case, reps: usize) -> Vec<Record> {
         last = Some(run);
     }
     let run = last.expect("at least one repetition");
-    let attempt = run.attempts.first().expect("the failure interrupts the run");
+    let attempt = run
+        .attempts
+        .first()
+        .expect("the failure interrupts the run");
     assert!(
         !attempt.used_fallback,
         "{}: the LP repair path is the one measured here",
@@ -700,7 +806,7 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
-    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_pr6.json".into());
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_pr7.json".into());
     let baseline_path = arg_value("--baseline");
 
     let cases: Vec<Case> = if quick {
@@ -751,9 +857,11 @@ fn main() {
         records.push(rec);
         let rec = run_path_mcf_colgen(case, reps);
         eprintln!(
-            "  path-mcf (colgen): median {:.3}s, {} rounds, {} columns, \
-             {} master iterations, {} sources skipped, F = {:.6}",
+            "  path-mcf (colgen): median {:.3}s ({:.3}s pricing at {} threads), {} rounds, \
+             {} columns, {} master iterations, {} sources skipped, F = {:.6}",
             rec.median_wall_secs,
+            rec.colgen_pricing_wall_secs.unwrap_or(0.0),
+            rec.pricing_threads.unwrap_or(1),
             rec.colgen_rounds.unwrap_or(0),
             rec.colgen_columns.unwrap_or(0),
             rec.iterations.unwrap_or(0),
@@ -762,6 +870,16 @@ fn main() {
         );
         records.push(rec);
     }
+
+    // Serial-vs-parallel pricing gate on the largest path-MCF case of the
+    // tier: the parallel sweep must not change any result, and must cut the
+    // pricing wall ≥ 2x when the machine has enough cores to matter.
+    let gate_case = if quick {
+        Case::torus(&[4, 4])
+    } else {
+        Case::torus(&[8, 8])
+    };
+    gate_parallel_pricing(&gate_case);
 
     // Time-stepped MCF workload: dense edge formulation vs time-expanded column
     // generation. The small store-and-forward cases (fig3-scale, the 8-node
@@ -934,7 +1052,7 @@ fn main() {
     // Hand-rolled JSON (no serde in this build environment).
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"pr\": 6,");
+    let _ = writeln!(json, "  \"pr\": 7,");
     let _ = writeln!(json, "  \"harness\": \"perf_harness\",");
     let _ = writeln!(json, "  \"quick\": {quick},");
     json.push_str("  \"results\": [\n");
@@ -946,7 +1064,8 @@ fn main() {
              \"pivots\": {}, \"master_iterations\": {}, \"refactorizations\": {}, \
              \"presolve_rows_removed\": {}, \"presolve_cols_removed\": {}, \
              \"colgen_rounds\": {}, \"colgen_columns\": {}, \
-             \"colgen_sources_skipped\": {}, \"sim_completion_secs\": {}, \
+             \"colgen_sources_skipped\": {}, \"colgen_pricing_wall_secs\": {}, \
+             \"pricing_threads\": {}, \"sim_completion_secs\": {}, \
              \"lp_predicted_secs\": {}, \"sim_vs_lp\": {}, \
              \"replan_solve_secs\": {}, \"replan_vs_clairvoyant\": {}, \
              \"replan_vs_nominal\": {}, \"flow_value\": {:.9}}}",
@@ -966,6 +1085,8 @@ fn main() {
             json_opt(r.colgen_rounds),
             json_opt(r.colgen_columns),
             json_opt(r.colgen_sources_skipped),
+            json_opt_f64(r.colgen_pricing_wall_secs),
+            json_opt(r.pricing_threads),
             json_opt_f64(r.sim_completion_secs),
             json_opt_f64(r.lp_predicted_secs),
             json_opt_f64(r.sim_vs_lp),

@@ -1,12 +1,56 @@
-//! Shared restricted-master column-generation core.
+//! Shared restricted-master column-generation core: the **generic round
+//! driver** plus its option/statistics surface.
 //!
-//! Two colgen solvers live in this crate — [`crate::pmcf`] (path-MCF over the
-//! base topology) and [`crate::tscolgen`] (time-stepped MCF over the
-//! time-expanded topology) — and they share everything but the master LP and
-//! the shape of a column: the option/statistics surface ([`ColGenOptions`],
-//! [`ColGenRound`], [`ColGenStats`]), the drift-based partial-pricing tracker
-//! ([`PartialPricing`]), and **dual stabilization** ([`Stabilization`],
-//! [`DualStabilizer`]).
+//! Three colgen solvers live in this crate — [`crate::pmcf`] (path-MCF over
+//! the base topology), [`crate::tscolgen`] (time-stepped MCF over the
+//! time-expanded topology) and [`crate::residual`] (re-planning from mid-run
+//! holdings) — and they differ only in how the master LP is built and what a
+//! column means. Everything else is [`run_colgen`]: each solver builds its
+//! restricted master, implements [`PricingOracle`] (price one source into
+//! candidates, lower one candidate into an LP column), and hands the loop to
+//! the driver, which owns
+//!
+//! * the master re-solve / dual-extraction / pricing-sweep round structure,
+//! * dual stabilization ([`Stabilization`], [`DualStabilizer`]) and the
+//!   misprice-collapse resweep,
+//! * the drift-based partial-pricing tracker ([`PartialPricing`]) and the
+//!   certificate resweep of skipped sources,
+//! * the parallel pricing fan-out (one buffer per source, merged in
+//!   source-index order — see *Determinism* below),
+//! * column-pool aging ([`ColGenOptions::purge_nonbasic_after`]),
+//! * the deterministic sort/cap/record of candidates and all per-round
+//!   statistics ([`ColGenRound`], [`ColGenStats`]).
+//!
+//! # The certificate invariant
+//!
+//! A colgen run may terminate with [`ColGenStats::proved_optimal`] **only on
+//! the strength of a full sweep at the master's raw, unsmoothed duals in which
+//! every source was actually priced and no improving column was found.** This
+//! is stated here once and enforced in one place (the driver); the two
+//! mechanisms that make intermediate rounds cheaper both defer to it:
+//!
+//! * under [`Stabilization::Smoothing`] a no-candidate sweep at smoothed duals
+//!   is a *misprice*, not a proof — the driver collapses the stability center
+//!   onto the raw duals and re-prices every source unsmoothed;
+//! * under partial pricing a round that would otherwise terminate while
+//!   sources are being skipped re-prices all skipped sources first.
+//!
+//! The certificate and the recorded `max_violation` always come from the
+//! *untruncated* candidate list: a per-round column cap
+//! ([`ColGenOptions::max_columns_per_round`]) defers work, it never
+//! manufactures an optimality proof. Column purging cannot weaken the
+//! certificate either: a column that is *in* the master has non-negative
+//! reduced cost at the master's optimum, so re-pricing a purged path at the
+//! raw duals of a terminating round cannot find it violating.
+//!
+//! # Determinism
+//!
+//! The pricing sweep fans out over sources ([`ColGenOptions::pricing_threads`])
+//! with one candidate buffer per source, merged in source-index order before
+//! the `(violation desc, owner asc)` sort. Each owner is priced from exactly
+//! one source, so an owner contributes at most one candidate per sweep and
+//! every sort key is unique: serial and parallel runs produce byte-identical
+//! rounds — same columns, same objective trajectory, same certificate.
 //!
 //! # Dual stabilization
 //!
@@ -28,8 +72,16 @@
 //! column is a *misprice*, not a proof, so the driver collapses the center onto
 //! the true duals and re-prices everything unsmoothed before terminating.
 
+use std::collections::HashSet;
+use std::time::Instant;
+
+use a2a_lp::{NewColumn, Pricing, Solver, StandardSolution};
+use a2a_topology::Path;
+use rayon::prelude::*;
+use rayon::{ThreadPool, ThreadPoolBuilder};
+
 use crate::pmcf::PathSetKind;
-use a2a_lp::Pricing;
+use crate::types::{McfError, McfResult};
 
 /// How a column-generation solver seeds its restricted master.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +143,18 @@ pub struct ColGenOptions {
     pub partial_pricing: Option<f64>,
     /// Dual stabilization of the pricing duals (see [`Stabilization`]).
     pub stabilization: Stabilization,
+    /// Worker threads of the parallel pricing sweep. `None` uses every
+    /// available core; `Some(1)` forces a serial sweep. The choice never
+    /// changes the result — see the *Determinism* section of the module docs.
+    pub pricing_threads: Option<usize>,
+    /// Column-pool aging: a master column whose weight has been (numerically)
+    /// zero for this many consecutive rounds is dropped from the driver's
+    /// `seen` bookkeeping, so pricing may regenerate the path later if the
+    /// duals swing back — long runs stop pinning every column they ever
+    /// added. `None` (the default) never purges. The LP column itself stays
+    /// in the master (the incremental session has no column removal); a
+    /// re-priced purged path re-enters as a fresh column.
+    pub purge_nonbasic_after: Option<usize>,
 }
 
 impl Default for ColGenOptions {
@@ -103,6 +167,8 @@ impl Default for ColGenOptions {
             pricing: Pricing::default(),
             partial_pricing: Some(1e-7),
             stabilization: Stabilization::None,
+            pricing_threads: None,
+            purge_nonbasic_after: None,
         }
     }
 }
@@ -134,6 +200,16 @@ impl ColGenOptions {
                 return Err(format!("smoothing weight must be in [0, 1), got {alpha}"));
             }
         }
+        if self.pricing_threads == Some(0) {
+            return Err("pricing_threads must be at least 1 (None means all cores)".into());
+        }
+        if self.purge_nonbasic_after == Some(0) {
+            return Err(
+                "purge_nonbasic_after must be at least 1 (a column cannot be \
+                 nonbasic for zero rounds; None disables purging)"
+                    .into(),
+            );
+        }
         Ok(())
     }
 }
@@ -164,6 +240,12 @@ pub struct ColGenRound {
     /// round (0 when partial pricing is disabled, and 0 on any round that forced
     /// a full re-price to establish the optimality certificate).
     pub sources_skipped: usize,
+    /// Worker threads the pricing sweep fanned out over this round (bounded by
+    /// the sources actually priced; 1 means the sweep ran serially).
+    pub pricing_threads: usize,
+    /// Columns dropped from the `seen` bookkeeping by pool aging this round
+    /// (0 unless [`ColGenOptions::purge_nonbasic_after`] is set).
+    pub columns_purged: usize,
 }
 
 /// Aggregate timing/progress statistics of a column-generation solve.
@@ -185,6 +267,9 @@ pub struct ColGenStats {
     /// redone at the raw duals (0 when stabilization is off). Each misprice
     /// resets the stability center.
     pub misprices: usize,
+    /// Resolved worker budget of the parallel pricing sweep (the explicit
+    /// [`ColGenOptions::pricing_threads`], or every available core).
+    pub pricing_threads: usize,
 }
 
 impl ColGenStats {
@@ -196,6 +281,7 @@ impl ColGenStats {
             seed_columns,
             total_columns: seed_columns,
             misprices: 0,
+            pricing_threads: 1,
         }
     }
 
@@ -225,6 +311,22 @@ impl ColGenStats {
     /// Total source-pricing sweeps skipped by partial pricing across all rounds.
     pub fn total_sources_skipped(&self) -> usize {
         self.rounds.iter().map(|r| r.sources_skipped).sum()
+    }
+
+    /// Total wall time of the master (re)solves across all rounds.
+    pub fn total_master_wall_secs(&self) -> f64 {
+        self.rounds.iter().map(|r| r.master_wall_secs).sum()
+    }
+
+    /// Total wall time of dual extraction plus pricing across all rounds —
+    /// the denominator of the parallel-pricing speedup.
+    pub fn total_pricing_wall_secs(&self) -> f64 {
+        self.rounds.iter().map(|r| r.pricing_wall_secs).sum()
+    }
+
+    /// Total columns dropped from the `seen` bookkeeping by pool aging.
+    pub fn total_columns_purged(&self) -> usize {
+        self.rounds.iter().map(|r| r.columns_purged).sum()
     }
 }
 
@@ -378,6 +480,296 @@ impl PartialPricing {
     pub fn mark_priced(&mut self, si: usize, found: bool) {
         self.found_last[si] = found;
         self.acc_shift[si] = 0.0;
+    }
+}
+
+/// One improving column found by pricing: its violation
+/// `μ_owner − dual path cost`, the commodity/demand index that owns it, and
+/// the priced path (over whatever graph the oracle prices on).
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// `μ_owner − cost` under the duals the sweep priced at; `> tolerance`.
+    pub violation: f64,
+    /// Owning commodity (pMCF, tsMCF) or demand (residual) index.
+    pub owner: usize,
+    /// The improving path. Owners see at most one candidate per sweep, so
+    /// `(violation, owner)` sort keys are unique — the determinism anchor.
+    pub path: Path,
+}
+
+/// The problem-specific half of a column-generation solver, driven by
+/// [`run_colgen`].
+///
+/// An oracle is the bridge between the generic round loop and one concrete
+/// master formulation: it knows how to turn master duals into pricing inputs
+/// (`arc_weights`, `convexity_duals`), how to price one source
+/// (`price_source` — **pure and `Sync`**, the driver fans it out across
+/// threads), and how to lower an accepted candidate into an LP column
+/// (`build_column` — `&mut self`, where the oracle records its own
+/// column-to-path bookkeeping for the final extraction).
+pub trait PricingOracle: Sync {
+    /// Number of pricing sources (Dijkstra trees per sweep). Sources partition
+    /// the owners: each owner is priced from exactly one source.
+    fn num_sources(&self) -> usize;
+
+    /// `owners_of_source()[si]` lists the owner indices priced from source
+    /// `si`, for the partial-pricing drift tracker.
+    fn owners_of_source(&self) -> &[Vec<usize>];
+
+    /// Pricing arc weights from the (possibly smoothed) master duals `y`.
+    fn arc_weights(&self, y: &[f64]) -> Vec<f64>;
+
+    /// Per-owner convexity duals `μ` from the master duals `y`.
+    fn convexity_duals(&self, y: &[f64]) -> Vec<f64>;
+
+    /// Prices source `si` under `weights`/`mu`, pushing every improving path
+    /// not already in `seen[owner]` onto `out`. Must be deterministic and
+    /// must not observe anything mutated during the sweep — the driver calls
+    /// it from multiple threads with disjoint output buffers.
+    fn price_source(
+        &self,
+        si: usize,
+        weights: &[f64],
+        mu: &[f64],
+        seen: &[HashSet<Path>],
+        out: &mut Vec<Candidate>,
+    );
+
+    /// Lowers an accepted candidate into the LP column to append, recording
+    /// whatever per-column bookkeeping the oracle's extraction needs. Called
+    /// serially, in the deterministic candidate order.
+    fn build_column(&mut self, owner: usize, path: &Path) -> NewColumn;
+
+    /// Maps the master's minimize-sense objective to the solver's reported
+    /// flow value (pMCF maximizes `F` via `min −F` and negates; the
+    /// time-stepped masters minimize `Σ_t U_t` directly).
+    fn objective_value(&self, master_objective: f64) -> f64 {
+        master_objective
+    }
+}
+
+/// Column weight at or below which a master column counts as nonbasic for
+/// pool aging (matches the extraction thresholds of the concrete solvers).
+const PURGE_WEIGHT_TOL: f64 = 1e-9;
+
+/// Pool-aging record of one appended path column: LP column
+/// `structural_cols + index in this list`.
+struct PoolEntry {
+    owner: usize,
+    path: Path,
+    idle_rounds: usize,
+    purged: bool,
+}
+
+/// Prices `sources` under the `(arc weights, convexity duals)` pair — in
+/// parallel when the pool budget allows — and merges the per-source buffers
+/// in source-index order. Returns the thread count used.
+fn priced_sweep<O: PricingOracle>(
+    oracle: &O,
+    pool: &ThreadPool,
+    sources: &[usize],
+    (weights, mu): (&[f64], &[f64]),
+    seen: &[HashSet<Path>],
+    partial: &mut PartialPricing,
+    out: &mut Vec<Candidate>,
+) -> usize {
+    let threads = pool.current_num_threads().min(sources.len()).max(1);
+    let buffers: Vec<Vec<Candidate>> = pool.install(|| {
+        sources
+            .par_iter()
+            .map(|&si| {
+                let mut buf = Vec::new();
+                oracle.price_source(si, weights, mu, seen, &mut buf);
+                buf
+            })
+            .collect()
+    });
+    for (&si, buf) in sources.iter().zip(buffers) {
+        partial.mark_priced(si, !buf.is_empty());
+        out.extend(buf);
+    }
+    threads
+}
+
+/// The generic column-generation round loop shared by every colgen solver in
+/// this crate. See the module docs for the certificate invariant and the
+/// determinism argument; see [`PricingOracle`] for the solver-specific half.
+///
+/// `solver` holds the restricted master with `structural_cols` non-path
+/// columns first (pMCF's `F`, the time-stepped `U_t`s), then one column per
+/// `seed` entry in order; `seen[owner]` already contains every seeded path.
+/// Returns the final master solution (terminating round's optimum) and the
+/// statistics block; the caller extracts its solution shape from the LP `x`
+/// using its own column bookkeeping.
+pub fn run_colgen<O: PricingOracle>(
+    solver: &mut Solver<'_>,
+    oracle: &mut O,
+    seen: &mut [HashSet<Path>],
+    structural_cols: usize,
+    seed: Vec<(usize, Path)>,
+    options: &ColGenOptions,
+) -> McfResult<(StandardSolution, ColGenStats)> {
+    let nsrc = oracle.num_sources();
+    let mut stats = ColGenStats::new(seed.len());
+    let pool = ThreadPoolBuilder::new()
+        .num_threads(options.pricing_threads.unwrap_or(0))
+        .build()
+        .expect("the rayon-shim pool builder is infallible");
+    stats.pricing_threads = pool.current_num_threads();
+    let mut tracked: Vec<PoolEntry> = seed
+        .into_iter()
+        .map(|(owner, path)| PoolEntry {
+            owner,
+            path,
+            idle_rounds: 0,
+            purged: false,
+        })
+        .collect();
+    let mut stabilizer = DualStabilizer::new(options.stabilization);
+    let mut partial = PartialPricing::new(options.partial_pricing, nsrc);
+    loop {
+        let t_master = Instant::now();
+        let sol = solver.reoptimize().map_err(McfError::from)?;
+        let master_wall_secs = t_master.elapsed().as_secs_f64();
+        let flow_value = oracle.objective_value(sol.objective);
+
+        // Pool aging: a path column whose weight has been numerically zero
+        // for `purge_nonbasic_after` consecutive master optima leaves the
+        // `seen` bookkeeping, so pricing may regenerate it later. Purging is
+        // certificate-safe (module docs): an in-master column cannot violate
+        // at the raw duals of the round that terminates the run.
+        let mut columns_purged = 0usize;
+        if let Some(age) = options.purge_nonbasic_after {
+            for (j, entry) in tracked.iter_mut().enumerate() {
+                if entry.purged {
+                    continue;
+                }
+                if sol.x[structural_cols + j] > PURGE_WEIGHT_TOL {
+                    entry.idle_rounds = 0;
+                } else {
+                    entry.idle_rounds += 1;
+                    if entry.idle_rounds >= age {
+                        entry.purged = true;
+                        seen[entry.owner].remove(&entry.path);
+                        columns_purged += 1;
+                    }
+                }
+            }
+        }
+
+        let t_pricing = Instant::now();
+        let y_raw = solver.current_duals();
+        let (y, smoothed) = stabilizer.pricing_duals(&y_raw);
+        let mut weights = oracle.arc_weights(&y);
+        let mut mu = oracle.convexity_duals(&y);
+        partial.accumulate(&weights, &mu, oracle.owners_of_source());
+
+        let mut to_price: Vec<usize> = Vec::with_capacity(nsrc);
+        let mut skipped: Vec<usize> = Vec::new();
+        for si in 0..nsrc {
+            if partial.should_skip(si) {
+                skipped.push(si);
+            } else {
+                to_price.push(si);
+            }
+        }
+        let mut sources_skipped = skipped.len();
+        let mut candidates: Vec<Candidate> = Vec::new();
+        let mut pricing_threads = priced_sweep(
+            &*oracle,
+            &pool,
+            &to_price,
+            (&weights, &mu),
+            seen,
+            &mut partial,
+            &mut candidates,
+        );
+        if candidates.is_empty() && (smoothed || !skipped.is_empty()) {
+            // The round is about to terminate, but the certificate must rest
+            // on a full sweep at the raw duals (module docs): a no-candidate
+            // sweep at smoothed duals is a misprice (collapse the stability
+            // center and re-price everything), and partial pricing's deferred
+            // sources must be re-priced either way.
+            let resweep: Vec<usize> = if smoothed {
+                stats.misprices += 1;
+                stabilizer.collapse(&y_raw);
+                weights = oracle.arc_weights(&y_raw);
+                mu = oracle.convexity_duals(&y_raw);
+                partial.accumulate(&weights, &mu, oracle.owners_of_source());
+                (0..nsrc).collect()
+            } else {
+                skipped
+            };
+            pricing_threads = pricing_threads.max(priced_sweep(
+                &*oracle,
+                &pool,
+                &resweep,
+                (&weights, &mu),
+                seen,
+                &mut partial,
+                &mut candidates,
+            ));
+            sources_skipped = 0;
+        }
+        let pricing_wall_secs = t_pricing.elapsed().as_secs_f64();
+
+        // Most violating candidates first; the owner index breaks ties so the
+        // round is deterministic. The certificate and the recorded violation
+        // come from the *untruncated* list.
+        candidates.sort_by(|a, b| {
+            b.violation
+                .partial_cmp(&a.violation)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.owner.cmp(&b.owner))
+        });
+        let max_violation = candidates.first().map_or(0.0, |c| c.violation);
+        let proved = candidates.is_empty();
+        let capped = !proved && stats.rounds.len() + 1 >= options.max_rounds;
+        candidates.truncate(options.max_columns_per_round);
+
+        stats.rounds.push(ColGenRound {
+            columns_in_master: stats.total_columns,
+            // Only columns actually appended count; a round that terminates
+            // the loop (certificate or round cap) appends nothing.
+            columns_added: if proved || capped {
+                0
+            } else {
+                candidates.len()
+            },
+            master_wall_secs,
+            pricing_wall_secs,
+            master_iterations: sol.iterations,
+            master_pivots: sol.pivots,
+            flow_value,
+            max_violation,
+            sources_skipped,
+            pricing_threads,
+            columns_purged,
+        });
+
+        if proved {
+            stats.proved_optimal = true;
+            return Ok((sol, stats));
+        }
+        if capped {
+            return Ok((sol, stats));
+        }
+
+        let new_cols: Vec<NewColumn> = candidates
+            .iter()
+            .map(|c| oracle.build_column(c.owner, &c.path))
+            .collect();
+        solver.add_columns(&new_cols).map_err(McfError::from)?;
+        for c in candidates {
+            seen[c.owner].insert(c.path.clone());
+            tracked.push(PoolEntry {
+                owner: c.owner,
+                path: c.path,
+                idle_rounds: 0,
+                purged: false,
+            });
+            stats.total_columns += 1;
+        }
     }
 }
 

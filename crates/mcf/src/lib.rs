@@ -23,9 +23,11 @@
 //!   generation ([`pmcf::solve_path_mcf_colgen_among`]) that grows the path set
 //!   adaptively by dual-cost shortest-path pricing and certifies optimality of
 //!   the unrestricted path LP on any topology.
-//! * [`colgen`] — the column-generation core shared by `pmcf` and `tscolgen`:
-//!   options/statistics, drift-based partial pricing, and dual stabilization
-//!   (Wentges smoothing) for the degenerate masters.
+//! * [`colgen`] — the column-generation engine shared by `pmcf`, `tscolgen`,
+//!   and `residual`: the generic round loop ([`colgen::run_colgen`]) over a
+//!   [`colgen::PricingOracle`], with dual stabilization (Wentges smoothing),
+//!   drift-based partial pricing, deterministic multi-threaded pricing, and
+//!   column-pool aging. The certificate invariant lives in its module docs.
 //! * [`tscolgen`] — tsMCF solved by column generation over **delivery-exact
 //!   time-expanded path columns**: every column is a whole `(0, s) → (steps, d)`
 //!   path of the time-expanded graph, so solutions conserve flow exactly and
@@ -63,7 +65,10 @@ pub mod types;
 
 pub use analysis::{max_link_load_of_paths, path_schedule_all_to_all_time, throughput_gbps};
 pub use bounds::{lower_bound_all_to_all_time, throughput_upper_bound};
-pub use colgen::{ColGenOptions, ColGenRound, ColGenSeed, ColGenStats, Stabilization};
+pub use colgen::{
+    run_colgen, Candidate, ColGenOptions, ColGenRound, ColGenSeed, ColGenStats, PricingOracle,
+    Stabilization,
+};
 pub use decomposed::{
     solve_decomposed_mcf, solve_decomposed_mcf_with, DecomposedMcf, DecomposedOptions,
     DecomposedTimings,

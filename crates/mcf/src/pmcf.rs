@@ -21,14 +21,14 @@
 //! with link-MCF and decomposed-MCF on `F` on *any* topology.
 
 use std::collections::HashSet;
-use std::time::Instant;
 
 use a2a_lp::sparse::SparseVec;
 use a2a_lp::{
     ConstraintSense, LpProblem, NewColumn, SimplexOptions, Solver, StandardForm, VarId, INF,
 };
-use a2a_topology::{paths, Path, Topology};
+use a2a_topology::{paths, NodeId, Path, Topology};
 
+use crate::colgen::{run_colgen, Candidate, PricingOracle};
 use crate::linkmcf::validate;
 use crate::types::{CommoditySet, McfError, McfResult, PathSchedule};
 
@@ -268,6 +268,127 @@ pub fn solve_path_mcf_colgen(topo: &Topology, options: &ColGenOptions) -> McfRes
     solve_path_mcf_colgen_among(topo, CommoditySet::all_pairs(topo.num_nodes()), options)
 }
 
+/// [`PricingOracle`] of the path-MCF master: prices one Dijkstra tree per
+/// source over the base topology under dual edge costs `w_e = max(0, −y_e)`
+/// and lowers a path into a column with a `1` on every capacity row it
+/// crosses plus a `1` on its commodity's demand row.
+struct PathPricer<'a> {
+    topo: &'a Topology,
+    commodities: &'a CommoditySet,
+    endpoints: Vec<NodeId>,
+    commodities_of_source: Vec<Vec<usize>>,
+    edge_row: Vec<Option<usize>>,
+    nedge_rows: usize,
+    ncomm: usize,
+    tol: f64,
+    /// Candidate paths per commodity, in append order.
+    path_sets: Vec<Vec<Path>>,
+    /// `(commodity, within-set index)` of LP column `j + 1`.
+    col_owner: Vec<(usize, usize)>,
+}
+
+impl PathPricer<'_> {
+    fn path_column(&self, k: usize, p: &Path) -> SparseVec {
+        let mut entries: Vec<(usize, f64)> = Vec::with_capacity(p.hops() + 1);
+        for (u, v) in p.links() {
+            let e = self
+                .topo
+                .find_edge(u, v)
+                .expect("paths are validated in topo");
+            if let Some(r) = self.edge_row[e] {
+                entries.push((r, 1.0));
+            }
+        }
+        entries.push((self.nedge_rows + k, 1.0));
+        SparseVec::from_entries(entries)
+    }
+
+    /// Lowers path `p` of commodity `k`, recording the ownership bookkeeping
+    /// the extraction reads back.
+    fn push_column(&mut self, k: usize, p: Path) -> SparseVec {
+        let col = self.path_column(k, &p);
+        self.col_owner.push((k, self.path_sets[k].len()));
+        self.path_sets[k].push(p);
+        col
+    }
+}
+
+impl PricingOracle for PathPricer<'_> {
+    fn num_sources(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    fn owners_of_source(&self) -> &[Vec<usize>] {
+        &self.commodities_of_source
+    }
+
+    // Dual edge costs w_e = max(0, -y_e) (capacity-row duals are non-positive
+    // at a minimize optimum); convexity duals mu_k = y_{demand k}. A path
+    // improves iff its w-length is below mu_k - tolerance.
+    fn arc_weights(&self, y: &[f64]) -> Vec<f64> {
+        let mut weights = vec![0.0; self.topo.num_edges()];
+        for (e, r) in self.edge_row.iter().enumerate() {
+            if let Some(r) = *r {
+                weights[e] = (-y[r]).max(0.0);
+            }
+        }
+        weights
+    }
+
+    fn convexity_duals(&self, y: &[f64]) -> Vec<f64> {
+        y[self.nedge_rows..self.nedge_rows + self.ncomm].to_vec()
+    }
+
+    fn price_source(
+        &self,
+        si: usize,
+        weights: &[f64],
+        mu: &[f64],
+        seen: &[HashSet<Path>],
+        out: &mut Vec<Candidate>,
+    ) {
+        let s = self.endpoints[si];
+        let tree = paths::weighted_shortest_path_tree(self.topo, s, weights);
+        for &d in &self.endpoints {
+            if d == s {
+                continue;
+            }
+            let k = self
+                .commodities
+                .index_of(s, d)
+                .expect("endpoints enumerate the commodity set");
+            let cost = tree
+                .distance(d)
+                .expect("validated topologies are strongly connected");
+            let violation = mu[k] - cost;
+            if violation > self.tol {
+                let p = tree.path_to(d).expect("finite distance implies a path");
+                if !seen[k].contains(&p) {
+                    out.push(Candidate {
+                        violation,
+                        owner: k,
+                        path: p,
+                    });
+                }
+            }
+        }
+    }
+
+    fn build_column(&mut self, owner: usize, path: &Path) -> NewColumn {
+        NewColumn {
+            col: self.push_column(owner, path.clone()),
+            obj: 0.0,
+            lower: 0.0,
+            upper: INF,
+        }
+    }
+
+    // The master minimizes -F.
+    fn objective_value(&self, master_objective: f64) -> f64 {
+        -master_objective
+    }
+}
+
 /// Solves path-MCF to proven optimality by restricted-master column generation.
 ///
 /// The restricted master is the path LP over the current candidate sets,
@@ -343,16 +464,33 @@ pub fn solve_path_mcf_colgen_among(
     }
     let nrows = row_lower.len();
 
-    let path_column = |k: usize, p: &Path| -> SparseVec {
-        let mut entries: Vec<(usize, f64)> = Vec::with_capacity(p.hops() + 1);
-        for (u, v) in p.links() {
-            let e = topo.find_edge(u, v).expect("paths are validated in topo");
-            if let Some(r) = edge_row[e] {
-                entries.push((r, 1.0));
-            }
-        }
-        entries.push((nedge_rows + k, 1.0));
-        SparseVec::from_entries(entries)
+    let endpoints = commodities.endpoints().to_vec();
+    // Commodity indices priced from each source, for the drift tracker.
+    let commodities_of_source: Vec<Vec<usize>> = endpoints
+        .iter()
+        .map(|&s| {
+            endpoints
+                .iter()
+                .filter(|&&d| d != s)
+                .map(|&d| {
+                    commodities
+                        .index_of(s, d)
+                        .expect("endpoints enumerate the commodity set")
+                })
+                .collect()
+        })
+        .collect();
+    let mut pricer = PathPricer {
+        topo,
+        commodities: &commodities,
+        endpoints,
+        commodities_of_source,
+        edge_row,
+        nedge_rows,
+        ncomm,
+        tol: options.tolerance,
+        path_sets: vec![Vec::new(); ncomm],
+        col_owner: Vec::new(),
     };
 
     // Column 0 is F (minimize -F); path columns follow in append order, with
@@ -361,15 +499,14 @@ pub fn solve_path_mcf_colgen_among(
         (0..ncomm).map(|k| (nedge_rows + k, -1.0)),
     )];
     let mut obj = vec![-1.0];
-    let mut col_owner: Vec<(usize, usize)> = Vec::new();
-    for (k, set) in path_sets.iter().enumerate() {
-        for (pi, p) in set.iter().enumerate() {
-            cols.push(path_column(k, p));
+    let mut seed: Vec<(usize, Path)> = Vec::new();
+    for (k, set) in path_sets.into_iter().enumerate() {
+        for p in set {
+            cols.push(pricer.push_column(k, p.clone()));
             obj.push(0.0);
-            col_owner.push((k, pi));
+            seed.push((k, p));
         }
     }
-    let seed_columns = col_owner.len();
     let ncols = cols.len();
     let sf = StandardForm {
         nrows,
@@ -391,185 +528,14 @@ pub fn solve_path_mcf_colgen_among(
     };
     let mut solver = Solver::new_owned(sf, simplex_opts)?;
 
-    let endpoints = commodities.endpoints().to_vec();
-    let nsrc = endpoints.len();
-    let tol = options.tolerance;
-    let mut stats = ColGenStats::new(seed_columns);
-    // Commodity indices priced from each source, for the drift tracker.
-    let commodities_of_source: Vec<Vec<usize>> = endpoints
-        .iter()
-        .map(|&s| {
-            endpoints
-                .iter()
-                .filter(|&&d| d != s)
-                .map(|&d| {
-                    commodities
-                        .index_of(s, d)
-                        .expect("endpoints enumerate the commodity set")
-                })
-                .collect()
-        })
-        .collect();
-    let mut stabilizer = DualStabilizer::new(options.stabilization);
-    let mut partial = PartialPricing::new(options.partial_pricing, nsrc);
-    let final_sol;
-    loop {
-        let t_master = Instant::now();
-        let sol = solver.reoptimize().map_err(McfError::from)?;
-        let master_wall_secs = t_master.elapsed().as_secs_f64();
-        let flow_value = -sol.objective;
+    // Column 0 is F, so the path columns start at structural column 1.
+    let (sol, stats) = run_colgen(&mut solver, &mut pricer, &mut seen, 1, seed, options)?;
+    let PathPricer {
+        col_owner,
+        path_sets,
+        ..
+    } = pricer;
 
-        // Pricing: dual edge costs w_e = max(0, -y_e) (capacity-row duals are
-        // non-positive at a minimize optimum), convexity duals mu_k = y_{demand k}.
-        // A path improves iff its w-length is below mu_k - tolerance. Under
-        // stabilization the sweep prices at the smoothed duals; the drift tracker
-        // runs on the same vector, which is what makes the skip fire.
-        let t_pricing = Instant::now();
-        let y_raw = solver.current_duals();
-        let (y, smoothed) = stabilizer.pricing_duals(&y_raw);
-        let weights_from = |y: &[f64]| -> Vec<f64> {
-            let mut weights = vec![0.0; topo.num_edges()];
-            for (e, r) in edge_row.iter().enumerate() {
-                if let Some(r) = *r {
-                    weights[e] = (-y[r]).max(0.0);
-                }
-            }
-            weights
-        };
-        let mut weights = weights_from(&y);
-        let mut mu: Vec<f64> = y[nedge_rows..nedge_rows + ncomm].to_vec();
-        partial.accumulate(&weights, &mu, &commodities_of_source);
-
-        let price_source = |si: usize,
-                            weights: &[f64],
-                            mu: &[f64],
-                            seen: &[HashSet<Path>],
-                            candidates: &mut Vec<(f64, usize, Path)>|
-         -> bool {
-            let s = endpoints[si];
-            let tree = paths::weighted_shortest_path_tree(topo, s, weights);
-            let mut found = false;
-            for &d in &endpoints {
-                if d == s {
-                    continue;
-                }
-                let k = commodities
-                    .index_of(s, d)
-                    .expect("endpoints enumerate the commodity set");
-                let cost = tree
-                    .distance(d)
-                    .expect("validated topologies are strongly connected");
-                let violation = mu[k] - cost;
-                if violation > tol {
-                    let p = tree.path_to(d).expect("finite distance implies a path");
-                    if !seen[k].contains(&p) {
-                        candidates.push((violation, k, p));
-                        found = true;
-                    }
-                }
-            }
-            found
-        };
-
-        let mut candidates: Vec<(f64, usize, Path)> = Vec::new();
-        let mut skipped: Vec<usize> = Vec::new();
-        for si in 0..nsrc {
-            if partial.should_skip(si) {
-                skipped.push(si);
-                continue;
-            }
-            let found = price_source(si, &weights, &mu, &seen, &mut candidates);
-            partial.mark_priced(si, found);
-        }
-        let mut sources_skipped = skipped.len();
-        if candidates.is_empty() && (smoothed || !skipped.is_empty()) {
-            // The round is about to terminate, but the optimality certificate
-            // must rest on a full sweep at the master's *raw* duals: a
-            // no-candidate sweep at smoothed duals is a misprice (collapse the
-            // stability center and re-price everything), and partial pricing's
-            // deferred sources must be re-priced either way.
-            if smoothed {
-                stats.misprices += 1;
-                stabilizer.collapse(&y_raw);
-                weights = weights_from(&y_raw);
-                mu = y_raw[nedge_rows..nedge_rows + ncomm].to_vec();
-                partial.accumulate(&weights, &mu, &commodities_of_source);
-                for si in 0..nsrc {
-                    let found = price_source(si, &weights, &mu, &seen, &mut candidates);
-                    partial.mark_priced(si, found);
-                }
-            } else {
-                for si in skipped {
-                    let found = price_source(si, &weights, &mu, &seen, &mut candidates);
-                    partial.mark_priced(si, found);
-                }
-            }
-            sources_skipped = 0;
-        }
-        let pricing_wall_secs = t_pricing.elapsed().as_secs_f64();
-
-        // Most violating candidates first; commodity index breaks ties so the
-        // round is deterministic. The certificate and the recorded violation
-        // come from the *untruncated* list — a per-round column cap defers
-        // work, it must never manufacture an optimality proof.
-        candidates.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.1.cmp(&b.1))
-        });
-        let max_violation = candidates.first().map_or(0.0, |c| c.0);
-        let proved = candidates.is_empty();
-        let capped = !proved && stats.rounds.len() + 1 >= options.max_rounds;
-        candidates.truncate(options.max_columns_per_round);
-
-        let columns_in_master = stats.total_columns;
-        stats.rounds.push(ColGenRound {
-            columns_in_master,
-            // Only columns actually appended count; a round that terminates the
-            // loop (certificate or round cap) appends nothing.
-            columns_added: if proved || capped {
-                0
-            } else {
-                candidates.len()
-            },
-            master_wall_secs,
-            pricing_wall_secs,
-            master_iterations: sol.iterations,
-            master_pivots: sol.pivots,
-            flow_value,
-            max_violation,
-            sources_skipped,
-        });
-
-        if proved {
-            stats.proved_optimal = true;
-            final_sol = sol;
-            break;
-        }
-        if capped {
-            final_sol = sol;
-            break;
-        }
-
-        let new_cols: Vec<NewColumn> = candidates
-            .iter()
-            .map(|(_, k, p)| NewColumn {
-                col: path_column(*k, p),
-                obj: 0.0,
-                lower: 0.0,
-                upper: INF,
-            })
-            .collect();
-        solver.add_columns(&new_cols).map_err(McfError::from)?;
-        for (_, k, p) in candidates {
-            seen[k].insert(p.clone());
-            col_owner.push((k, path_sets[k].len()));
-            path_sets[k].push(p);
-        }
-        stats.total_columns = col_owner.len();
-    }
-
-    let sol = final_sol;
     let flow_value = -sol.objective;
     if flow_value <= WEIGHT_TOL {
         return Err(McfError::Lp(

@@ -32,19 +32,15 @@
 //! graceful-degradation fallback.
 
 use std::collections::{HashMap, HashSet};
-use std::time::Instant;
 
 use a2a_lp::sparse::SparseVec;
 use a2a_lp::{NewColumn, SimplexOptions, Solver, StandardForm, INF};
 use a2a_topology::transform::TimeExpanded;
 use a2a_topology::{paths, EdgeId, NodeId, Path, Topology};
 
-use crate::colgen::{ColGenOptions, ColGenRound, ColGenStats, DualStabilizer, PartialPricing};
-use crate::tscolgen::TsColumn;
+use crate::colgen::{run_colgen, Candidate, ColGenOptions, ColGenStats, PricingOracle};
+use crate::tscolgen::{extract_time_stepped, ExpandedLowering, TsColumn};
 use crate::types::{CommoditySet, McfError, McfResult};
-
-/// Column weight below which a path's flow is dropped from the extraction.
-const FLOW_TOL: f64 = 1e-9;
 
 /// One residual demand: `amount` shards of the original `origin → dest`
 /// commodity currently held at node `at`.
@@ -249,6 +245,100 @@ pub fn warm_seeds_from_columns(
     seeds
 }
 
+/// [`PricingOracle`] of the residual master: one Dijkstra tree per *distinct
+/// holding node* over the expanded graph prices every demand stranded there.
+/// Columns are lowered through the shared [`ExpandedLowering`]; the only
+/// residual-specific parts are the demand-indexed convexity duals and the
+/// holding-node source grouping.
+struct ResidualPricer<'a> {
+    lower: ExpandedLowering<'a>,
+    demands: &'a [TsDemand],
+    /// Distinct holding nodes, in first-appearance order.
+    starts: Vec<NodeId>,
+    /// Demand indices stranded at each holding node.
+    demands_of_start: Vec<Vec<usize>>,
+    ndem: usize,
+    tol: f64,
+    /// Owning demand of path column `j` (LP column `steps + j`).
+    col_owner: Vec<usize>,
+    /// Fabric arcs of path column `j`, for the extraction.
+    col_arcs: Vec<Vec<(usize, EdgeId, EdgeId)>>,
+}
+
+impl ResidualPricer<'_> {
+    fn push_column(&mut self, k: usize, p: &Path) -> SparseVec {
+        let arcs = self.lower.fabric_arcs(p);
+        let col = self.lower.path_column(k, &arcs);
+        self.col_owner.push(k);
+        self.col_arcs.push(arcs);
+        col
+    }
+}
+
+impl PricingOracle for ResidualPricer<'_> {
+    fn num_sources(&self) -> usize {
+        self.starts.len()
+    }
+
+    fn owners_of_source(&self) -> &[Vec<usize>] {
+        &self.demands_of_start
+    }
+
+    fn arc_weights(&self, y: &[f64]) -> Vec<f64> {
+        self.lower.arc_weights(y)
+    }
+
+    fn convexity_duals(&self, y: &[f64]) -> Vec<f64> {
+        y[self.lower.ncap_rows..self.lower.ncap_rows + self.ndem].to_vec()
+    }
+
+    fn price_source(
+        &self,
+        si: usize,
+        weights: &[f64],
+        mu: &[f64],
+        seen: &[HashSet<Path>],
+        out: &mut Vec<Candidate>,
+    ) {
+        let expanded = self.lower.expanded;
+        let tree = paths::weighted_shortest_path_tree(
+            &expanded.graph,
+            expanded.node_at(0, self.starts[si]),
+            weights,
+        );
+        for &k in &self.demands_of_start[si] {
+            let terminus = expanded.node_at(self.lower.steps, self.demands[k].dest);
+            let cost = tree
+                .distance(terminus)
+                .expect("step budget >= residual diameter keeps termini reachable");
+            let violation = mu[k] - cost;
+            if violation > self.tol {
+                let p = self.lower.shortcut_detours(
+                    &tree
+                        .path_to(terminus)
+                        .expect("finite distance implies a path"),
+                );
+                if !seen[k].contains(&p) {
+                    out.push(Candidate {
+                        violation,
+                        owner: k,
+                        path: p,
+                    });
+                }
+            }
+        }
+    }
+
+    fn build_column(&mut self, owner: usize, path: &Path) -> NewColumn {
+        NewColumn {
+            col: self.push_column(owner, path),
+            obj: 0.0,
+            lower: 0.0,
+            upper: INF,
+        }
+    }
+}
+
 /// Solves a residual instance by column generation, optionally warm-started.
 ///
 /// `warm` holds `(demand index, base-graph path)` seeds — typically from
@@ -276,93 +366,17 @@ pub fn solve_residual_colgen(
     options.validate().map_err(McfError::BadArgument)?;
     let ndem = demands.len();
     let expanded = TimeExpanded::build(topo, steps);
-    let xg = &expanded.graph;
 
     // Row layout mirrors the nominal master: one capacity row per
-    // finite-capacity fabric arc, then one convexity row per demand — with
-    // right-hand side `amount` instead of 1, so columns carry shard units.
-    let mut arc_row: Vec<Option<usize>> = Vec::with_capacity(xg.num_edges());
-    let mut row_lower = Vec::new();
-    let mut row_upper = Vec::new();
-    for xe in 0..xg.num_edges() {
-        if !expanded.is_self_edge(xe) && xg.edge(xe).capacity.is_finite() {
-            arc_row.push(Some(row_lower.len()));
-            row_lower.push(-INF);
-            row_upper.push(0.0);
-        } else {
-            arc_row.push(None);
-        }
-    }
-    let ncap_rows = row_lower.len();
+    // finite-capacity fabric arc (shared lowering), then one convexity row per
+    // demand — with right-hand side `amount` instead of 1, so columns carry
+    // shard units.
+    let (lower, mut row_lower, mut row_upper) = ExpandedLowering::build(topo, &expanded, steps);
     for d in demands {
         row_lower.push(d.amount);
         row_upper.push(d.amount);
     }
     let nrows = row_lower.len();
-
-    let fabric_arcs = |p: &Path| -> Vec<(usize, EdgeId, EdgeId)> {
-        let mut arcs = Vec::with_capacity(p.hops());
-        for (u, v) in p.links() {
-            let xe = xg
-                .find_edge(u, v)
-                .expect("pricing paths live in the expanded graph");
-            if expanded.is_self_edge(xe) {
-                continue;
-            }
-            let t = expanded.layer_of(u);
-            let base = topo
-                .find_edge(expanded.base_of(u), expanded.base_of(v))
-                .expect("expanded fabric arcs mirror base edges");
-            arcs.push((t, base, xe));
-        }
-        arcs
-    };
-    let path_column = |k: usize, arcs: &[(usize, EdgeId, EdgeId)]| -> SparseVec {
-        let mut entries: Vec<(usize, f64)> = Vec::with_capacity(arcs.len() + 1);
-        for &(_, _, xe) in arcs {
-            if let Some(r) = arc_row[xe] {
-                entries.push((r, 1.0));
-            }
-        }
-        entries.push((ncap_rows + k, 1.0));
-        SparseVec::from_entries(entries)
-    };
-    // Detour splicing, identical to the nominal solver (see
-    // `tscolgen::solve_tsmcf_colgen_among_with` for the argument).
-    let shortcut_detours = |p: &Path| -> Path {
-        let mut out: Vec<usize> = Vec::new();
-        let mut pos_of_base: HashMap<usize, usize> = HashMap::new();
-        for &x in p.nodes() {
-            let b = expanded.base_of(x);
-            if let Some(&q) = pos_of_base.get(&b) {
-                for k in q + 1..out.len() {
-                    let bb = expanded.base_of(out[k]);
-                    if pos_of_base.get(&bb) == Some(&k) {
-                        pos_of_base.remove(&bb);
-                    }
-                }
-                out.truncate(q + 1);
-                let t0 = expanded.layer_of(out[q]);
-                for t in t0 + 1..=expanded.layer_of(x) {
-                    out.push(expanded.node_at(t, b));
-                }
-            } else {
-                pos_of_base.insert(b, out.len());
-                out.push(x);
-            }
-        }
-        Path::new(out)
-    };
-    let expand_earliest = |p: &Path| -> Path {
-        let mut nodes = Vec::with_capacity(steps + 1);
-        for (i, &v) in p.nodes().iter().enumerate() {
-            nodes.push(expanded.node_at(i, v));
-        }
-        for t in p.hops() + 1..=steps {
-            nodes.push(expanded.node_at(t, p.dest()));
-        }
-        Path::new(nodes)
-    };
 
     // Seeds: the earliest-arrival shortest path per demand (guaranteed by the
     // diameter check above), plus whatever warm suffixes validate.
@@ -370,7 +384,7 @@ pub fn solve_residual_colgen(
     for d in demands {
         let p = paths::shortest_path(topo, d.at, d.dest)
             .expect("residual_minimum_steps verified reachability");
-        path_sets.push(vec![expand_earliest(&p)]);
+        path_sets.push(vec![lower.expand_earliest(&p)]);
     }
     for (idx, p) in warm {
         let usable = *idx < ndem
@@ -379,7 +393,7 @@ pub fn solve_residual_colgen(
             && p.hops() <= steps
             && p.is_valid_in(topo);
         if usable {
-            path_sets[*idx].push(expand_earliest(p));
+            path_sets[*idx].push(lower.expand_earliest(p));
         }
     }
     let mut seen: Vec<HashSet<Path>> = path_sets
@@ -391,29 +405,42 @@ pub fn solve_residual_colgen(
         })
         .collect();
 
-    let mut cols: Vec<SparseVec> = Vec::new();
-    let mut obj: Vec<f64> = Vec::new();
-    for t in 0..steps {
-        let entries = (0..xg.num_edges()).filter_map(|xe| {
-            let r = arc_row[xe]?;
-            let e = xg.edge(xe);
-            (expanded.layer_of(e.src) == t).then_some((r, -e.capacity))
-        });
-        cols.push(SparseVec::from_entries(entries));
-        obj.push(1.0);
-    }
-    let mut col_owner: Vec<usize> = Vec::new();
-    let mut col_arcs: Vec<Vec<(usize, EdgeId, EdgeId)>> = Vec::new();
-    for (k, set) in path_sets.into_iter().enumerate() {
-        for p in set {
-            let arcs = fabric_arcs(&p);
-            cols.push(path_column(k, &arcs));
-            obj.push(0.0);
-            col_owner.push(k);
-            col_arcs.push(arcs);
+    // Pricing sources are the *distinct holding nodes*: one Dijkstra tree per
+    // holding node prices every demand stranded there.
+    let mut starts: Vec<NodeId> = Vec::new();
+    let mut demands_of_start: Vec<Vec<usize>> = Vec::new();
+    {
+        let mut index_of_start: HashMap<NodeId, usize> = HashMap::new();
+        for (k, d) in demands.iter().enumerate() {
+            let si = *index_of_start.entry(d.at).or_insert_with(|| {
+                starts.push(d.at);
+                demands_of_start.push(Vec::new());
+                starts.len() - 1
+            });
+            demands_of_start[si].push(k);
         }
     }
-    let seed_columns = col_owner.len();
+    let mut pricer = ResidualPricer {
+        lower,
+        demands,
+        starts,
+        demands_of_start,
+        ndem,
+        tol: options.tolerance,
+        col_owner: Vec::new(),
+        col_arcs: Vec::new(),
+    };
+
+    let mut cols: Vec<SparseVec> = pricer.lower.utilization_columns();
+    let mut obj: Vec<f64> = vec![1.0; steps];
+    let mut seed: Vec<(usize, Path)> = Vec::new();
+    for (k, set) in path_sets.into_iter().enumerate() {
+        for p in set {
+            cols.push(pricer.push_column(k, &p));
+            obj.push(0.0);
+            seed.push((k, p));
+        }
+    }
     let ncols = cols.len();
     let sf = StandardForm {
         nrows,
@@ -432,196 +459,16 @@ pub fn solve_residual_colgen(
     };
     let mut solver = Solver::new_owned(sf, simplex_opts)?;
 
-    // Pricing sources are the *distinct holding nodes*: one Dijkstra tree per
-    // holding node prices every demand stranded there.
-    let mut starts: Vec<NodeId> = Vec::new();
-    let mut demands_of_start: Vec<Vec<usize>> = Vec::new();
-    {
-        let mut index_of_start: HashMap<NodeId, usize> = HashMap::new();
-        for (k, d) in demands.iter().enumerate() {
-            let si = *index_of_start.entry(d.at).or_insert_with(|| {
-                starts.push(d.at);
-                demands_of_start.push(Vec::new());
-                starts.len() - 1
-            });
-            demands_of_start[si].push(k);
-        }
-    }
-    let nsrc = starts.len();
-    let tol = options.tolerance;
-    let mut stats = ColGenStats::new(seed_columns);
-    let mut stabilizer = DualStabilizer::new(options.stabilization);
-    let mut partial = PartialPricing::new(options.partial_pricing, nsrc);
-    let final_sol;
-    loop {
-        let t_master = Instant::now();
-        let sol = solver.reoptimize().map_err(McfError::from)?;
-        let master_wall_secs = t_master.elapsed().as_secs_f64();
-        let total_utilization = sol.objective;
+    // The U_t columns occupy structural columns 0..steps; path columns follow.
+    let (sol, stats) = run_colgen(&mut solver, &mut pricer, &mut seen, steps, seed, options)?;
+    let ResidualPricer {
+        col_owner,
+        col_arcs,
+        ..
+    } = pricer;
 
-        let t_pricing = Instant::now();
-        let y_raw = solver.current_duals();
-        let (y, smoothed) = stabilizer.pricing_duals(&y_raw);
-        let weights_from = |y: &[f64]| -> Vec<f64> {
-            let mut weights = vec![0.0; xg.num_edges()];
-            for (xe, r) in arc_row.iter().enumerate() {
-                if let Some(r) = *r {
-                    weights[xe] = (-y[r]).max(0.0);
-                }
-            }
-            weights
-        };
-        let mut weights = weights_from(&y);
-        let mut mu: Vec<f64> = y[ncap_rows..ncap_rows + ndem].to_vec();
-        partial.accumulate(&weights, &mu, &demands_of_start);
-
-        let price_source = |si: usize,
-                            weights: &[f64],
-                            mu: &[f64],
-                            seen: &[HashSet<Path>],
-                            candidates: &mut Vec<(f64, usize, Path)>|
-         -> bool {
-            let tree =
-                paths::weighted_shortest_path_tree(xg, expanded.node_at(0, starts[si]), weights);
-            let mut found = false;
-            for &k in &demands_of_start[si] {
-                let terminus = expanded.node_at(steps, demands[k].dest);
-                let cost = tree
-                    .distance(terminus)
-                    .expect("step budget >= residual diameter keeps termini reachable");
-                let violation = mu[k] - cost;
-                if violation > tol {
-                    let p = shortcut_detours(
-                        &tree
-                            .path_to(terminus)
-                            .expect("finite distance implies a path"),
-                    );
-                    if !seen[k].contains(&p) {
-                        candidates.push((violation, k, p));
-                        found = true;
-                    }
-                }
-            }
-            found
-        };
-
-        let mut candidates: Vec<(f64, usize, Path)> = Vec::new();
-        let mut skipped: Vec<usize> = Vec::new();
-        for si in 0..nsrc {
-            if partial.should_skip(si) {
-                skipped.push(si);
-                continue;
-            }
-            let found = price_source(si, &weights, &mu, &seen, &mut candidates);
-            partial.mark_priced(si, found);
-        }
-        let mut sources_skipped = skipped.len();
-        if candidates.is_empty() && (smoothed || !skipped.is_empty()) {
-            if smoothed {
-                stats.misprices += 1;
-                stabilizer.collapse(&y_raw);
-                weights = weights_from(&y_raw);
-                mu = y_raw[ncap_rows..ncap_rows + ndem].to_vec();
-                partial.accumulate(&weights, &mu, &demands_of_start);
-                for si in 0..nsrc {
-                    let found = price_source(si, &weights, &mu, &seen, &mut candidates);
-                    partial.mark_priced(si, found);
-                }
-            } else {
-                for si in skipped {
-                    let found = price_source(si, &weights, &mu, &seen, &mut candidates);
-                    partial.mark_priced(si, found);
-                }
-            }
-            sources_skipped = 0;
-        }
-        let pricing_wall_secs = t_pricing.elapsed().as_secs_f64();
-
-        candidates.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.1.cmp(&b.1))
-        });
-        let max_violation = candidates.first().map_or(0.0, |c| c.0);
-        let proved = candidates.is_empty();
-        let capped = !proved && stats.rounds.len() + 1 >= options.max_rounds;
-        candidates.truncate(options.max_columns_per_round);
-
-        let columns_in_master = stats.total_columns;
-        stats.rounds.push(ColGenRound {
-            columns_in_master,
-            columns_added: if proved || capped {
-                0
-            } else {
-                candidates.len()
-            },
-            master_wall_secs,
-            pricing_wall_secs,
-            master_iterations: sol.iterations,
-            master_pivots: sol.pivots,
-            flow_value: total_utilization,
-            max_violation,
-            sources_skipped,
-        });
-
-        if proved {
-            stats.proved_optimal = true;
-            final_sol = sol;
-            break;
-        }
-        if capped {
-            final_sol = sol;
-            break;
-        }
-
-        let mut new_cols = Vec::with_capacity(candidates.len());
-        for (_, k, p) in &candidates {
-            let arcs = fabric_arcs(p);
-            new_cols.push(NewColumn {
-                col: path_column(*k, &arcs),
-                obj: 0.0,
-                lower: 0.0,
-                upper: INF,
-            });
-            col_arcs.push(arcs);
-        }
-        solver.add_columns(&new_cols).map_err(McfError::from)?;
-        for (_, k, p) in candidates {
-            col_owner.push(k);
-            seen[k].insert(p);
-        }
-        stats.total_columns = col_owner.len();
-    }
-
-    let sol = final_sol;
-    let mut flows: Vec<Vec<Vec<(EdgeId, f64)>>> = vec![vec![Vec::new(); steps]; ndem];
-    let mut columns: Vec<TsColumn> = Vec::new();
-    {
-        let mut agg: Vec<Vec<HashMap<EdgeId, f64>>> = vec![vec![HashMap::new(); steps]; ndem];
-        for (j, &k) in col_owner.iter().enumerate() {
-            let w = sol.x[steps + j];
-            if w <= FLOW_TOL {
-                continue;
-            }
-            for &(t, base, _) in &col_arcs[j] {
-                *agg[k][t].entry(base).or_insert(0.0) += w;
-            }
-            columns.push(TsColumn {
-                owner: k,
-                weight: w,
-                arcs: col_arcs[j].iter().map(|&(t, base, _)| (t, base)).collect(),
-            });
-        }
-        for (k, per_step) in agg.into_iter().enumerate() {
-            for (t, map) in per_step.into_iter().enumerate() {
-                let mut list: Vec<(EdgeId, f64)> =
-                    map.into_iter().filter(|&(_, a)| a > FLOW_TOL).collect();
-                list.sort_unstable_by_key(|&(e, _)| e);
-                flows[k][t] = list;
-            }
-        }
-    }
-    let step_utilization: Vec<f64> = (0..steps).map(|t| sol.x[t].max(0.0)).collect();
+    let (flows, columns, step_utilization) =
+        extract_time_stepped(&sol, steps, ndem, &col_owner, &col_arcs);
 
     Ok(ResidualColGen {
         solution: ResidualSolution {
@@ -750,8 +597,9 @@ mod tests {
         }];
         let steps = residual_minimum_steps(&punctured, &demands).unwrap();
         assert!(steps >= 2, "the direct link is gone");
-        let res = solve_residual_colgen(&punctured, &demands, steps, &ColGenOptions::default(), &[])
-            .unwrap();
+        let res =
+            solve_residual_colgen(&punctured, &demands, steps, &ColGenOptions::default(), &[])
+                .unwrap();
         assert!(res.stats.proved_optimal);
         assert!(res.solution.check_consistency(&punctured, 1e-6).is_empty());
 
@@ -801,13 +649,8 @@ mod tests {
                 amount: 1.0,
             })
             .collect();
-        let warm = warm_seeds_from_columns(
-            &nominal.columns,
-            &commodities,
-            &topo,
-            &punctured,
-            &demands,
-        );
+        let warm =
+            warm_seeds_from_columns(&nominal.columns, &commodities, &topo, &punctured, &demands);
         assert!(
             !warm.is_empty(),
             "origin holdings reuse whole incumbent paths"
@@ -821,9 +664,14 @@ mod tests {
         let cold =
             solve_residual_colgen(&punctured, &demands, rsteps, &ColGenOptions::default(), &[])
                 .unwrap();
-        let warm_run =
-            solve_residual_colgen(&punctured, &demands, rsteps, &ColGenOptions::default(), &warm)
-                .unwrap();
+        let warm_run = solve_residual_colgen(
+            &punctured,
+            &demands,
+            rsteps,
+            &ColGenOptions::default(),
+            &warm,
+        )
+        .unwrap();
         assert!(cold.stats.proved_optimal && warm_run.stats.proved_optimal);
         assert!(
             warm_run.stats.seed_columns > cold.stats.seed_columns,
@@ -849,7 +697,10 @@ mod tests {
         };
         for bad in [
             vec![],
-            vec![TsDemand { amount: 0.0, ..base }],
+            vec![TsDemand {
+                amount: 0.0,
+                ..base
+            }],
             vec![TsDemand {
                 amount: f64::NAN,
                 ..base

@@ -59,7 +59,6 @@
 //!   workloads, with a proved-optimality certificate and junk-free solutions.
 
 use std::collections::{HashMap, HashSet};
-use std::time::Instant;
 
 use a2a_lp::sparse::SparseVec;
 use a2a_lp::{NewColumn, SimplexOptions, Solver, StandardForm, INF};
@@ -67,7 +66,7 @@ use a2a_topology::transform::TimeExpanded;
 use a2a_topology::{paths, EdgeId, NodeId, Path, Topology};
 
 use crate::colgen::ColGenStats;
-use crate::colgen::{ColGenOptions, ColGenRound, ColGenSeed, DualStabilizer, PartialPricing};
+use crate::colgen::{run_colgen, Candidate, ColGenOptions, ColGenSeed, PricingOracle};
 use crate::pmcf::build_path_sets;
 use crate::tsmcf::{minimum_steps, TsMcfSolution};
 use crate::types::{CommoditySet, McfError, McfResult};
@@ -156,6 +155,309 @@ pub struct TsColGen {
     pub columns: Vec<TsColumn>,
 }
 
+/// The LP lowering shared by the time-expanded colgen masters
+/// ([`solve_tsmcf_colgen_among_with`] and
+/// [`crate::residual::solve_residual_colgen`]): the capacity-row layout over
+/// the expanded graph, path-to-column lowering, detour splicing, and
+/// earliest-departure seed expansion. The two masters differ only in their
+/// convexity rows (`== 1` per commodity vs. `== amount` per demand) and
+/// pricing sources — everything about *columns* lives here once.
+pub(crate) struct ExpandedLowering<'a> {
+    pub(crate) topo: &'a Topology,
+    pub(crate) expanded: &'a TimeExpanded,
+    pub(crate) steps: usize,
+    /// Capacity-row index of each expanded edge (`None` for self edges and
+    /// infinite-capacity fabric edges — they are never a bottleneck).
+    pub(crate) arc_row: Vec<Option<usize>>,
+    pub(crate) ncap_rows: usize,
+}
+
+impl<'a> ExpandedLowering<'a> {
+    /// Builds the capacity-row layout; returns the lowering plus the capacity
+    /// rows' bounds (`-INF <= Σ_paths x − cap_e · U_t <= 0`), to which the
+    /// caller appends its convexity rows.
+    pub(crate) fn build(
+        topo: &'a Topology,
+        expanded: &'a TimeExpanded,
+        steps: usize,
+    ) -> (Self, Vec<f64>, Vec<f64>) {
+        let xg = &expanded.graph;
+        let mut arc_row: Vec<Option<usize>> = Vec::with_capacity(xg.num_edges());
+        let mut row_lower = Vec::new();
+        let mut row_upper = Vec::new();
+        for xe in 0..xg.num_edges() {
+            if !expanded.is_self_edge(xe) && xg.edge(xe).capacity.is_finite() {
+                arc_row.push(Some(row_lower.len()));
+                row_lower.push(-INF);
+                row_upper.push(0.0);
+            } else {
+                arc_row.push(None);
+            }
+        }
+        let ncap_rows = row_lower.len();
+        (
+            Self {
+                topo,
+                expanded,
+                steps,
+                arc_row,
+                ncap_rows,
+            },
+            row_lower,
+            row_upper,
+        )
+    }
+
+    /// The per-step utilization columns `U_0..U_{steps-1}`: coefficient
+    /// `-cap` on every capacity row of their step (objective 1 each).
+    pub(crate) fn utilization_columns(&self) -> Vec<SparseVec> {
+        let xg = &self.expanded.graph;
+        (0..self.steps)
+            .map(|t| {
+                let entries = (0..xg.num_edges()).filter_map(|xe| {
+                    let r = self.arc_row[xe]?;
+                    let e = xg.edge(xe);
+                    (self.expanded.layer_of(e.src) == t).then_some((r, -e.capacity))
+                });
+                SparseVec::from_entries(entries)
+            })
+            .collect()
+    }
+
+    /// Per-arc pricing costs `w_{e,t} = max(0, −y_{e,t})` from the capacity
+    /// duals (self arcs and uncapacitated arcs stay free).
+    pub(crate) fn arc_weights(&self, y: &[f64]) -> Vec<f64> {
+        let mut weights = vec![0.0; self.expanded.graph.num_edges()];
+        for (xe, r) in self.arc_row.iter().enumerate() {
+            if let Some(r) = *r {
+                weights[xe] = (-y[r]).max(0.0);
+            }
+        }
+        weights
+    }
+
+    /// The fabric arcs of an expanded path, as (step, base edge, expanded
+    /// edge) triples — the shape both the column builder and the solution
+    /// extraction need.
+    pub(crate) fn fabric_arcs(&self, p: &Path) -> Vec<(usize, EdgeId, EdgeId)> {
+        let xg = &self.expanded.graph;
+        let mut arcs = Vec::with_capacity(p.hops());
+        for (u, v) in p.links() {
+            let xe = xg
+                .find_edge(u, v)
+                .expect("pricing paths live in the expanded graph");
+            if self.expanded.is_self_edge(xe) {
+                continue;
+            }
+            let t = self.expanded.layer_of(u);
+            let base = self
+                .topo
+                .find_edge(self.expanded.base_of(u), self.expanded.base_of(v))
+                .expect("expanded fabric arcs mirror base edges");
+            arcs.push((t, base, xe));
+        }
+        arcs
+    }
+
+    /// Lowers a path's arcs into the LP column of convexity row `k`.
+    pub(crate) fn path_column(&self, k: usize, arcs: &[(usize, EdgeId, EdgeId)]) -> SparseVec {
+        let mut entries: Vec<(usize, f64)> = Vec::with_capacity(arcs.len() + 1);
+        for &(_, _, xe) in arcs {
+            if let Some(r) = self.arc_row[xe] {
+                entries.push((r, 1.0));
+            }
+        }
+        entries.push((self.ncap_rows + k, 1.0));
+        SparseVec::from_entries(entries)
+    }
+
+    /// Splices detours out of a time-expanded path: whenever the path
+    /// revisits a base node it already reached, the wandering segment in
+    /// between is replaced by free buffering at that node. Zero-dual-cost
+    /// ties let Dijkstra emit such detours (self arcs count as hops, so the
+    /// hop tie-break does not prefer buffering); the spliced path costs no
+    /// more under any non-negative arc weights — improving candidates stay
+    /// improving — and wastes no capacity when lowered.
+    pub(crate) fn shortcut_detours(&self, p: &Path) -> Path {
+        let mut out: Vec<usize> = Vec::new();
+        let mut pos_of_base: HashMap<usize, usize> = HashMap::new();
+        for &x in p.nodes() {
+            let b = self.expanded.base_of(x);
+            if let Some(&q) = pos_of_base.get(&b) {
+                for k in q + 1..out.len() {
+                    let bb = self.expanded.base_of(out[k]);
+                    if pos_of_base.get(&bb) == Some(&k) {
+                        pos_of_base.remove(&bb);
+                    }
+                }
+                out.truncate(q + 1);
+                let t0 = self.expanded.layer_of(out[q]);
+                for t in t0 + 1..=self.expanded.layer_of(x) {
+                    out.push(self.expanded.node_at(t, b));
+                }
+            } else {
+                pos_of_base.insert(b, out.len());
+                out.push(x);
+            }
+        }
+        Path::new(out)
+    }
+
+    /// Expands a base-graph path to its earliest-departure time expansion,
+    /// buffering at the destination through the remaining steps.
+    pub(crate) fn expand_earliest(&self, p: &Path) -> Path {
+        let mut nodes = Vec::with_capacity(self.steps + 1);
+        for (i, &v) in p.nodes().iter().enumerate() {
+            nodes.push(self.expanded.node_at(i, v));
+        }
+        for t in p.hops() + 1..=self.steps {
+            nodes.push(self.expanded.node_at(t, p.dest()));
+        }
+        Path::new(nodes)
+    }
+}
+
+/// Extraction shared by the time-expanded masters: aggregates column weights
+/// per (owner, step, base edge) into per-step flow lists, collects the
+/// positive-weight incumbent pool, and reads the per-step utilizations off
+/// the structural `U_t` columns.
+#[allow(clippy::type_complexity)]
+pub(crate) fn extract_time_stepped(
+    sol: &a2a_lp::StandardSolution,
+    steps: usize,
+    nowners: usize,
+    col_owner: &[usize],
+    col_arcs: &[Vec<(usize, EdgeId, EdgeId)>],
+) -> (Vec<Vec<Vec<(EdgeId, f64)>>>, Vec<TsColumn>, Vec<f64>) {
+    let mut flows: Vec<Vec<Vec<(EdgeId, f64)>>> = vec![vec![Vec::new(); steps]; nowners];
+    let mut columns: Vec<TsColumn> = Vec::new();
+    let mut agg: Vec<Vec<HashMap<EdgeId, f64>>> = vec![vec![HashMap::new(); steps]; nowners];
+    for (j, &k) in col_owner.iter().enumerate() {
+        let w = sol.x[steps + j];
+        if w <= FLOW_TOL {
+            continue;
+        }
+        for &(t, base, _) in &col_arcs[j] {
+            *agg[k][t].entry(base).or_insert(0.0) += w;
+        }
+        columns.push(TsColumn {
+            owner: k,
+            weight: w,
+            arcs: col_arcs[j].iter().map(|&(t, base, _)| (t, base)).collect(),
+        });
+    }
+    for (k, per_step) in agg.into_iter().enumerate() {
+        for (t, map) in per_step.into_iter().enumerate() {
+            let mut list: Vec<(EdgeId, f64)> =
+                map.into_iter().filter(|&(_, a)| a > FLOW_TOL).collect();
+            list.sort_unstable_by_key(|&(e, _)| e);
+            flows[k][t] = list;
+        }
+    }
+    let step_utilization: Vec<f64> = (0..steps).map(|t| sol.x[t].max(0.0)).collect();
+    (flows, columns, step_utilization)
+}
+
+/// [`PricingOracle`] of the nominal time-expanded master: one Dijkstra tree
+/// per commodity source over the expanded graph under arc costs
+/// `w_{e,t} = max(0, −y_{e,t})` (self arcs free) prices every destination's
+/// whole time horizon in one run.
+struct TsPricer<'a> {
+    lower: ExpandedLowering<'a>,
+    commodities: &'a CommoditySet,
+    endpoints: Vec<NodeId>,
+    commodities_of_source: Vec<Vec<usize>>,
+    ncomm: usize,
+    tol: f64,
+    /// Owning commodity of path column `j` (LP column `steps + j`).
+    col_owner: Vec<usize>,
+    /// Fabric arcs of path column `j`, for the extraction.
+    col_arcs: Vec<Vec<(usize, EdgeId, EdgeId)>>,
+}
+
+impl TsPricer<'_> {
+    fn push_column(&mut self, k: usize, p: &Path) -> SparseVec {
+        let arcs = self.lower.fabric_arcs(p);
+        let col = self.lower.path_column(k, &arcs);
+        self.col_owner.push(k);
+        self.col_arcs.push(arcs);
+        col
+    }
+}
+
+impl PricingOracle for TsPricer<'_> {
+    fn num_sources(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    fn owners_of_source(&self) -> &[Vec<usize>] {
+        &self.commodities_of_source
+    }
+
+    fn arc_weights(&self, y: &[f64]) -> Vec<f64> {
+        self.lower.arc_weights(y)
+    }
+
+    fn convexity_duals(&self, y: &[f64]) -> Vec<f64> {
+        y[self.lower.ncap_rows..self.lower.ncap_rows + self.ncomm].to_vec()
+    }
+
+    fn price_source(
+        &self,
+        si: usize,
+        weights: &[f64],
+        mu: &[f64],
+        seen: &[HashSet<Path>],
+        out: &mut Vec<Candidate>,
+    ) {
+        let expanded = self.lower.expanded;
+        let s = self.endpoints[si];
+        let tree =
+            paths::weighted_shortest_path_tree(&expanded.graph, expanded.node_at(0, s), weights);
+        for &d in &self.endpoints {
+            if d == s {
+                continue;
+            }
+            let k = self
+                .commodities
+                .index_of(s, d)
+                .expect("endpoints enumerate the commodity set");
+            let terminus = expanded.node_at(self.lower.steps, d);
+            let cost = tree
+                .distance(terminus)
+                .expect("step budget >= commodity diameter keeps termini reachable");
+            let violation = mu[k] - cost;
+            if violation > self.tol {
+                let p = self.lower.shortcut_detours(
+                    &tree
+                        .path_to(terminus)
+                        .expect("finite distance implies a path"),
+                );
+                // The spliced path prices at most `cost`, so it improves at
+                // least as much. If it is already a master column its reduced
+                // cost is non-negative at this optimum, so skipping it cannot
+                // hide a violation.
+                if !seen[k].contains(&p) {
+                    out.push(Candidate {
+                        violation,
+                        owner: k,
+                        path: p,
+                    });
+                }
+            }
+        }
+    }
+
+    fn build_column(&mut self, owner: usize, path: &Path) -> NewColumn {
+        NewColumn {
+            col: self.push_column(owner, path),
+            obj: 0.0,
+            lower: 0.0,
+            upper: INF,
+        }
+    }
+}
+
 /// Solves tsMCF by column generation for an all-to-all among all nodes, with an
 /// explicit step count and default options.
 pub fn solve_tsmcf_colgen(topo: &Topology, steps: usize) -> McfResult<TsColGen> {
@@ -202,107 +504,22 @@ pub fn solve_tsmcf_colgen_among_with(
     options.validate().map_err(McfError::BadArgument)?;
     let ncomm = commodities.len();
     let expanded = TimeExpanded::build(topo, steps);
-    let xg = &expanded.graph;
 
     // Row layout: one capacity row per finite-capacity *fabric* arc (self arcs
     // buffer for free, infinite-capacity fabric edges are never a bottleneck),
     // then one convexity row (== 1) per commodity. Building the standard form
     // directly keeps row indices stable for the whole session, which the dual
     // extraction depends on.
-    let mut arc_row: Vec<Option<usize>> = Vec::with_capacity(xg.num_edges());
-    let mut row_lower = Vec::new();
-    let mut row_upper = Vec::new();
-    for xe in 0..xg.num_edges() {
-        if !expanded.is_self_edge(xe) && xg.edge(xe).capacity.is_finite() {
-            arc_row.push(Some(row_lower.len()));
-            row_lower.push(-INF);
-            row_upper.push(0.0);
-        } else {
-            arc_row.push(None);
-        }
-    }
-    let ncap_rows = row_lower.len();
+    let (lower, mut row_lower, mut row_upper) = ExpandedLowering::build(topo, &expanded, steps);
     for _ in 0..ncomm {
         row_lower.push(1.0);
         row_upper.push(1.0);
     }
     let nrows = row_lower.len();
 
-    // The fabric arcs of an expanded path, as (step, base edge) pairs — the
-    // shape both the column builder and the solution extraction need.
-    let fabric_arcs = |p: &Path| -> Vec<(usize, EdgeId, EdgeId)> {
-        let mut arcs = Vec::with_capacity(p.hops());
-        for (u, v) in p.links() {
-            let xe = xg
-                .find_edge(u, v)
-                .expect("pricing paths live in the expanded graph");
-            if expanded.is_self_edge(xe) {
-                continue;
-            }
-            let t = expanded.layer_of(u);
-            let base = topo
-                .find_edge(expanded.base_of(u), expanded.base_of(v))
-                .expect("expanded fabric arcs mirror base edges");
-            arcs.push((t, base, xe));
-        }
-        arcs
-    };
-    let path_column = |k: usize, arcs: &[(usize, EdgeId, EdgeId)]| -> SparseVec {
-        let mut entries: Vec<(usize, f64)> = Vec::with_capacity(arcs.len() + 1);
-        for &(_, _, xe) in arcs {
-            if let Some(r) = arc_row[xe] {
-                entries.push((r, 1.0));
-            }
-        }
-        entries.push((ncap_rows + k, 1.0));
-        SparseVec::from_entries(entries)
-    };
-
-    // Splices detours out of a time-expanded path: whenever the path revisits a
-    // base node it already reached, the wandering segment in between is
-    // replaced by free buffering at that node. Zero-dual-cost ties let Dijkstra
-    // emit such detours (self arcs count as hops, so the hop tie-break does not
-    // prefer buffering); the spliced path costs no more under any non-negative
-    // arc weights — improving candidates stay improving — and wastes no
-    // capacity when lowered.
-    let shortcut_detours = |p: &Path| -> Path {
-        let mut out: Vec<usize> = Vec::new();
-        let mut pos_of_base: HashMap<usize, usize> = HashMap::new();
-        for &x in p.nodes() {
-            let b = expanded.base_of(x);
-            if let Some(&q) = pos_of_base.get(&b) {
-                for k in q + 1..out.len() {
-                    let bb = expanded.base_of(out[k]);
-                    if pos_of_base.get(&bb) == Some(&k) {
-                        pos_of_base.remove(&bb);
-                    }
-                }
-                out.truncate(q + 1);
-                let t0 = expanded.layer_of(out[q]);
-                for t in t0 + 1..=expanded.layer_of(x) {
-                    out.push(expanded.node_at(t, b));
-                }
-            } else {
-                pos_of_base.insert(b, out.len());
-                out.push(x);
-            }
-        }
-        Path::new(out)
-    };
-
     // Seed: one earliest-arrival path per commodity, or a fixed base-graph
     // family lowered to its earliest-departure expansion (over-long members
     // dropped; the shortest path is the guaranteed fallback).
-    let expand_earliest = |p: &Path| -> Path {
-        let mut nodes = Vec::with_capacity(steps + 1);
-        for (i, &v) in p.nodes().iter().enumerate() {
-            nodes.push(expanded.node_at(i, v));
-        }
-        for t in p.hops() + 1..=steps {
-            nodes.push(expanded.node_at(t, p.dest()));
-        }
-        Path::new(nodes)
-    };
     let mut path_sets: Vec<Vec<Path>> = Vec::with_capacity(ncomm);
     match options.seed {
         ColGenSeed::ShortestPath => {
@@ -310,7 +527,7 @@ pub fn solve_tsmcf_colgen_among_with(
                 let p = paths::shortest_path(topo, s, d).ok_or_else(|| {
                     McfError::BadTopology(format!("no {s}->{d} path exists for the seed"))
                 })?;
-                path_sets.push(vec![expand_earliest(&p)]);
+                path_sets.push(vec![lower.expand_earliest(&p)]);
             }
         }
         ColGenSeed::Kind(kind) => {
@@ -319,13 +536,13 @@ pub fn solve_tsmcf_colgen_among_with(
                 let mut lowered: Vec<Path> = set
                     .iter()
                     .filter(|p| p.hops() <= steps)
-                    .map(expand_earliest)
+                    .map(|p| lower.expand_earliest(p))
                     .collect();
                 if lowered.is_empty() {
                     let p = paths::shortest_path(topo, s, d).ok_or_else(|| {
                         McfError::BadTopology(format!("no {s}->{d} path exists for the seed"))
                     })?;
-                    lowered.push(expand_earliest(&p));
+                    lowered.push(lower.expand_earliest(&p));
                 }
                 path_sets.push(lowered);
             }
@@ -340,34 +557,47 @@ pub fn solve_tsmcf_colgen_among_with(
         })
         .collect();
 
+    let endpoints = commodities.endpoints().to_vec();
+    let commodities_of_source: Vec<Vec<usize>> = endpoints
+        .iter()
+        .map(|&s| {
+            endpoints
+                .iter()
+                .filter(|&&d| d != s)
+                .map(|&d| {
+                    commodities
+                        .index_of(s, d)
+                        .expect("endpoints enumerate the commodity set")
+                })
+                .collect()
+        })
+        .collect();
+    let mut pricer = TsPricer {
+        lower,
+        commodities: &commodities,
+        endpoints,
+        commodities_of_source,
+        ncomm,
+        tol: options.tolerance,
+        col_owner: Vec::new(),
+        col_arcs: Vec::new(),
+    };
+
     // Columns: U_0..U_{steps-1} first (objective 1 each, coefficient -cap on
     // every capacity row of their step), then the path columns in append order
-    // with `col_owner[j]` naming the owning commodity.
-    let mut cols: Vec<SparseVec> = Vec::new();
-    let mut obj: Vec<f64> = Vec::new();
-    for t in 0..steps {
-        let entries = (0..xg.num_edges()).filter_map(|xe| {
-            let r = arc_row[xe]?;
-            let e = xg.edge(xe);
-            (expanded.layer_of(e.src) == t).then_some((r, -e.capacity))
-        });
-        cols.push(SparseVec::from_entries(entries));
-        obj.push(1.0);
-    }
-    let mut col_owner: Vec<usize> = Vec::new();
-    let mut col_arcs: Vec<Vec<(usize, EdgeId, EdgeId)>> = Vec::new();
-    // `path_sets` is consumed here: the session only needs `seen` (dedup),
-    // `col_owner` and `col_arcs` from now on.
+    // with `col_owner[j]` naming the owning commodity. `path_sets` is consumed
+    // here: the session only needs `seen` (dedup) and the pricer's
+    // `col_owner`/`col_arcs` bookkeeping from now on.
+    let mut cols: Vec<SparseVec> = pricer.lower.utilization_columns();
+    let mut obj: Vec<f64> = vec![1.0; steps];
+    let mut seed: Vec<(usize, Path)> = Vec::new();
     for (k, set) in path_sets.into_iter().enumerate() {
         for p in set {
-            let arcs = fabric_arcs(&p);
-            cols.push(path_column(k, &arcs));
+            cols.push(pricer.push_column(k, &p));
             obj.push(0.0);
-            col_owner.push(k);
-            col_arcs.push(arcs);
+            seed.push((k, p));
         }
     }
-    let seed_columns = col_owner.len();
     let ncols = cols.len();
     let sf = StandardForm {
         nrows,
@@ -389,218 +619,19 @@ pub fn solve_tsmcf_colgen_among_with(
     };
     let mut solver = Solver::new_owned(sf, simplex_opts)?;
 
-    let endpoints = commodities.endpoints().to_vec();
-    let nsrc = endpoints.len();
-    let tol = options.tolerance;
-    let mut stats = ColGenStats::new(seed_columns);
-    let commodities_of_source: Vec<Vec<usize>> = endpoints
-        .iter()
-        .map(|&s| {
-            endpoints
-                .iter()
-                .filter(|&&d| d != s)
-                .map(|&d| {
-                    commodities
-                        .index_of(s, d)
-                        .expect("endpoints enumerate the commodity set")
-                })
-                .collect()
-        })
-        .collect();
-    let mut stabilizer = DualStabilizer::new(options.stabilization);
-    let mut partial = PartialPricing::new(options.partial_pricing, nsrc);
-    let final_sol;
-    loop {
-        let t_master = Instant::now();
-        let sol = solver.reoptimize().map_err(McfError::from)?;
-        let master_wall_secs = t_master.elapsed().as_secs_f64();
-        let total_utilization = sol.objective;
-
-        // Pricing: per-arc costs w = max(0, -y) on capacity rows (self arcs are
-        // free), convexity duals mu_k. A time-expanded path improves iff its
-        // w-cost is below mu_k - tolerance. One Dijkstra tree per source prices
-        // every destination's whole time horizon.
-        let t_pricing = Instant::now();
-        let y_raw = solver.current_duals();
-        let (y, smoothed) = stabilizer.pricing_duals(&y_raw);
-        let weights_from = |y: &[f64]| -> Vec<f64> {
-            let mut weights = vec![0.0; xg.num_edges()];
-            for (xe, r) in arc_row.iter().enumerate() {
-                if let Some(r) = *r {
-                    weights[xe] = (-y[r]).max(0.0);
-                }
-            }
-            weights
-        };
-        let mut weights = weights_from(&y);
-        let mut mu: Vec<f64> = y[ncap_rows..ncap_rows + ncomm].to_vec();
-        partial.accumulate(&weights, &mu, &commodities_of_source);
-
-        let price_source = |si: usize,
-                            weights: &[f64],
-                            mu: &[f64],
-                            seen: &[HashSet<Path>],
-                            candidates: &mut Vec<(f64, usize, Path)>|
-         -> bool {
-            let s = endpoints[si];
-            let tree = paths::weighted_shortest_path_tree(xg, expanded.node_at(0, s), weights);
-            let mut found = false;
-            for &d in &endpoints {
-                if d == s {
-                    continue;
-                }
-                let k = commodities
-                    .index_of(s, d)
-                    .expect("endpoints enumerate the commodity set");
-                let terminus = expanded.node_at(steps, d);
-                let cost = tree
-                    .distance(terminus)
-                    .expect("step budget >= commodity diameter keeps termini reachable");
-                let violation = mu[k] - cost;
-                if violation > tol {
-                    let p = shortcut_detours(
-                        &tree
-                            .path_to(terminus)
-                            .expect("finite distance implies a path"),
-                    );
-                    // The spliced path prices at most `cost`, so it improves at
-                    // least as much. If it is already a master column its
-                    // reduced cost is non-negative at this optimum, so skipping
-                    // it cannot hide a violation.
-                    if !seen[k].contains(&p) {
-                        candidates.push((violation, k, p));
-                        found = true;
-                    }
-                }
-            }
-            found
-        };
-
-        let mut candidates: Vec<(f64, usize, Path)> = Vec::new();
-        let mut skipped: Vec<usize> = Vec::new();
-        for si in 0..nsrc {
-            if partial.should_skip(si) {
-                skipped.push(si);
-                continue;
-            }
-            let found = price_source(si, &weights, &mu, &seen, &mut candidates);
-            partial.mark_priced(si, found);
-        }
-        let mut sources_skipped = skipped.len();
-        if candidates.is_empty() && (smoothed || !skipped.is_empty()) {
-            // Certificate sweeps always run at the raw duals over every source
-            // (see the identical protocol in `pmcf`).
-            if smoothed {
-                stats.misprices += 1;
-                stabilizer.collapse(&y_raw);
-                weights = weights_from(&y_raw);
-                mu = y_raw[ncap_rows..ncap_rows + ncomm].to_vec();
-                partial.accumulate(&weights, &mu, &commodities_of_source);
-                for si in 0..nsrc {
-                    let found = price_source(si, &weights, &mu, &seen, &mut candidates);
-                    partial.mark_priced(si, found);
-                }
-            } else {
-                for si in skipped {
-                    let found = price_source(si, &weights, &mu, &seen, &mut candidates);
-                    partial.mark_priced(si, found);
-                }
-            }
-            sources_skipped = 0;
-        }
-        let pricing_wall_secs = t_pricing.elapsed().as_secs_f64();
-
-        // Most violating candidates first; commodity index breaks ties so the
-        // round is deterministic. Certificate and recorded violation come from
-        // the untruncated list.
-        candidates.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.1.cmp(&b.1))
-        });
-        let max_violation = candidates.first().map_or(0.0, |c| c.0);
-        let proved = candidates.is_empty();
-        let capped = !proved && stats.rounds.len() + 1 >= options.max_rounds;
-        candidates.truncate(options.max_columns_per_round);
-
-        let columns_in_master = stats.total_columns;
-        stats.rounds.push(ColGenRound {
-            columns_in_master,
-            columns_added: if proved || capped {
-                0
-            } else {
-                candidates.len()
-            },
-            master_wall_secs,
-            pricing_wall_secs,
-            master_iterations: sol.iterations,
-            master_pivots: sol.pivots,
-            flow_value: total_utilization,
-            max_violation,
-            sources_skipped,
-        });
-
-        if proved {
-            stats.proved_optimal = true;
-            final_sol = sol;
-            break;
-        }
-        if capped {
-            final_sol = sol;
-            break;
-        }
-
-        let mut new_cols = Vec::with_capacity(candidates.len());
-        for (_, k, p) in &candidates {
-            let arcs = fabric_arcs(p);
-            new_cols.push(NewColumn {
-                col: path_column(*k, &arcs),
-                obj: 0.0,
-                lower: 0.0,
-                upper: INF,
-            });
-            col_arcs.push(arcs);
-        }
-        solver.add_columns(&new_cols).map_err(McfError::from)?;
-        for (_, k, p) in candidates {
-            col_owner.push(k);
-            seen[k].insert(p);
-        }
-        stats.total_columns = col_owner.len();
-    }
+    // The U_t columns occupy structural columns 0..steps; path columns follow.
+    let (sol, stats) = run_colgen(&mut solver, &mut pricer, &mut seen, steps, seed, options)?;
+    let TsPricer {
+        col_owner,
+        col_arcs,
+        ..
+    } = pricer;
 
     // Extraction: aggregate column weights per (commodity, step, base edge).
     // Convexity equality makes delivery exactly one shard, and paths conserve
     // flow exactly, so the solution is junk-free by construction.
-    let sol = final_sol;
-    let mut flows: Vec<Vec<Vec<(EdgeId, f64)>>> = vec![vec![Vec::new(); steps]; ncomm];
-    let mut columns: Vec<TsColumn> = Vec::new();
-    {
-        let mut agg: Vec<Vec<HashMap<EdgeId, f64>>> = vec![vec![HashMap::new(); steps]; ncomm];
-        for (j, &k) in col_owner.iter().enumerate() {
-            let w = sol.x[steps + j];
-            if w <= FLOW_TOL {
-                continue;
-            }
-            for &(t, base, _) in &col_arcs[j] {
-                *agg[k][t].entry(base).or_insert(0.0) += w;
-            }
-            columns.push(TsColumn {
-                owner: k,
-                weight: w,
-                arcs: col_arcs[j].iter().map(|&(t, base, _)| (t, base)).collect(),
-            });
-        }
-        for (k, per_step) in agg.into_iter().enumerate() {
-            for (t, map) in per_step.into_iter().enumerate() {
-                let mut list: Vec<(EdgeId, f64)> =
-                    map.into_iter().filter(|&(_, a)| a > FLOW_TOL).collect();
-                list.sort_unstable_by_key(|&(e, _)| e);
-                flows[k][t] = list;
-            }
-        }
-    }
-    let step_utilization: Vec<f64> = (0..steps).map(|t| sol.x[t].max(0.0)).collect();
+    let (flows, columns, step_utilization) =
+        extract_time_stepped(&sol, steps, ncomm, &col_owner, &col_arcs);
 
     Ok(TsColGen {
         solution: TsMcfSolution {

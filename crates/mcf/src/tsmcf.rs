@@ -359,12 +359,8 @@ pub fn solve_tsmcf_among_with(
             pricing: options.pricing,
             ..crate::colgen::ColGenOptions::stabilized()
         };
-        let cg = crate::tscolgen::solve_tsmcf_colgen_among_with(
-            topo,
-            commodities,
-            steps,
-            &colgen_opts,
-        )?;
+        let cg =
+            crate::tscolgen::solve_tsmcf_colgen_among_with(topo, commodities, steps, &colgen_opts)?;
         return Ok(cg.solution);
     }
     solve_tsmcf_among_dense_with(topo, commodities, steps, options)
@@ -677,13 +673,9 @@ mod tests {
         let s_big = minimum_steps(&big, &c_big).unwrap();
         assert!(dense_instance_vars(&big, &c_big, s_big) > DENSE_COLGEN_CUTOVER_VARS);
 
-        let dispatched = solve_tsmcf_among_with(
-            &small,
-            c_small.clone(),
-            s_small,
-            &SimplexOptions::default(),
-        )
-        .unwrap();
+        let dispatched =
+            solve_tsmcf_among_with(&small, c_small.clone(), s_small, &SimplexOptions::default())
+                .unwrap();
         let dense = solve_tsmcf_among_dense(&small, c_small, s_small).unwrap();
         assert_eq!(dispatched.step_utilization, dense.step_utilization);
         assert_eq!(dispatched.flows, dense.flows);

@@ -252,7 +252,10 @@ pub fn splice_schedule(
     };
     let issues = schedule.validate(topo);
     if !issues.is_empty() {
-        return Err(format!("spliced schedule is invalid: {}", issues.join("; ")));
+        return Err(format!(
+            "spliced schedule is invalid: {}",
+            issues.join("; ")
+        ));
     }
     Ok(SplicedSchedule {
         schedule,
@@ -364,10 +367,7 @@ mod tests {
 
     /// Replays a prefix from nominal initial buffers and returns the per-rank
     /// chunk holdings of every commodity: the ground truth a snapshot reports.
-    fn holdings_after(
-        schedule: &ChunkedSchedule,
-        prefix: &[ScheduleStep],
-    ) -> Vec<Vec<usize>> {
+    fn holdings_after(schedule: &ChunkedSchedule, prefix: &[ScheduleStep]) -> Vec<Vec<usize>> {
         let mut buffered = vec![vec![0usize; schedule.num_ranks]; schedule.commodities.len()];
         for (idx, s, _) in schedule.commodities.iter() {
             buffered[idx][s] = schedule.chunks_per_shard;
@@ -390,10 +390,7 @@ mod tests {
         buffered
     }
 
-    fn demands_from_holdings(
-        schedule: &ChunkedSchedule,
-        buffered: &[Vec<usize>],
-    ) -> Vec<TsDemand> {
+    fn demands_from_holdings(schedule: &ChunkedSchedule, buffered: &[Vec<usize>]) -> Vec<TsDemand> {
         let cps = schedule.chunks_per_shard as f64;
         let mut demands = Vec::new();
         for (idx, s, d) in schedule.commodities.iter() {
@@ -431,11 +428,12 @@ mod tests {
         assert!(!demands.is_empty());
 
         let steps = residual_minimum_steps(&punctured, &demands).unwrap();
-        let res = solve_residual_colgen(&punctured, &demands, steps, &ColGenOptions::default(), &[])
-            .unwrap();
+        let res =
+            solve_residual_colgen(&punctured, &demands, steps, &ColGenOptions::default(), &[])
+                .unwrap();
         assert!(res.stats.proved_optimal);
-        let suffix = lower_residual_suffix(&punctured, &res.solution, nominal.chunks_per_shard)
-            .unwrap();
+        let suffix =
+            lower_residual_suffix(&punctured, &res.solution, nominal.chunks_per_shard).unwrap();
         let spliced = splice_schedule(&topo, &nominal, prefix, &suffix, &[dead]).unwrap();
         assert_eq!(spliced.prefix_steps, 1);
         assert_eq!(spliced.suffix_steps, suffix.len());
@@ -464,8 +462,7 @@ mod tests {
         let dead = (3usize, 4usize);
         let punctured = topo.without_edges(&[topo.find_edge(dead.0, dead.1).unwrap()]);
         let demands = demands_from_holdings(&nominal, &buffered);
-        let suffix =
-            greedy_reroute_suffix(&punctured, &demands, nominal.chunks_per_shard).unwrap();
+        let suffix = greedy_reroute_suffix(&punctured, &demands, nominal.chunks_per_shard).unwrap();
         let spliced = splice_schedule(&topo, &nominal, prefix, &suffix, &[dead]).unwrap();
         assert!(spliced.schedule.validate(&topo).is_empty());
         assert!(

@@ -1371,10 +1371,9 @@ mod tests {
                 },
             )
             .unwrap();
-            let analytic = crate::simulate_chunked_schedule_with(
-                &topo, &sched, shard, &params, &scenario,
-            )
-            .unwrap();
+            let analytic =
+                crate::simulate_chunked_schedule_with(&topo, &sched, shard, &params, &scenario)
+                    .unwrap();
             let tl = ScenarioTimeline::new(scenario);
             let TimelineRun::Completed(tl_rep) = simulate_chunked_timeline(
                 &topo,
@@ -1426,7 +1425,10 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(tl_err, SimError::FailedLink { .. }));
-        assert_eq!(tl_err, static_err, "t=0 failure must match the static rejection");
+        assert_eq!(
+            tl_err, static_err,
+            "t=0 failure must match the static rejection"
+        );
     }
 
     #[test]

@@ -45,13 +45,11 @@ pub use event::{
     simulate_chunked_event, simulate_chunked_timeline, ChunkHolding, EventReport, EventSimOptions,
     ExecutionModel, InFlightSnapshot, LinkUsage, SimError, SimResult, TimelineRun,
 };
-pub use replan::{
-    replan_run, IncumbentPool, ReplanAttempt, ReplanError, ReplanOptions, ReplanRun,
-};
 pub use linksim::{
     simulate_chunked_schedule, simulate_chunked_schedule_with, simulate_link_schedule,
 };
 pub use pathsim::simulate_path_schedule;
+pub use replan::{replan_run, IncumbentPool, ReplanAttempt, ReplanError, ReplanOptions, ReplanRun};
 pub use scenario::{Scenario, ScenarioTimeline, TimedEvent};
 
 use a2a_schedule::ChunkedSchedule;

@@ -311,13 +311,9 @@ fn repair(
     let lp_suffix: Option<(Vec<ScheduleStep>, Vec<TsColumn>, usize)> = (|| {
         let steps = residual_minimum_steps(&punctured, &demands).ok()?;
         let warm = match pool {
-            Some(p) => warm_seeds_from_columns(
-                &p.columns,
-                &p.commodities,
-                topo,
-                &punctured,
-                &demands,
-            ),
+            Some(p) => {
+                warm_seeds_from_columns(&p.columns, &p.commodities, topo, &punctured, &demands)
+            }
             None => Vec::new(),
         };
         attempt.warm_seeds = warm.len();
@@ -403,9 +399,7 @@ mod tests {
     use a2a_mcf::solve_tsmcf_colgen_auto;
     use a2a_topology::generators;
 
-    fn nominal_setup(
-        topo: &Topology,
-    ) -> (ChunkedSchedule, IncumbentPool, f64, SimParams) {
+    fn nominal_setup(topo: &Topology) -> (ChunkedSchedule, IncumbentPool, f64, SimParams) {
         let cg = solve_tsmcf_colgen_auto(topo).unwrap();
         let schedule = ChunkedSchedule::from_tsmcf_exact(topo, &cg.solution, 8).unwrap();
         let pool = IncumbentPool {

@@ -99,7 +99,9 @@ fn pinned_failure_contract(topo: &Topology, when: f64) {
     // The first transfer of the first step is on the critical path by
     // construction: killing it strands in-flight chunks.
     let tr = &nominal.schedule.steps[0].transfers[0];
-    let edge = topo.find_edge(tr.from, tr.to).expect("transfer uses a link");
+    let edge = topo
+        .find_edge(tr.from, tr.to)
+        .expect("transfer uses a link");
     let timeline = ScenarioTimeline::new(Scenario::nominal())
         .with_link_failure_at(when * nominal.completion_seconds, edge);
 
@@ -116,7 +118,10 @@ fn pinned_failure_contract(topo: &Topology, when: f64) {
     assert_eq!(run.attempts.len(), 1, "single failure, single repair");
     let attempt = &run.attempts[0];
     assert!(!attempt.used_fallback, "LP repair expected on this fabric");
-    assert!(attempt.proved_optimal, "residual solve certifies optimality");
+    assert!(
+        attempt.proved_optimal,
+        "residual solve certifies optimality"
+    );
     assert!(attempt.warm_seeds > 0, "incumbent suffixes survive the cut");
     assert!(run.schedule.validate(topo).is_empty());
 

@@ -23,8 +23,8 @@
 use a2a_mcf::solve_tsmcf_colgen_auto;
 use a2a_schedule::ChunkedSchedule;
 use a2a_simnet::{
-    replan_run, simulate_chunked_timeline, ExecutionModel, IncumbentPool, ReplanOptions,
-    Scenario, ScenarioTimeline, SimParams, TimelineRun,
+    replan_run, simulate_chunked_timeline, ExecutionModel, IncumbentPool, ReplanOptions, Scenario,
+    ScenarioTimeline, SimParams, TimelineRun,
 };
 use a2a_topology::generators;
 
@@ -36,8 +36,7 @@ fn main() {
     // 1. Nominal plan: time-stepped MCF by column generation, quantized to
     // 8 chunks per shard. Keep the incumbent columns — they warm-start repairs.
     let cg = solve_tsmcf_colgen_auto(&topo).expect("nominal solve");
-    let schedule =
-        ChunkedSchedule::from_tsmcf_exact(&topo, &cg.solution, 8).expect("quantization");
+    let schedule = ChunkedSchedule::from_tsmcf_exact(&topo, &cg.solution, 8).expect("quantization");
     let pool = IncumbentPool {
         columns: cg.columns,
         commodities: cg.solution.commodities.clone(),
@@ -65,10 +64,11 @@ fn main() {
     // 2. The failure: the first link the schedule sends on dies at 70% of the
     // nominal makespan, stranding whatever was in flight on it.
     let tr = &schedule.steps[0].transfers[0];
-    let edge = topo.find_edge(tr.from, tr.to).expect("schedule-carrying link");
+    let edge = topo
+        .find_edge(tr.from, tr.to)
+        .expect("schedule-carrying link");
     let t_fail = 0.7 * nominal;
-    let timeline =
-        ScenarioTimeline::new(Scenario::nominal()).with_link_failure_at(t_fail, edge);
+    let timeline = ScenarioTimeline::new(Scenario::nominal()).with_link_failure_at(t_fail, edge);
     println!(
         "failure: link {} -> {} dies at {:.3} ms (70% of the nominal makespan)",
         tr.from,
