@@ -66,8 +66,8 @@ pub use error::{LpError, LpResult};
 pub use model::{ConstraintSense, LpProblem, LpSolution, Objective, SolveStatus, VarId};
 pub use presolve::Reduction;
 pub use simplex::{
-    recover_row_duals, triangular_crash, BasisStatus, NewColumn, Pricing, SimplexOptions, Solver,
-    StandardForm, StandardSolution, WarmStart,
+    recover_row_duals, triangular_crash, BasisStatus, DualSimplex, NewColumn, Pricing,
+    SimplexOptions, Solver, StandardForm, StandardSolution, WarmStart,
 };
 
 /// Default feasibility / optimality tolerance used across the crate.

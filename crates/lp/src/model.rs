@@ -83,6 +83,10 @@ pub struct LpSolution {
     pub status: SolveStatus,
     /// Total simplex iterations (both phases).
     pub iterations: usize,
+    /// Iterations spent in the dual-simplex phase (a subset of `iterations`;
+    /// nonzero exactly when the dual phase ran — see
+    /// [`crate::simplex::DualSimplex`]).
+    pub dual_iterations: usize,
     /// Basis changes performed (iterations minus bound flips).
     pub pivots: usize,
     /// Basis refactorizations performed during the solve.
@@ -438,6 +442,7 @@ impl LpProblem {
             row_activity: sol.row_activity,
             status: SolveStatus::Optimal,
             iterations: sol.iterations,
+            dual_iterations: sol.dual_iterations,
             pivots: sol.pivots,
             refactorizations: sol.refactorizations,
             presolve_rows_removed: sol.presolve_rows_removed,

@@ -478,6 +478,7 @@ impl Reduction {
             row_activity,
             objective,
             iterations: sol.iterations,
+            dual_iterations: sol.dual_iterations,
             pivots: sol.pivots,
             refactorizations: sol.refactorizations,
             presolve_rows_removed: self.rows_removed(),

@@ -51,6 +51,40 @@
 //! deterministic per-row jitter that breaks the massive reduced-cost ties those
 //! plateaus are made of.
 //!
+//! # Phase selection: primal two-phase vs. dual simplex
+//!
+//! A solve that starts primal-*feasible* (a session [`Solver::reoptimize`] after
+//! [`Solver::add_columns`], or a warm start at an optimal basis of the same
+//! instance) runs phase 2 only. A primal-infeasible start normally pays for
+//! phase 1 first — but when the starting basis prices **dual-feasible** against
+//! the real objective (every nonbasic reduced cost respects its bound's sign
+//! condition), the **dual simplex** ([`DualSimplex::Auto`], the default for
+//! warm/crash starts) takes over instead: it repairs primal infeasibility while
+//! *keeping* dual feasibility, so it walks straight to optimality on the real
+//! costs where phase 1 would burn thousands of degenerate pivots on an
+//! infeasibility objective that knows nothing about them. This is exactly the
+//! warm-restart case (bounds or right-hand sides changed, costs didn't — the old
+//! optimal basis stays dual-feasible) and the crash-basis case (a basis of
+//! zero-cost columns against a one-hot objective, see the MCF master crash).
+//!
+//! The dual phase selects the leaving row by **exact dual steepest-edge** row
+//! weights (`violation² / weight`, Forrest–Goldfarb update; the pivotal-row
+//! BTRAN every iteration computes anyway makes the leaving row's true norm
+//! free, so the recurrence is self-correcting), expands the pivotal row
+//! hypersparsely from the row-wise matrix copy, and runs a **bound-flipping
+//! (long-step) ratio test**: breakpoints are passed in ratio order while the
+//! dual slope lasts, and every boxed column passed flips to its opposite bound
+//! in one aggregated FTRAN — a single dual iteration can relocate many primal
+//! variables, which is what kills degenerate plateaus. For the duration of the
+//! phase, nonbasic bounded columns carry a small deterministic **cost
+//! perturbation** pushed *into* their dual-feasible sign region, so the
+//! zero-reduced-cost ties that zero-cost flow LPs are made of become strictly
+//! signed and the ratio test takes real dual steps; true costs are restored
+//! (and reduced costs re-priced) before the phase returns. Numerical trouble
+//! or a dual stall falls back to the primal two-phase method on the current
+//! (still valid) basis, so [`DualSimplex::Auto`] is never worse than a slow
+//! start.
+//!
 //! # Warm starts
 //!
 //! [`SimplexOptions::warm_start`] seeds the initial basis from a [`WarmStart`]
@@ -76,6 +110,22 @@ pub enum Pricing {
     /// Devex reference weights over a rotating candidate list (partial pricing).
     #[default]
     Devex,
+}
+
+/// When the dual simplex may replace primal phase 1 (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DualSimplex {
+    /// Run the dual simplex when an *installed* warm/crash basis is
+    /// primal-infeasible but dual-feasible; cold all-slack starts keep the
+    /// primal two-phase method. Numerical trouble or a dual stall falls back
+    /// to the primal phases on the current basis.
+    #[default]
+    Auto,
+    /// Run the dual simplex from any dual-feasible primal-infeasible start,
+    /// including cold all-slack bases.
+    Always,
+    /// Never run the dual simplex; always use the primal two-phase method.
+    Off,
 }
 
 /// Basis status of one variable in a [`WarmStart`].
@@ -122,6 +172,8 @@ pub struct SimplexOptions {
     pub degenerate_switch: usize,
     /// Entering-variable pricing rule.
     pub pricing: Pricing,
+    /// Dual-simplex phase selection (see [`DualSimplex`] and the module docs).
+    pub dual_simplex: DualSimplex,
     /// Size of the devex candidate list; `0` picks an automatic size from the
     /// column count. Ignored under [`Pricing::Dantzig`].
     pub candidate_list_size: usize,
@@ -148,6 +200,7 @@ impl Default for SimplexOptions {
             refactor_interval: 100,
             degenerate_switch: 2_000,
             pricing: Pricing::default(),
+            dual_simplex: DualSimplex::default(),
             candidate_list_size: 0,
             warm_start: None,
             presolve: true,
@@ -200,6 +253,9 @@ pub struct StandardSolution {
     pub objective: f64,
     /// Total simplex iterations used.
     pub iterations: usize,
+    /// Iterations spent in the dual-simplex phase (a subset of `iterations`;
+    /// nonzero exactly when the dual phase ran, see [`DualSimplex`]).
+    pub dual_iterations: usize,
     /// Basis changes performed (iterations minus bound flips).
     pub pivots: usize,
     /// Basis refactorizations performed (initial factorization excluded).
@@ -365,6 +421,19 @@ pub fn recover_row_duals(sf: &StandardForm, basis: &WarmStart) -> LpResult<Vec<f
     Ok(cb)
 }
 
+/// How a dual-simplex phase ended (internal to [`Solver::reoptimize`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DualOutcome {
+    /// Primal feasibility reached with dual feasibility maintained — optimal
+    /// (phase 2 runs afterwards only as a zero-iteration certification pass).
+    Optimal,
+    /// The dual run could not finish (dual unboundedness — which the primal
+    /// phases re-prove as infeasibility from clean state — a degenerate stall,
+    /// or repeated numerical trouble). The basis is valid; the primal
+    /// two-phase method continues from it.
+    Fallback,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum VarStatus {
     Basic(usize),
@@ -412,12 +481,25 @@ pub struct Solver<'a> {
     /// Basis factorization, kept current across pivots by Forrest–Tomlin updates.
     lu: LuFactorization,
     iterations: usize,
+    dual_iterations: usize,
     pivots: usize,
     refactorizations: usize,
     degenerate_run: usize,
     use_bland: bool,
+    /// Whether a caller-provided warm/crash basis was actually installed (the
+    /// [`DualSimplex::Auto`] trigger; slack fallbacks leave this false).
+    warm_installed: bool,
     /// Devex reference weights, one per variable.
     weights: Vec<f64>,
+    /// Dual-devex row weights, one per basis position (dual phase only).
+    row_weights: Vec<f64>,
+    /// Cost perturbation active during the dual phase (empty otherwise): the
+    /// dual method's anti-degeneracy counterpart of `phase1_jitter`. Entirely
+    /// zero-cost LPs (flow masters) are maximally dual degenerate — every
+    /// ratio is zero and no dual step makes progress — so the dual phase runs
+    /// on costs nudged away from zero in each nonbasic's dual-feasible
+    /// direction, and the final primal phase 2 (true costs) cleans up.
+    perturb: Vec<f64>,
     /// Current pricing candidate list (devex mode).
     candidates: Vec<usize>,
     /// Partial-pricing rotation cursor into the column range.
@@ -438,6 +520,9 @@ pub struct Solver<'a> {
     /// of row `i`. Used to expand the pivotal row `alpha = rho A` from `rho`'s
     /// sparse pattern in O(touched-row lengths) instead of O(nnz(A)).
     a_rows: Vec<Vec<(usize, f64)>>,
+    /// Whether `a_rows` is populated (devex construction, or on demand for the
+    /// dual phase under Dantzig pricing).
+    a_rows_built: bool,
     /// Exact reduced costs of every variable, maintained incrementally across
     /// pivots in the phase-2 devex path (`d[j] -= (d_q / alpha_q) * alpha_j`).
     d: Vec<f64>,
@@ -522,11 +607,15 @@ impl<'a> Solver<'a> {
             x: Vec::new(),
             lu: LuFactorization::factorize(0, &[])?,
             iterations: 0,
+            dual_iterations: 0,
             pivots: 0,
             refactorizations: 0,
             degenerate_run: 0,
             use_bland: false,
+            warm_installed: false,
             weights: vec![1.0; ntotal],
+            row_weights: Vec::new(),
+            perturb: Vec::new(),
             candidates: Vec::new(),
             scan_cursor: 0,
             minor_count: 0,
@@ -536,6 +625,7 @@ impl<'a> Solver<'a> {
             spike_buf: SparseScratch::new(nrows),
             lu_scratch: LuScratch::new(nrows),
             a_rows,
+            a_rows_built: use_devex,
             d: vec![0.0; ntotal],
             d_fresh: false,
             alpha_buf: SparseScratch::new(ntotal),
@@ -551,6 +641,7 @@ impl<'a> Solver<'a> {
             solver.install_slack_basis();
             solver.refactorize()?;
         }
+        solver.warm_installed = installed;
         Ok(solver)
     }
 
@@ -648,10 +739,15 @@ impl<'a> Solver<'a> {
     }
 
     fn var_cost(&self, j: usize) -> f64 {
-        if j < self.nstruct {
+        let c = if j < self.nstruct {
             self.sf.obj[j]
         } else {
             0.0
+        };
+        if self.perturb.is_empty() {
+            c
+        } else {
+            c + self.perturb[j]
         }
     }
 
@@ -754,16 +850,41 @@ impl<'a> Solver<'a> {
     /// round's [`StandardSolution`] reports only the work that round did.
     pub fn reoptimize(&mut self) -> LpResult<StandardSolution> {
         self.iterations = 0;
+        self.dual_iterations = 0;
         self.pivots = 0;
         // Count only in-solve refactorizations, not the initial basis setup.
         self.refactorizations = 0;
         if self.infeasibility() > self.opts.tol {
-            self.run_phase(true)?;
-            self.recompute_basic_values();
-            if self.infeasibility() > self.opts.tol * (1.0 + self.scale_estimate()) {
-                return Err(LpError::Infeasible);
+            // A primal-infeasible start that prices dual-feasible (a warm basis
+            // after a bound/rhs change, or a zero-cost crash basis) is the dual
+            // simplex's home turf: it repairs feasibility while staying
+            // dual-feasible, so reaching primal feasibility *is* optimality —
+            // no phase-1 work on the real costs is wasted. See the module docs.
+            let try_dual = match self.opts.dual_simplex {
+                DualSimplex::Auto => self.warm_installed,
+                DualSimplex::Always => true,
+                DualSimplex::Off => false,
+            };
+            let mut dual_done = false;
+            if try_dual && self.dual_feasible() {
+                match self.run_dual_phase()? {
+                    DualOutcome::Optimal => dual_done = true,
+                    DualOutcome::Fallback => {
+                        // The dual run stalled or hit numerical trouble; its
+                        // basis is still valid, so the primal phases continue
+                        // from wherever it got.
+                        self.recompute_basic_values();
+                    }
+                }
             }
-            self.clamp_basics_into_bounds();
+            if !dual_done {
+                self.run_phase(true)?;
+                self.recompute_basic_values();
+                if self.infeasibility() > self.opts.tol * (1.0 + self.scale_estimate()) {
+                    return Err(LpError::Infeasible);
+                }
+                self.clamp_basics_into_bounds();
+            }
         }
         self.run_phase(false)?;
         self.recompute_basic_values();
@@ -864,8 +985,9 @@ impl<'a> Solver<'a> {
         self.nstruct += k;
         self.ntotal += k;
         self.alpha_buf.resize(self.ntotal);
-        // The phase-2 devex regime prices from the row-wise matrix copy.
-        if matches!(self.opts.pricing, Pricing::Devex) {
+        // The phase-2 devex regime (and the dual phase) expand the pivotal row
+        // from the row-wise matrix copy; keep it current when it exists.
+        if self.a_rows_built {
             for (idx, c) in cols.iter().enumerate() {
                 let j = old_nstruct + idx;
                 for (i, v) in c.col.iter() {
@@ -921,6 +1043,59 @@ impl<'a> Solver<'a> {
         self.candidates.clear();
         self.minor_count = 0;
         self.d_fresh = false;
+        Ok(())
+    }
+
+    /// Deactivates structural columns of a live session by **bound-fixing**:
+    /// each column's bounds collapse to `[0, 0]`, its value snaps to zero, and
+    /// — since pricing skips fixed columns entirely — it can never re-enter
+    /// the basis. This is the session-level equivalent of deleting the column
+    /// from the master: the storage stays (row indices and column numbering
+    /// must remain stable for the session contract), but the LP the simplex
+    /// works on no longer contains it.
+    ///
+    /// Only **nonbasic** columns are accepted: a basic column's value is
+    /// determined by the factorization and fixing it would silently change the
+    /// solution. Callers purge columns that have priced out and idled at zero
+    /// for several rounds, so this is no restriction in practice. Columns that
+    /// are already fixed are ignored. Errors on an out-of-range or basic
+    /// column index before touching anything.
+    pub fn deactivate_columns(&mut self, cols: &[usize]) -> LpResult<()> {
+        if cols.is_empty() {
+            return Ok(());
+        }
+        for &j in cols {
+            if j >= self.nstruct {
+                return Err(LpError::InvalidModel(format!(
+                    "deactivation targets column {j} but the session has {} structural columns",
+                    self.nstruct
+                )));
+            }
+            if matches!(self.status[j], VarStatus::Basic(_)) {
+                return Err(LpError::InvalidModel(format!(
+                    "cannot deactivate basic column {j}"
+                )));
+            }
+        }
+        let sf = self.sf.to_mut();
+        for &j in cols {
+            sf.lower[j] = 0.0;
+            sf.upper[j] = 0.0;
+        }
+        let mut any_moved = false;
+        for &j in cols {
+            any_moved |= self.x[j] != 0.0;
+            self.x[j] = 0.0;
+            self.status[j] = VarStatus::AtLower;
+        }
+        // The candidate list may hold now-fixed columns; the stored reduced
+        // costs stay valid (the basis and costs are untouched) and eligibility
+        // itself excludes fixed columns, so `d` needs no refresh.
+        self.candidates.clear();
+        self.minor_count = 0;
+        if any_moved {
+            self.recompute_basic_values();
+        }
         Ok(())
     }
 
@@ -1003,6 +1178,7 @@ impl<'a> Solver<'a> {
             row_activity,
             objective,
             iterations: self.iterations,
+            dual_iterations: self.dual_iterations,
             pivots: self.pivots,
             refactorizations: self.refactorizations,
             presolve_rows_removed: 0,
@@ -1347,6 +1523,474 @@ impl<'a> Solver<'a> {
         }
         self.row_buf = rho;
         self.alpha_buf = alpha;
+    }
+
+    /// Builds the row-wise matrix copy on demand: Dantzig solvers skip it at
+    /// construction, but the dual phase needs it for pivotal-row expansion.
+    fn ensure_a_rows(&mut self) {
+        if self.a_rows_built {
+            return;
+        }
+        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.nrows];
+        for (j, col) in self.sf.cols.iter().enumerate() {
+            for (i, v) in col.iter() {
+                rows[i].push((j, v));
+            }
+        }
+        self.a_rows = rows;
+        self.a_rows_built = true;
+    }
+
+    /// Whether the current basis prices dual-feasible against the *real*
+    /// (phase-2) objective: every nonbasic reduced cost respects its bound's
+    /// sign condition. Refreshes the incremental reduced-cost array as a side
+    /// effect, so a subsequent dual phase starts from exact `d`.
+    fn dual_feasible(&mut self) -> bool {
+        self.refresh_reduced_costs(false);
+        let tol = self.opts.tol;
+        (0..self.ntotal).all(|j| {
+            // Fixed columns never enter the basis; their sign is irrelevant.
+            if self.var_lower(j) == self.var_upper(j) {
+                return true;
+            }
+            match self.status[j] {
+                VarStatus::Basic(_) => true,
+                VarStatus::AtLower => self.d[j] >= -tol,
+                VarStatus::AtUpper => self.d[j] <= tol,
+                VarStatus::FreeZero => self.d[j].abs() <= tol,
+            }
+        })
+    }
+
+    /// Leaving-row selection of the dual phase: the basic position with the
+    /// largest steepest-edge merit `violation² / weight` (smallest infeasible
+    /// basic variable index under Bland's rule), or `None` when every basic
+    /// value is within its bounds — primal feasible, and since the dual phase
+    /// maintains dual feasibility, optimal. The returned violation is signed:
+    /// positive above the upper bound, negative below the lower.
+    fn dual_select_row(&self, bland: bool) -> Option<(usize, f64)> {
+        let tol = self.opts.tol;
+        let mut best: Option<(usize, f64, f64)> = None;
+        for (pos, &j) in self.basis.iter().enumerate() {
+            let v = self.x[j];
+            let l = self.var_lower(j);
+            let u = self.var_upper(j);
+            let viol = if v < l - tol {
+                v - l
+            } else if v > u + tol {
+                v - u
+            } else {
+                continue;
+            };
+            if bland {
+                match best {
+                    Some((bp, _, _)) if self.basis[bp] <= j => {}
+                    _ => best = Some((pos, viol, 0.0)),
+                }
+                continue;
+            }
+            let merit = viol * viol / self.row_weights[pos];
+            match best {
+                Some((_, _, m)) if m >= merit => {}
+                _ => best = Some((pos, viol, merit)),
+            }
+        }
+        best.map(|(pos, viol, _)| (pos, viol))
+    }
+
+    /// Exact dual steepest-edge weight update (Forrest–Goldfarb) after a dual
+    /// pivot on row `r` with the FTRANed entering column `w` in `col_buf`
+    /// (basis-position space). `kappa = ||rho||²` is the *exact* weight of the
+    /// pivotal row — free, since the dual iteration BTRANs `rho = e_r B^{-1}`
+    /// anyway — which makes the recurrence self-correcting: whatever drift a
+    /// row's weight accumulated is replaced by the true norm the moment it
+    /// pivots. `tau = B^{-1} rho` carries the cross terms. Weights are floored
+    /// to keep cancellation from turning them non-positive.
+    fn update_dual_row_weights(&mut self, r: usize, w_r: f64, kappa: f64, tau: &SparseScratch) {
+        const FLOOR: f64 = 1e-4;
+        let piv2 = w_r * w_r;
+        if piv2 == 0.0 {
+            return;
+        }
+        for (pos, wi) in self.col_buf.iter() {
+            if pos == r || wi == 0.0 {
+                continue;
+            }
+            let ratio = wi / w_r;
+            let cand = self.row_weights[pos] - ratio * (2.0 * tau.get(pos) - ratio * kappa);
+            self.row_weights[pos] = cand.max(FLOOR);
+        }
+        self.row_weights[r] = (kappa / piv2).max(FLOOR);
+    }
+
+    /// Runs the dual simplex from the current (dual-feasible, primal-infeasible)
+    /// basis until primal feasibility — which, with dual feasibility maintained
+    /// throughout, is optimality — or until it has to hand back to the primal
+    /// phases (see [`DualOutcome`]).
+    ///
+    /// Each iteration: pick the most-infeasible basic by dual devex row
+    /// pricing, expand the pivotal row `alpha = e_r B^{-1} A` hypersparsely
+    /// from the row-wise matrix copy, and run the **bound-flipping (long-step)
+    /// ratio test**: eligible breakpoints are walked in ratio order while the
+    /// dual slope (the row's residual violation) lasts; every *boxed* column
+    /// passed flips to its opposite bound — applied in one aggregated FTRAN —
+    /// and the breakpoint the slope dies on enters the basis. The incremental
+    /// reduced costs `d` are maintained across pivots exactly as in the primal
+    /// incremental regime, and the factorization by the same Forrest–Tomlin
+    /// updates and refactorization cadence.
+    fn run_dual_phase(&mut self) -> LpResult<DualOutcome> {
+        self.install_dual_perturbation();
+        let outcome = self.dual_phase_loop();
+        // Back to true costs no matter how the phase ended; the reduced costs
+        // the primal continuation prices with must not see the perturbation.
+        self.perturb.clear();
+        self.refresh_reduced_costs(false);
+        if std::env::var_os("A2A_LP_DEBUG").is_some() {
+            let obj: f64 = (0..self.nstruct).map(|j| self.sf.obj[j] * self.x[j]).sum();
+            let neg = (0..self.ntotal)
+                .filter(|&j| self.eligibility_stored(j).is_some())
+                .count();
+            eprintln!(
+                "dual exit: optimal={} iters={} obj={obj:.6e} dual-infeasible cols={neg}",
+                matches!(outcome, Ok(DualOutcome::Optimal)),
+                self.dual_iterations,
+            );
+        }
+        outcome
+    }
+
+    /// Installs the dual anti-degeneracy cost perturbation (see the `perturb`
+    /// field): every nonbasic non-fixed bounded column gets a small
+    /// deterministic cost nudge *into* its dual-feasible sign region — positive
+    /// at a lower bound, negative at an upper bound — so zero reduced costs
+    /// (ubiquitous in zero-cost flow LPs) become strictly signed and the dual
+    /// ratio test takes real steps instead of degenerate ones. Basic and free
+    /// columns keep exact costs: perturbing basics would move the duals `y` and
+    /// could destroy the start's dual feasibility, and free nonbasics require
+    /// `d = 0` which any nudge would break.
+    fn install_dual_perturbation(&mut self) {
+        let base =
+            self.opts.tol * 1e2 * (1.0 + self.sf.obj.iter().fold(0.0f64, |m, c| m.max(c.abs())));
+        self.perturb.clear();
+        self.perturb.resize(self.ntotal, 0.0);
+        for j in 0..self.ntotal {
+            if self.var_lower(j) == self.var_upper(j) {
+                continue;
+            }
+            let eps = base * (1.0 + 64.0 * Self::phase1_jitter(j));
+            match self.status[j] {
+                VarStatus::AtLower => self.perturb[j] = eps,
+                VarStatus::AtUpper => self.perturb[j] = -eps,
+                VarStatus::Basic(_) | VarStatus::FreeZero => {}
+            }
+        }
+        self.refresh_reduced_costs(false);
+    }
+
+    fn dual_phase_loop(&mut self) -> LpResult<DualOutcome> {
+        self.ensure_a_rows();
+        self.row_weights.clear();
+        self.row_weights.resize(self.nrows, 1.0);
+        let tol = self.opts.tol;
+        let ptol = self.opts.pivot_tol;
+        let debug = std::env::var_os("A2A_LP_DEBUG").is_some();
+        // Consecutive degenerate (zero-dual-step) pivots: past the usual switch
+        // the entering rule degrades to Bland's (smallest ratio, then smallest
+        // index, no long step); persisting far past it, the phase gives up and
+        // falls back to primal phase 1 rather than risk cycling.
+        let mut stall = 0usize;
+        let mut bland = false;
+        // Consecutive numerical rejections (tiny pivot after refactorization).
+        let mut retries = 0usize;
+        // Primal values are maintained incrementally; certify feasibility from
+        // recomputed values before declaring optimality.
+        let mut verified = false;
+        // Ratio-test scratch, reused across iterations (the breakpoint list
+        // reaches thousands of entries on dense pivotal rows).
+        let mut breaks: Vec<(usize, f64)> = Vec::new();
+        let mut flips: Vec<usize> = Vec::new();
+        loop {
+            if self.iterations >= self.opts.max_iterations {
+                return Err(LpError::IterationLimit {
+                    iterations: self.iterations,
+                });
+            }
+            if !self.d_fresh {
+                self.refresh_reduced_costs(false);
+            }
+            let Some((r, viol)) = self.dual_select_row(bland) else {
+                if verified {
+                    self.clamp_basics_into_bounds();
+                    return Ok(DualOutcome::Optimal);
+                }
+                self.recompute_basic_values();
+                verified = true;
+                continue;
+            };
+            verified = false;
+            if debug && self.dual_iterations.is_multiple_of(2000) {
+                eprintln!(
+                    "dual iter {} infeas={:.3e} pivots={} bland={bland} stall={stall}",
+                    self.dual_iterations,
+                    self.infeasibility(),
+                    self.pivots,
+                );
+            }
+            // σ = +1: leaving above its upper bound, the basic must decrease;
+            // σ = -1: below its lower bound, it must increase.
+            let sigma = if viol > 0.0 { 1.0 } else { -1.0 };
+
+            // Pivotal row alpha = e_r B^{-1} A over rho's pattern (the logical
+            // column of row i carries -rho_i).
+            let rho = self.compute_pivotal_rho(r);
+            // Exact steepest-edge weight of the leaving row — a free byproduct
+            // of the pivotal row the iteration needs anyway.
+            let kappa: f64 = rho.iter().map(|(_, v)| v * v).sum();
+            let mut alpha = std::mem::take(&mut self.alpha_buf);
+            alpha.clear();
+            for (i, rv) in rho.iter() {
+                if rv == 0.0 {
+                    continue;
+                }
+                for &(j, a) in &self.a_rows[i] {
+                    alpha.add(j, rv * a);
+                }
+                alpha.add(self.nstruct + i, -rv);
+            }
+            self.row_buf = rho;
+
+            // Breakpoints: nonbasic columns whose reduced cost starts changing
+            // toward its sign limit as the dual step grows. `abar = σ·alpha_j`
+            // normalizes both leaving directions to one sign convention, so an
+            // eligible column always has ratio `d_j / abar >= 0` (clamped — a
+            // within-tolerance dual violation must not produce a negative step).
+            // The minimum ratio (ties by smallest index — the same order the
+            // sorted walk below uses) is tracked inline: on LPs whose columns
+            // are mostly unboxed the walk cannot pass the first breakpoint
+            // anyway, and the O(B log B) sort is skipped entirely.
+            breaks.clear();
+            let mut q_min = usize::MAX;
+            let mut r_min = f64::INFINITY;
+            for (j, aj) in alpha.iter() {
+                if matches!(self.status[j], VarStatus::Basic(_))
+                    || self.var_lower(j) == self.var_upper(j)
+                {
+                    continue;
+                }
+                let abar = sigma * aj;
+                let eligible = match self.status[j] {
+                    VarStatus::AtLower => abar > ptol,
+                    VarStatus::AtUpper => abar < -ptol,
+                    VarStatus::FreeZero => abar.abs() > ptol,
+                    VarStatus::Basic(_) => false,
+                };
+                if !eligible {
+                    continue;
+                }
+                let ratio = (self.d[j] / abar).max(0.0);
+                if ratio < r_min || (ratio == r_min && j < q_min) {
+                    r_min = ratio;
+                    q_min = j;
+                }
+                breaks.push((j, ratio));
+            }
+            if breaks.is_empty() {
+                // No entering candidate for an infeasible row: the dual is
+                // unbounded, i.e. the primal is infeasible. Hand to phase 1 to
+                // re-prove that from cleanly recomputed state.
+                self.alpha_buf = alpha;
+                if debug {
+                    eprintln!(
+                        "dual fallback: no breakpoints at iter {}",
+                        self.dual_iterations
+                    );
+                }
+                return Ok(DualOutcome::Fallback);
+            }
+
+            // Long-step walk: flip boxed breakpoints while the slope survives
+            // them; the breakpoint the slope dies on (or the first unboxed one)
+            // enters. Bland's mode takes the smallest-ratio/smallest-index
+            // breakpoint directly, with no long step — exactly the tracked
+            // minimum. The ratio order (and hence the sort) is only needed
+            // when the minimum-ratio breakpoint is boxed and could be flipped.
+            flips.clear();
+            let mut entering = q_min;
+            if !bland
+                && breaks.len() > 1
+                && (self.var_upper(q_min) - self.var_lower(q_min)).is_finite()
+            {
+                breaks.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+                let mut slope = viol.abs();
+                for (idx, &(j, _)) in breaks.iter().enumerate() {
+                    entering = j;
+                    let range = self.var_upper(j) - self.var_lower(j);
+                    if !range.is_finite() || idx == breaks.len() - 1 {
+                        break;
+                    }
+                    let next_slope = slope - (sigma * alpha.get(j)).abs() * range;
+                    if next_slope <= 0.0 {
+                        break;
+                    }
+                    flips.push(j);
+                    slope = next_slope;
+                }
+            }
+            let q = entering;
+            let alpha_q = alpha.get(q);
+            if alpha_q.abs() <= ptol {
+                // The expanded row disagrees with the eligibility threshold —
+                // stale factors. Refactorize once and retry; twice in a row
+                // means the dual run is numerically lost.
+                self.alpha_buf = alpha;
+                retries += 1;
+                if retries > 1 {
+                    if debug {
+                        eprintln!(
+                            "dual fallback: alpha_q retry at iter {}",
+                            self.dual_iterations
+                        );
+                    }
+                    return Ok(DualOutcome::Fallback);
+                }
+                self.refactorize()?;
+                continue;
+            }
+            let theta = (self.d[q] / (sigma * alpha_q)).max(0.0);
+
+            // Apply the accumulated bound flips in one aggregated FTRAN: the
+            // basics absorb the combined column delta of every flipped column.
+            if !flips.is_empty() {
+                let mut rhs = vec![0.0; self.nrows];
+                for &j in &flips {
+                    let (l, u) = (self.var_lower(j), self.var_upper(j));
+                    let (st, v) = match self.status[j] {
+                        VarStatus::AtLower => (VarStatus::AtUpper, u),
+                        VarStatus::AtUpper => (VarStatus::AtLower, l),
+                        _ => unreachable!("only boxed bound columns flip"),
+                    };
+                    let delta = v - self.x[j];
+                    if delta != 0.0 {
+                        self.scatter_col(j, delta, &mut rhs);
+                    }
+                    self.status[j] = st;
+                    self.x[j] = v;
+                }
+                self.lu.solve(&mut rhs);
+                for (pos, &jb) in self.basis.iter().enumerate() {
+                    if rhs[pos] != 0.0 {
+                        self.x[jb] -= rhs[pos];
+                    }
+                }
+            }
+
+            // FTRAN the entering column; the partial result is the FT spike.
+            self.col_buf.clear();
+            if q < self.nstruct {
+                for (i, v) in self.sf.cols[q].iter() {
+                    self.col_buf.set(i, v);
+                }
+            } else {
+                self.col_buf.set(q - self.nstruct, -1.0);
+            }
+            self.lu.ftran_sparse_with_partial(
+                &mut self.col_buf,
+                &mut self.lu_scratch,
+                &mut self.spike_buf,
+            );
+            let w_r = self.col_buf.get(r);
+            if w_r.abs() <= ptol {
+                self.alpha_buf = alpha;
+                retries += 1;
+                if retries > 1 {
+                    if debug {
+                        eprintln!("dual fallback: w_r retry at iter {}", self.dual_iterations);
+                    }
+                    return Ok(DualOutcome::Fallback);
+                }
+                self.refactorize()?;
+                continue;
+            }
+            retries = 0;
+
+            // Dual step: every nonbasic reduced cost in the pivotal row moves
+            // by -θσ·alpha_j (flipped columns included — flipping changes no
+            // reduced cost, only which sign of it is feasible).
+            let theta_signed = sigma * theta;
+            if theta_signed != 0.0 {
+                for (j, aj) in alpha.iter() {
+                    if j == q || aj == 0.0 || matches!(self.status[j], VarStatus::Basic(_)) {
+                        continue;
+                    }
+                    self.d[j] -= theta_signed * aj;
+                }
+            }
+            let leaving_var = self.basis[r];
+            self.d[q] = 0.0;
+            self.d[leaving_var] = -theta_signed;
+            self.alpha_buf = alpha;
+            // Steepest-edge cross terms tau = B^{-1} rho, FTRANed in place over
+            // the rho buffer (dead once the pivotal row has been expanded).
+            let mut tau = std::mem::take(&mut self.row_buf);
+            self.lu.ftran_sparse(&mut tau, &mut self.lu_scratch);
+            self.update_dual_row_weights(r, w_r, kappa, &tau);
+            self.row_buf = tau;
+
+            // Primal step: drive the leaving basic exactly onto its violated
+            // bound. The sign works out by construction — an eligible entering
+            // column always moves off its bound in the allowed direction.
+            let bound = if sigma > 0.0 {
+                self.var_upper(leaving_var)
+            } else {
+                self.var_lower(leaving_var)
+            };
+            let t = (self.x[leaving_var] - bound) / w_r;
+            if t != 0.0 {
+                for (pos, wi) in self.col_buf.iter() {
+                    if wi != 0.0 {
+                        self.x[self.basis[pos]] -= t * wi;
+                    }
+                }
+                self.x[q] += t;
+            }
+            self.x[leaving_var] = bound;
+            self.status[leaving_var] = if sigma > 0.0 {
+                VarStatus::AtUpper
+            } else {
+                VarStatus::AtLower
+            };
+            self.status[q] = VarStatus::Basic(r);
+            self.basis[r] = q;
+            self.iterations += 1;
+            self.dual_iterations += 1;
+            self.pivots += 1;
+
+            if !self
+                .lu
+                .replace_column(r, &self.spike_buf, &mut self.lu_scratch)
+                || self.lu.updates() >= self.opts.refactor_interval
+                || self.lu.fill_exceeded()
+            {
+                self.refactorize()?;
+            }
+
+            // Degenerate-stall bookkeeping on the *dual* step.
+            if theta <= tol {
+                stall += 1;
+                if stall >= self.opts.degenerate_switch {
+                    bland = true;
+                }
+                if stall >= self.opts.degenerate_switch.saturating_mul(4) {
+                    if debug {
+                        eprintln!("dual fallback: stall at iter {}", self.dual_iterations);
+                    }
+                    return Ok(DualOutcome::Fallback);
+                }
+            } else {
+                stall = 0;
+                bland = false;
+            }
+        }
     }
 
     /// Eligibility of nonbasic `j` under the current duals (fresh reduced cost).

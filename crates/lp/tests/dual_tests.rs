@@ -1,0 +1,369 @@
+//! Dual-simplex equivalence and engagement tests.
+//!
+//! The primal two-phase method is the reference: on the same seeded random-LP
+//! streams the property suite uses, forcing the dual simplex wherever it can
+//! engage ([`DualSimplex::Always`]) must reproduce every status and objective.
+//! The warm-restart tests pin the production trigger ([`DualSimplex::Auto`]):
+//! re-solving after a bound/rhs tightening from the old optimal basis must
+//! engage the dual phase (the basis stays dual-feasible — costs didn't move)
+//! and land on the primal-verified optimum of the tightened instance.
+
+use a2a_lp::{ConstraintSense, DualSimplex, LpError, LpProblem, SimplexOptions, INF};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A compact description of a random LP (same shape as the property suite).
+#[derive(Debug, Clone)]
+struct RandomLp {
+    nvars: usize,
+    obj: Vec<i32>,
+    upper: Vec<Option<u8>>,
+    rows: Vec<(Vec<i32>, u8, i32)>, // (coefficients, sense code, rhs)
+}
+
+fn random_lp(rng: &mut ChaCha8Rng) -> RandomLp {
+    let nvars = rng.random_range(2..5);
+    let nrows = rng.random_range(1..5);
+    let obj: Vec<i32> = (0..nvars)
+        .map(|_| rng.random_range(0..9) as i32 - 4)
+        .collect();
+    let upper: Vec<Option<u8>> = (0..nvars)
+        .map(|_| {
+            if rng.random_bool(0.5) {
+                Some(rng.random_range(1..9) as u8)
+            } else {
+                None
+            }
+        })
+        .collect();
+    let rows: Vec<(Vec<i32>, u8, i32)> = (0..nrows)
+        .map(|_| {
+            let coeffs: Vec<i32> = (0..nvars)
+                .map(|_| rng.random_range(0..7) as i32 - 3)
+                .collect();
+            let sense = rng.random_range(0..3) as u8;
+            let rhs = rng.random_range(0..15) as i32;
+            (coeffs, sense, rhs)
+        })
+        .collect();
+    RandomLp {
+        nvars,
+        obj,
+        upper,
+        rows,
+    }
+}
+
+fn build(lp_desc: &RandomLp, maximize: bool) -> LpProblem {
+    let mut lp = if maximize {
+        LpProblem::maximize()
+    } else {
+        LpProblem::minimize()
+    };
+    let vars: Vec<_> = (0..lp_desc.nvars)
+        .map(|i| {
+            let ub = lp_desc.upper[i].map(f64::from).unwrap_or(INF);
+            lp.add_var(format!("x{i}"), 0.0, ub, f64::from(lp_desc.obj[i]))
+        })
+        .collect();
+    for (coeffs, sense, rhs) in &lp_desc.rows {
+        let sense = match sense % 3 {
+            0 => ConstraintSense::Le,
+            1 => ConstraintSense::Ge,
+            _ => ConstraintSense::Eq,
+        };
+        lp.add_constraint(
+            coeffs
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (vars[i], f64::from(c))),
+            sense,
+            f64::from(*rhs),
+        );
+    }
+    lp
+}
+
+/// Checks that a solution satisfies every bound and constraint of the model.
+fn assert_primal_feasible(lp: &LpProblem, values: &[f64]) {
+    let sf = lp.to_standard_form().unwrap();
+    for (j, &v) in values.iter().enumerate() {
+        assert!(
+            v >= sf.lower[j] - 1e-6 && v <= sf.upper[j] + 1e-6,
+            "variable {j} = {v} violates bounds [{}, {}]",
+            sf.lower[j],
+            sf.upper[j]
+        );
+    }
+    let mut activity = vec![0.0; sf.nrows];
+    for (j, &v) in values.iter().enumerate() {
+        for (r, a) in sf.cols[j].iter() {
+            activity[r] += a * v;
+        }
+    }
+    for r in 0..sf.nrows {
+        assert!(
+            activity[r] >= sf.row_lower[r] - 1e-5 && activity[r] <= sf.row_upper[r] + 1e-5,
+            "row {r} activity {} violates [{}, {}]",
+            activity[r],
+            sf.row_lower[r],
+            sf.row_upper[r]
+        );
+    }
+}
+
+fn opts(dual: DualSimplex) -> SimplexOptions {
+    // Presolve off so tiny LPs are not solved away before the simplex runs —
+    // the engagement counts below would otherwise be vacuous.
+    SimplexOptions {
+        dual_simplex: dual,
+        presolve: false,
+        scaling: false,
+        ..SimplexOptions::default()
+    }
+}
+
+/// Primal-vs-dual equivalence on the same 400 seeded random LPs the property
+/// suite runs (both generator streams): wherever the dual simplex can engage
+/// it must reproduce the primal method's status and objective exactly, and it
+/// must actually engage on a healthy share of the feasible cases.
+#[test]
+fn dual_simplex_matches_primal_on_random_lps() {
+    let mut engaged = 0usize;
+    let mut optimal = 0usize;
+    for (seed, maximize_alternates) in [(0xA2A_51317u64, true), (0xFEA51B1Eu64, false)] {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for case in 0..200 {
+            let desc = random_lp(&mut rng);
+            let maximize = !maximize_alternates || case % 2 == 0;
+            let lp = build(&desc, maximize);
+            let dual = lp.solve_with(&opts(DualSimplex::Always));
+            let primal = lp.solve_with(&opts(DualSimplex::Off));
+            match (dual, primal) {
+                (Ok(a), Ok(b)) => {
+                    assert!(
+                        (a.objective_value - b.objective_value).abs()
+                            <= 1e-5 * (1.0 + b.objective_value.abs()),
+                        "case {case} (seed {seed:#x}, {desc:?}): dual {} vs primal {}",
+                        a.objective_value,
+                        b.objective_value
+                    );
+                    assert_primal_feasible(&lp, &a.values);
+                    optimal += 1;
+                    if a.dual_iterations > 0 {
+                        engaged += 1;
+                    }
+                }
+                (Err(LpError::Infeasible), Err(LpError::Infeasible)) => {}
+                (Err(LpError::Unbounded), Err(LpError::Unbounded)) => {}
+                (a, b) => panic!(
+                    "case {case} (seed {seed:#x}, {desc:?}): status mismatch: \
+                     dual {a:?} vs primal {b:?}"
+                ),
+            }
+        }
+    }
+    // The streams mix cost signs, so not every slack start is dual-feasible;
+    // but a substantial share must be, or the dual path was never tested.
+    assert!(
+        engaged >= optimal / 10 && engaged > 0,
+        "dual simplex engaged on only {engaged} of {optimal} optimal cases"
+    );
+}
+
+/// Description of a random max-concurrent-flow network (the structure every
+/// MCF master in the workspace lowers to), buildable at any capacity scale so
+/// the *same* instance can be re-posed with tightened right-hand sides.
+struct NetworkDesc {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+    caps: Vec<f64>,
+    commodities: Vec<(usize, usize)>,
+}
+
+fn random_network(rng: &mut ChaCha8Rng) -> NetworkDesc {
+    let n = rng.random_range(4..9);
+    let mut edges: Vec<(usize, usize)> = (0..n).map(|u| (u, (u + 1) % n)).collect();
+    for _ in 0..rng.random_range(n..2 * n) {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u != v && !edges.contains(&(u, v)) {
+            edges.push((u, v));
+        }
+    }
+    let caps: Vec<f64> = edges
+        .iter()
+        .map(|_| 1.0 + rng.random_range(0..8) as f64 * 0.5)
+        .collect();
+    let k = rng.random_range(1..4);
+    let commodities: Vec<(usize, usize)> = (0..k)
+        .map(|_| loop {
+            let s = rng.random_range(0..n);
+            let t = rng.random_range(0..n);
+            if s != t {
+                return (s, t);
+            }
+        })
+        .collect();
+    NetworkDesc {
+        n,
+        edges,
+        caps,
+        commodities,
+    }
+}
+
+fn build_network(desc: &NetworkDesc, cap_scale: impl Fn(usize) -> f64) -> LpProblem {
+    let mut lp = LpProblem::maximize();
+    let f_var = lp.add_var("F", 0.0, INF, 1.0);
+    let flows: Vec<Vec<_>> = desc
+        .commodities
+        .iter()
+        .enumerate()
+        .map(|(ci, _)| {
+            desc.edges
+                .iter()
+                .enumerate()
+                .map(|(e, _)| lp.add_var(format!("f{ci}_e{e}"), 0.0, INF, 0.0))
+                .collect()
+        })
+        .collect();
+    for (e, &cap) in desc.caps.iter().enumerate() {
+        lp.add_constraint(
+            flows.iter().map(|per_edge| (per_edge[e], 1.0)),
+            ConstraintSense::Le,
+            cap * cap_scale(e),
+        );
+    }
+    for (ci, &(s, t)) in desc.commodities.iter().enumerate() {
+        for u in 0..desc.n {
+            if u == s {
+                continue;
+            }
+            let coeffs: Vec<_> = desc
+                .edges
+                .iter()
+                .enumerate()
+                .filter_map(|(e, &(a, b))| {
+                    if a == u {
+                        Some((flows[ci][e], 1.0))
+                    } else if b == u {
+                        Some((flows[ci][e], -1.0))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            if u == t {
+                lp.add_constraint(
+                    coeffs.into_iter().chain(std::iter::once((f_var, 1.0))),
+                    ConstraintSense::Le,
+                    0.0,
+                );
+            } else {
+                lp.add_constraint(coeffs, ConstraintSense::Eq, 0.0);
+            }
+        }
+    }
+    lp
+}
+
+/// The production trigger: tightening capacities *non-uniformly* leaves the
+/// old optimal basis dual-feasible (costs unchanged) but generically
+/// primal-infeasible, so a warm re-solve under the default
+/// [`DualSimplex::Auto`] engages the dual phase — and lands exactly where a
+/// cold primal solve of the tightened instance lands. (A uniform scaling
+/// would scale the basic solution with it and keep the basis primal-feasible;
+/// the per-edge factors below are what force real dual pivots.)
+#[test]
+fn warm_restart_after_capacity_tightening_uses_dual_simplex() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xD0A1_51317);
+    let mut engaged = 0usize;
+    for case in 0..60 {
+        let desc = random_network(&mut rng);
+        let nominal = build_network(&desc, |_| 1.0);
+        let cold = nominal.solve_with(&opts(DualSimplex::Off)).unwrap();
+
+        let tightened = build_network(&desc, |e| if e % 2 == 0 { 0.15 } else { 0.9 });
+        let warm = tightened
+            .solve_with(&SimplexOptions {
+                warm_start: Some(cold.basis.clone()),
+                ..opts(DualSimplex::Auto)
+            })
+            .unwrap_or_else(|e| panic!("case {case}: warm dual re-solve failed: {e:?}"));
+        let reference = tightened.solve_with(&opts(DualSimplex::Off)).unwrap();
+        assert!(
+            (warm.objective_value - reference.objective_value).abs()
+                <= 1e-6 * (1.0 + reference.objective_value.abs()),
+            "case {case}: warm dual {} vs cold primal {}",
+            warm.objective_value,
+            reference.objective_value
+        );
+        assert_primal_feasible(&tightened, &warm.values);
+        if warm.dual_iterations > 0 {
+            engaged += 1;
+        }
+    }
+    assert!(
+        engaged >= 30,
+        "dual simplex engaged on only {engaged}/60 warm tightened re-solves"
+    );
+}
+
+/// Deterministic unit case: tightening a shared capacity and warm-restarting
+/// engages the dual phase, does no primal phase-1 work, and reaches the
+/// tightened optimum.
+#[test]
+fn tightened_bottleneck_resolves_dually() {
+    let build = |cap: f64| {
+        let mut lp = LpProblem::maximize();
+        let x = lp.add_var("x", 0.0, 4.0, 1.0);
+        let y = lp.add_var("y", 0.0, 3.0, 1.0);
+        lp.add_constraint([(x, 1.0), (y, 1.0)], ConstraintSense::Le, cap);
+        lp
+    };
+    let cold = build(5.0).solve_with(&opts(DualSimplex::Off)).unwrap();
+    assert!((cold.objective_value - 5.0).abs() <= 1e-9);
+
+    let warm = build(2.0)
+        .solve_with(&SimplexOptions {
+            warm_start: Some(cold.basis.clone()),
+            ..opts(DualSimplex::Auto)
+        })
+        .unwrap();
+    assert!(
+        (warm.objective_value - 2.0).abs() <= 1e-9,
+        "tightened optimum should be 2, got {}",
+        warm.objective_value
+    );
+    assert!(
+        warm.dual_iterations > 0,
+        "the warm primal-infeasible dual-feasible start must take the dual phase"
+    );
+    assert_eq!(
+        warm.iterations, warm.dual_iterations,
+        "no primal phase-1/phase-2 iterations should be needed after the dual phase"
+    );
+}
+
+/// An instance made infeasible by the tightening must be reported infeasible
+/// through the dual path's fallback exactly like the primal method reports it.
+#[test]
+fn infeasible_tightening_is_detected_through_the_dual_path() {
+    let build = |ub: f64| {
+        let mut lp = LpProblem::minimize();
+        let x = lp.add_var("x", 0.0, ub, 1.0);
+        let y = lp.add_var("y", 0.0, ub, 2.0);
+        lp.add_constraint([(x, 1.0), (y, 1.0)], ConstraintSense::Ge, 4.0);
+        lp
+    };
+    let cold = build(3.0).solve_with(&opts(DualSimplex::Off)).unwrap();
+    let warm = build(1.0).solve_with(&SimplexOptions {
+        warm_start: Some(cold.basis.clone()),
+        ..opts(DualSimplex::Auto)
+    });
+    assert!(
+        matches!(warm, Err(LpError::Infeasible)),
+        "x + y >= 4 with x, y <= 1 must be infeasible, got {warm:?}"
+    );
+}

@@ -75,7 +75,7 @@
 use std::collections::HashSet;
 use std::time::Instant;
 
-use a2a_lp::{NewColumn, Pricing, Solver, StandardSolution};
+use a2a_lp::{BasisStatus, NewColumn, Pricing, Solver, StandardSolution};
 use a2a_topology::Path;
 use rayon::prelude::*;
 use rayon::{ThreadPool, ThreadPoolBuilder};
@@ -151,13 +151,23 @@ pub struct ColGenOptions {
     /// zero for this many consecutive rounds is dropped from the driver's
     /// `seen` bookkeeping, so pricing may regenerate the path later if the
     /// duals swing back — long runs stop pinning every column they ever
-    /// added. `None` (the default) never purges. The LP column itself stays
-    /// in the master (the incremental session has no column removal); a
-    /// re-priced purged path re-enters as a fresh column.
+    /// added. `None` (the default) never purges. A purged column that is
+    /// nonbasic at the round's optimum is also *deactivated* in the master
+    /// ([`Solver::deactivate_columns`] bound-fixes it to zero), so the simplex
+    /// stops pricing it; a re-priced purged path re-enters as a fresh column.
+    /// Purged columns that happen to sit in the basis (degenerate, at zero
+    /// weight) only leave the `seen` bookkeeping.
     pub purge_nonbasic_after: Option<usize>,
 }
 
 impl Default for ColGenOptions {
+    /// Stabilized partial pricing: mild Wentges smoothing (`α = 0.1`) with a
+    /// loose drift skip tolerance (`1e-1`). Smoothing is what makes the
+    /// drift-based skip fire (module docs), so the two ship together; every
+    /// benchmarked workload reaches the same certified optimum with fewer
+    /// priced sources per round than the old unsmoothed `1e-7` default.
+    /// [`ColGenOptions::plain`] restores the raw-dual configuration for
+    /// equivalence suites that pin the unstabilized trajectory.
     fn default() -> Self {
         Self {
             seed: ColGenSeed::ShortestPath,
@@ -165,8 +175,8 @@ impl Default for ColGenOptions {
             max_columns_per_round: usize::MAX,
             tolerance: 1e-7,
             pricing: Pricing::default(),
-            partial_pricing: Some(1e-7),
-            stabilization: Stabilization::None,
+            partial_pricing: Some(1e-1),
+            stabilization: Stabilization::Smoothing { alpha: 0.1 },
             pricing_threads: None,
             purge_nonbasic_after: None,
         }
@@ -174,7 +184,19 @@ impl Default for ColGenOptions {
 }
 
 impl ColGenOptions {
-    /// The default options with Wentges smoothing at `α = 0.5` — the
+    /// Raw-dual pricing: no smoothing, and a drift skip tolerance so tight
+    /// (`1e-7`) that partial pricing effectively re-prices every source every
+    /// round. This was the default before stabilization became standard; the
+    /// equivalence suites keep using it to pin the unstabilized trajectory.
+    pub fn plain() -> Self {
+        Self {
+            partial_pricing: Some(1e-7),
+            stabilization: Stabilization::None,
+            ..Self::default()
+        }
+    }
+
+    /// The default options with Wentges smoothing hardened to `α = 0.5` — the
     /// recommended configuration for the degenerate time-expanded masters.
     pub fn stabilized() -> Self {
         Self {
@@ -635,11 +657,16 @@ pub fn run_colgen<O: PricingOracle>(
 
         // Pool aging: a path column whose weight has been numerically zero
         // for `purge_nonbasic_after` consecutive master optima leaves the
-        // `seen` bookkeeping, so pricing may regenerate it later. Purging is
+        // `seen` bookkeeping, so pricing may regenerate it later, and — when
+        // it is nonbasic at this optimum — is deactivated in the master
+        // (bound-fixed to zero) so the simplex stops pricing it. Purging is
         // certificate-safe (module docs): an in-master column cannot violate
-        // at the raw duals of the round that terminates the run.
+        // at the raw duals of the round that terminates the run, and a
+        // deactivated column the duals swing back toward re-enters as a
+        // fresh column rather than by reactivation.
         let mut columns_purged = 0usize;
         if let Some(age) = options.purge_nonbasic_after {
+            let mut deactivate: Vec<usize> = Vec::new();
             for (j, entry) in tracked.iter_mut().enumerate() {
                 if entry.purged {
                     continue;
@@ -652,9 +679,18 @@ pub fn run_colgen<O: PricingOracle>(
                         entry.purged = true;
                         seen[entry.owner].remove(&entry.path);
                         columns_purged += 1;
+                        // A zero-weight column can still sit in the basis
+                        // (degenerately); only nonbasic columns deactivate.
+                        let col = structural_cols + j;
+                        if sol.basis.statuses[col] != BasisStatus::Basic {
+                            deactivate.push(col);
+                        }
                     }
                 }
             }
+            solver
+                .deactivate_columns(&deactivate)
+                .map_err(McfError::from)?;
         }
 
         let t_pricing = Instant::now();
@@ -718,8 +754,7 @@ pub fn run_colgen<O: PricingOracle>(
         // come from the *untruncated* list.
         candidates.sort_by(|a, b| {
             b.violation
-                .partial_cmp(&a.violation)
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&a.violation)
                 .then(a.owner.cmp(&b.owner))
         });
         let max_violation = candidates.first().map_or(0.0, |c| c.violation);

@@ -882,6 +882,7 @@ mod tests {
             partial_pricing: Some(1e-3),
             max_columns_per_round: 4,
             max_rounds: 10_000,
+            stabilization: Stabilization::None,
             ..ColGenOptions::default()
         };
         let stabilized = ColGenOptions {

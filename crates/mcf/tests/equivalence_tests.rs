@@ -60,7 +60,9 @@ fn check_case(tag: &str, topo: &Topology, endpoints: Vec<NodeId>, widened_exact:
         .unwrap_or_else(|e| panic!("{tag}: link-MCF failed: {e}"));
     let dec = solve_decomposed_mcf_among(topo, commodities.clone())
         .unwrap_or_else(|e| panic!("{tag}: decomposed-MCF failed: {e}"));
-    let cg = solve_path_mcf_colgen_among(topo, commodities.clone(), &ColGenOptions::default())
+    // The equivalence suite pins the *unstabilized* trajectory — raw-dual
+    // pricing with effectively no source skipping (see ColGenOptions::plain).
+    let cg = solve_path_mcf_colgen_among(topo, commodities.clone(), &ColGenOptions::plain())
         .unwrap_or_else(|e| panic!("{tag}: colgen path-MCF failed: {e}"));
     let widened = solve_path_mcf_among(
         topo,
@@ -87,7 +89,7 @@ fn check_case(tag: &str, topo: &Topology, endpoints: Vec<NodeId>, widened_exact:
     let last = cg.stats.rounds.last().expect("at least one round");
     assert_eq!(last.columns_added, 0, "{tag}: final round added columns");
     assert!(
-        last.max_violation <= ColGenOptions::default().tolerance,
+        last.max_violation <= ColGenOptions::plain().tolerance,
         "{tag}: final round reports violation {}",
         last.max_violation
     );

@@ -65,7 +65,7 @@ fn check_case(tag: &str, topo: &Topology, endpoints: Vec<NodeId>, stabilized: bo
     let opts = if stabilized {
         ColGenOptions::stabilized()
     } else {
-        ColGenOptions::default()
+        ColGenOptions::plain()
     };
     let cg = solve_tsmcf_colgen_among_with(topo, commodities.clone(), steps, &opts)
         .unwrap_or_else(|e| panic!("{tag}: colgen tsMCF failed: {e}"));

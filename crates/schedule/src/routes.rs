@@ -107,6 +107,13 @@ pub fn lower_path_schedule(
     lash: LashVariant,
 ) -> RouteTable {
     assert!(chunk_resolution >= 1, "chunk resolution must be positive");
+    // The apportionment below orders routes by weight deficit; a NaN weight
+    // would make that order meaningless (and used to silently tie under
+    // `partial_cmp`), so reject it at the producer boundary.
+    debug_assert!(
+        schedule.paths.iter().flatten().all(|(_, w)| w.is_finite()),
+        "path schedule weights must be finite"
+    );
     // Assign virtual channels over the union of all paths.
     let all_paths: Vec<&Path> = schedule
         .paths
@@ -128,7 +135,7 @@ pub fn lower_path_schedule(
                 .iter()
                 .enumerate()
                 .map(|(i, (_, w))| (i, w - chunks[i] as f64 / chunk_resolution as f64))
-                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
                 .expect("non-empty route list");
             chunks[best] += 1;
         }
