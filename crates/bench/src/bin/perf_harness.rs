@@ -9,7 +9,7 @@
 //! Forrest–Tomlin pipeline where applicable (the colgen master runs the core
 //! solver so its row indices stay stable).
 //!
-//! Emits `BENCH_pr8.json` (median wall-clock over repetitions, simplex
+//! Emits `BENCH_pr9.json` (median wall-clock over repetitions, simplex
 //! iteration and pivot counts, presolve row/column reductions, refactorization
 //! counts, colgen round/column/skipped-source counts, the colgen pricing-wall
 //! and pricing-thread columns, the decomposed `master_algo` and
@@ -45,11 +45,28 @@
 //! [`REPLAN_VS_CLAIRVOYANT_MAX`] of the clairvoyant punctured re-solve — in
 //! the quick tier too.
 //!
-//! Usage: `perf_harness [--quick] [--out PATH] [--baseline PATH]`
+//! **Observability (PR 9).** Medians are measured with `a2a_obs`
+//! instrumentation *disabled* (the zero-overhead contract the obs crate
+//! documents), then one extra instrumented repetition per production config
+//! fills a `stage_breakdown` column — the flat name → seconds totals of the
+//! span summary (LP phases, LU factor/solve kernels, colgen master vs
+//! pricing, sim stepping, replan detect→snapshot→re-solve→splice). The
+//! cold-dantzig decomposed config and the dense tsMCF config skip the
+//! instrumented rep: they cost minutes per repetition at the large sizes and
+//! their stage split mirrors the instrumented configs'. When the regression
+//! gate fails, the report includes the current and baseline stage breakdowns
+//! so the offending stage is visible without a rerun. All progress output
+//! goes through the `a2a_obs` leveled logger (`--verbose` / `--quiet`).
+//!
+//! Usage: `perf_harness [--quick] [--out PATH] [--baseline PATH] [--trace PATH]`
 //!   --quick      CI smoke mode: smallest sizes only, one repetition.
-//!   --out        Output JSON path (default `BENCH_pr8.json`).
+//!   --out        Output JSON path (default `BENCH_pr9.json`).
 //!   --baseline   Compare against a previous JSON (same schema): exit nonzero if
 //!                any matching case regresses more than 1.5x in median wall time.
+//!   --trace      Run a traced torus-4x4 decomposed + colgen solve and write the
+//!                Chrome trace (chrome://tracing / Perfetto) to PATH; the trace
+//!                is validated (parse + span balance) before the harness exits.
+//!   --verbose    Debug-level logging.  --quiet  Warnings and errors only.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -150,6 +167,11 @@ struct Record {
     replan_vs_clairvoyant: Option<f64>,
     replan_vs_nominal: Option<f64>,
     flow_value: f64,
+    /// Name → seconds span totals from the one instrumented repetition, or
+    /// `None` for configs that skip it. Always the *last* field on the JSON
+    /// line so the single-line field scanners keep working on the earlier
+    /// scalar columns.
+    stage_breakdown: Option<Vec<(String, f64)>>,
 }
 
 impl Record {
@@ -190,8 +212,32 @@ impl Record {
             replan_vs_clairvoyant: None,
             replan_vs_nominal: None,
             flow_value,
+            stage_breakdown: None,
         }
     }
+}
+
+/// Runs `f` once with span tracing enabled and returns the flat name →
+/// seconds totals of the resulting summary (name-sorted). The timed
+/// repetitions above run instrumentation-off so the medians keep measuring
+/// the production configuration; this single extra rep pays the tracing cost
+/// and fills the `stage_breakdown` column.
+fn traced_breakdown<T>(f: impl FnOnce() -> T) -> Vec<(String, f64)> {
+    a2a_obs::reset();
+    a2a_obs::enable();
+    let _ = f();
+    a2a_obs::disable();
+    let summary = a2a_obs::summary::summarize(&a2a_obs::flush());
+    assert!(
+        summary.is_balanced() && summary.dropped_events == 0,
+        "instrumented repetition produced a malformed trace:\n{}",
+        summary.render()
+    );
+    summary
+        .totals_by_name()
+        .into_iter()
+        .map(|(name, (_count, secs))| (name, secs))
+        .collect()
 }
 
 fn median(mut xs: Vec<f64>) -> f64 {
@@ -262,6 +308,16 @@ fn run_decomposed(case: &Case, config: &'static str, reps: usize) -> Record {
             );
         }
     }
+    // Per-stage column for the production config only: a cold-dantzig
+    // instrumented rep would cost minutes at the 64-endpoint sizes and its
+    // stage split mirrors the warm one's.
+    let stage_breakdown = (config == "warm-devex").then(|| {
+        traced_breakdown(|| {
+            let commodities = CommoditySet::among(case.hosts.clone());
+            solve_decomposed_mcf_with(&case.topo, commodities, &opts)
+                .expect("instrumented decomposed solve")
+        })
+    });
     Record {
         iterations: Some(solved.timings.total_iterations()),
         pivots: Some(solved.timings.total_pivots()),
@@ -275,6 +331,7 @@ fn run_decomposed(case: &Case, config: &'static str, reps: usize) -> Record {
         refactorizations: Some(solved.timings.total_refactorizations()),
         presolve_rows_removed: Some(solved.timings.master_presolve_rows_removed),
         presolve_cols_removed: Some(solved.timings.master_presolve_cols_removed),
+        stage_breakdown,
         ..Record::bare(
             "decomposed-mcf",
             case,
@@ -347,6 +404,11 @@ fn run_path_mcf_colgen(case: &Case, reps: usize) -> Record {
          speedup mechanism (ROADMAP item 2) is not firing",
         case.name
     );
+    let stage_breakdown = Some(traced_breakdown(|| {
+        let commodities = CommoditySet::among(case.hosts.clone());
+        solve_path_mcf_colgen_among(&case.topo, commodities, &opts)
+            .expect("instrumented colgen solve")
+    }));
     Record {
         iterations: Some(solved.stats.total_master_iterations()),
         pivots: Some(solved.stats.total_master_pivots()),
@@ -355,6 +417,7 @@ fn run_path_mcf_colgen(case: &Case, reps: usize) -> Record {
         colgen_sources_skipped: Some(solved.stats.total_sources_skipped()),
         colgen_pricing_wall_secs: Some(solved.stats.total_pricing_wall_secs()),
         pricing_threads: Some(solved.stats.pricing_threads),
+        stage_breakdown,
         ..Record::bare(
             "path-mcf",
             case,
@@ -419,9 +482,13 @@ fn gate_parallel_pricing(case: &Case) {
     let sw = serial.stats.total_pricing_wall_secs();
     let pw = parallel.stats.total_pricing_wall_secs();
     let speedup = sw / pw.max(1e-12);
-    eprintln!(
+    a2a_obs::info!(
         "# {}: pricing wall {:.3}s serial vs {:.3}s at {} threads ({:.2}x)",
-        case.name, sw, pw, parallel.stats.pricing_threads, speedup
+        case.name,
+        sw,
+        pw,
+        parallel.stats.pricing_threads,
+        speedup
     );
     if cores >= PRICING_GATE_MIN_CORES {
         assert!(
@@ -431,7 +498,7 @@ fn gate_parallel_pricing(case: &Case) {
             case.name
         );
     } else {
-        eprintln!(
+        a2a_obs::warn!(
             "# {}: pricing speedup gate skipped ({cores} cores < {PRICING_GATE_MIN_CORES})",
             case.name
         );
@@ -489,6 +556,11 @@ fn run_tsmcf(case: &Case, reps: usize, include_dense: bool) -> Vec<Record> {
          speedup mechanism (ROADMAP item 2) is not firing on the time-expanded master",
         case.name
     );
+    let stage_breakdown = Some(traced_breakdown(|| {
+        let commodities = CommoditySet::among(case.hosts.clone());
+        solve_tsmcf_colgen_among_with(&case.topo, commodities, steps, &opts)
+            .expect("instrumented tsMCF colgen solve")
+    }));
     let mut records = vec![Record {
         iterations: Some(cg.stats.total_master_iterations()),
         pivots: Some(cg.stats.total_master_pivots()),
@@ -497,6 +569,7 @@ fn run_tsmcf(case: &Case, reps: usize, include_dense: bool) -> Vec<Record> {
         colgen_sources_skipped: Some(cg.stats.total_sources_skipped()),
         colgen_pricing_wall_secs: Some(cg.stats.total_pricing_wall_secs()),
         pricing_threads: Some(cg.stats.pricing_threads),
+        stage_breakdown,
         ..Record::bare(
             "tsmcf",
             case,
@@ -584,6 +657,10 @@ fn run_sim(case: &Case, reps: usize) -> Vec<Record> {
             last = Some(report);
         }
         let report = last.expect("at least one repetition");
+        let stage_breakdown = Some(traced_breakdown(|| {
+            simulate_chunked_event(&case.topo, &schedule, SIM_SHARD_BYTES, &params, &options)
+                .expect("instrumented simulation")
+        }));
         let ratio = report.report.completion_seconds / predicted;
         if config == "event-sync" {
             // The quick-tier sim smoke gate: the synchronized engine must land within
@@ -601,6 +678,7 @@ fn run_sim(case: &Case, reps: usize) -> Vec<Record> {
             sim_completion_secs: Some(report.report.completion_seconds),
             lp_predicted_secs: Some(predicted),
             sim_vs_lp: Some(ratio),
+            stage_breakdown,
             ..Record::bare(
                 "sim-exec",
                 case,
@@ -752,6 +830,18 @@ fn run_replan(case: &Case, reps: usize) -> Vec<Record> {
         attempt.master_iterations,
         cold_iterations
     );
+    let stage_breakdown = Some(traced_breakdown(|| {
+        replan_run(
+            &case.topo,
+            &schedule,
+            REPLAN_SHARD_BYTES,
+            &params,
+            &timeline,
+            Some(&pool),
+            &ReplanOptions::default(),
+        )
+        .expect("instrumented replan run")
+    }));
     vec![
         Record {
             master_iterations: Some(attempt.master_iterations),
@@ -759,6 +849,7 @@ fn run_replan(case: &Case, reps: usize) -> Vec<Record> {
             replan_solve_secs: Some(attempt.solve_wall_secs),
             replan_vs_clairvoyant: Some(vs_clair),
             replan_vs_nominal: Some(vs_nominal),
+            stage_breakdown,
             ..Record::bare(
                 "replan",
                 case,
@@ -795,6 +886,21 @@ fn json_opt_f64(v: Option<f64>) -> String {
     v.map_or_else(|| "null".into(), |x| format!("{x:.9}"))
 }
 
+/// The `stage_breakdown` column: a flat name → seconds object, or null.
+fn json_breakdown(v: Option<&Vec<(String, f64)>>) -> String {
+    v.map_or_else(
+        || "null".into(),
+        |stages| {
+            let body = stages
+                .iter()
+                .map(|(name, secs)| format!("\"{name}\": {secs:.6}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("{{{body}}}")
+        },
+    )
+}
+
 /// Pulls a string field out of a single-line JSON object written by this tool.
 fn json_field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let pat = format!("\"{key}\": \"");
@@ -809,6 +915,15 @@ fn json_field_f64(line: &str, key: &str) -> Option<f64> {
     let start = line.find(&pat)? + pat.len();
     let end = line[start..].find([',', '}']).unwrap_or(line.len() - start);
     line[start..start + end].trim().parse().ok()
+}
+
+/// Pulls a one-level `{...}` object field (the `stage_breakdown` column) out
+/// of a single-line JSON object written by this tool.
+fn json_field_obj<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": {{");
+    let start = line.find(&pat)? + pat.len() - 1;
+    let end = line[start..].find('}')?;
+    Some(&line[start..=start + end])
 }
 
 /// Compares the freshly measured records against a baseline JSON produced by an
@@ -839,10 +954,24 @@ fn check_baseline(baseline_json: &str, records: &[Record]) -> Vec<String> {
         if ratio > MAX_REGRESSION
             && current.median_wall_secs > base_median * MAX_REGRESSION + NOISE_FLOOR_SECS
         {
-            failures.push(format!(
+            let mut msg = format!(
                 "{workload}/{topology}/{config}: {:.3}s vs baseline {:.3}s ({ratio:.2}x > {MAX_REGRESSION}x)",
                 current.median_wall_secs, base_median
-            ));
+            );
+            // Per-stage context so the offending stage is visible without a
+            // rerun: the instrumented rep's span totals from both runs.
+            if let Some(stages) = &current.stage_breakdown {
+                let cur = stages
+                    .iter()
+                    .map(|(name, secs)| format!("{name}={secs:.3}s"))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                let _ = write!(msg, "\n    current stages:  {cur}");
+            }
+            if let Some(base_stages) = json_field_obj(line, "stage_breakdown") {
+                let _ = write!(msg, "\n    baseline stages: {base_stages}");
+            }
+            failures.push(msg);
         }
     }
     if matched == 0 {
@@ -855,6 +984,67 @@ fn check_baseline(baseline_json: &str, records: &[Record]) -> Vec<String> {
     failures
 }
 
+/// The `--trace` mode: one fully traced torus-4x4 solve through both the
+/// decomposed and the colgen pipeline, so the written Chrome trace carries
+/// the master/child/pricing/factorization breakdown on one timeline. The
+/// trace is written to `path` and then re-validated through the obs parser
+/// (JSONL parse + per-thread span balance) — a malformed trace fails the
+/// harness here, not in the viewer.
+fn run_traced(path: &str) {
+    let case = Case::torus(&[4, 4]);
+    a2a_obs::reset();
+    a2a_obs::enable();
+    solve_decomposed_mcf_with(
+        &case.topo,
+        CommoditySet::among(case.hosts.clone()),
+        &decomposed_config("warm-devex"),
+    )
+    .expect("traced decomposed solve");
+    let cg_opts = ColGenOptions {
+        partial_pricing: Some(1e-1),
+        stabilization: Stabilization::Smoothing { alpha: 0.1 },
+        ..ColGenOptions::default()
+    };
+    solve_path_mcf_colgen_among(
+        &case.topo,
+        CommoditySet::among(case.hosts.clone()),
+        &cg_opts,
+    )
+    .expect("traced colgen solve");
+    a2a_obs::disable();
+    let data = a2a_obs::flush();
+    let trace = a2a_obs::chrome::chrome_trace_string(&data);
+    std::fs::write(path, &trace).unwrap_or_else(|e| panic!("write chrome trace {path}: {e}"));
+    let check = a2a_obs::chrome::validate_chrome_trace(&trace)
+        .unwrap_or_else(|e| panic!("the written trace failed validation: {e}"));
+    let summary = a2a_obs::summary::summarize(&data);
+    assert!(
+        summary.is_balanced(),
+        "traced solve left unbalanced spans:\n{}",
+        summary.render()
+    );
+    for name in [
+        "decomposed.master",
+        "decomposed.child",
+        "colgen.pricing",
+        "lp.lu.factor",
+    ] {
+        assert!(
+            summary.count(name) > 0,
+            "traced solve recorded no `{name}` spans — the breakdown is incomplete"
+        );
+    }
+    a2a_obs::info!(
+        "# trace: wrote {path} ({} events, {} complete spans, max depth {})",
+        check.total_events,
+        check.complete_spans,
+        check.max_depth
+    );
+    for line in summary.render().lines() {
+        a2a_obs::debug!("{line}");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -864,8 +1054,14 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
-    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_pr8.json".into());
+    if args.iter().any(|a| a == "--verbose") {
+        a2a_obs::set_log_level(a2a_obs::LogLevel::Debug);
+    } else if args.iter().any(|a| a == "--quiet") {
+        a2a_obs::set_log_level(a2a_obs::LogLevel::Warn);
+    }
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_pr9.json".into());
     let baseline_path = arg_value("--baseline");
+    let trace_path = arg_value("--trace");
 
     let cases: Vec<Case> = if quick {
         vec![Case::torus(&[4, 4]), Case::fat_tree(4, 2, 4)]
@@ -886,7 +1082,7 @@ fn main() {
         // run once while the small ones — including the quick tier, whose medians
         // feed the CI regression gate — take a median of three.
         let reps = if case.hosts.len() >= 64 { 1 } else { 3 };
-        eprintln!(
+        a2a_obs::info!(
             "# {} ({} nodes, {} endpoints)",
             case.name,
             case.topo.num_nodes(),
@@ -894,7 +1090,7 @@ fn main() {
         );
         for config in ["cold-dantzig", "warm-devex"] {
             let rec = run_decomposed(case, config, reps);
-            eprintln!(
+            a2a_obs::info!(
                 "  decomposed-mcf {config}: median {:.3}s, {} iterations ({} dual, \
                  master algo {}), {} pivots, {} refactorizations, presolve -{}r/-{}c, \
                  F = {:.6}",
@@ -911,13 +1107,14 @@ fn main() {
             records.push(rec);
         }
         let rec = run_path_mcf(case, reps);
-        eprintln!(
+        a2a_obs::info!(
             "  path-mcf (widened): median {:.3}s, F = {:.6}",
-            rec.median_wall_secs, rec.flow_value
+            rec.median_wall_secs,
+            rec.flow_value
         );
         records.push(rec);
         let rec = run_path_mcf_colgen(case, reps);
-        eprintln!(
+        a2a_obs::info!(
             "  path-mcf (colgen): median {:.3}s ({:.3}s pricing at {} threads), {} rounds, \
              {} columns, {} master iterations, {} sources skipped, F = {:.6}",
             rec.median_wall_secs,
@@ -969,9 +1166,9 @@ fn main() {
     };
     for (case, include_dense) in &ts_cases {
         let reps = 3;
-        eprintln!("# {} (tsmcf)", case.name);
+        a2a_obs::info!("# {} (tsmcf)", case.name);
         for rec in run_tsmcf(case, reps, *include_dense) {
-            eprintln!(
+            a2a_obs::info!(
                 "  tsmcf {}: median {:.3}s, {} rounds, {} columns, {} master iterations, \
                  {} sources skipped, F_eff = {:.6}",
                 rec.config,
@@ -1002,9 +1199,9 @@ fn main() {
         },
     ];
     for case in &sim_cases {
-        eprintln!("# {} (sim-exec)", case.name);
+        a2a_obs::info!("# {} (sim-exec)", case.name);
         for rec in run_sim(case, 3) {
-            eprintln!(
+            a2a_obs::info!(
                 "  sim-exec {}: median {:.6}s wall, simulated {:.6}s vs LP {:.6}s \
                  (ratio {:.4})",
                 rec.config,
@@ -1030,9 +1227,9 @@ fn main() {
         },
     ];
     for case in &replan_cases {
-        eprintln!("# {} (replan)", case.name);
+        a2a_obs::info!("# {} (replan)", case.name);
         for rec in run_replan(case, 3) {
-            eprintln!(
+            a2a_obs::info!(
                 "  replan {}: median {:.3}s wall, makespan {:.6}s, {} master iterations, \
                  solve {:.3}s, vs-clairvoyant {}, vs-nominal {}",
                 rec.config,
@@ -1086,7 +1283,7 @@ fn main() {
             warm.flow_value
         );
         let speedup = cold.median_wall_secs / warm.median_wall_secs.max(1e-12);
-        eprintln!("# {}: warm-devex speedup {:.2}x", case.name, speedup);
+        a2a_obs::info!("# {}: warm-devex speedup {:.2}x", case.name, speedup);
         speedups.push((case.name.clone(), speedup));
     }
 
@@ -1103,9 +1300,10 @@ fn main() {
                 .expect("tsmcf workload ran")
         };
         let speedup = find("dense").median_wall_secs / find("colgen").median_wall_secs.max(1e-12);
-        eprintln!(
+        a2a_obs::info!(
             "# {}: tsmcf colgen speedup {:.2}x over dense",
-            case.name, speedup
+            case.name,
+            speedup
         );
         ts_speedups.push((case.name.clone(), speedup));
     }
@@ -1113,7 +1311,7 @@ fn main() {
     // Hand-rolled JSON (no serde in this build environment).
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"pr\": 8,");
+    let _ = writeln!(json, "  \"pr\": 9,");
     let _ = writeln!(json, "  \"harness\": \"perf_harness\",");
     let _ = writeln!(json, "  \"quick\": {quick},");
     json.push_str("  \"results\": [\n");
@@ -1130,7 +1328,8 @@ fn main() {
              \"pricing_threads\": {}, \"sim_completion_secs\": {}, \
              \"lp_predicted_secs\": {}, \"sim_vs_lp\": {}, \
              \"replan_solve_secs\": {}, \"replan_vs_clairvoyant\": {}, \
-             \"replan_vs_nominal\": {}, \"flow_value\": {:.9}}}",
+             \"replan_vs_nominal\": {}, \"flow_value\": {:.9}, \
+             \"stage_breakdown\": {}}}",
             r.workload,
             r.topology,
             r.nodes,
@@ -1158,6 +1357,7 @@ fn main() {
             json_opt_f64(r.replan_vs_clairvoyant),
             json_opt_f64(r.replan_vs_nominal),
             r.flow_value,
+            json_breakdown(r.stage_breakdown.as_ref()),
         );
         json.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
@@ -1182,16 +1382,20 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
     println!("wrote {out_path}");
 
+    if let Some(path) = trace_path {
+        run_traced(&path);
+    }
+
     if let Some(path) = baseline_path {
         let baseline =
             std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
         let failures = check_baseline(&baseline, &records);
         if failures.is_empty() {
-            eprintln!("# baseline check vs {path}: ok");
+            a2a_obs::info!("# baseline check vs {path}: ok");
         } else {
-            eprintln!("# baseline check vs {path}: REGRESSIONS");
+            a2a_obs::error!("# baseline check vs {path}: REGRESSIONS");
             for f in &failures {
-                eprintln!("  {f}");
+                a2a_obs::error!("  {f}");
             }
             std::process::exit(1);
         }

@@ -44,6 +44,11 @@ const FT_STABILITY_TOL: f64 = 1e-9;
 /// outgrow this multiple of the base factorization's fill.
 const FT_FILL_GROWTH_LIMIT: usize = 4;
 
+// Observability taps: one relaxed-load branch each while tracing is off, so
+// they can sit inside the solve kernels permanently.
+static OBS_FT_UPDATES: a2a_obs::Counter = a2a_obs::Counter::new("lp.ft_updates");
+static OBS_FT_REJECTS: a2a_obs::Counter = a2a_obs::Counter::new("lp.ft_update_rejects");
+
 /// One Forrest–Tomlin row transformation `R = I − e_pos·mᵀ`: the elimination
 /// multipliers that zeroed the row spike of one column replacement.
 #[derive(Debug, Clone)]
@@ -181,6 +186,7 @@ impl LuFactorization {
     ///
     /// Returns an error if the matrix is (numerically) singular.
     pub fn factorize(n: usize, columns: &[SparseVec]) -> LpResult<Self> {
+        let _obs = a2a_obs::span("lp.lu.factor");
         assert_eq!(
             columns.len(),
             n,
@@ -620,6 +626,7 @@ impl LuFactorization {
     /// those positions — O(flops) rather than O(n) per solve, the decisive cost on
     /// network bases where a pivot column has 2–4 nonzeros.
     pub fn ftran_sparse(&self, b: &mut SparseScratch, scratch: &mut LuScratch) {
+        let _obs = a2a_obs::span("lp.lu.ftran");
         self.ftran_lower(b, scratch);
         self.ftran_upper(b, scratch);
     }
@@ -634,6 +641,7 @@ impl LuFactorization {
         scratch: &mut LuScratch,
         partial: &mut SparseScratch,
     ) {
+        let _obs = a2a_obs::span("lp.lu.ftran");
         self.ftran_lower(b, scratch);
         partial.resize(self.n);
         partial.clear();
@@ -711,6 +719,7 @@ impl LuFactorization {
     /// Hypersparse BTRAN: solves `Bᵀ x = b` where `b` arrives as a sparse vector in
     /// *position* space; on return the scratch holds `x` in original-row space.
     pub fn btran_sparse(&self, b: &mut SparseScratch, scratch: &mut LuScratch) {
+        let _obs = a2a_obs::span("lp.lu.btran");
         debug_assert_eq!(b.dim(), self.n);
         scratch.resize(self.n);
         // Map the input through the column permutation into step space.
@@ -779,6 +788,7 @@ impl LuFactorization {
         spike: &SparseScratch,
         scratch: &mut LuScratch,
     ) -> bool {
+        let _obs = a2a_obs::span("lp.lu.ft_update");
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
 
@@ -868,6 +878,7 @@ impl LuFactorization {
         //    replacement basis is (near-)singular in this update path; demand a
         //    fresh factorization instead of committing garbage.
         if new_diag.abs() < PIVOT_TOL || new_diag.abs() < FT_STABILITY_TOL * spike_max {
+            OBS_FT_REJECTS.incr();
             return false;
         }
 
@@ -880,6 +891,7 @@ impl LuFactorization {
             self.ft_etas.push(FtEta { pos: p, entries });
         }
         self.updates += 1;
+        OBS_FT_UPDATES.incr();
         true
     }
 

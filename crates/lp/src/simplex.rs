@@ -222,6 +222,16 @@ const DEVEX_RESET_THRESHOLD: f64 = 1e7;
 /// Bland switch) keeps the plateau shallow enough for Dantzig to exit it.
 const STALL_ESCAPE_THRESHOLD: usize = 100;
 
+// Observability taps (see `a2a_obs`): free when the global switch is off, and
+// totals line up with the per-solve `iterations`/`refactorizations` fields —
+// these accumulate across every solver in the process until `a2a_obs::reset`.
+static OBS_ITERATIONS: a2a_obs::Counter = a2a_obs::Counter::new("lp.iterations");
+static OBS_DUAL_ITERATIONS: a2a_obs::Counter = a2a_obs::Counter::new("lp.dual_iterations");
+static OBS_REFACTORIZATIONS: a2a_obs::Counter = a2a_obs::Counter::new("lp.refactorizations");
+static OBS_STALL_ESCAPES: a2a_obs::Counter = a2a_obs::Counter::new("lp.stall_escapes");
+static OBS_DUAL_PERTURBATIONS: a2a_obs::Counter = a2a_obs::Counter::new("lp.dual_perturbations");
+static OBS_DUAL_ENGAGEMENTS: a2a_obs::Counter = a2a_obs::Counter::new("lp.dual_engagements");
+
 /// An LP in equality standard form: `A x = s`, `lower <= x <= upper`,
 /// `row_lower <= s <= row_upper`, minimize `obj' x`.
 #[derive(Debug, Clone)]
@@ -784,6 +794,7 @@ impl<'a> Solver<'a> {
             .collect();
         self.lu = LuFactorization::factorize(self.nrows, &cols)?;
         self.refactorizations += 1;
+        OBS_REFACTORIZATIONS.incr();
         if std::env::var_os("A2A_LP_FILL").is_some() {
             eprintln!(
                 "refactorize: nrows={} fill_nnz={}",
@@ -1225,6 +1236,7 @@ impl<'a> Solver<'a> {
     /// Runs simplex iterations for one phase until optimality (phase-2) or zero
     /// infeasibility (phase-1).
     fn run_phase(&mut self, phase1: bool) -> LpResult<()> {
+        let _obs = a2a_obs::span(if phase1 { "lp.phase1" } else { "lp.phase2" });
         self.use_bland = false;
         self.degenerate_run = 0;
         // Fresh reference framework per phase: the phase cost changes entirely.
@@ -1269,6 +1281,11 @@ impl<'a> Solver<'a> {
             // anti-cycling authority.
             let incremental = !phase1 && matches!(self.opts.pricing, Pricing::Devex);
             let stall_escape = self.degenerate_run >= STALL_ESCAPE_THRESHOLD;
+            if self.degenerate_run == STALL_ESCAPE_THRESHOLD {
+                // First iteration of a stall plateau (the run counter moves
+                // every degenerate pivot, so == fires once per episode).
+                OBS_STALL_ESCAPES.incr();
+            }
             let entering = if incremental {
                 if let (Some(p), Some(t)) = (self.profile.as_deref_mut(), t0) {
                     p.head += t.elapsed();
@@ -1352,6 +1369,7 @@ impl<'a> Solver<'a> {
             }
             let t4 = self.profile.as_ref().map(|_| std::time::Instant::now());
             self.iterations += 1;
+            OBS_ITERATIONS.incr();
             self.pivot_step(q, direction, phase1)?;
             if let (Some(p), Some(t)) = (self.profile.as_deref_mut(), t4) {
                 p.pivot += t.elapsed();
@@ -1639,6 +1657,9 @@ impl<'a> Solver<'a> {
     /// incremental regime, and the factorization by the same Forrest–Tomlin
     /// updates and refactorization cadence.
     fn run_dual_phase(&mut self) -> LpResult<DualOutcome> {
+        let _obs = a2a_obs::span("lp.dual");
+        a2a_obs::instant("lp.dual_engaged");
+        OBS_DUAL_ENGAGEMENTS.incr();
         self.install_dual_perturbation();
         let outcome = self.dual_phase_loop();
         // Back to true costs no matter how the phase ended; the reduced costs
@@ -1684,6 +1705,7 @@ impl<'a> Solver<'a> {
                 VarStatus::Basic(_) | VarStatus::FreeZero => {}
             }
         }
+        OBS_DUAL_PERTURBATIONS.incr();
         self.refresh_reduced_costs(false);
     }
 
@@ -1963,6 +1985,8 @@ impl<'a> Solver<'a> {
             self.basis[r] = q;
             self.iterations += 1;
             self.dual_iterations += 1;
+            OBS_ITERATIONS.incr();
+            OBS_DUAL_ITERATIONS.incr();
             self.pivots += 1;
 
             if !self

@@ -574,6 +574,15 @@ pub trait PricingOracle: Sync {
 /// pool aging (matches the extraction thresholds of the concrete solvers).
 const PURGE_WEIGHT_TOL: f64 = 1e-9;
 
+// Observability taps for the shared round loop (covers pmcf, tscolgen, and
+// residual — every oracle goes through `run_colgen`). Free when tracing is
+// off; totals accumulate process-wide until `a2a_obs::reset`.
+static OBS_ROUNDS: a2a_obs::Counter = a2a_obs::Counter::new("colgen.rounds");
+static OBS_MISPRICES: a2a_obs::Counter = a2a_obs::Counter::new("colgen.misprices");
+static OBS_SOURCES_SKIPPED: a2a_obs::Counter = a2a_obs::Counter::new("colgen.sources_skipped");
+static OBS_COLUMNS_PURGED: a2a_obs::Counter = a2a_obs::Counter::new("colgen.columns_purged");
+static OBS_COLUMNS_ADDED: a2a_obs::Counter = a2a_obs::Counter::new("colgen.columns_added");
+
 /// Pool-aging record of one appended path column: LP column
 /// `structural_cols + index in this list`.
 struct PoolEntry {
@@ -600,6 +609,7 @@ fn priced_sweep<O: PricingOracle>(
         sources
             .par_iter()
             .map(|&si| {
+                let _obs = a2a_obs::span("colgen.price_source");
                 let mut buf = Vec::new();
                 oracle.price_source(si, weights, mu, seen, &mut buf);
                 buf
@@ -650,8 +660,13 @@ pub fn run_colgen<O: PricingOracle>(
     let mut stabilizer = DualStabilizer::new(options.stabilization);
     let mut partial = PartialPricing::new(options.partial_pricing, nsrc);
     loop {
+        let _obs_round = a2a_obs::span("colgen.round");
+        OBS_ROUNDS.incr();
         let t_master = Instant::now();
-        let sol = solver.reoptimize().map_err(McfError::from)?;
+        let sol = {
+            let _obs = a2a_obs::span("colgen.master");
+            solver.reoptimize().map_err(McfError::from)?
+        };
         let master_wall_secs = t_master.elapsed().as_secs_f64();
         let flow_value = oracle.objective_value(sol.objective);
 
@@ -692,8 +707,10 @@ pub fn run_colgen<O: PricingOracle>(
                 .deactivate_columns(&deactivate)
                 .map_err(McfError::from)?;
         }
+        OBS_COLUMNS_PURGED.add(columns_purged as u64);
 
         let t_pricing = Instant::now();
+        let obs_pricing = a2a_obs::span("colgen.pricing");
         let y_raw = solver.current_duals();
         let (y, smoothed) = stabilizer.pricing_duals(&y_raw);
         let mut weights = oracle.arc_weights(&y);
@@ -728,6 +745,7 @@ pub fn run_colgen<O: PricingOracle>(
             // sources must be re-priced either way.
             let resweep: Vec<usize> = if smoothed {
                 stats.misprices += 1;
+                OBS_MISPRICES.incr();
                 stabilizer.collapse(&y_raw);
                 weights = oracle.arc_weights(&y_raw);
                 mu = oracle.convexity_duals(&y_raw);
@@ -747,7 +765,9 @@ pub fn run_colgen<O: PricingOracle>(
             ));
             sources_skipped = 0;
         }
+        drop(obs_pricing);
         let pricing_wall_secs = t_pricing.elapsed().as_secs_f64();
+        OBS_SOURCES_SKIPPED.add(sources_skipped as u64);
 
         // Most violating candidates first; the owner index breaks ties so the
         // round is deterministic. The certificate and the recorded violation
@@ -790,6 +810,7 @@ pub fn run_colgen<O: PricingOracle>(
             return Ok((sol, stats));
         }
 
+        OBS_COLUMNS_ADDED.add(candidates.len() as u64);
         let new_cols: Vec<NewColumn> = candidates
             .iter()
             .map(|c| oracle.build_column(c.owner, &c.path))

@@ -95,6 +95,10 @@ pub struct DecomposedTimings {
     pub master_pivots: usize,
     /// Simplex iterations per child LP.
     pub child_iterations: Vec<usize>,
+    /// Iterations taken by the dual simplex phase per child LP (children warm
+    /// start primal-feasible, so these are nonzero only when a child engages
+    /// the dual under [`SimplexOptions::dual_simplex`] `Always`).
+    pub child_dual_iterations: Vec<usize>,
     /// Basis changes (pivots) per child LP.
     pub child_pivots: Vec<usize>,
     /// Basis refactorizations of the master LP.
@@ -127,6 +131,11 @@ impl DecomposedTimings {
     /// Total simplex iterations across the master and every child.
     pub fn total_iterations(&self) -> usize {
         self.master_iterations + self.child_iterations.iter().sum::<usize>()
+    }
+
+    /// Total dual-simplex iterations across the master and every child.
+    pub fn total_dual_iterations(&self) -> usize {
+        self.master_dual_iterations + self.child_dual_iterations.iter().sum::<usize>()
     }
 
     /// Total basis changes across the master and every child.
@@ -181,6 +190,7 @@ struct ChildOutcome {
     per_dest: Vec<Vec<(EdgeId, f64)>>,
     secs: f64,
     iterations: usize,
+    dual_iterations: usize,
     pivots: usize,
     refactorizations: usize,
 }
@@ -205,6 +215,7 @@ pub fn solve_decomposed_mcf_with(
     commodities: CommoditySet,
     options: &DecomposedOptions,
 ) -> McfResult<DecomposedMcf> {
+    let _obs = a2a_obs::span("decomposed.solve");
     let master = solve_master_with(topo, &commodities, options)?;
     let flow_value = master.flow_value;
 
@@ -227,6 +238,7 @@ pub fn solve_decomposed_mcf_with(
 
     let mut child_secs = Vec::with_capacity(endpoints.len());
     let mut child_iterations = Vec::with_capacity(endpoints.len());
+    let mut child_dual_iterations = Vec::with_capacity(endpoints.len());
     let mut child_pivots = Vec::with_capacity(endpoints.len());
     let mut child_refactorizations = Vec::with_capacity(endpoints.len());
     let mut flows = vec![Vec::new(); commodities.len()];
@@ -234,6 +246,7 @@ pub fn solve_decomposed_mcf_with(
         let outcome = result?;
         child_secs.push(outcome.secs);
         child_iterations.push(outcome.iterations);
+        child_dual_iterations.push(outcome.dual_iterations);
         child_pivots.push(outcome.pivots);
         child_refactorizations.push(outcome.refactorizations);
         let s = endpoints[s_idx];
@@ -261,6 +274,7 @@ pub fn solve_decomposed_mcf_with(
             master_dual_iterations: master.dual_iterations,
             master_pivots: master.pivots,
             child_iterations,
+            child_dual_iterations,
             child_pivots,
             master_refactorizations: master.refactorizations,
             child_refactorizations,
@@ -290,6 +304,7 @@ pub fn solve_master_with(
     commodities: &CommoditySet,
     options: &DecomposedOptions,
 ) -> McfResult<MasterSolution> {
+    let _obs = a2a_obs::span("decomposed.master");
     validate(topo, commodities)?;
     let start = Instant::now();
     let endpoints = commodities.endpoints();
@@ -477,6 +492,7 @@ fn solve_child(
     flow_value: f64,
     options: &DecomposedOptions,
 ) -> McfResult<ChildOutcome> {
+    let _obs = a2a_obs::span("decomposed.child");
     let start = Instant::now();
     let endpoints = commodities.endpoints();
     let dests: Vec<NodeId> = endpoints.iter().copied().filter(|&d| d != s).collect();
@@ -487,6 +503,7 @@ fn solve_child(
             per_dest: vec![Vec::new(); dests.len()],
             secs: start.elapsed().as_secs_f64(),
             iterations: 0,
+            dual_iterations: 0,
             pivots: 0,
             refactorizations: 0,
         });
@@ -613,6 +630,7 @@ fn solve_child(
         per_dest,
         secs: start.elapsed().as_secs_f64(),
         iterations: sol.iterations,
+        dual_iterations: sol.dual_iterations,
         pivots: sol.pivots,
         refactorizations: sol.refactorizations,
     })

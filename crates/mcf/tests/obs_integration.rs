@@ -1,0 +1,101 @@
+//! Observability integration: a real pMCF colgen solve, traced end to end.
+//!
+//! Pins the two contracts the `a2a_obs` unit suite can only check on
+//! synthetic workloads:
+//!
+//! 1. **Balance** — every span opened during a production colgen solve is
+//!    closed, on every thread, including the rayon-shim worker threads the
+//!    pricing sweep fans out to.
+//! 2. **Thread-count independence** — because the colgen driver itself is
+//!    deterministic across thread counts (see `parallel_pricing_tests`), the
+//!    name-keyed span counts and counter values of a 1-thread and a 4-thread
+//!    traced solve must be identical. Only the *nesting* may differ (inline
+//!    pricing nests `colgen.price_source` under `colgen.pricing`; worker
+//!    threads record it at their own top level), which is why the comparison
+//!    uses `totals_by_name`, not tree paths.
+//!
+//! Obs state is process-global, so everything obs-touching lives in this one
+//! test function; this file is its own test binary (own process) and never
+//! races the other mcf suites.
+
+use std::collections::BTreeMap;
+
+use a2a_mcf::pmcf::solve_path_mcf_colgen_among;
+use a2a_mcf::{ColGenOptions, CommoditySet, Stabilization};
+use a2a_obs::summary::{summarize, Summary};
+use a2a_topology::generators;
+
+/// Production-shaped options (smoothing + partial pricing) so the skip and
+/// misprice code paths — and their counters — are exercised.
+fn options(threads: usize) -> ColGenOptions {
+    ColGenOptions {
+        stabilization: Stabilization::Smoothing { alpha: 0.1 },
+        partial_pricing: Some(1e-1),
+        pricing_threads: Some(threads),
+        ..ColGenOptions::default()
+    }
+}
+
+/// Runs one traced solve and returns (flow value, summary).
+fn traced_solve(threads: usize) -> (f64, Summary) {
+    let topo = generators::torus(&[3, 3]);
+    let commodities = CommoditySet::all_pairs(topo.num_nodes());
+    a2a_obs::reset();
+    a2a_obs::enable();
+    let sol = solve_path_mcf_colgen_among(&topo, commodities, &options(threads))
+        .expect("torus-3x3 colgen solves");
+    a2a_obs::disable();
+    let summary = summarize(&a2a_obs::flush());
+    (sol.schedule.flow_value, summary)
+}
+
+#[test]
+fn traced_colgen_solve_balances_and_is_thread_count_independent() {
+    let (flow1, sum1) = traced_solve(1);
+    let (flow4, sum4) = traced_solve(4);
+
+    assert_eq!(
+        flow1.to_bits(),
+        flow4.to_bits(),
+        "colgen itself must stay deterministic across thread counts"
+    );
+    for (tag, s) in [("1-thread", &sum1), ("4-thread", &sum4)] {
+        assert!(s.is_balanced(), "{tag} trace unbalanced:\n{}", s.render());
+        assert_eq!(s.dropped_events, 0, "{tag} trace dropped events");
+        assert!(
+            s.count("colgen.round") >= 1,
+            "{tag}: no colgen rounds traced"
+        );
+        assert_eq!(
+            s.count("colgen.master"),
+            s.count("colgen.round"),
+            "{tag}: one master reoptimize per round"
+        );
+        assert!(
+            s.count("colgen.price_source") >= s.count("colgen.round"),
+            "{tag}: pricing sweep must touch at least one source per round"
+        );
+        assert!(
+            s.count("lp.lu.factor") >= 1,
+            "{tag}: master must factorize at least once"
+        );
+    }
+
+    // Identical work across thread counts: same span counts and totals per
+    // name (wall-clock may differ), same counter values.
+    let counts = |s: &Summary| -> BTreeMap<String, u64> {
+        s.totals_by_name()
+            .into_iter()
+            .map(|(name, (count, _secs))| (name, count))
+            .collect()
+    };
+    assert_eq!(
+        counts(&sum1),
+        counts(&sum4),
+        "span counts diverge between 1 and 4 pricing threads"
+    );
+    assert_eq!(
+        sum1.counters, sum4.counters,
+        "counter values diverge between 1 and 4 pricing threads"
+    );
+}

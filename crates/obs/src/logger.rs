@@ -1,0 +1,94 @@
+//! Minimal leveled logger sharing the obs monotonic clock: every line is
+//! prefixed with seconds since the obs epoch, so log output and trace-event
+//! timestamps line up. Logs go to stderr; the level is a process-global
+//! (default [`LogLevel::Info`]) that binaries map to `--verbose`/`--quiet`
+//! flags. Use via the crate-root macros [`crate::error!`], [`crate::warn!`],
+//! [`crate::info!`], [`crate::debug!`].
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity; higher values are chattier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum LogLevel {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+}
+
+impl LogLevel {
+    fn tag(self) -> &'static str {
+        match self {
+            LogLevel::Error => "ERROR",
+            LogLevel::Warn => " WARN",
+            LogLevel::Info => " INFO",
+            LogLevel::Debug => "DEBUG",
+        }
+    }
+}
+
+static LOG_LEVEL: AtomicU8 = AtomicU8::new(LogLevel::Info as u8);
+
+/// Sets the process-global log level.
+pub fn set_log_level(level: LogLevel) {
+    LOG_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Current process-global log level.
+pub fn log_level() -> LogLevel {
+    match LOG_LEVEL.load(Ordering::Relaxed) {
+        0 => LogLevel::Error,
+        1 => LogLevel::Warn,
+        2 => LogLevel::Info,
+        _ => LogLevel::Debug,
+    }
+}
+
+/// True iff a message at `level` would be emitted.
+#[inline]
+pub fn log_enabled(level: LogLevel) -> bool {
+    level as u8 <= LOG_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Emits one log line (used by the crate-root macros).
+pub fn log(level: LogLevel, args: fmt::Arguments<'_>) {
+    if !log_enabled(level) {
+        return;
+    }
+    let secs = crate::now_nanos() as f64 / 1e9;
+    eprintln!("[{secs:9.3}s {}] {args}", level.tag());
+}
+
+/// Logs at [`LogLevel::Error`].
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        $crate::logger::log($crate::logger::LogLevel::Error, ::core::format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`LogLevel::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        $crate::logger::log($crate::logger::LogLevel::Warn, ::core::format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`LogLevel::Info`].
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        $crate::logger::log($crate::logger::LogLevel::Info, ::core::format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`LogLevel::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        $crate::logger::log($crate::logger::LogLevel::Debug, ::core::format_args!($($arg)*))
+    };
+}

@@ -199,6 +199,14 @@ impl Ord for OrdF64 {
 /// Relative byte tolerance below which a flow counts as drained.
 const DRAIN_EPS: f64 = 1e-12;
 
+// Observability taps (free while tracing is off; totals accumulate until
+// `a2a_obs::reset`). Fair-share recomputes count progressive-filling passes —
+// one per flow-set change — and boundary re-reads count capacity snapshots
+// re-read from the scenario timeline.
+static OBS_FAIR_SHARE_RECOMPUTES: a2a_obs::Counter =
+    a2a_obs::Counter::new("simnet.fair_share_recomputes");
+static OBS_BOUNDARY_REREADS: a2a_obs::Counter = a2a_obs::Counter::new("simnet.boundary_rereads");
+
 /// Simulates a chunked schedule with the event-driven engine.
 ///
 /// The schedule must be executable on `topo`. The dependency extraction re-checks
@@ -216,6 +224,7 @@ pub fn simulate_chunked_event(
     params: &SimParams,
     options: &EventSimOptions,
 ) -> SimResult<EventReport> {
+    let _obs = a2a_obs::span("simnet.run");
     let dag = TransferDag::from_schedule(schedule).map_err(SimError::InvalidSchedule)?;
     let (jobs, link_bw) =
         resolve_jobs(topo, schedule, shard_bytes, params, &options.scenario, &dag)?;
@@ -444,6 +453,7 @@ pub fn simulate_chunked_timeline(
     timeline: &ScenarioTimeline,
     model: ExecutionModel,
 ) -> SimResult<TimelineRun> {
+    let _obs = a2a_obs::span("simnet.run");
     if model != ExecutionModel::Synchronized {
         return Err(SimError::Unsupported(
             "timeline simulation is only implemented for synchronized execution".into(),
@@ -723,6 +733,7 @@ impl Engine<'_> {
     /// Max-min fair rates (bytes/s) for the active flows under link, injection and
     /// ejection capacities (progressive filling).
     fn assign_rates(&self, active: &[ActiveFlow]) -> Vec<f64> {
+        OBS_FAIR_SHARE_RECOMPUTES.incr();
         let nf = active.len();
         // Resource table: capacity, the flows using each resource, and (for the O(1)
         // freeze update) each flow's own resource list — a flow touches at most
@@ -876,6 +887,7 @@ impl Engine<'_> {
         let mut max_concurrent = 0usize;
         let mut next_job = 0usize;
         for step in 0..self.num_steps {
+            let _obs = a2a_obs::span("simnet.step");
             let mut active = Vec::new();
             // A barrier waits for its slowest participant, so the step's α is
             // the per-step sync latency times the worst per-message jitter
@@ -926,6 +938,7 @@ impl Engine<'_> {
         let mut next_job = 0usize;
         let mut bi = 0usize;
         for step in 0..self.num_steps {
+            let _obs = a2a_obs::span("simnet.step");
             let step_first_job = next_job;
             let mut active = Vec::new();
             let mut step_alpha_factor = 1.0f64;
@@ -955,6 +968,7 @@ impl Engine<'_> {
                     active.retain(|f| f.remaining > DRAIN_EPS * self.jobs[f.job].bytes.max(1.0));
                     let b = &boundaries[bi];
                     self.link_bw.copy_from_slice(&b.link_bw);
+                    OBS_BOUNDARY_REREADS.incr();
                     bi += 1;
                     if !b.failed_links.is_empty()
                         && self.remaining_work_uses_failed(&active, next_job, &b.failed)
@@ -988,6 +1002,7 @@ impl Engine<'_> {
             while bi < boundaries.len() && boundaries[bi].time <= sync_end {
                 let b = &boundaries[bi];
                 self.link_bw.copy_from_slice(&b.link_bw);
+                OBS_BOUNDARY_REREADS.incr();
                 bi += 1;
                 if !b.failed_links.is_empty()
                     && self.remaining_work_uses_failed(&[], next_job, &b.failed)
@@ -1013,6 +1028,7 @@ impl Engine<'_> {
     /// Dependency-driven execution: a job becomes ready `per_hop_latency_s` after its
     /// last dependency drains; ready flows share the fabric max-min fairly.
     fn run_dependency_driven(&mut self) -> SimResult<Outcome> {
+        let _obs = a2a_obs::span("simnet.dependency_run");
         let n = self.jobs.len();
         let alpha = self.params.per_hop_latency_s;
         let mut indeg: Vec<usize> = self.dag.jobs.iter().map(|j| j.deps.len()).collect();

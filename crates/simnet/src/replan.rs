@@ -55,6 +55,10 @@ use crate::event::{
 use crate::scenario::ScenarioTimeline;
 use crate::SimParams;
 
+// Observability counters. Process-wide; accumulate until `a2a_obs::reset()`.
+static OBS_REPLAN_ATTEMPTS: a2a_obs::Counter = a2a_obs::Counter::new("replan.attempts");
+static OBS_REPLAN_FALLBACKS: a2a_obs::Counter = a2a_obs::Counter::new("replan.fallbacks");
+
 /// The incumbent column pool of the nominal solve, used to warm-start residual
 /// re-solves. `columns` and `steps` come from the
 /// [`a2a_mcf::TsColGen`] that produced the running schedule; `commodities`
@@ -213,15 +217,18 @@ pub fn replan_run(
     let mut pool: Option<IncumbentPool> = incumbent.cloned();
     let mut attempts: Vec<ReplanAttempt> = Vec::new();
     loop {
-        let run = simulate_chunked_timeline(
-            topo,
-            &current,
-            shard_bytes,
-            params,
-            timeline,
-            ExecutionModel::Synchronized,
-        )
-        .map_err(ReplanError::Sim)?;
+        let run = {
+            let _obs = a2a_obs::span("replan.detect");
+            simulate_chunked_timeline(
+                topo,
+                &current,
+                shard_bytes,
+                params,
+                timeline,
+                ExecutionModel::Synchronized,
+            )
+            .map_err(ReplanError::Sim)?
+        };
         let snapshot = match run {
             TimelineRun::Completed(report) => {
                 return Ok(ReplanRun {
@@ -255,6 +262,9 @@ fn repair(
     pool: Option<&IncumbentPool>,
     options: &ReplanOptions,
 ) -> Result<(ChunkedSchedule, ReplanAttempt, Option<IncumbentPool>), ReplanError> {
+    let _obs = a2a_obs::span("replan.repair");
+    OBS_REPLAN_ATTEMPTS.incr();
+    let obs_snapshot = a2a_obs::span("replan.snapshot");
     let cps = snapshot.chunks_per_shard as f64;
     let punctured = topo.without_edges(&snapshot.failed_links);
     let forbidden: Vec<(NodeId, NodeId)> = snapshot
@@ -286,6 +296,7 @@ fn repair(
         });
     }
 
+    drop(obs_snapshot);
     let mut attempt = ReplanAttempt {
         failure_time: snapshot.time,
         failed_links: snapshot.failed_links.clone(),
@@ -301,6 +312,7 @@ fn repair(
     // Everything already delivered (the failure only touched junk-free slack):
     // the executed prefix alone is the repair.
     if demands.is_empty() {
+        let _obs = a2a_obs::span("replan.splice");
         let spliced = splice_schedule(topo, current, &snapshot.executed_prefix, &[], &forbidden)
             .map_err(ReplanError::Unrepairable)?;
         return Ok((spliced.schedule, attempt, None));
@@ -309,6 +321,7 @@ fn repair(
     // Residual solve (warm-started when a pool is available), then splice; any
     // failure on this path degrades to the greedy reroute instead of erroring.
     let lp_suffix: Option<(Vec<ScheduleStep>, Vec<TsColumn>, usize)> = (|| {
+        let _obs = a2a_obs::span("replan.resolve");
         let steps = residual_minimum_steps(&punctured, &demands).ok()?;
         let warm = match pool {
             Some(p) => {
@@ -375,12 +388,14 @@ fn repair(
         }
         None => {
             attempt.used_fallback = true;
+            OBS_REPLAN_FALLBACKS.incr();
             let suffix = greedy_reroute_suffix(&punctured, &demands, snapshot.chunks_per_shard)
                 .map_err(ReplanError::Unrepairable)?;
             (suffix, None)
         }
     };
     attempt.suffix_steps = suffix.len();
+    let _obs_splice = a2a_obs::span("replan.splice");
     let spliced = splice_schedule(
         topo,
         current,
