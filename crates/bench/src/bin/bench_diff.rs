@@ -1,0 +1,93 @@
+//! Attributes wall-time deltas between two `BENCH_*.json` files to the
+//! `stage_breakdown` stages recorded by the instrumented harness repetition.
+//!
+//! For every (workload, topology, config) row present in both files, prints
+//! the wall delta and a per-stage attribution table sorted by absolute
+//! contribution — so "torus-8x8 got 2x slower" immediately reads as "it's all
+//! in `lp.lu.factor`". Stages that appear in only one file are called out as
+//! new/vanished (renamed spans and added code paths are themselves a common
+//! source of phantom regressions). Rows without a breakdown on either side —
+//! pre-PR-9 baselines, or configs that skip the instrumented rep — still get
+//! their wall delta, with a note naming which side lacks the breakdown.
+//!
+//! Usage: `bench_diff BASELINE.json CURRENT.json`
+//!
+//! Exit status is 0 whenever both files parse into at least one comparable
+//! row — attribution is a diagnostic, not a gate (the harness's `--baseline`
+//! flag is the gate).
+
+use a2a_bench::diff::{attribute_stages, parse_rows, BenchRow, StageChange};
+
+/// Wall deltas under this many seconds are reported one-line only: at
+/// millisecond scale the per-stage split is measurement noise, not signal.
+const ATTRIBUTION_FLOOR_SECS: f64 = 0.01;
+
+fn load(path: &str) -> Vec<BenchRow> {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read bench file {path}: {e}"));
+    let rows = parse_rows(&text);
+    assert!(!rows.is_empty(), "{path} contains no result rows");
+    rows
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, base_path, cur_path] = &args[..] else {
+        eprintln!("usage: bench_diff BASELINE.json CURRENT.json");
+        std::process::exit(2);
+    };
+    let base = load(base_path);
+    let cur = load(cur_path);
+
+    let mut compared = 0usize;
+    println!("# bench_diff: {base_path} -> {cur_path}");
+    for cur_row in &cur {
+        let Some(base_row) = base.iter().find(|b| b.key() == cur_row.key()) else {
+            println!("{}: only in {cur_path} (no baseline row)", cur_row.key());
+            continue;
+        };
+        compared += 1;
+        let delta = cur_row.median_wall_secs - base_row.median_wall_secs;
+        let ratio = cur_row.median_wall_secs / base_row.median_wall_secs.max(1e-9);
+        println!(
+            "{}: {:.3}s -> {:.3}s ({delta:+.3}s, {ratio:.2}x)",
+            cur_row.key(),
+            base_row.median_wall_secs,
+            cur_row.median_wall_secs
+        );
+        match (&base_row.stage_breakdown, &cur_row.stage_breakdown) {
+            (Some(bd_base), Some(bd_cur)) => {
+                if delta.abs() < ATTRIBUTION_FLOOR_SECS {
+                    continue;
+                }
+                for d in attribute_stages(bd_base, bd_cur) {
+                    let tag = match d.change {
+                        StageChange::Shared => "",
+                        StageChange::New => "  [new stage]",
+                        StageChange::Vanished => "  [vanished stage]",
+                    };
+                    println!(
+                        "    {:<32} {:>9.3}s -> {:>9.3}s  ({:+.3}s){tag}",
+                        d.stage,
+                        d.base_secs,
+                        d.cur_secs,
+                        d.delta_secs()
+                    );
+                }
+            }
+            (None, None) => println!("    (no stage breakdown on either side)"),
+            (None, Some(_)) => println!("    (no baseline breakdown — pre-PR-9 file?)"),
+            (Some(_), None) => println!("    (no current breakdown — config skips the traced rep)"),
+        }
+    }
+    for base_row in &base {
+        if !cur.iter().any(|c| c.key() == base_row.key()) {
+            println!("{}: only in {base_path} (row vanished)", base_row.key());
+        }
+    }
+    assert!(
+        compared > 0,
+        "no (workload, topology, config) row is shared between {base_path} and {cur_path}"
+    );
+    println!("# compared {compared} shared rows");
+}

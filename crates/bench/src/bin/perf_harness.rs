@@ -9,7 +9,7 @@
 //! Forrest–Tomlin pipeline where applicable (the colgen master runs the core
 //! solver so its row indices stay stable).
 //!
-//! Emits `BENCH_pr9.json` (median wall-clock over repetitions, simplex
+//! Emits `BENCH_pr10.json` (median wall-clock over repetitions, simplex
 //! iteration and pivot counts, presolve row/column reductions, refactorization
 //! counts, colgen round/column/skipped-source counts, the colgen pricing-wall
 //! and pricing-thread columns, the decomposed `master_algo` and
@@ -27,6 +27,17 @@
 //! the colgen skip-rate gates guard ROADMAP item 2 — and, in the full tier,
 //! that the torus-8x8 decomposed solve stays under a 12s wall (9.4s measured
 //! in BENCH_pr8 on one core; ~62s before the dual-simplex/crash-basis work).
+//!
+//! **Diagnostics (PR 10).** Each instrumented repetition now also produces a
+//! [`a2a_obs::SolveReport`] — the machine-readable solve record (convergence
+//! trajectory for the colgen configs, per-refactorization simplex progress
+//! for the decomposed master, counters, stage breakdown, histogram
+//! summaries) — written as one JSON file per production config under
+//! `--reports DIR`. The stall watchdog is armed for those repetitions (and
+//! only those: the timed medians stay uninstrumented), so trips land in the
+//! reports and in the `watchdog.trips` counter. Wall-time deltas between two
+//! harness output files are attributed per stage by the companion
+//! `bench_diff` binary.
 //!
 //! Every case asserts that both path-MCF configs and decomposed-MCF agree on
 //! the concurrent flow value, and that colgen terminates with its optimality
@@ -58,11 +69,17 @@
 //! so the offending stage is visible without a rerun. All progress output
 //! goes through the `a2a_obs` leveled logger (`--verbose` / `--quiet`).
 //!
-//! Usage: `perf_harness [--quick] [--out PATH] [--baseline PATH] [--trace PATH]`
+//! Usage: `perf_harness [--quick] [--out PATH] [--baseline PATH] [--trace PATH]
+//!                      [--reports DIR]`
 //!   --quick      CI smoke mode: smallest sizes only, one repetition.
-//!   --out        Output JSON path (default `BENCH_pr9.json`).
+//!   --out        Output JSON path (default `BENCH_pr10.json`).
 //!   --baseline   Compare against a previous JSON (same schema): exit nonzero if
 //!                any matching case regresses more than 1.5x in median wall time.
+//!                Baselines predating the `stage_breakdown` column (pre-PR-9
+//!                files) still gate on wall time; the regression report then
+//!                says "no baseline breakdown" instead of omitting the line.
+//!   --reports    Directory for the per-config SolveReport JSON files
+//!                (default `solve_reports`).
 //!   --trace      Run a traced torus-4x4 decomposed + colgen solve and write the
 //!                Chrome trace (chrome://tracing / Perfetto) to PATH; the trace
 //!                is validated (parse + span balance) before the harness exits.
@@ -71,6 +88,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use a2a_bench::diff::{json_field_f64, json_field_obj, json_field_str};
 use a2a_lp::Pricing;
 use a2a_mcf::decomposed::{solve_decomposed_mcf_with, DecomposedOptions};
 use a2a_mcf::pmcf::{
@@ -217,22 +235,30 @@ impl Record {
     }
 }
 
-/// Runs `f` once with span tracing enabled and returns the flat name →
-/// seconds totals of the resulting summary (name-sorted). The timed
-/// repetitions above run instrumentation-off so the medians keep measuring
-/// the production configuration; this single extra rep pays the tracing cost
-/// and fills the `stage_breakdown` column.
-fn traced_breakdown<T>(f: impl FnOnce() -> T) -> Vec<(String, f64)> {
+/// Runs `f` once with span tracing enabled *and the stall watchdog armed*,
+/// returning the result and the trace summary. The timed repetitions above
+/// run instrumentation-off so the medians keep measuring the production
+/// configuration; this single extra rep pays the tracing cost and feeds both
+/// the `stage_breakdown` column and the per-config [`a2a_obs::SolveReport`].
+fn traced_run<T>(f: impl FnOnce() -> T) -> (T, a2a_obs::summary::Summary) {
     a2a_obs::reset();
+    a2a_obs::watchdog::configure(Some(a2a_obs::WatchdogConfig::default()));
     a2a_obs::enable();
-    let _ = f();
+    let out = f();
     a2a_obs::disable();
+    a2a_obs::watchdog::configure(None);
     let summary = a2a_obs::summary::summarize(&a2a_obs::flush());
     assert!(
         summary.is_balanced() && summary.dropped_events == 0,
         "instrumented repetition produced a malformed trace:\n{}",
         summary.render()
     );
+    (out, summary)
+}
+
+/// The flat name → seconds totals of a trace summary (name-sorted): the
+/// `stage_breakdown` column.
+fn breakdown_of(summary: &a2a_obs::summary::Summary) -> Vec<(String, f64)> {
     summary
         .totals_by_name()
         .into_iter()
@@ -270,7 +296,12 @@ fn decomposed_config(config: &str) -> DecomposedOptions {
     }
 }
 
-fn run_decomposed(case: &Case, config: &'static str, reps: usize) -> Record {
+fn run_decomposed(
+    case: &Case,
+    config: &'static str,
+    reps: usize,
+    reports: &mut Vec<a2a_obs::SolveReport>,
+) -> Record {
     let opts = decomposed_config(config);
     let mut walls = Vec::with_capacity(reps);
     let mut last = None;
@@ -312,11 +343,22 @@ fn run_decomposed(case: &Case, config: &'static str, reps: usize) -> Record {
     // instrumented rep would cost minutes at the 64-endpoint sizes and its
     // stage split mirrors the warm one's.
     let stage_breakdown = (config == "warm-devex").then(|| {
-        traced_breakdown(|| {
+        let (traced, summary) = traced_run(|| {
             let commodities = CommoditySet::among(case.hosts.clone());
             solve_decomposed_mcf_with(&case.topo, commodities, &opts)
                 .expect("instrumented decomposed solve")
-        })
+        });
+        let mut report = a2a_mcf::report::decomposed_solve_report(
+            "decomposed-mcf",
+            &case.name,
+            config,
+            median(walls.clone()),
+            traced.solution.flow_value,
+            &traced.timings,
+        );
+        report.attach_summary(&summary);
+        reports.push(report);
+        breakdown_of(&summary)
     });
     Record {
         iterations: Some(solved.timings.total_iterations()),
@@ -363,7 +405,11 @@ fn run_path_mcf(case: &Case, reps: usize) -> Record {
     Record::bare("path-mcf", case, "widened", reps, median(walls), flow)
 }
 
-fn run_path_mcf_colgen(case: &Case, reps: usize) -> Record {
+fn run_path_mcf_colgen(
+    case: &Case,
+    reps: usize,
+    reports: &mut Vec<a2a_obs::SolveReport>,
+) -> Record {
     // Stabilized (Wentges smoothing) with drift-based partial pricing — the
     // production configuration. Smoothing is what calms the dual trajectory
     // enough for the partial-pricing source skip to actually fire, and the
@@ -404,11 +450,22 @@ fn run_path_mcf_colgen(case: &Case, reps: usize) -> Record {
          speedup mechanism (ROADMAP item 2) is not firing",
         case.name
     );
-    let stage_breakdown = Some(traced_breakdown(|| {
+    let (traced, summary) = traced_run(|| {
         let commodities = CommoditySet::among(case.hosts.clone());
         solve_path_mcf_colgen_among(&case.topo, commodities, &opts)
             .expect("instrumented colgen solve")
-    }));
+    });
+    let mut report = a2a_mcf::report::colgen_solve_report(
+        "path-mcf",
+        &case.name,
+        "colgen",
+        median(walls.clone()),
+        traced.schedule.flow_value,
+        &traced.stats,
+    );
+    report.attach_summary(&summary);
+    reports.push(report);
+    let stage_breakdown = Some(breakdown_of(&summary));
     Record {
         iterations: Some(solved.stats.total_master_iterations()),
         pivots: Some(solved.stats.total_master_pivots()),
@@ -515,7 +572,12 @@ const TSMCF_REL_TOL: f64 = 1e-5;
 /// is still tractable. Dense-vs-colgen agreement on `Σ_t U_t` and the colgen
 /// optimality certificate are asserted; `flow_value` reports the effective
 /// concurrent flow `1 / Σ_t U_t` so the column is comparable across workloads.
-fn run_tsmcf(case: &Case, reps: usize, include_dense: bool) -> Vec<Record> {
+fn run_tsmcf(
+    case: &Case,
+    reps: usize,
+    include_dense: bool,
+    reports: &mut Vec<a2a_obs::SolveReport>,
+) -> Vec<Record> {
     let steps = minimum_steps(&case.topo, &CommoditySet::among(case.hosts.clone()))
         .expect("tsMCF step bound");
     // Same light α = 0.1 smoothing as the path-MCF colgen workload (the
@@ -556,11 +618,22 @@ fn run_tsmcf(case: &Case, reps: usize, include_dense: bool) -> Vec<Record> {
          speedup mechanism (ROADMAP item 2) is not firing on the time-expanded master",
         case.name
     );
-    let stage_breakdown = Some(traced_breakdown(|| {
+    let (traced, summary) = traced_run(|| {
         let commodities = CommoditySet::among(case.hosts.clone());
         solve_tsmcf_colgen_among_with(&case.topo, commodities, steps, &opts)
             .expect("instrumented tsMCF colgen solve")
-    }));
+    });
+    let mut report = a2a_mcf::report::colgen_solve_report(
+        "tsmcf",
+        &case.name,
+        "colgen",
+        median(walls.clone()),
+        traced.solution.effective_flow_value(),
+        &traced.stats,
+    );
+    report.attach_summary(&summary);
+    reports.push(report);
+    let stage_breakdown = Some(breakdown_of(&summary));
     let mut records = vec![Record {
         iterations: Some(cg.stats.total_master_iterations()),
         pivots: Some(cg.stats.total_master_pivots()),
@@ -626,7 +699,7 @@ const SIM_CHUNKS_PER_SHARD: usize = 128;
 /// from the same *pruned* solution — the flow the simulator actually executes
 /// (pruning strips undelivered junk flow; on a degenerate vertex the junk can tie a
 /// bottleneck link, making the unpruned bound describe a different schedule).
-fn run_sim(case: &Case, reps: usize) -> Vec<Record> {
+fn run_sim(case: &Case, reps: usize, reports: &mut Vec<a2a_obs::SolveReport>) -> Vec<Record> {
     let solution = solve_tsmcf_auto(&case.topo).expect("tsMCF solve");
     let pruned = solution.pruned(&case.topo);
     let schedule = ChunkedSchedule::from_tsmcf_exact(&case.topo, &pruned, SIM_CHUNKS_PER_SHARD)
@@ -657,10 +730,22 @@ fn run_sim(case: &Case, reps: usize) -> Vec<Record> {
             last = Some(report);
         }
         let report = last.expect("at least one repetition");
-        let stage_breakdown = Some(traced_breakdown(|| {
+        let (_, summary) = traced_run(|| {
             simulate_chunked_event(&case.topo, &schedule, SIM_SHARD_BYTES, &params, &options)
                 .expect("instrumented simulation")
-        }));
+        });
+        let mut solve_report = a2a_obs::SolveReport {
+            solver: "simnet".to_string(),
+            workload: "sim-exec".to_string(),
+            topology: case.name.clone(),
+            config: config.to_string(),
+            wall_secs: median(walls.clone()),
+            objective: report.report.completion_seconds,
+            ..a2a_obs::SolveReport::default()
+        };
+        solve_report.attach_summary(&summary);
+        reports.push(solve_report);
+        let stage_breakdown = Some(breakdown_of(&summary));
         let ratio = report.report.completion_seconds / predicted;
         if config == "event-sync" {
             // The quick-tier sim smoke gate: the synchronized engine must land within
@@ -724,7 +809,7 @@ const REPLAN_FAILURE_FRACTION: f64 = 0.7;
 /// makespan ≤ [`REPLAN_VS_CLAIRVOYANT_MAX`] of clairvoyant, and the
 /// warm-started residual spends fewer master iterations than the cold
 /// clairvoyant solve.
-fn run_replan(case: &Case, reps: usize) -> Vec<Record> {
+fn run_replan(case: &Case, reps: usize, reports: &mut Vec<a2a_obs::SolveReport>) -> Vec<Record> {
     let params = SimParams::default();
     let cg = solve_tsmcf_colgen_auto(&case.topo).expect("nominal tsMCF solve");
     let schedule =
@@ -830,7 +915,7 @@ fn run_replan(case: &Case, reps: usize) -> Vec<Record> {
         attempt.master_iterations,
         cold_iterations
     );
-    let stage_breakdown = Some(traced_breakdown(|| {
+    let (_, summary) = traced_run(|| {
         replan_run(
             &case.topo,
             &schedule,
@@ -841,7 +926,19 @@ fn run_replan(case: &Case, reps: usize) -> Vec<Record> {
             &ReplanOptions::default(),
         )
         .expect("instrumented replan run")
-    }));
+    });
+    let mut solve_report = a2a_obs::SolveReport {
+        solver: "replan".to_string(),
+        workload: "replan".to_string(),
+        topology: case.name.clone(),
+        config: "replanned".to_string(),
+        wall_secs: median(walls.clone()),
+        objective: t_replanned,
+        ..a2a_obs::SolveReport::default()
+    };
+    solve_report.attach_summary(&summary);
+    reports.push(solve_report);
+    let stage_breakdown = Some(breakdown_of(&summary));
     vec![
         Record {
             master_iterations: Some(attempt.master_iterations),
@@ -901,31 +998,6 @@ fn json_breakdown(v: Option<&Vec<(String, f64)>>) -> String {
     )
 }
 
-/// Pulls a string field out of a single-line JSON object written by this tool.
-fn json_field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    let pat = format!("\"{key}\": \"");
-    let start = line.find(&pat)? + pat.len();
-    let end = line[start..].find('"')?;
-    Some(&line[start..start + end])
-}
-
-/// Pulls a numeric field out of a single-line JSON object written by this tool.
-fn json_field_f64(line: &str, key: &str) -> Option<f64> {
-    let pat = format!("\"{key}\": ");
-    let start = line.find(&pat)? + pat.len();
-    let end = line[start..].find([',', '}']).unwrap_or(line.len() - start);
-    line[start..start + end].trim().parse().ok()
-}
-
-/// Pulls a one-level `{...}` object field (the `stage_breakdown` column) out
-/// of a single-line JSON object written by this tool.
-fn json_field_obj<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    let pat = format!("\"{key}\": {{");
-    let start = line.find(&pat)? + pat.len() - 1;
-    let end = line[start..].find('}')?;
-    Some(&line[start..=start + end])
-}
-
 /// Compares the freshly measured records against a baseline JSON produced by an
 /// earlier run of this harness. Returns the list of regressions beyond
 /// [`MAX_REGRESSION`]. A baseline that matches *no* measured case at all is
@@ -970,6 +1042,10 @@ fn check_baseline(baseline_json: &str, records: &[Record]) -> Vec<String> {
             }
             if let Some(base_stages) = json_field_obj(line, "stage_breakdown") {
                 let _ = write!(msg, "\n    baseline stages: {base_stages}");
+            } else {
+                // Pre-PR-9 baselines (BENCH_pr5.json and earlier) have no
+                // stage_breakdown column; say so instead of printing nothing.
+                let _ = write!(msg, "\n    baseline stages: (no baseline breakdown)");
             }
             failures.push(msg);
         }
@@ -1059,9 +1135,10 @@ fn main() {
     } else if args.iter().any(|a| a == "--quiet") {
         a2a_obs::set_log_level(a2a_obs::LogLevel::Warn);
     }
-    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_pr9.json".into());
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_pr10.json".into());
     let baseline_path = arg_value("--baseline");
     let trace_path = arg_value("--trace");
+    let reports_dir = arg_value("--reports").unwrap_or_else(|| "solve_reports".into());
 
     let cases: Vec<Case> = if quick {
         vec![Case::torus(&[4, 4]), Case::fat_tree(4, 2, 4)]
@@ -1076,6 +1153,7 @@ fn main() {
         ]
     };
     let mut records: Vec<Record> = Vec::new();
+    let mut reports: Vec<a2a_obs::SolveReport> = Vec::new();
     for case in &cases {
         // The cold-start Dantzig baseline needs tens of minutes at the 64-endpoint
         // sizes (that gap is the point of the comparison), so the largest cases
@@ -1089,7 +1167,7 @@ fn main() {
             case.hosts.len()
         );
         for config in ["cold-dantzig", "warm-devex"] {
-            let rec = run_decomposed(case, config, reps);
+            let rec = run_decomposed(case, config, reps, &mut reports);
             a2a_obs::info!(
                 "  decomposed-mcf {config}: median {:.3}s, {} iterations ({} dual, \
                  master algo {}), {} pivots, {} refactorizations, presolve -{}r/-{}c, \
@@ -1113,7 +1191,7 @@ fn main() {
             rec.flow_value
         );
         records.push(rec);
-        let rec = run_path_mcf_colgen(case, reps);
+        let rec = run_path_mcf_colgen(case, reps, &mut reports);
         a2a_obs::info!(
             "  path-mcf (colgen): median {:.3}s ({:.3}s pricing at {} threads), {} rounds, \
              {} columns, {} master iterations, {} sources skipped, F = {:.6}",
@@ -1167,7 +1245,7 @@ fn main() {
     for (case, include_dense) in &ts_cases {
         let reps = 3;
         a2a_obs::info!("# {} (tsmcf)", case.name);
-        for rec in run_tsmcf(case, reps, *include_dense) {
+        for rec in run_tsmcf(case, reps, *include_dense, &mut reports) {
             a2a_obs::info!(
                 "  tsmcf {}: median {:.3}s, {} rounds, {} columns, {} master iterations, \
                  {} sources skipped, F_eff = {:.6}",
@@ -1200,7 +1278,7 @@ fn main() {
     ];
     for case in &sim_cases {
         a2a_obs::info!("# {} (sim-exec)", case.name);
-        for rec in run_sim(case, 3) {
+        for rec in run_sim(case, 3, &mut reports) {
             a2a_obs::info!(
                 "  sim-exec {}: median {:.6}s wall, simulated {:.6}s vs LP {:.6}s \
                  (ratio {:.4})",
@@ -1228,7 +1306,7 @@ fn main() {
     ];
     for case in &replan_cases {
         a2a_obs::info!("# {} (replan)", case.name);
-        for rec in run_replan(case, 3) {
+        for rec in run_replan(case, 3, &mut reports) {
             a2a_obs::info!(
                 "  replan {}: median {:.3}s wall, makespan {:.6}s, {} master iterations, \
                  solve {:.3}s, vs-clairvoyant {}, vs-nominal {}",
@@ -1311,7 +1389,7 @@ fn main() {
     // Hand-rolled JSON (no serde in this build environment).
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"pr\": 9,");
+    let _ = writeln!(json, "  \"pr\": 10,");
     let _ = writeln!(json, "  \"harness\": \"perf_harness\",");
     let _ = writeln!(json, "  \"quick\": {quick},");
     json.push_str("  \"results\": [\n");
@@ -1381,6 +1459,30 @@ fn main() {
 
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
     println!("wrote {out_path}");
+
+    // One SolveReport JSON per production config. The colgen-based configs
+    // must carry their convergence trajectory — a report with an empty one
+    // means the stats plumbing broke, which is exactly what this file format
+    // exists to catch.
+    std::fs::create_dir_all(&reports_dir).expect("create reports dir");
+    for report in &reports {
+        if report.solver == "colgen" {
+            assert!(
+                !report.convergence.is_empty(),
+                "{}/{}/{}: colgen SolveReport has no convergence trajectory",
+                report.workload,
+                report.topology,
+                report.config
+            );
+        }
+        let file = format!(
+            "{reports_dir}/{}-{}-{}.json",
+            report.workload, report.topology, report.config
+        );
+        std::fs::write(&file, report.to_json())
+            .unwrap_or_else(|e| panic!("write solve report {file}: {e}"));
+    }
+    a2a_obs::info!("# wrote {} solve reports to {reports_dir}/", reports.len());
 
     if let Some(path) = trace_path {
         run_traced(&path);

@@ -1,0 +1,227 @@
+//! Parsing and diffing of the `BENCH_*.json` files written by `perf_harness`,
+//! shared by the harness's `--baseline` gate and the `bench_diff` binary.
+//!
+//! The harness writes each result as one single-line JSON object, so rows can
+//! be scanned with line-oriented field extractors instead of a full JSON
+//! parser (no serde in this build environment). `stage_breakdown` is always
+//! the *last* field on the line — the one-level `{...}` object scanner relies
+//! on that, and rows written before PR 9 simply lack the field.
+
+/// Pulls a string field out of a single-line JSON object written by the
+/// harness.
+pub fn json_field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(&line[start..start + end])
+}
+
+/// Pulls a numeric field out of a single-line JSON object written by the
+/// harness.
+pub fn json_field_f64(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find([',', '}']).unwrap_or(line.len() - start);
+    line[start..start + end].trim().parse().ok()
+}
+
+/// Pulls a one-level `{...}` object field (the `stage_breakdown` column) out
+/// of a single-line JSON object written by the harness. Returns `None` for
+/// rows whose breakdown is `null` or absent (pre-PR-9 baselines).
+pub fn json_field_obj<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": {{");
+    let start = line.find(&pat)? + pat.len() - 1;
+    let end = line[start..].find('}')?;
+    Some(&line[start..=start + end])
+}
+
+/// Parses a flat `{"name": secs, ...}` object (as written by the harness's
+/// `stage_breakdown` column) into name → seconds pairs, in file order.
+pub fn parse_breakdown(obj: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let inner = obj.trim().trim_start_matches('{').trim_end_matches('}');
+    for entry in inner.split(',') {
+        let Some((name, secs)) = entry.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().trim_matches('"');
+        if name.is_empty() {
+            continue;
+        }
+        if let Ok(secs) = secs.trim().parse::<f64>() {
+            out.push((name.to_string(), secs));
+        }
+    }
+    out
+}
+
+/// One result row of a `BENCH_*.json` file, keyed by
+/// (workload, topology, config).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRow {
+    pub workload: String,
+    pub topology: String,
+    pub config: String,
+    pub median_wall_secs: f64,
+    /// `None` when the row has no breakdown (pre-PR-9 files, or configs that
+    /// skip the instrumented repetition).
+    pub stage_breakdown: Option<Vec<(String, f64)>>,
+}
+
+impl BenchRow {
+    /// The row's identity within a file.
+    pub fn key(&self) -> String {
+        format!("{}/{}/{}", self.workload, self.topology, self.config)
+    }
+}
+
+/// Extracts every result row from a harness JSON document. Lines that are not
+/// result rows (the header, speedup maps) are skipped.
+pub fn parse_rows(json: &str) -> Vec<BenchRow> {
+    json.lines()
+        .filter_map(|line| {
+            let (workload, topology, config, median_wall_secs) = (
+                json_field_str(line, "workload")?,
+                json_field_str(line, "topology")?,
+                json_field_str(line, "config")?,
+                json_field_f64(line, "median_wall_secs")?,
+            );
+            Some(BenchRow {
+                workload: workload.to_string(),
+                topology: topology.to_string(),
+                config: config.to_string(),
+                median_wall_secs,
+                stage_breakdown: json_field_obj(line, "stage_breakdown").map(parse_breakdown),
+            })
+        })
+        .collect()
+}
+
+/// How one stage moved between a baseline row and a current row.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StageChange {
+    /// Present in both breakdowns.
+    Shared,
+    /// Only in the current breakdown (new instrumentation or a new code path).
+    New,
+    /// Only in the baseline breakdown (stage renamed or code path gone).
+    Vanished,
+}
+
+/// One stage's contribution to a wall-time delta.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageDelta {
+    pub stage: String,
+    pub base_secs: f64,
+    pub cur_secs: f64,
+    pub change: StageChange,
+}
+
+impl StageDelta {
+    /// Signed seconds this stage contributes to the total delta.
+    pub fn delta_secs(&self) -> f64 {
+        self.cur_secs - self.base_secs
+    }
+}
+
+/// Attributes a wall-time delta to stages: every stage present in either
+/// breakdown, sorted by absolute contribution (largest first), with new and
+/// vanished stages called out. Ties (equal |delta|) break by stage name so
+/// the output is deterministic.
+pub fn attribute_stages(base: &[(String, f64)], cur: &[(String, f64)]) -> Vec<StageDelta> {
+    let mut out: Vec<StageDelta> = Vec::new();
+    for (stage, cur_secs) in cur {
+        let base_entry = base.iter().find(|(name, _)| name == stage);
+        out.push(StageDelta {
+            stage: stage.clone(),
+            base_secs: base_entry.map_or(0.0, |(_, s)| *s),
+            cur_secs: *cur_secs,
+            change: if base_entry.is_some() {
+                StageChange::Shared
+            } else {
+                StageChange::New
+            },
+        });
+    }
+    for (stage, base_secs) in base {
+        if cur.iter().any(|(name, _)| name == stage) {
+            continue;
+        }
+        out.push(StageDelta {
+            stage: stage.clone(),
+            base_secs: *base_secs,
+            cur_secs: 0.0,
+            change: StageChange::Vanished,
+        });
+    }
+    out.sort_by(|a, b| {
+        b.delta_secs()
+            .abs()
+            .partial_cmp(&a.delta_secs().abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.stage.cmp(&b.stage))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ROW: &str = "    {\"workload\": \"path-mcf\", \"topology\": \"torus-4x4\", \
+        \"nodes\": 16, \"endpoints\": 16, \"config\": \"colgen\", \"reps\": 3, \
+        \"median_wall_secs\": 0.125000, \"iterations\": 42, \"flow_value\": 1.500000000, \
+        \"stage_breakdown\": {\"colgen.master\": 0.080000, \"colgen.pricing\": 0.030000}}";
+
+    const ROW_NO_BREAKDOWN: &str = "    {\"workload\": \"path-mcf\", \
+        \"topology\": \"torus-4x4\", \"config\": \"widened\", \
+        \"median_wall_secs\": 0.050000, \"flow_value\": 1.500000000}";
+
+    #[test]
+    fn parses_rows_with_and_without_breakdowns() {
+        let json = format!("{{\n  \"results\": [\n{ROW},\n{ROW_NO_BREAKDOWN}\n  ]\n}}\n");
+        let rows = parse_rows(&json);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].key(), "path-mcf/torus-4x4/colgen");
+        assert_eq!(rows[0].median_wall_secs, 0.125);
+        let bd = rows[0].stage_breakdown.as_ref().expect("breakdown parsed");
+        assert_eq!(
+            bd,
+            &vec![
+                ("colgen.master".to_string(), 0.08),
+                ("colgen.pricing".to_string(), 0.03)
+            ]
+        );
+        assert_eq!(rows[1].key(), "path-mcf/torus-4x4/widened");
+        assert!(rows[1].stage_breakdown.is_none());
+    }
+
+    #[test]
+    fn attribution_sorts_by_contribution_and_flags_new_and_vanished() {
+        let base = vec![
+            ("lp.phase2".to_string(), 1.0),
+            ("lp.lu.factor".to_string(), 0.5),
+            ("gone.stage".to_string(), 0.2),
+        ];
+        let cur = vec![
+            ("lp.phase2".to_string(), 3.0),
+            ("lp.lu.factor".to_string(), 0.6),
+            ("fresh.stage".to_string(), 0.4),
+        ];
+        let deltas = attribute_stages(&base, &cur);
+        assert_eq!(deltas.len(), 4);
+        assert_eq!(deltas[0].stage, "lp.phase2");
+        assert_eq!(deltas[0].change, StageChange::Shared);
+        assert!((deltas[0].delta_secs() - 2.0).abs() < 1e-12);
+        assert_eq!(deltas[1].stage, "fresh.stage");
+        assert_eq!(deltas[1].change, StageChange::New);
+        let vanished = deltas.iter().find(|d| d.stage == "gone.stage").unwrap();
+        assert_eq!(vanished.change, StageChange::Vanished);
+        assert!((vanished.delta_secs() + 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_object_parses_to_empty() {
+        assert!(parse_breakdown("{}").is_empty());
+    }
+}

@@ -7,6 +7,8 @@
 //! scale (the defaults are sized for a single-core CI run) — EXPERIMENTS.md records
 //! which sweep each reported number came from.
 
+pub mod diff;
+
 use a2a_mcf::tsmcf::TsMcfSolution;
 use a2a_mcf::PathSchedule;
 use a2a_simnet::{simulate_link_schedule, simulate_path_schedule, SimParams};

@@ -48,6 +48,11 @@ const FT_FILL_GROWTH_LIMIT: usize = 4;
 // they can sit inside the solve kernels permanently.
 static OBS_FT_UPDATES: a2a_obs::Counter = a2a_obs::Counter::new("lp.ft_updates");
 static OBS_FT_REJECTS: a2a_obs::Counter = a2a_obs::Counter::new("lp.ft_update_rejects");
+// Result-density distributions of the hypersparse solves: the whole point
+// of the symbolic-reach kernels is that these stay tiny on network bases,
+// and the histograms make a density regression visible without a profiler.
+static OBS_FTRAN_NNZ: a2a_obs::Histogram = a2a_obs::Histogram::new("lp.ftran_nnz");
+static OBS_BTRAN_NNZ: a2a_obs::Histogram = a2a_obs::Histogram::new("lp.btran_nnz");
 
 /// One Forrest–Tomlin row transformation `R = I − e_pos·mᵀ`: the elimination
 /// multipliers that zeroed the row spike of one column replacement.
@@ -629,6 +634,7 @@ impl LuFactorization {
         let _obs = a2a_obs::span("lp.lu.ftran");
         self.ftran_lower(b, scratch);
         self.ftran_upper(b, scratch);
+        OBS_FTRAN_NNZ.record(b.nnz() as u64);
     }
 
     /// [`Self::ftran_sparse`] that additionally snapshots the *partial* result
@@ -651,6 +657,7 @@ impl LuFactorization {
             }
         }
         self.ftran_upper(b, scratch);
+        OBS_FTRAN_NNZ.record(b.nnz() as u64);
     }
 
     /// Permutation + lower-triangular + row-eta half of the hypersparse FTRAN:
@@ -773,6 +780,7 @@ impl LuFactorization {
             let (k, v) = scratch.pairs[i];
             b.set(self.row_perm[k], v);
         }
+        OBS_BTRAN_NNZ.record(b.nnz() as u64);
     }
 
     /// Forrest–Tomlin update: replaces the basis column at original column index

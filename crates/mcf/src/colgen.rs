@@ -268,6 +268,10 @@ pub struct ColGenRound {
     /// Columns dropped from the `seen` bookkeeping by pool aging this round
     /// (0 unless [`ColGenOptions::purge_nonbasic_after`] is set).
     pub columns_purged: usize,
+    /// True when this round's no-candidate sweep at smoothed duals had to be
+    /// redone at the raw duals (the round contributed to
+    /// [`ColGenStats::misprices`]).
+    pub misprice: bool,
 }
 
 /// Aggregate timing/progress statistics of a column-generation solve.
@@ -292,6 +296,10 @@ pub struct ColGenStats {
     /// Resolved worker budget of the parallel pricing sweep (the explicit
     /// [`ColGenOptions::pricing_threads`], or every available core).
     pub pricing_threads: usize,
+    /// Stall-watchdog trips over the whole solve: round-level trips
+    /// (misprice loops, objective plateaus) plus the master solver's
+    /// iteration-rate trips. 0 when the watchdog is not configured.
+    pub watchdog_trips: u64,
 }
 
 impl ColGenStats {
@@ -304,6 +312,7 @@ impl ColGenStats {
             total_columns: seed_columns,
             misprices: 0,
             pricing_threads: 1,
+            watchdog_trips: 0,
         }
     }
 
@@ -582,6 +591,8 @@ static OBS_MISPRICES: a2a_obs::Counter = a2a_obs::Counter::new("colgen.misprices
 static OBS_SOURCES_SKIPPED: a2a_obs::Counter = a2a_obs::Counter::new("colgen.sources_skipped");
 static OBS_COLUMNS_PURGED: a2a_obs::Counter = a2a_obs::Counter::new("colgen.columns_purged");
 static OBS_COLUMNS_ADDED: a2a_obs::Counter = a2a_obs::Counter::new("colgen.columns_added");
+static OBS_ROUND_WALL_NANOS: a2a_obs::Histogram =
+    a2a_obs::Histogram::new("colgen.round_wall_nanos");
 
 /// Pool-aging record of one appended path column: LP column
 /// `structural_cols + index in this list`.
@@ -659,8 +670,10 @@ pub fn run_colgen<O: PricingOracle>(
         .collect();
     let mut stabilizer = DualStabilizer::new(options.stabilization);
     let mut partial = PartialPricing::new(options.partial_pricing, nsrc);
+    let mut watchdog = a2a_obs::StallWatchdog::if_configured("colgen");
     loop {
         let _obs_round = a2a_obs::span("colgen.round");
+        let _round_timer = OBS_ROUND_WALL_NANOS.start();
         OBS_ROUNDS.incr();
         let t_master = Instant::now();
         let sol = {
@@ -727,6 +740,7 @@ pub fn run_colgen<O: PricingOracle>(
             }
         }
         let mut sources_skipped = skipped.len();
+        let mut mispriced = false;
         let mut candidates: Vec<Candidate> = Vec::new();
         let mut pricing_threads = priced_sweep(
             &*oracle,
@@ -745,6 +759,7 @@ pub fn run_colgen<O: PricingOracle>(
             // sources must be re-priced either way.
             let resweep: Vec<usize> = if smoothed {
                 stats.misprices += 1;
+                mispriced = true;
                 OBS_MISPRICES.incr();
                 stabilizer.collapse(&y_raw);
                 weights = oracle.arc_weights(&y_raw);
@@ -800,7 +815,23 @@ pub fn run_colgen<O: PricingOracle>(
             sources_skipped,
             pricing_threads,
             columns_purged,
+            misprice: mispriced,
         });
+        // Master-solver trips (iteration-rate collapse) roll up into the
+        // colgen stats alongside the round-level detectors.
+        stats.watchdog_trips += sol.watchdog_trips;
+        if let Some(wd) = watchdog.as_mut() {
+            let round = stats.rounds.last().expect("round was just pushed");
+            let before = wd.trips();
+            wd.observe_round(
+                stats.rounds.len(),
+                flow_value,
+                max_violation,
+                round.columns_added,
+                mispriced,
+            );
+            stats.watchdog_trips += wd.trips() - before;
+        }
 
         if proved {
             stats.proved_optimal = true;

@@ -1,7 +1,29 @@
 //! `a2a_obs` — zero-dependency instrumentation core for the all-to-all
-//! toolchain: RAII [`span`]s, [`Counter`]/[`Gauge`] registries, a Chrome
-//! trace-event writer ([`chrome`]), an aggregated [`summary`] tree, and a
-//! small leveled [`logger`].
+//! toolchain: RAII [`span`]s, [`Counter`]/[`Gauge`]/[`Histogram`]
+//! registries, a Chrome trace-event writer ([`chrome`]), an aggregated
+//! [`summary`] tree, serializable per-solve diagnostics ([`report`]), an
+//! in-process stall [`watchdog`], and a small leveled [`logger`].
+//!
+//! # Choosing spans vs counters vs histograms
+//!
+//! - **[`span`]** — when you need *where the wall time went*: a region with
+//!   a begin and an end that nests (solve → master → pricing). Spans feed
+//!   the summary tree and the Chrome trace; their totals become the
+//!   harness's `stage_breakdown`. Cost while enabled: two clock reads and
+//!   two buffered events per call — fine at refactorization/round cadence,
+//!   too heavy *per pivot*.
+//! - **[`Counter`] / [`Gauge`]** — when you need *how often* (pivots,
+//!   misprices, watchdog trips) or *how big right now* (pool size). One
+//!   relaxed `fetch_add`/`store`; safe in the innermost loops.
+//! - **[`Histogram`]** — when the *distribution* matters, not just the
+//!   total: per-iteration latency (is the tail collapsing?), FTRAN/BTRAN
+//!   result density, colgen round walls. A few relaxed atomics per record
+//!   and a fixed-size bucket array; safe in the innermost loops, and the
+//!   summary tree renders p50/p90/p99/max.
+//!
+//! All three share the same disabled contract (one relaxed load) and the
+//! same lazy registration, so instrumentation sites are just statics — no
+//! central declaration list.
 //!
 //! # Overhead contract
 //!
@@ -47,11 +69,17 @@ use std::time::Instant;
 
 pub mod chrome;
 mod counters;
+mod histogram;
 pub mod logger;
+pub mod report;
 pub mod summary;
+pub mod watchdog;
 
 pub use counters::{Counter, CounterSnapshot, Gauge, GaugeSnapshot};
+pub use histogram::{Histogram, HistogramSnapshot, HistogramTimer};
 pub use logger::{log_level, set_log_level, LogLevel};
+pub use report::{ConvergenceRound, SimplexProgress, SolveReport};
+pub use watchdog::{StallWatchdog, WatchdogConfig};
 
 /// Process-global instrumentation switch. Relaxed loads only — see the
 /// crate-level overhead contract.
@@ -145,6 +173,8 @@ pub struct TraceData {
     pub counters: Vec<CounterSnapshot>,
     /// Name-sorted snapshot of all registered gauges.
     pub gauges: Vec<GaugeSnapshot>,
+    /// Name-sorted snapshot of all registered histograms.
+    pub histograms: Vec<HistogramSnapshot>,
     /// Total events dropped across all threads (buffer-cap overflow). Never
     /// silently zero-extended: if this is nonzero the trace is incomplete.
     pub dropped_events: u64,
@@ -235,6 +265,13 @@ pub fn instant(name: &'static str) {
     }
 }
 
+/// Non-destructive name-sorted snapshot of every registered counter
+/// (values are not cleared and no buffers are drained). The watchdog's
+/// diagnostic dump uses this; [`flush`] embeds the same snapshot.
+pub fn counter_snapshot() -> Vec<CounterSnapshot> {
+    counters::snapshot()
+}
+
 /// Drains every thread's event buffer and snapshots every registered
 /// counter/gauge. Buffers come back sorted by thread ordinal (see the
 /// deterministic merge rule in the crate docs). Counter values are
@@ -266,6 +303,7 @@ pub fn flush() -> TraceData {
         threads,
         counters: counters::snapshot(),
         gauges: counters::gauge_snapshot(),
+        histograms: histogram::snapshot(),
         dropped_events,
     }
 }
@@ -284,4 +322,5 @@ pub fn reset() {
         all.retain(|buf| Arc::strong_count(buf) > 1);
     }
     counters::reset_all();
+    histogram::reset_all();
 }

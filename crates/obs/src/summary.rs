@@ -4,7 +4,7 @@
 //! tree's structure and counts are thread-count-independent — only the wall
 //! times vary (see the deterministic-merge rule in the crate docs).
 
-use crate::{EventKind, TraceData};
+use crate::{EventKind, HistogramSnapshot, TraceData};
 use std::collections::BTreeMap;
 
 /// One aggregated span (all invocations of one span path, on any thread).
@@ -29,6 +29,8 @@ pub struct Summary {
     pub root: SummaryNode,
     pub counters: Vec<(String, u64)>,
     pub gauges: Vec<(String, i64)>,
+    /// Name-sorted histogram snapshots (quantiles computed on demand).
+    pub histograms: Vec<HistogramSnapshot>,
     /// Exit events that did not match the innermost open span on their
     /// thread (they are dropped from the tree, never mis-attributed).
     pub malformed_exits: u64,
@@ -37,6 +39,24 @@ pub struct Summary {
     pub unclosed_spans: u64,
     /// Copied from [`TraceData::dropped_events`].
     pub dropped_events: u64,
+}
+
+/// Renders a histogram value: names ending in `_nanos` are durations and
+/// get a human-readable unit; everything else prints the raw integer.
+fn fmt_hist_value(name: &str, v: u64) -> String {
+    if !name.ends_with("_nanos") {
+        return v.to_string();
+    }
+    let secs = v as f64 / 1e9;
+    if secs >= 1.0 {
+        format!("{secs:.2}s")
+    } else if secs >= 1e-3 {
+        format!("{:.2}ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.2}us", secs * 1e6)
+    } else {
+        format!("{v}ns")
+    }
 }
 
 #[derive(Default)]
@@ -125,6 +145,7 @@ pub fn summarize(data: &TraceData) -> Summary {
             .iter()
             .map(|g| (g.name.to_string(), g.value))
             .collect(),
+        histograms: data.histograms.clone(),
         malformed_exits,
         unclosed_spans,
         dropped_events: data.dropped_events,
@@ -204,6 +225,22 @@ impl Summary {
             out.push_str("gauges:\n");
             for (name, value) in gauges {
                 out.push_str(&format!("  {name:<32} {value}\n"));
+            }
+        }
+        let hists: Vec<&HistogramSnapshot> =
+            self.histograms.iter().filter(|h| h.count > 0).collect();
+        if !hists.is_empty() {
+            out.push_str("histograms:\n");
+            for h in hists {
+                out.push_str(&format!(
+                    "  {:<32} count={:<8} p50={} p90={} p99={} max={}\n",
+                    h.name,
+                    h.count,
+                    fmt_hist_value(h.name, h.quantile(0.50)),
+                    fmt_hist_value(h.name, h.quantile(0.90)),
+                    fmt_hist_value(h.name, h.quantile(0.99)),
+                    fmt_hist_value(h.name, h.max),
+                ));
             }
         }
         if self.dropped_events > 0 {

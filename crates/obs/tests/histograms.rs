@@ -1,0 +1,151 @@
+//! Histogram contract tests: the disabled-mode cost model (one branch, no
+//! registration), deterministic merge at any thread count, and
+//! bucket-boundary round-trips through the summary tree. Obs state is
+//! process-global, so every test serializes on one lock and leaves the
+//! switch off and buffers empty.
+
+use a2a_obs::{summary, Histogram};
+use std::sync::Mutex;
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn clean_slate() {
+    a2a_obs::disable();
+    a2a_obs::reset();
+    let _ = a2a_obs::flush();
+}
+
+#[test]
+fn disabled_mode_records_nothing_and_does_not_register() {
+    let _g = locked();
+    clean_slate();
+    static DISABLED_HIST: Histogram = Histogram::new("test.disabled_hist");
+
+    assert!(!a2a_obs::is_enabled());
+    DISABLED_HIST.record(123);
+    {
+        // The timer path must also be inert: no clock read has observable
+        // effect, and dropping it records nothing.
+        let _t = DISABLED_HIST.start();
+    }
+    let data = a2a_obs::flush();
+    assert!(
+        !data
+            .histograms
+            .iter()
+            .any(|h| h.name == "test.disabled_hist"),
+        "disabled histograms must not even register"
+    );
+
+    // The same static must start from zero once enabled: nothing leaked in.
+    a2a_obs::enable();
+    DISABLED_HIST.record(5);
+    a2a_obs::disable();
+    let data = a2a_obs::flush();
+    let snap = data
+        .histograms
+        .iter()
+        .find(|h| h.name == "test.disabled_hist")
+        .expect("enabled record registers");
+    assert_eq!(snap.count, 1, "disabled records must not have accumulated");
+    assert_eq!(snap.sum, 5);
+    clean_slate();
+}
+
+/// Records the same multiset of values either on the calling thread or
+/// spread across `ways` scoped threads: global indices `0..total` are
+/// partitioned across the threads so the union is identical by construction.
+fn record_workload(hist: &'static Histogram, ways: usize, total: usize) {
+    let work = move |lo: usize, hi: usize| {
+        for i in lo..hi {
+            hist.record(1 + (i as u64 % 7) * 1000);
+        }
+    };
+    if ways <= 1 {
+        work(0, total);
+    } else {
+        let chunk = total / ways;
+        std::thread::scope(|s| {
+            for w in 0..ways {
+                s.spawn(move || work(w * chunk, (w + 1) * chunk));
+            }
+        });
+    }
+}
+
+#[test]
+fn merge_is_deterministic_one_vs_four_threads() {
+    let _g = locked();
+    clean_slate();
+    static MERGE_HIST: Histogram = Histogram::new("test.merge_hist");
+
+    let run = |ways: usize| {
+        a2a_obs::reset();
+        a2a_obs::enable();
+        record_workload(&MERGE_HIST, ways, 128);
+        a2a_obs::disable();
+        let data = a2a_obs::flush();
+        data.histograms
+            .iter()
+            .find(|h| h.name == "test.merge_hist")
+            .expect("histogram registered")
+            .clone()
+    };
+
+    let s1 = run(1);
+    let s4 = run(4);
+    assert_eq!(s1.count, 128);
+    // Same values recorded → byte-identical snapshots regardless of thread
+    // count: same nonzero buckets in the same order, same sum/max/quantiles.
+    assert_eq!(s1, s4);
+    assert_eq!(s1.quantile(0.5), s4.quantile(0.5));
+    clean_slate();
+}
+
+#[test]
+fn bucket_boundaries_round_trip_through_the_summary_tree() {
+    let _g = locked();
+    clean_slate();
+    static BOUNDARY_HIST: Histogram = Histogram::new("test.boundary_hist");
+
+    // Exact bucket lower bounds: small values (< 16) get exact unit buckets;
+    // larger powers of two are always bucket boundaries.
+    let boundaries: &[u64] = &[0, 1, 7, 15, 16, 1024, 1 << 20, 1 << 40];
+    a2a_obs::enable();
+    for &v in boundaries {
+        BOUNDARY_HIST.record(v);
+    }
+    a2a_obs::disable();
+    let s = summary::summarize(&a2a_obs::flush());
+    let snap = s
+        .histograms
+        .iter()
+        .find(|h| h.name == "test.boundary_hist")
+        .expect("histogram lands in the summary");
+    assert_eq!(snap.count, boundaries.len() as u64);
+    assert_eq!(snap.max, 1 << 40);
+    assert_eq!(snap.sum, boundaries.iter().sum::<u64>());
+    // Quantiles report bucket lower bounds, so values recorded *at* a
+    // boundary come back exactly: walking q past each value's cumulative
+    // rank must return the value itself.
+    let n = boundaries.len() as f64;
+    for (i, &v) in boundaries.iter().enumerate() {
+        let q = (i as f64 + 0.5) / n;
+        assert_eq!(
+            snap.quantile(q),
+            v,
+            "boundary value {v} did not round-trip at q={q}"
+        );
+    }
+    // And the rendered tree must carry the histogram section.
+    let rendered = s.render();
+    assert!(
+        rendered.contains("test.boundary_hist"),
+        "summary render must list histograms:\n{rendered}"
+    );
+    clean_slate();
+}

@@ -206,6 +206,8 @@ const DRAIN_EPS: f64 = 1e-12;
 static OBS_FAIR_SHARE_RECOMPUTES: a2a_obs::Counter =
     a2a_obs::Counter::new("simnet.fair_share_recomputes");
 static OBS_BOUNDARY_REREADS: a2a_obs::Counter = a2a_obs::Counter::new("simnet.boundary_rereads");
+static OBS_FAIR_SHARE_NANOS: a2a_obs::Histogram =
+    a2a_obs::Histogram::new("simnet.fair_share_nanos");
 
 /// Simulates a chunked schedule with the event-driven engine.
 ///
@@ -734,6 +736,7 @@ impl Engine<'_> {
     /// ejection capacities (progressive filling).
     fn assign_rates(&self, active: &[ActiveFlow]) -> Vec<f64> {
         OBS_FAIR_SHARE_RECOMPUTES.incr();
+        let _recompute_timer = OBS_FAIR_SHARE_NANOS.start();
         let nf = active.len();
         // Resource table: capacity, the flows using each resource, and (for the O(1)
         // freeze update) each flow's own resource list — a flow touches at most
